@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one figure/table of the paper at a scale set by
+``FBF_BENCH_SCALE`` (``quick`` default, ``full`` for the paper's grid) and
+writes the rendered report to ``benchmarks/results/`` so EXPERIMENTS.md can
+quote it.  Runs are deterministic, so pytest-benchmark is used in pedantic
+mode (one round) — the interesting output is the report, not statistical
+timing of the harness itself.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import FULL, QUICK, Scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = Scale(
+    n_errors=60,
+    workers=32,
+    cache_mbs=(0.5, 1, 2, 4, 8, 16),
+    seed=42,
+)
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    name = os.environ.get("FBF_BENCH_SCALE", "bench").lower()
+    if name == "quick":
+        return QUICK
+    if name == "full":
+        return FULL
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}")
+
+    return _save

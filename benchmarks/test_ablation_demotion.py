@@ -1,0 +1,29 @@
+"""Ablation (DESIGN.md §6): demote-on-hit vs sticky priorities.
+
+The paper's Algorithm 1 demotes a chunk one queue per hit because each hit
+consumes one expected rereference.  The sticky variant keeps chunks in
+their original queue, hogging Queue2/Queue3 space after their rereferences
+are spent.
+"""
+
+import pytest
+
+from repro.bench import ablation_demotion, figure_report
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_demotion_ablation(benchmark, scale, save_report):
+    points = benchmark.pedantic(
+        ablation_demotion, args=(scale,), rounds=1, iterations=1
+    )
+    save_report(
+        "ablation_demotion",
+        figure_report(points, "hit_ratio", "Ablation: demotion on hit (hit ratio)"),
+    )
+    by_policy: dict = {}
+    for p in points:
+        by_policy.setdefault(p.policy, {})[p.cache_mb] = p.hit_ratio
+    assert set(by_policy) == {"fbf", "fbf-sticky"}
+    # demotion never loses by more than noise, anywhere in the sweep
+    for mb, hr in by_policy["fbf"].items():
+        assert hr >= by_policy["fbf-sticky"][mb] - 0.02, mb

@@ -1,0 +1,50 @@
+"""Ablation (DESIGN.md §6): chain-selection strategy.
+
+Separates FBF's two ingredients: the overlap-seeking recovery scheme and
+the priority cache.  ``typical`` (all-horizontal) recovery has zero chunk
+sharing, so caching cannot help at all; the paper's round-robin loop and
+the greedy optimizer both create sharing, with greedy fetching the fewest
+unique chunks.
+"""
+
+import pytest
+
+from repro.bench import ablation_scheme, figure_report
+from repro.codes import make_code
+from repro.core import generate_plan
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_scheme_ablation(benchmark, scale, save_report):
+    points = benchmark.pedantic(ablation_scheme, args=(scale,), rounds=1, iterations=1)
+    save_report(
+        "ablation_scheme",
+        figure_report(points, "hit_ratio", "Ablation: recovery scheme (hit ratio)"),
+    )
+    best = {}
+    for p in points:
+        best[p.scheme_mode] = max(best.get(p.scheme_mode, 0.0), p.hit_ratio)
+    assert best["typical"] == 0.0
+    assert best["fbf"] > 0.0
+    assert best["greedy"] > 0.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_unique_read_ordering_across_modes(benchmark):
+    """greedy <= fbf <= typical on unique chunks fetched, per error shape."""
+
+    def run():
+        layout = make_code("tip", 11)
+        rows = []
+        for length in range(2, layout.rows + 1):
+            failed = [(r, 0) for r in range(length)]
+            uniq = {
+                mode: generate_plan(layout, failed, mode).unique_reads
+                for mode in ("typical", "fbf", "greedy")
+            }
+            rows.append((length, uniq))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for length, uniq in rows:
+        assert uniq["greedy"] <= uniq["fbf"] <= uniq["typical"], length

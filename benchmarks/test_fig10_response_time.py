@@ -1,0 +1,59 @@
+"""Figure 10: average response time of the array during recovery.
+
+Paper shape: response time falls as cache grows; FBF is fastest across
+codes, with the edge fading once the cache stops being the bottleneck
+(paper: up to 31.39% better than LFU at P=13, TIP).
+"""
+
+import pytest
+
+from repro.bench import fig10_response_time, figure_report
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_response_time(benchmark, scale, save_report):
+    points = benchmark.pedantic(
+        fig10_response_time, args=(scale,), rounds=1, iterations=1
+    )
+    save_report(
+        "fig10_response_time",
+        figure_report(
+            points, "avg_response_time", "Figure 10: average response time (s)", ".5f"
+        ),
+    )
+
+    # Per-point response times can wobble: when FBF compresses the same
+    # disk misses into less wall-clock the per-miss queueing grows, so the
+    # per-request mean may tick up at one point even as reconstruction
+    # time falls.  The robust paper shape is on the sweep: FBF's mean
+    # response time per panel beats every baseline's mean.
+    sums: dict = {}
+    for p in points:
+        key = (p.code, p.p, p.policy)
+        total, count = sums.get(key, (0.0, 0))
+        sums[key] = (total + p.avg_response_time, count + 1)
+    panels = {(c, pp) for c, pp, _ in sums}
+    strict_wins = 0
+    for code, pp in panels:
+        means = {
+            pol: total / count
+            for (c, p2, pol), (total, count) in sums.items()
+            if (c, p2) == (code, pp)
+        }
+        best_other = min(v for k, v in means.items() if k != "fbf")
+        worst_other = max(v for k, v in means.items() if k != "fbf")
+        assert means["fbf"] <= best_other * 1.02, (code, pp)
+        if means["fbf"] < worst_other * 0.98:
+            strict_wins += 1
+    assert strict_wins > 0
+
+    # larger cache never hurts FBF's response time (per code/p series)
+    fbf_series: dict = {}
+    for p in points:
+        if p.policy == "fbf":
+            fbf_series.setdefault((p.code, p.p), []).append(
+                (p.cache_mb, p.avg_response_time)
+            )
+    for key, series in fbf_series.items():
+        series.sort()
+        assert series[-1][1] <= series[0][1] * 1.02, key

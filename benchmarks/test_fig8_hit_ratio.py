@@ -1,0 +1,62 @@
+"""Figure 8: cache hit ratio during partial stripe reconstruction.
+
+Paper shape to reproduce: hit ratio rises with cache size and plateaus;
+FBF dominates every baseline, with the largest margin at small caches and
+the earliest plateau; STAR shows comparatively higher hit ratios than the
+other codes (adjuster pinning).
+"""
+
+import pytest
+
+from repro.bench import fig8_hit_ratio, figure_report
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_hit_ratio(benchmark, scale, save_report):
+    points = benchmark.pedantic(fig8_hit_ratio, args=(scale,), rounds=1, iterations=1)
+    save_report(
+        "fig8_hit_ratio",
+        figure_report(points, "hit_ratio", "Figure 8: cache hit ratio"),
+    )
+
+    # --- shape assertions -------------------------------------------------
+    by_cfg: dict = {}
+    for p in points:
+        by_cfg.setdefault((p.code, p.p, p.cache_mb), {})[p.policy] = p.hit_ratio
+    wins = ties = 0
+    for vals in by_cfg.values():
+        best_other = max(v for k, v in vals.items() if k != "fbf")
+        assert vals["fbf"] >= best_other - 1e-9
+        if vals["fbf"] > best_other + 1e-9:
+            wins += 1
+        else:
+            ties += 1
+    assert wins > 0, "FBF should strictly beat baselines somewhere"
+
+    # FBF's advantage peaks in the limited-cache regime and fades toward
+    # the plateau: in at least one panel, the gain at the largest cache is
+    # strictly below the panel's peak gain.
+    fades = 0
+    for code, p in {(pt.code, pt.p) for pt in points}:
+        gains = {mb: _gain(by_cfg[(code, p, mb)]) for mb in scale.cache_mbs}
+        assert all(g >= -1e-9 for g in gains.values()), (code, p)
+        if gains[max(scale.cache_mbs)] < max(gains.values()) - 1e-9:
+            fades += 1
+    assert fades > 0, "FBF's edge should fade as the cache stops binding"
+
+    # Hit ratio is non-decreasing in cache size for FBF, per panel.
+    fbf_series: dict = {}
+    for pt in points:
+        if pt.policy == "fbf":
+            fbf_series.setdefault((pt.code, pt.p), []).append(
+                (pt.cache_mb, pt.hit_ratio)
+            )
+    for key, series in fbf_series.items():
+        series.sort()
+        for (_, lo), (_, hi) in zip(series, series[1:]):
+            assert hi >= lo - 1e-9, key
+
+
+def _gain(vals):
+    others = [v for k, v in vals.items() if k != "fbf"]
+    return vals["fbf"] - max(others)

@@ -1,0 +1,42 @@
+"""Figure 9: number of disk reads during recovery (TIP, P in {5,7,11,13}).
+
+Paper shape: reads fall as cache grows and stabilize; the stable point
+moves right as P grows; FBF issues the fewest reads, most visibly when
+the cache is restricted (paper: up to 22.52% fewer than LFU).
+"""
+
+import pytest
+
+from repro.bench import fig9_read_ops, figure_report
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_read_ops(benchmark, scale, save_report):
+    points = benchmark.pedantic(fig9_read_ops, args=(scale,), rounds=1, iterations=1)
+    save_report(
+        "fig9_read_ops",
+        figure_report(points, "disk_reads", "Figure 9: disk reads (TIP)", "d"),
+    )
+
+    series: dict = {}
+    for p in points:
+        series.setdefault((p.p, p.policy), []).append((p.cache_mb, p.disk_reads))
+
+    for (p_val, policy), pts in series.items():
+        pts.sort()
+        # monotone non-increasing within jitter-free trace replay
+        assert pts[-1][1] <= pts[0][1], (p_val, policy)
+
+    # FBF <= every baseline at every point
+    by_cfg: dict = {}
+    for p in points:
+        by_cfg.setdefault((p.p, p.cache_mb), {})[p.policy] = p.disk_reads
+    for cfg, vals in by_cfg.items():
+        assert vals["fbf"] <= min(vals.values()), cfg
+
+    # FBF's saving over the worst baseline is material somewhere (>5%)
+    best_saving = max(
+        (max(vals.values()) - vals["fbf"]) / max(vals.values())
+        for vals in by_cfg.values()
+    )
+    assert best_saving > 0.05

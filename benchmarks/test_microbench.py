@@ -1,0 +1,116 @@
+"""Microbenchmarks of the hot paths (real repeated-timing benchmarks).
+
+Unlike the experiment benches (one deterministic run, pedantic mode),
+these measure raw component throughput with pytest-benchmark's normal
+statistics: the event kernel, each replacement policy's request path, the
+recovery planner (the source of Table IV's overhead), the GF(2) solver,
+and the stripe encoder.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import available_policies, make_policy
+from repro.codes import Encoder, make_code
+from repro.codes.gf2 import gf2_solve_map
+from repro.core import PriorityDictionary, generate_plan
+from repro.sim.kernel import Environment
+
+
+@pytest.mark.benchmark(group="micro-kernel")
+def test_kernel_event_throughput(benchmark):
+    """Time 10k chained timeout events."""
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(10_000):
+                yield env.timeout(1.0)
+
+        env.run(env.process(ticker()))
+        return env.now
+
+    assert benchmark(run) == 10_000.0
+
+
+@pytest.mark.benchmark(group="micro-kernel")
+def test_kernel_resource_contention(benchmark):
+    """1k processes contending for a capacity-2 resource."""
+
+    def run():
+        env = Environment()
+        from repro.sim.kernel import Resource
+
+        res = Resource(env, capacity=2)
+
+        def worker():
+            req = res.request()
+            yield req
+            yield env.timeout(1.0)
+            res.release(req)
+
+        procs = [env.process(worker()) for _ in range(1000)]
+        env.run(env.all_of(procs))
+        return env.now
+
+    assert benchmark(run) == 500.0
+
+
+@pytest.mark.benchmark(group="micro-cache")
+@pytest.mark.parametrize("policy", sorted(available_policies()))
+def test_policy_request_throughput(benchmark, policy):
+    """5k requests over a 9-block working set against a 64-block cache."""
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 400, 5000).tolist()
+
+    def run():
+        cache = make_policy(policy, 64)
+        for k in keys:
+            cache.request(k, priority=(k % 3) + 1)
+        return cache.stats.requests
+
+    assert benchmark(run) == 5000
+
+
+@pytest.mark.benchmark(group="micro-planner")
+@pytest.mark.parametrize("p", [5, 7, 11, 13])
+def test_planner_latency(benchmark, p):
+    """Plan + priorities for a half-stripe error (Table IV's unit cost)."""
+    layout = make_code("tip", p)
+    failed = [(r, 0) for r in range(layout.rows // 2)]
+
+    def run():
+        plan = generate_plan(layout, failed, "fbf")
+        return len(PriorityDictionary(plan))
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="micro-codes")
+def test_gf2_solver(benchmark):
+    """Solve-map for a full-column erasure of STAR p=13."""
+    layout = make_code("star", 13)
+    a, _ = layout.erasure_matrix(layout.cells_on_disk(0))
+
+    def run():
+        return gf2_solve_map(a).shape
+
+    assert benchmark(run) == (12, 36)
+
+
+@pytest.mark.benchmark(group="micro-codes")
+def test_encoder_throughput(benchmark):
+    """Encode a 32 KB-chunk STAR p=7 stripe."""
+    layout = make_code("star", 7)
+    encoder = Encoder(layout)
+    rng = np.random.default_rng(0)
+    stripe = encoder.random_stripe(32 * 1024, rng)
+    for r, c in layout.parity_cells:
+        stripe[r, c] = 0
+
+    def run():
+        encoder.encode(stripe)
+        return stripe.shape[2]
+
+    assert benchmark(run) == 32 * 1024

@@ -1,0 +1,50 @@
+"""Table IV: temporal overhead of FBF during partial stripe recovery.
+
+Paper shape: overhead grows with P (plan generation walks longer chains)
+but stays a small percentage of reconstruction time (<2.8% in the paper);
+cache size does not affect it.
+"""
+
+import pytest
+
+from repro.bench import Scale, table4_overhead, table4_report
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_overhead(benchmark, scale, save_report):
+    points = benchmark.pedantic(table4_overhead, args=(scale,), rounds=1, iterations=1)
+    save_report("table4_overhead", table4_report(points))
+
+    assert {(p.code, p.p) for p in points} == {
+        (c, p)
+        for c in ("TIP", "HDD1", "Triple-STAR", "STAR")
+        for p in scale.ps_tip
+    }
+    for p in points:
+        assert p.overhead_ms >= 0
+        assert 0 <= p.overhead_percent < 50  # small share of recon time
+
+    # overhead grows with P within each code
+    by_code: dict = {}
+    for p in points:
+        by_code.setdefault(p.code, []).append((p.p, p.overhead_ms))
+    for code, series in by_code.items():
+        series.sort()
+        assert series[-1][1] >= series[0][1], code
+
+
+@pytest.mark.benchmark(group="table4")
+def test_overhead_independent_of_cache_size(benchmark, save_report):
+    """The paper observes no overhead change as cache size varies."""
+    import dataclasses
+
+    base = Scale(n_errors=30, workers=8, codes=("tip",), ps_tip=(7,))
+    small = table4_overhead(dataclasses.replace(base, cache_mbs=(1,)))
+    large = benchmark.pedantic(
+        table4_overhead,
+        args=(dataclasses.replace(base, cache_mbs=(64,)),),
+        rounds=1,
+        iterations=1,
+    )
+    ratio = large[0].overhead_ms / max(small[0].overhead_ms, 1e-9)
+    assert 0.2 < ratio < 5.0  # same order of magnitude (wall-clock jitter)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The functional RAID array: writes, scrubbing, degraded reads, repair.
+
+Everything the paper assumes about the array, working on real bytes: a
+STAR-coded 8-disk array takes writes (patching every parity chain), a
+scrub detects silent corruption, contiguous media errors trigger partial
+stripe repair via the FBF planner, and a whole-device failure still
+serves every logical read through degraded paths.
+
+Run:  python examples/functional_array.py
+"""
+
+import numpy as np
+
+from repro.array import RAIDArray
+from repro.codes import make_code, update_complexity
+
+
+def main() -> None:
+    layout = make_code("star", 5)
+    array = RAIDArray(layout, chunk_size=512, stripes=8)
+    rng = np.random.default_rng(0)
+    print(f"{layout.name} p={layout.p}: {layout.num_disks} disks, "
+          f"{array.capacity_chunks} logical chunks of {array.chunk_size}B\n")
+
+    # 1. Fill with data; every write patches the parities it feeds.
+    data = {}
+    for logical in range(array.capacity_chunks):
+        payload = rng.integers(0, 256, array.chunk_size, dtype=np.uint8)
+        array.write(logical, payload)
+        data[logical] = payload
+    u = update_complexity(layout)
+    print(f"write path: avg {u.average:.2f} parity chunks patched per data "
+          f"write (min {u.minimum}, max {u.maximum} — adjuster cells)")
+    print(f"scrub after load: clean={array.scrub().clean}\n")
+
+    # 2. Silent corruption: only the scrub sees it.
+    array.disks[2].corrupt_chunk(5)
+    report = array.scrub()
+    print(f"injected silent corruption -> scrub flags "
+          f"{len(report.parity_mismatches)} chain mismatches "
+          f"(e.g. {report.parity_mismatches[:3]})")
+    # repair by marking the chunk bad and rebuilding it
+    array.disks[2].fail_chunks(5)
+    array.repair_partial_stripe(5 // layout.rows)
+    print(f"after targeted repair: clean={array.scrub().clean}\n")
+
+    # 3. A partial stripe error: contiguous chunks on one disk.
+    stripe = 3
+    for row in range(layout.rows):
+        array.disks[0].fail_chunks(array._offset(stripe, (row, 0)))
+    rep = array.repair_partial_stripe(stripe, mode="fbf")
+    print(f"partial stripe repair (whole column of stripe {stripe}): "
+          f"{len(rep.repaired_cells)} chunks rebuilt, "
+          f"{rep.chunks_read} chain reads, scrub clean={array.scrub().clean}\n")
+
+    # 4. Whole-device failure: degraded reads keep serving everything.
+    array.disks[1].fail_device()
+    ok = all(
+        np.array_equal(array.read(logical), data[logical])
+        for logical in range(array.capacity_chunks)
+    )
+    print(f"disk 1 failed entirely -> all {array.capacity_chunks} logical "
+          f"chunks still readable via degraded paths: {ok}")
+
+
+if __name__ == "__main__":
+    main()

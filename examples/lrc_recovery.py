@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""FBF on Azure-style Local Reconstruction Codes (paper footnote 3).
+
+Demonstrates the LRC extension end to end: encode an LRC(12,2,2) stripe
+over GF(256), fail blocks in escalating patterns, plan recovery over
+local/global parity chains, derive FBF priorities from chain sharing,
+rebuild real payloads, and compare FBF vs LRU on a multi-failure trace.
+
+Run:  python examples/lrc_recovery.py
+"""
+
+import numpy as np
+
+from repro.lrc import (
+    LRCCode,
+    LRCWorkloadConfig,
+    execute_plan,
+    generate_lrc_failures,
+    plan_lrc_recovery,
+    simulate_lrc_trace,
+)
+
+
+def show_plan(code, failed):
+    plan = plan_lrc_recovery(code, failed)
+    prio_hist = {p: sum(1 for v in plan.priorities.values() if v == p)
+                 for p in (1, 2, 3)}
+    print(f"  failed {list(failed)}")
+    print(f"    equations: {[e.chain_id for e in plan.equations]}   "
+          f"unique reads: {plan.unique_reads}, requests: {plan.total_requests}")
+    print(f"    priorities: {prio_hist}")
+    return plan
+
+
+def main() -> None:
+    code = LRCCode(12, 2, 2)
+    print(f"{code.name}: {code.k} data blocks in {code.l} groups of "
+          f"{code.group_size}, {code.l} local + {code.g} global parities\n")
+
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 256, (code.k, 64), dtype=np.uint8)
+    blocks = code.encode(data)
+    assert code.verify(blocks)
+
+    print("recovery planning over local/global chains:")
+    plans = [
+        show_plan(code, [("d", 4)]),                       # local repair
+        show_plan(code, [("d", 0), ("d", 1)]),             # same group: + global
+        show_plan(code, [("d", 0), ("d", 1), ("d", 2)]),   # needs both globals
+        show_plan(code, [("d", 0), ("d", 1), ("d", 6), ("d", 7)]),  # 2+2 split
+    ]
+
+    # execute the hardest plan on real payloads
+    plan = plans[-1]
+    survivors = {b: v for b, v in blocks.items() if b not in set(plan.failed)}
+    solution = execute_plan(plan, survivors)
+    for b in plan.failed:
+        assert np.array_equal(solution[b], blocks[b])
+    print("\n2+2 failure split rebuilt bit-exactly over GF(256) ✓\n")
+
+    # trace-level comparison
+    cfg = LRCWorkloadConfig(n_events=150, seed=17,
+                            batch_size_weights=(0.3, 0.3, 0.25, 0.15))
+    events = generate_lrc_failures(code, cfg)
+    print(f"{len(events)} failure batches "
+          f"(multi-failure heavy), 4 workers, 4 cache blocks each:")
+    for pol in ("lru", "arc", "fbf"):
+        res = simulate_lrc_trace(code, events, policy=pol,
+                                 capacity_blocks=16, workers=4)
+        print(f"  {pol:4s} hit ratio {res.hit_ratio:6.2%}  "
+              f"disk reads {res.disk_reads}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: recover a partial stripe error with FBF, end to end.
+
+Walks the whole pipeline on one stripe of a TIP-coded 8-disk array:
+encode real payloads, inject a partial stripe error, generate the FBF
+recovery scheme, derive priorities, replay the recovery request stream
+through FBF and LRU caches, and verify the recovered bytes are correct.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import FBFCache, LRUCache, PriorityDictionary, generate_plan, make_code
+from repro.codes import Encoder, xor_cells
+
+CHUNK = 64  # bytes per chunk for the demo (32 KB in the paper)
+
+
+def main() -> None:
+    # 1. An 8-disk TIP array (p = 7): 5 data disks + 3 parity disks.
+    layout = make_code("tip", 7)
+    print(f"{layout.name}: {layout.num_disks} disks x {layout.rows} rows")
+    print(layout.ascii_grid(), "\n")
+
+    # 2. Encode a stripe of random payloads.
+    rng = np.random.default_rng(7)
+    stripe = Encoder(layout).random_stripe(CHUNK, rng)
+
+    # 3. A partial stripe error: 5 contiguous chunks lost on disk 0
+    #    (the paper's Figure 3 scenario).
+    failed = [(row, 0) for row in range(5)]
+    golden = {cell: stripe[cell[0], cell[1]].copy() for cell in failed}
+    for row, col in failed:
+        stripe[row, col] = 0  # the data is gone
+
+    # 4. Generate the FBF recovery scheme and its priorities.
+    plan = generate_plan(layout, failed, mode="fbf")
+    priorities = PriorityDictionary(plan)
+    print(f"recovery plan: {len(plan.assignments)} chains, "
+          f"{plan.unique_reads} unique chunks, {plan.total_requests} requests")
+    print(priorities.table(), "\n")
+
+    # 5. Replay the request stream through FBF and LRU at a tight cache.
+    for cache in (FBFCache(8), LRUCache(8)):
+        for cell in plan.request_sequence:
+            cache.request(cell, priority=priorities.lookup(cell))
+        print(f"{type(cache).__name__:9s} capacity=8: "
+              f"hit ratio {cache.stats.hit_ratio:.2%}, "
+              f"{cache.stats.misses} disk reads")
+
+    # 6. Execute the plan: XOR each chain's survivors; verify correctness.
+    for assignment in plan.assignments:
+        cell = assignment.failed_cell
+        recovered = xor_cells(stripe, assignment.chain.others(cell))
+        assert np.array_equal(recovered, golden[cell]), cell
+        stripe[cell[0], cell[1]] = recovered
+    print("\nall failed chunks recovered bit-exactly ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Walkthrough of the paper's Figures 2-3 and Table III.
+
+Shows how chain selection differs between 'typical' (all horizontal) and
+FBF (direction-looped, overlap-seeking) recovery for a TIP-coded array,
+and reproduces the Table III priority dictionary for the paper's
+configuration (TIP, P=7, n=8, five contiguous failed chunks on one disk).
+
+Run:  python examples/recovery_scheme_walkthrough.py
+"""
+
+from repro import PriorityDictionary, generate_plan, make_code
+
+
+def annotate(layout, plan, failed):
+    """ASCII stripe with failed cells (X) and fetched cells by priority."""
+    pd = PriorityDictionary(plan)
+    tags = {cell: "X" for cell in failed}
+    for cell in plan.chain_share_count:
+        tags[cell] = str(pd[cell])
+    return layout.ascii_grid(annotate=tags)
+
+
+def show(layout, failed, mode):
+    plan = generate_plan(layout, failed, mode)
+    print(f"--- {mode} recovery ---")
+    print(f"chains: {[a.chain.chain_id for a in plan.assignments]}")
+    print(f"unique chunks fetched: {plan.unique_reads}  "
+          f"(total requests {plan.total_requests})")
+    print(annotate(layout, plan, failed))
+    print()
+    return plan
+
+
+def main() -> None:
+    # Figure 2: TIP with P=5 (6 disks), whole-column-worth of chunk errors.
+    print("=" * 60)
+    print("Figure 2 analogue: TIP (P=5), 4 failed chunks on disk 0")
+    print("=" * 60)
+    tip5 = make_code("tip", 5)
+    failed5 = [(r, 0) for r in range(4)]
+    typical = show(tip5, failed5, "typical")
+    fbf = show(tip5, failed5, "fbf")
+    saved = typical.unique_reads - fbf.unique_reads
+    print(f"FBF scheme fetches {saved} fewer unique chunks "
+          f"({saved / typical.unique_reads:.0%} I/O saved)\n")
+
+    # Figure 3 + Table III: TIP with P=7 (8 disks), 5 failed chunks.
+    print("=" * 60)
+    print("Figure 3 / Table III analogue: TIP (P=7, n=8), 5 failed chunks")
+    print("=" * 60)
+    tip7 = make_code("tip", 7)
+    failed7 = [(r, 0) for r in range(5)]
+    plan = show(tip7, failed7, "fbf")
+    pd = PriorityDictionary(plan)
+    print(pd.table())
+    print("\n(the paper's Table III for its TIP layout: 1 chunk at priority 3,")
+    print(" 2 at priority 2, 18 at priority 1 — same structure, different cells")
+    print(" because our TIP construction is a documented substitute)")
+
+    # The STAR adjuster effect the paper calls out in §IV-B-1.
+    print()
+    print("=" * 60)
+    print("STAR (P=7): adjuster chunks are shared by every diagonal chain")
+    print("=" * 60)
+    star = make_code("star", 7)
+    plan = generate_plan(star, [(r, 0) for r in range(star.rows)], "fbf")
+    pd = PriorityDictionary(plan)
+    over = [(c, pd.share_count(c)) for c in sorted(pd) if pd.share_count(c) > 3]
+    print(f"chunks referenced by more than 3 chains: {over}")
+    if over:
+        print("all pinned at priority 3 ->", sorted({pd[c] for c, _ in over}) == [3])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Analytical companions to the simulators.
+
+* :mod:`repro.analysis.reuse` — Mattson reuse-distance profiling; exact
+  LRU hit-ratio curves; the per-priority reuse structure that explains
+  FBF's advantage.
+* :mod:`repro.analysis.reliability` — Markov MTTDL models and
+  window-of-vulnerability accounting.
+* :mod:`repro.analysis.io_model` — exact expected read counts per error
+  under the paper's workload model.
+"""
+
+from .io_model import IOExpectation, expected_reads, shape_table
+from .reliability import (
+    ReliabilityComparison,
+    mttdl_3dft,
+    mttdl_birth_death,
+    wov_improvement,
+)
+from .reuse import (
+    INFINITE,
+    RecoveryReuseProfile,
+    lru_hit_curve,
+    recovery_reuse_profile,
+    reuse_distances,
+)
+from .locality import LocalityStats, trace_locality
+from .sweeps import PanelSummary, peak_gain, stable_point, summarize_panel
+
+__all__ = [
+    "IOExpectation",
+    "expected_reads",
+    "shape_table",
+    "ReliabilityComparison",
+    "mttdl_3dft",
+    "mttdl_birth_death",
+    "wov_improvement",
+    "INFINITE",
+    "RecoveryReuseProfile",
+    "lru_hit_curve",
+    "recovery_reuse_profile",
+    "reuse_distances",
+    "PanelSummary",
+    "peak_gain",
+    "stable_point",
+    "summarize_panel",
+    "LocalityStats",
+    "trace_locality",
+]

@@ -1,0 +1,87 @@
+"""Exact expected-I/O model for partial stripe recovery.
+
+Under the paper's workload model — error disk uniform over disks, length
+uniform on ``[1, rows]``, start uniform over feasible rows — the expected
+number of unique and total chunk reads per error is a finite sum over
+error shapes.  Enumerating every shape through the actual planner gives
+the *exact* expectation for each scheme mode, which:
+
+* validates the trace simulator (sample means must converge to it), and
+* quantifies the scheme-level I/O saving independent of any cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..codes.layout import CodeLayout
+from ..core.scheme import SchemeMode, generate_plan
+
+__all__ = ["IOExpectation", "expected_reads", "shape_table"]
+
+
+@dataclass(frozen=True)
+class IOExpectation:
+    """Expected per-error read counts under the paper's error model."""
+
+    code: str
+    p: int
+    mode: str
+    expected_unique_reads: float
+    expected_total_requests: float
+    #: expected rereferences = total - unique (the cache-hit opportunity).
+    @property
+    def expected_rereferences(self) -> float:
+        return self.expected_total_requests - self.expected_unique_reads
+
+    @property
+    def sharing_ratio(self) -> float:
+        """Fraction of requests that are rereferences (the hit-ratio plateau)."""
+        if self.expected_total_requests == 0:
+            return 0.0
+        return self.expected_rereferences / self.expected_total_requests
+
+
+def shape_table(
+    layout: CodeLayout, mode: SchemeMode = "fbf"
+) -> dict[tuple[int, int, int], tuple[int, int]]:
+    """(disk, start, length) -> (unique_reads, total_requests) for every shape."""
+    table: dict[tuple[int, int, int], tuple[int, int]] = {}
+    for disk in range(layout.num_disks):
+        cells = layout.cells_on_disk(disk)
+        rows = len(cells)
+        for length in range(1, rows + 1):
+            for start in range(0, rows - length + 1):
+                failed = list(cells[start : start + length])
+                plan = generate_plan(layout, failed, mode)
+                table[(disk, start, length)] = (
+                    plan.unique_reads,
+                    plan.total_requests,
+                )
+    return table
+
+
+def expected_reads(layout: CodeLayout, mode: SchemeMode = "fbf") -> IOExpectation:
+    """Exact expectation over the paper's uniform error model.
+
+    Matches :func:`repro.workloads.generate_errors`: disk ~ U[0, n),
+    length ~ U[1, rows], start ~ U[0, rows - length].
+    """
+    table = shape_table(layout, mode)
+    rows = layout.rows
+    n = layout.num_disks
+    e_unique = 0.0
+    e_total = 0.0
+    for (disk, start, length), (unique, total) in table.items():
+        # P(disk) * P(length) * P(start | length)
+        weight = (1.0 / n) * (1.0 / rows) * (1.0 / (rows - length + 1))
+        e_unique += weight * unique
+        e_total += weight * total
+    return IOExpectation(
+        code=layout.name,
+        p=layout.p,
+        mode=mode,
+        expected_unique_reads=e_unique,
+        expected_total_requests=e_total,
+    )

@@ -1,0 +1,112 @@
+"""Sweep-curve analytics: plateaus, peak gains, crossovers.
+
+Figure-level summaries the paper states in prose ("the hit ratio ...
+remains stable after cache size exceeds a specific number", "the stable
+point of cache size is postponed as well") extracted programmatically
+from :class:`~repro.bench.experiments.SweepPoint` rows, so benchmark
+assertions and EXPERIMENTS.md can cite exact numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..bench.experiments import SweepPoint
+
+__all__ = ["PanelSummary", "summarize_panel", "stable_point", "peak_gain"]
+
+
+def _series(
+    points: Sequence[SweepPoint], policy: str, metric: str
+) -> list[tuple[float, float]]:
+    out = sorted(
+        (p.cache_mb, getattr(p, metric)) for p in points if p.policy == policy
+    )
+    if not out:
+        raise ValueError(f"no points for policy {policy!r}")
+    return out
+
+
+def stable_point(
+    points: Sequence[SweepPoint],
+    policy: str,
+    metric: str = "hit_ratio",
+    tolerance: float = 0.01,
+) -> float:
+    """Smallest cache size from which the metric stays within ``tolerance``
+    (relative) of its final value — the paper's "stable point"."""
+    series = _series(points, policy, metric)
+    final = series[-1][1]
+    span = max(abs(final), 1e-12)
+    for i, (size, value) in enumerate(series):
+        if all(abs(v - final) / span <= tolerance for _, v in series[i:]):
+            return size
+    return series[-1][0]  # pragma: no cover - loop always returns
+
+
+def peak_gain(
+    points: Sequence[SweepPoint],
+    metric: str = "hit_ratio",
+    higher_better: bool = True,
+) -> tuple[float, float]:
+    """(cache size, gain) where FBF's absolute advantage over the best
+    baseline peaks."""
+    sizes = sorted({p.cache_mb for p in points})
+    best_size, best_gain = sizes[0], float("-inf")
+    for size in sizes:
+        vals = {
+            p.policy: getattr(p, metric) for p in points if p.cache_mb == size
+        }
+        if "fbf" not in vals or len(vals) < 2:
+            continue
+        others = [v for k, v in vals.items() if k != "fbf"]
+        gain = (
+            vals["fbf"] - max(others) if higher_better else min(others) - vals["fbf"]
+        )
+        if gain > best_gain:
+            best_size, best_gain = size, gain
+    return best_size, best_gain
+
+
+@dataclass(frozen=True)
+class PanelSummary:
+    """One (code, p) panel's headline numbers."""
+
+    code: str
+    p: int
+    fbf_stable_point_mb: float
+    best_baseline_stable_point_mb: float
+    peak_gain_mb: float
+    peak_gain_value: float
+
+    @property
+    def fbf_plateaus_earlier(self) -> bool:
+        return self.fbf_stable_point_mb <= self.best_baseline_stable_point_mb
+
+
+def summarize_panel(
+    points: Sequence[SweepPoint],
+    metric: str = "hit_ratio",
+    tolerance: float = 0.01,
+) -> PanelSummary:
+    """Summarize one (code, p) panel of a figure sweep."""
+    panels = {(p.code, p.p) for p in points}
+    if len(panels) != 1:
+        raise ValueError(f"expected one panel, got {sorted(panels)}")
+    code, p = next(iter(panels))
+    baselines = sorted({pt.policy for pt in points} - {"fbf"})
+    if not baselines:
+        raise ValueError("no baseline policies in panel")
+    baseline_stables = [
+        stable_point(points, b, metric, tolerance) for b in baselines
+    ]
+    size, gain = peak_gain(points, metric)
+    return PanelSummary(
+        code=code,
+        p=p,
+        fbf_stable_point_mb=stable_point(points, "fbf", metric, tolerance),
+        best_baseline_stable_point_mb=min(baseline_stables),
+        peak_gain_mb=size,
+        peak_gain_value=gain,
+    )

@@ -1,0 +1,15 @@
+"""Functional RAID array: real bytes, parity-maintaining writes, scrub, repair."""
+
+from .blockdev import BlockDevice, ChunkError, DiskFailure
+from .cached import CachedRAIDArray
+from .raid import RAIDArray, RepairReport, ScrubReport
+
+__all__ = [
+    "BlockDevice",
+    "ChunkError",
+    "DiskFailure",
+    "CachedRAIDArray",
+    "RAIDArray",
+    "RepairReport",
+    "ScrubReport",
+]

@@ -1,0 +1,118 @@
+"""In-memory block devices with fault injection.
+
+The functional (non-timed) half of the storage substrate: disks that
+actually store bytes, can be told to fail — whole device, or chunk ranges
+(media errors) — and can silently corrupt data (the §II-C error class
+scrubbing exists for).  The :class:`~repro.array.raid.RAIDArray` builds on
+these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ChunkError", "DiskFailure", "BlockDevice"]
+
+
+class ChunkError(IOError):
+    """Raised when reading a failed/unreadable chunk."""
+
+
+class DiskFailure(IOError):
+    """Raised when accessing a failed device."""
+
+
+@dataclass
+class BlockDevice:
+    """A chunk-addressed in-memory disk.
+
+    Unwritten chunks read back as zeros (like a fresh drive).  Failure
+    modes:
+
+    * :meth:`fail_device` — the whole disk stops responding;
+    * :meth:`fail_chunks` — specific chunks return media errors
+      (latent sector errors at chunk granularity);
+    * :meth:`corrupt_chunk` — bit flips that reads do NOT report
+      (silent corruption; only a scrub can find it).
+    """
+
+    disk_id: int
+    chunk_size: int
+    num_chunks: int
+    _data: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _bad_chunks: set[int] = field(default_factory=set, repr=False)
+    _device_failed: bool = False
+    reads: int = 0
+    writes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.num_chunks < 1:
+            raise ValueError(f"num_chunks must be >= 1, got {self.num_chunks}")
+
+    # -- health ------------------------------------------------------------
+    @property
+    def failed(self) -> bool:
+        return self._device_failed
+
+    @property
+    def bad_chunks(self) -> frozenset[int]:
+        return frozenset(self._bad_chunks)
+
+    def fail_device(self) -> None:
+        self._device_failed = True
+
+    def fail_chunks(self, start: int, count: int = 1) -> None:
+        """Mark a contiguous chunk range unreadable (media error)."""
+        self._check_range(start, count)
+        self._bad_chunks.update(range(start, start + count))
+
+    def corrupt_chunk(self, index: int, xor_mask: int = 0xFF) -> None:
+        """Silently flip bits in a chunk (reads will NOT error)."""
+        self._check_range(index, 1)
+        current = self._read_raw(index)
+        self._data[index] = current ^ np.uint8(xor_mask)
+
+    def repair_chunk(self, index: int, payload: np.ndarray) -> None:
+        """Write recovered data and clear the media error (chunk sparing)."""
+        self.write(index, payload, _allow_bad=True)
+        self._bad_chunks.discard(index)
+
+    # -- I/O ----------------------------------------------------------------
+    def _check_range(self, start: int, count: int) -> None:
+        if not (0 <= start and start + count <= self.num_chunks):
+            raise IndexError(
+                f"chunks [{start}, {start + count}) outside 0..{self.num_chunks}"
+            )
+
+    def _read_raw(self, index: int) -> np.ndarray:
+        stored = self._data.get(index)
+        if stored is None:
+            return np.zeros(self.chunk_size, dtype=np.uint8)
+        return stored.copy()
+
+    def read(self, index: int) -> np.ndarray:
+        self._check_range(index, 1)
+        if self._device_failed:
+            raise DiskFailure(f"disk {self.disk_id} has failed")
+        if index in self._bad_chunks:
+            raise ChunkError(f"disk {self.disk_id} chunk {index}: media error")
+        self.reads += 1
+        return self._read_raw(index)
+
+    def write(self, index: int, payload: np.ndarray, _allow_bad: bool = False) -> None:
+        self._check_range(index, 1)
+        if self._device_failed:
+            raise DiskFailure(f"disk {self.disk_id} has failed")
+        if index in self._bad_chunks and not _allow_bad:
+            raise ChunkError(f"disk {self.disk_id} chunk {index}: media error")
+        payload = np.asarray(payload, dtype=np.uint8)
+        if payload.shape != (self.chunk_size,):
+            raise ValueError(
+                f"payload shape {payload.shape} != ({self.chunk_size},)"
+            )
+        self.writes += 1
+        self._data[index] = payload.copy()

@@ -1,0 +1,40 @@
+"""Experiment harness: runners for every paper figure/table + reporting."""
+
+from .experiments import (
+    FULL,
+    POLICY_ORDER,
+    QUICK,
+    Scale,
+    SweepPoint,
+    ablation_demotion,
+    ablation_scheme,
+    fig8_hit_ratio,
+    fig9_read_ops,
+    fig10_response_time,
+    fig11_reconstruction_time,
+    table4_overhead,
+    table5_max_improvement,
+)
+from .full_report import write_full_report
+from .reporting import figure_report, series_table, table4_report, table5_report
+
+__all__ = [
+    "FULL",
+    "POLICY_ORDER",
+    "QUICK",
+    "Scale",
+    "SweepPoint",
+    "ablation_demotion",
+    "ablation_scheme",
+    "fig8_hit_ratio",
+    "fig9_read_ops",
+    "fig10_response_time",
+    "fig11_reconstruction_time",
+    "table4_overhead",
+    "table5_max_improvement",
+    "figure_report",
+    "series_table",
+    "table4_report",
+    "table5_report",
+    "write_full_report",
+]

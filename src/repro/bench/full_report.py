@@ -1,0 +1,100 @@
+"""One-shot regeneration of every paper figure and table.
+
+``write_full_report`` runs the complete evaluation at a chosen scale and
+writes one text report per experiment plus an index — the automated
+counterpart of EXPERIMENTS.md.  Exposed as ``repro-fbf report``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from .experiments import (
+    Scale,
+    ablation_demotion,
+    ablation_scheme,
+    fig8_hit_ratio,
+    fig9_read_ops,
+    fig10_response_time,
+    fig11_reconstruction_time,
+    table4_overhead,
+    table5_max_improvement,
+)
+from .reporting import figure_report, table4_report, table5_report
+
+__all__ = ["write_full_report"]
+
+
+def write_full_report(scale: Scale, out_dir: str | Path) -> list[Path]:
+    """Run every experiment at ``scale``; write reports into ``out_dir``.
+
+    Returns the written paths (index first).  Sweeps feeding several
+    reports (Figures 8–11 also feed Table V) run once.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    timings: list[tuple[str, float]] = []
+
+    def save(name: str, text: str) -> None:
+        path = out / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        written.append(path)
+
+    def timed(name, fn, *args):
+        t0 = time.perf_counter()
+        result = fn(*args)
+        timings.append((name, time.perf_counter() - t0))
+        return result
+
+    fig8 = timed("fig8", fig8_hit_ratio, scale)
+    save("fig8_hit_ratio", figure_report(fig8, "hit_ratio", "Figure 8: cache hit ratio"))
+
+    fig9 = timed("fig9", fig9_read_ops, scale)
+    save("fig9_read_ops", figure_report(fig9, "disk_reads", "Figure 9: disk reads (TIP)", "d"))
+
+    fig10 = timed("fig10", fig10_response_time, scale)
+    save(
+        "fig10_response_time",
+        figure_report(fig10, "avg_response_time", "Figure 10: average response time (s)", ".5f"),
+    )
+
+    fig11 = timed("fig11", fig11_reconstruction_time, scale)
+    save(
+        "fig11_reconstruction_time",
+        figure_report(fig11, "reconstruction_time", "Figure 11: reconstruction time (s, TIP)", ".3f"),
+    )
+
+    t4 = timed("table4", table4_overhead, scale)
+    save("table4_overhead", table4_report(t4))
+
+    t5 = timed(
+        "table5", table5_max_improvement, scale, fig8, fig9, fig10, fig11
+    )
+    save("table5_max_improvement", table5_report(t5))
+
+    abl_s = timed("ablation_scheme", ablation_scheme, scale)
+    save(
+        "ablation_scheme",
+        figure_report(abl_s, "hit_ratio", "Ablation: recovery scheme (hit ratio)"),
+    )
+    abl_d = timed("ablation_demotion", ablation_demotion, scale)
+    save(
+        "ablation_demotion",
+        figure_report(abl_d, "hit_ratio", "Ablation: demotion on hit (hit ratio)"),
+    )
+
+    index_lines = [
+        "# FBF reproduction — full report",
+        f"scale: {scale.n_errors} errors, {scale.workers} workers, "
+        f"cache sweep {list(scale.cache_mbs)} MB, seed {scale.seed}",
+        "",
+        "| experiment | file | runtime (s) |",
+        "|---|---|---|",
+    ]
+    for (name, seconds), path in zip(timings, written):
+        index_lines.append(f"| {name} | {path.name} | {seconds:.1f} |")
+    index = out / "INDEX.md"
+    index.write_text("\n".join(index_lines) + "\n", encoding="utf-8")
+    return [index, *written]

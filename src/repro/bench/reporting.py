@@ -1,0 +1,181 @@
+"""Render sweep results as the paper's tables and series.
+
+Pure string formatting — no plotting dependencies — so reports print in a
+terminal, diff cleanly, and drop straight into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Sequence
+
+from .experiments import POLICY_ORDER, SweepPoint
+
+__all__ = [
+    "series_table",
+    "figure_report",
+    "table4_report",
+    "table5_report",
+    "sparkline",
+    "series_sparklines",
+]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None,
+              hi: float | None = None) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    ``lo``/``hi`` pin the scale (useful to share one scale across several
+    lines); by default the series' own min/max are used.  NaNs render as
+    spaces.
+    """
+    clean = [v for v in values if not (isinstance(v, float) and math.isnan(v))]
+    if not clean:
+        return " " * len(list(values))
+    lo = min(clean) if lo is None else lo
+    hi = max(clean) if hi is None else hi
+    span = hi - lo
+    out = []
+    for v in values:
+        if isinstance(v, float) and math.isnan(v):
+            out.append(" ")
+            continue
+        if span <= 0:
+            out.append(_SPARK_LEVELS[0])
+            continue
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[max(0, min(idx, len(_SPARK_LEVELS) - 1))])
+    return "".join(out)
+
+
+def series_sparklines(
+    points: Sequence["SweepPoint"], metric: str,
+    policies: Sequence[str] | None = None,
+) -> str:
+    """One sparkline per policy over the cache-size axis, shared scale."""
+    policies = list(policies or sorted(
+        {p.policy for p in points},
+        key=lambda x: (POLICY_ORDER.index(x) if x in POLICY_ORDER else 99, x),
+    ))
+    sizes = sorted({p.cache_mb for p in points})
+    cells = {(p.cache_mb, p.policy): getattr(p, metric) for p in points}
+    all_vals = [
+        v for v in cells.values()
+        if not (isinstance(v, float) and math.isnan(v))
+    ]
+    if not all_vals:
+        return "(no data)"
+    lo, hi = min(all_vals), max(all_vals)
+    width = max(len(p) for p in policies)
+    lines = []
+    for pol in policies:
+        series = [cells.get((mb, pol), float("nan")) for mb in sizes]
+        lines.append(f"{pol:>{width}} {sparkline(series, lo, hi)}")
+    return "\n".join(lines)
+
+
+def _fmt(value, spec: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and math.isnan(value):
+        return "-"
+    return format(value, spec)
+
+
+def series_table(
+    points: Sequence[SweepPoint],
+    metric: str,
+    spec: str = ".4f",
+    policies: Sequence[str] | None = None,
+) -> str:
+    """One figure panel: rows = cache sizes, columns = policies."""
+    policies = list(policies or sorted({p.policy for p in points},
+                                       key=lambda x: (POLICY_ORDER.index(x)
+                                                      if x in POLICY_ORDER else 99, x)))
+    sizes = sorted({p.cache_mb for p in points})
+    cells: dict[tuple[float, str], float] = {}
+    for p in points:
+        cells[(p.cache_mb, p.policy)] = getattr(p, metric)
+    width = max(10, max(len(pol) for pol in policies) + 2)
+    head = f"{'cache(MB)':>10} " + " ".join(f"{pol:>{width}}" for pol in policies)
+    lines = [head, "-" * len(head)]
+    for mb in sizes:
+        row = [f"{mb:>10g}"]
+        for pol in policies:
+            row.append(f"{_fmt(cells.get((mb, pol)), spec):>{width}}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def figure_report(
+    points: Sequence[SweepPoint],
+    metric: str,
+    title: str,
+    spec: str = ".4f",
+) -> str:
+    """A full figure: one series table per (code, p) panel."""
+    panels = sorted({(p.code, p.p) for p in points})
+    blocks = [f"== {title} =="]
+    for code, p in panels:
+        sub = [pt for pt in points if pt.code == code and pt.p == p]
+        schemes = {pt.scheme_mode for pt in sub}
+        by_scheme = f" scheme={next(iter(schemes))}" if len(schemes) == 1 else ""
+        blocks.append(f"\n-- {code}, P={p}{by_scheme} --")
+        if len(schemes) > 1:
+            # ablation layout: columns are scheme modes instead of policies
+            relabeled = [
+                SweepPoint(**{**pt.__dict__, "policy": pt.scheme_mode}) for pt in sub
+            ]
+            blocks.append(series_table(relabeled, metric, spec,
+                                       policies=sorted({p.scheme_mode for p in sub})))
+            blocks.append(series_sparklines(
+                relabeled, metric,
+                policies=sorted({p.scheme_mode for p in sub}),
+            ))
+        else:
+            blocks.append(series_table(sub, metric, spec))
+            blocks.append(series_sparklines(sub, metric))
+    return "\n".join(blocks)
+
+
+def table4_report(points: Sequence[SweepPoint]) -> str:
+    """Paper Table IV: overhead ms and % per code x P."""
+    codes = sorted({p.code for p in points})
+    ps = sorted({p.p for p in points})
+    lines = ["== Table IV: FBF temporal overhead =="]
+    head = f"{'':>22} " + " ".join(f"{c:>12}" for c in codes)
+    for p in ps:
+        lines.append(f"\nP = {p}")
+        lines.append(head)
+        row_ms, row_pct = [f"{'overhead(ms)':>22}"], [f"{'percent(%)':>22}"]
+        for c in codes:
+            pts = [x for x in points if x.code == c and x.p == p]
+            ms = pts[0].overhead_ms if pts else float("nan")
+            pct = pts[0].overhead_percent if pts else float("nan")
+            row_ms.append(f"{_fmt(ms, '.3f'):>12}")
+            row_pct.append(f"{_fmt(pct, '.3f'):>12}")
+        lines.append(" ".join(row_ms))
+        lines.append(" ".join(row_pct))
+    return "\n".join(lines)
+
+
+def table5_report(result: Mapping[str, Mapping[str, float]]) -> str:
+    """Paper Table V: max improvement of FBF over each baseline."""
+    metrics = [
+        ("hit_ratio", "Hit ratio"),
+        ("disk_reads", "Number of reads in disks"),
+        ("response_time", "Response time"),
+        ("reconstruction_time", "Reconstruction time"),
+    ]
+    baselines = ["fifo", "lru", "lfu", "arc"]
+    head = f"{'metric':>26} " + " ".join(f"{b.upper():>9}" for b in baselines)
+    lines = ["== Table V: maximum improvement of FBF ==", head, "-" * len(head)]
+    for key, label in metrics:
+        row = [f"{label:>26}"]
+        for b in baselines:
+            val = result.get(key, {}).get(b)
+            row.append(f"{_fmt(val, '.2f'):>8}%" if val is not None else f"{'-':>9}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Adaptive Replacement Cache (Megiddo & Modha, FAST 2003).
+
+A faithful implementation of the published algorithm: two resident lists
+(``T1`` recency, ``T2`` frequency), two ghost lists (``B1``, ``B2``)
+remembering recently evicted keys, and the adaptation target ``p`` that
+continuously rebalances recency versus frequency based on which ghost list
+takes hits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from .base import CachePolicy, Key
+
+__all__ = ["ARCCache"]
+
+
+class ARCCache(CachePolicy):
+    """The full ARC algorithm (Figure 4 of the paper)."""
+
+    name = "arc"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._t1: OrderedDict[Key, None] = OrderedDict()
+        self._t2: OrderedDict[Key, None] = OrderedDict()
+        self._b1: OrderedDict[Key, None] = OrderedDict()
+        self._b2: OrderedDict[Key, None] = OrderedDict()
+        self._p = 0.0
+
+    # -- introspection ----------------------------------------------------
+    def __contains__(self, key: Key) -> bool:
+        return key in self._t1 or key in self._t2
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    @property
+    def target_p(self) -> float:
+        """Current adaptation target (size aimed for T1)."""
+        return self._p
+
+    def _clear(self) -> None:
+        self._t1.clear()
+        self._t2.clear()
+        self._b1.clear()
+        self._b2.clear()
+        self._p = 0.0
+
+    # -- algorithm ----------------------------------------------------------
+    def _replace(self, in_b2: bool) -> None:
+        """Demote one resident block to the appropriate ghost list."""
+        t1_len = len(self._t1)
+        if t1_len >= 1 and (t1_len > self._p or (in_b2 and t1_len == self._p)):
+            victim, _ = self._t1.popitem(last=False)
+            self._b1[victim] = None
+        else:
+            victim, _ = self._t2.popitem(last=False)
+            self._b2[victim] = None
+        self.stats.evictions += 1
+
+    def request(self, key: Key, priority: Optional[int] = None) -> bool:
+        if self.capacity == 0:
+            self.stats.misses += 1
+            return False
+        c = self.capacity
+        # Case I: hit in T1 or T2 -> promote to T2 MRU.
+        if key in self._t1:
+            del self._t1[key]
+            self._t2[key] = None
+            self.stats.hits += 1
+            return True
+        if key in self._t2:
+            self._t2.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        # Case II: ghost hit in B1 -> favour recency.
+        if key in self._b1:
+            delta = max(len(self._b2) / len(self._b1), 1.0)
+            self._p = min(float(c), self._p + delta)
+            self._replace(in_b2=False)
+            del self._b1[key]
+            self._t2[key] = None
+            self.stats.misses += 1
+            return False
+        # Case III: ghost hit in B2 -> favour frequency.
+        if key in self._b2:
+            delta = max(len(self._b1) / len(self._b2), 1.0)
+            self._p = max(0.0, self._p - delta)
+            self._replace(in_b2=True)
+            del self._b2[key]
+            self._t2[key] = None
+            self.stats.misses += 1
+            return False
+        # Case IV: full miss.
+        l1 = len(self._t1) + len(self._b1)
+        l2 = len(self._t2) + len(self._b2)
+        if l1 == c:
+            if len(self._t1) < c:
+                self._b1.popitem(last=False)
+                self._replace(in_b2=False)
+            else:
+                self._t1.popitem(last=False)
+                self.stats.evictions += 1
+        elif l1 < c and l1 + l2 >= c:
+            if l1 + l2 == 2 * c:
+                self._b2.popitem(last=False)
+            self._replace(in_b2=False)
+        self._t1[key] = None
+        self.stats.misses += 1
+        return False

@@ -1,0 +1,39 @@
+"""First-In First-Out replacement."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from .base import Key, SimpleCachePolicy
+
+__all__ = ["FIFOCache"]
+
+
+class FIFOCache(SimpleCachePolicy):
+    """Evicts the block that has been resident longest, ignoring accesses."""
+
+    name = "fifo"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._blocks: OrderedDict[Key, None] = OrderedDict()
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def _clear(self) -> None:
+        self._blocks.clear()
+
+    def _on_hit(self, key: Key) -> None:
+        pass  # arrival order is unaffected by hits
+
+    def _admit(self, key: Key, priority: Optional[int]) -> None:
+        self._blocks[key] = None
+
+    def _evict(self) -> Key:
+        victim, _ = self._blocks.popitem(last=False)
+        return victim

@@ -1,0 +1,67 @@
+"""Least-Frequently-Used replacement (Aho, Denning & Ullman, 1971).
+
+Implemented with the classic O(1) frequency-bucket structure: blocks live
+in per-frequency ordered dicts; the minimum populated frequency is tracked
+so eviction pops the least-recently-used block of the lowest frequency.
+Frequency state is discarded on eviction (plain LFU, no persistence).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from .base import Key, SimpleCachePolicy
+
+__all__ = ["LFUCache"]
+
+
+class LFUCache(SimpleCachePolicy):
+    """Evicts the block with the fewest accesses (LRU among ties)."""
+
+    name = "lfu"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._freq_of: dict[Key, int] = {}
+        self._buckets: dict[int, OrderedDict[Key, None]] = {}
+        self._min_freq = 0
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._freq_of
+
+    def __len__(self) -> int:
+        return len(self._freq_of)
+
+    def _clear(self) -> None:
+        self._freq_of.clear()
+        self._buckets.clear()
+        self._min_freq = 0
+
+    def _bucket(self, freq: int) -> OrderedDict[Key, None]:
+        return self._buckets.setdefault(freq, OrderedDict())
+
+    def _on_hit(self, key: Key) -> None:
+        freq = self._freq_of[key]
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
+            if self._min_freq == freq:
+                self._min_freq = freq + 1
+        self._freq_of[key] = freq + 1
+        self._bucket(freq + 1)[key] = None
+
+    def _admit(self, key: Key, priority: Optional[int]) -> None:
+        self._freq_of[key] = 1
+        self._bucket(1)[key] = None
+        self._min_freq = 1
+
+    def _evict(self) -> Key:
+        bucket = self._buckets[self._min_freq]
+        victim, _ = bucket.popitem(last=False)
+        if not bucket:
+            del self._buckets[self._min_freq]
+            # _min_freq is refreshed on the next admit (which sets it to 1).
+        del self._freq_of[victim]
+        return victim

@@ -1,0 +1,39 @@
+"""Least-Recently-Used replacement (Mattson et al., 1970)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from .base import Key, SimpleCachePolicy
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache(SimpleCachePolicy):
+    """Evicts the block whose last access is oldest."""
+
+    name = "lru"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._blocks: OrderedDict[Key, None] = OrderedDict()
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def _clear(self) -> None:
+        self._blocks.clear()
+
+    def _on_hit(self, key: Key) -> None:
+        self._blocks.move_to_end(key)
+
+    def _admit(self, key: Key, priority: Optional[int]) -> None:
+        self._blocks[key] = None
+
+    def _evict(self) -> Key:
+        victim, _ = self._blocks.popitem(last=False)
+        return victim

@@ -1,0 +1,316 @@
+"""Command-line entry point: ``repro-fbf <experiment> [options]``.
+
+Examples::
+
+    repro-fbf fig8 --quick
+    repro-fbf fig11 --errors 200 --workers 64
+    repro-fbf table5
+    repro-fbf trace --code tip --p 7 --errors 100 --out trace.txt
+    repro-fbf info --code star --p 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from .bench import (
+    FULL,
+    QUICK,
+    Scale,
+    ablation_demotion,
+    ablation_scheme,
+    fig8_hit_ratio,
+    fig9_read_ops,
+    fig10_response_time,
+    fig11_reconstruction_time,
+    figure_report,
+    table4_overhead,
+    table4_report,
+    table5_max_improvement,
+    table5_report,
+)
+from .codes.registry import available_codes, make_code
+from .workloads import ErrorTraceConfig, generate_errors, write_trace
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = (
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table4",
+    "table5",
+    "ablation-scheme",
+    "ablation-demotion",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fbf",
+        description="Reproduce the FBF (ICPP 2017) evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for exp in EXPERIMENTS:
+        p = sub.add_parser(exp, help=f"run the {exp} experiment")
+        p.add_argument("--quick", action="store_true", help="small, fast scale")
+        p.add_argument("--errors", type=int, help="number of partial stripe errors")
+        p.add_argument("--workers", type=int, help="SOR worker count")
+        p.add_argument("--seed", type=int, help="workload seed")
+        p.add_argument(
+            "--cache-mbs",
+            type=str,
+            help="comma-separated cache sizes in MB (e.g. 8,16,32)",
+        )
+
+    t = sub.add_parser("trace", help="generate a partial-stripe-error trace file")
+    t.add_argument("--code", default="tip", choices=available_codes())
+    t.add_argument("--p", type=int, default=7)
+    t.add_argument("--errors", type=int, default=100)
+    t.add_argument("--seed", type=int, default=42)
+    t.add_argument("--out", default="-", help="output path (default stdout)")
+
+    i = sub.add_parser("info", help="describe a code layout")
+    i.add_argument("--code", default="tip", choices=available_codes())
+    i.add_argument("--p", type=int, default=5)
+
+    r = sub.add_parser("replay", help="replay a trace file against all policies")
+    r.add_argument("trace", help="trace file from the `trace` command")
+    r.add_argument("--code", default="tip", choices=available_codes())
+    r.add_argument("--p", type=int, default=7)
+    r.add_argument("--blocks", type=int, default=64, help="total cache blocks")
+    r.add_argument("--workers", type=int, default=8)
+
+    m = sub.add_parser(
+        "mttdl", help="reliability impact of a reconstruction-time improvement"
+    )
+    m.add_argument("--disks", type=int, default=8)
+    m.add_argument("--mtbf-hours", type=float, default=1_000_000.0)
+    m.add_argument("--baseline-hours", type=float, required=True,
+                   help="repair time under the baseline policy")
+    m.add_argument("--improved-hours", type=float, required=True,
+                   help="repair time under FBF")
+
+    lrc = sub.add_parser("lrc", help="FBF on LRC(k,l,g) — the footnote-3 extension")
+    lrc.add_argument("--k", type=int, default=12)
+    lrc.add_argument("--l", type=int, default=2)
+    lrc.add_argument("--g", type=int, default=2)
+    lrc.add_argument("--events", type=int, default=150)
+    lrc.add_argument("--seed", type=int, default=17)
+    lrc.add_argument("--blocks", type=str, default="8,16,32,64")
+
+    v = sub.add_parser(
+        "verify",
+        help="payload-verified recovery across every code/p/scheme (correctness grid)",
+    )
+    v.add_argument("--errors", type=int, default=10)
+    v.add_argument("--seed", type=int, default=7)
+
+    rb = sub.add_parser("rebuild", help="whole-disk rebuild read savings (ref [22])")
+    rb.add_argument("--code", default="tip", choices=available_codes())
+    rb.add_argument("--p", type=int, default=11)
+    rb.add_argument("--stripes", type=int, default=20)
+    rb.add_argument("--workers", type=int, default=8)
+
+    rep = sub.add_parser("report", help="regenerate every figure/table into a directory")
+    rep.add_argument("--out", default="fbf-report", help="output directory")
+    rep.add_argument("--quick", action="store_true")
+    rep.add_argument("--errors", type=int)
+    rep.add_argument("--workers", type=int)
+    rep.add_argument("--seed", type=int)
+    rep.add_argument("--cache-mbs", type=str)
+    return parser
+
+
+def _scale_from(args: argparse.Namespace) -> Scale:
+    scale = QUICK if args.quick else FULL
+    overrides = {}
+    if args.errors is not None:
+        overrides["n_errors"] = args.errors
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.cache_mbs:
+        overrides["cache_mbs"] = tuple(
+            float(x) for x in args.cache_mbs.split(",") if x.strip()
+        )
+    return replace(scale, **overrides) if overrides else scale
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    cmd = args.command
+
+    if cmd == "info":
+        layout = make_code(args.code, args.p)
+        print(layout.description or layout.name)
+        print(
+            f"{layout.num_disks} disks, {layout.rows} rows, "
+            f"{len(layout.data_cells)} data cells, "
+            f"{len(layout.parity_cells)} parity cells, "
+            f"{len(layout.chains)} chains"
+        )
+        print(layout.ascii_grid())
+        return 0
+
+    if cmd == "verify":
+        from .sim import SimConfig, run_reconstruction
+
+        failures = 0
+        print(f"{'code':>12} {'p':>3} {'scheme':>8} {'chunks':>7} {'mismatch':>9}")
+        for code in available_codes():
+            for p in (5, 7):
+                layout = make_code(code, p)
+                errs = generate_errors(
+                    layout, ErrorTraceConfig(n_errors=args.errors, seed=args.seed)
+                )
+                for scheme in ("typical", "fbf", "greedy"):
+                    rep = run_reconstruction(
+                        layout, errs,
+                        SimConfig(workers=4, verify_payloads=True,
+                                  scheme_mode=scheme),
+                    )
+                    ok = rep.payload_mismatches == 0
+                    failures += not ok
+                    print(f"{layout.name:>12} {p:>3} {scheme:>8} "
+                          f"{rep.payload_chunks_verified:>7d} "
+                          f"{rep.payload_mismatches:>9d}")
+        print("\nall recoveries bit-exact ✓" if failures == 0
+              else f"\n{failures} configurations FAILED verification")
+        return 0 if failures == 0 else 1
+
+    if cmd == "rebuild":
+        from .sim import SimConfig, rebuild_read_savings, run_disk_rebuild
+
+        layout = make_code(args.code, args.p)
+        print(f"{layout.name} p={args.p}: per-stripe unique reads to rebuild each disk")
+        print(f"{'disk':>5} {'typical':>8} {'greedy':>8} {'saved':>7}")
+        for disk in range(layout.num_disks):
+            s = rebuild_read_savings(layout, disk, "greedy")
+            print(f"{disk:>5} {s.typical_unique_reads:>8} "
+                  f"{s.scheme_unique_reads:>8} {s.read_reduction:>7.1%}")
+        print(f"\ntimed rebuild of disk 0 ({args.stripes} stripes, "
+              f"{args.workers} workers, FBF cache):")
+        for scheme in ("typical", "greedy"):
+            rep = run_disk_rebuild(
+                layout, 0, args.stripes,
+                SimConfig(workers=args.workers, scheme_mode=scheme),
+            )
+            print(f"  {scheme:8s} reads={rep.disk_reads:6d} "
+                  f"time={rep.reconstruction_time:.3f}s")
+        return 0
+
+    if cmd == "report":
+        from .bench import write_full_report
+
+        scale = _scale_from(args)
+        paths = write_full_report(scale, args.out)
+        print(f"wrote {len(paths)} reports to {args.out}/")
+        for path in paths:
+            print(f"  {path.name}")
+        return 0
+
+    if cmd == "replay":
+        from .cache.registry import available_policies
+        from .sim import simulate_cache_trace
+        from .workloads import read_trace
+
+        layout = make_code(args.code, args.p)
+        errors = read_trace(args.trace)
+        print(f"{len(errors)} errors from {args.trace}; {layout.name} p={args.p}, "
+              f"{args.blocks} blocks over {args.workers} workers")
+        print(f"{'policy':>8} {'hit ratio':>10} {'disk reads':>11}")
+        for policy in sorted(available_policies()):
+            res = simulate_cache_trace(
+                layout, errors, policy=policy,
+                capacity_blocks=args.blocks, workers=args.workers,
+            )
+            print(f"{policy:>8} {res.hit_ratio:>10.4f} {res.disk_reads:>11d}")
+        return 0
+
+    if cmd == "mttdl":
+        from .analysis import wov_improvement
+
+        cmp = wov_improvement(
+            args.disks, args.mtbf_hours, args.baseline_hours, args.improved_hours
+        )
+        print(f"window of vulnerability: {args.baseline_hours:.3f}h -> "
+              f"{args.improved_hours:.3f}h ({cmp.wov_reduction_percent:.1f}% smaller)")
+        print(f"MTTDL: {cmp.baseline_mttdl_hours:.3e}h -> "
+              f"{cmp.improved_mttdl_hours:.3e}h "
+              f"({cmp.mttdl_gain_factor:.2f}x)")
+        return 0
+
+    if cmd == "lrc":
+        from .lrc import LRCCode, LRCWorkloadConfig, generate_lrc_failures, simulate_lrc_trace
+
+        code = LRCCode(args.k, args.l, args.g)
+        events = generate_lrc_failures(
+            code,
+            LRCWorkloadConfig(
+                n_events=args.events, seed=args.seed,
+                batch_size_weights=(0.3, 0.3, 0.25, 0.15),
+            ),
+        )
+        blocks_list = [int(x) for x in args.blocks.split(",") if x.strip()]
+        policies = ("fifo", "lru", "lfu", "arc", "fbf")
+        print(f"{code.name}: {len(events)} failure batches, 4 workers")
+        print(f"{'blocks':>7} " + " ".join(f"{p:>8}" for p in policies))
+        for blocks in blocks_list:
+            row = [f"{blocks:>7}"]
+            for policy in policies:
+                res = simulate_lrc_trace(
+                    code, events, policy=policy, capacity_blocks=blocks, workers=4
+                )
+                row.append(f"{res.hit_ratio:>8.4f}")
+            print(" ".join(row))
+        return 0
+
+    if cmd == "trace":
+        layout = make_code(args.code, args.p)
+        errors = generate_errors(
+            layout, ErrorTraceConfig(n_errors=args.errors, seed=args.seed)
+        )
+        meta = {"code": args.code, "p": str(args.p), "seed": str(args.seed)}
+        if args.out == "-":
+            write_trace(sys.stdout, errors, metadata=meta)
+        else:
+            write_trace(args.out, errors, metadata=meta)
+            print(f"wrote {len(errors)} errors to {args.out}")
+        return 0
+
+    scale = _scale_from(args)
+    if cmd == "fig8":
+        print(figure_report(fig8_hit_ratio(scale), "hit_ratio",
+                            "Figure 8: cache hit ratio during reconstruction"))
+    elif cmd == "fig9":
+        print(figure_report(fig9_read_ops(scale), "disk_reads",
+                            "Figure 9: disk reads during reconstruction (TIP)", "d"))
+    elif cmd == "fig10":
+        print(figure_report(fig10_response_time(scale), "avg_response_time",
+                            "Figure 10: average response time (s)", ".5f"))
+    elif cmd == "fig11":
+        print(figure_report(fig11_reconstruction_time(scale), "reconstruction_time",
+                            "Figure 11: reconstruction time (s, TIP)", ".3f"))
+    elif cmd == "table4":
+        print(table4_report(table4_overhead(scale)))
+    elif cmd == "table5":
+        print(table5_report(table5_max_improvement(scale)))
+    elif cmd == "ablation-scheme":
+        print(figure_report(ablation_scheme(scale), "hit_ratio",
+                            "Ablation: recovery scheme selection (hit ratio)"))
+    elif cmd == "ablation-demotion":
+        print(figure_report(ablation_demotion(scale), "hit_ratio",
+                            "Ablation: demote-on-hit vs sticky (hit ratio)"))
+    else:  # pragma: no cover - argparse guards this
+        raise SystemExit(f"unknown command {cmd}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Erasure-code substrate: layouts, chains, encoding, and decoding.
+
+Public surface:
+
+* :func:`make_code` / :data:`CODES` — construct any of the four 3DFT codes
+  (``star``, ``triple-star``, ``tip``, ``hdd1``) for a prime ``p``.
+* :class:`CodeLayout`, :class:`ParityChain`, :class:`Direction` — the
+  stripe geometry FBF reasons about.
+* :class:`Encoder`, :func:`decode` — payload-level encode/decode.
+"""
+
+from .decoder import DecodeError, decode, peel_decode, solve_decode
+from .encoder import Encoder, empty_stripe, encode_by_chains, verify_stripe, xor_cells
+from .hdd1 import make_hdd1
+from .layout import Cell, CellKind, CodeLayout, Direction, LayoutError, ParityChain
+from .registry import CODES, available_codes, make_code
+from .star import make_star
+from .tip import make_tip
+from .triple_star import make_triple_star
+from .update import UpdateComplexity, parities_touched, update_complexity
+
+__all__ = [
+    "Cell",
+    "CellKind",
+    "CodeLayout",
+    "Direction",
+    "LayoutError",
+    "ParityChain",
+    "Encoder",
+    "empty_stripe",
+    "encode_by_chains",
+    "verify_stripe",
+    "xor_cells",
+    "DecodeError",
+    "decode",
+    "peel_decode",
+    "solve_decode",
+    "CODES",
+    "available_codes",
+    "make_code",
+    "make_star",
+    "make_tip",
+    "make_triple_star",
+    "make_hdd1",
+    "UpdateComplexity",
+    "parities_touched",
+    "update_complexity",
+]

@@ -1,0 +1,168 @@
+"""Construction helpers shared by the four 3DFT codes.
+
+Two XOR-code families cover all four codes in the paper's evaluation:
+
+* the **RTP family** (``build_rtp_family``) — row parity plus diagonal and
+  anti-diagonal parities where the diagonal chains *include* the row-parity
+  column (RDP-style), so no adjuster terms are needed.  Triple-STAR (k=p-1
+  data columns) and TIP (k=p-2) are built from this family.
+* the **STAR family** (``build_star_family``) — EVENODD-style diagonal and
+  anti-diagonal parities over the data columns only, each chain folding in
+  the *adjuster* diagonal (the diagonal with no parity cell of its own).
+  STAR (k=p data columns) and HDD1 (k=p-2) are built from this family.
+
+Shortening (choosing ``k`` smaller than the family's natural width) deletes
+virtual data columns that are implicitly all-zero; it preserves the triple
+erasure tolerance of the parent code, which the test suite re-verifies
+exhaustively by GF(2) rank checks.
+
+Both families use ``p - 1`` rows plus an imaginary all-zero row ``p - 1``;
+cells in the imaginary row are simply omitted from chains.
+"""
+
+from __future__ import annotations
+
+from .layout import Cell, CodeLayout, Direction, ParityChain
+from ..utils import require_prime
+
+__all__ = ["build_rtp_family", "build_star_family"]
+
+
+def _check_args(p: int, num_data: int, max_data: int) -> None:
+    require_prime(p)
+    if p < 3:
+        raise ValueError(f"p must be >= 3, got {p}")
+    if not 1 <= num_data <= max_data:
+        raise ValueError(
+            f"num_data must be in [1, {max_data}] for p={p}, got {num_data}"
+        )
+
+
+def build_rtp_family(name: str, p: int, num_data: int, description: str = "") -> CodeLayout:
+    """RTP-style layout: diagonal/anti-diagonal chains cover the row-parity column.
+
+    Physical columns: ``0..num_data-1`` data, ``num_data`` row parity,
+    ``num_data+1`` diagonal parity, ``num_data+2`` anti-diagonal parity.
+    The row-parity column sits at *virtual* column ``p-1`` so the diagonal
+    geometry matches the unshortened code.
+    """
+    _check_args(p, num_data, p - 1)
+    rows = p - 1
+    row_parity_col = num_data
+    diag_col = num_data + 1
+    anti_col = num_data + 2
+    num_disks = num_data + 3
+
+    # virtual column index -> physical column, for the columns diagonals cover
+    covered = {vj: vj for vj in range(num_data)}
+    covered[p - 1] = row_parity_col
+
+    data_cells = tuple((r, c) for r in range(rows) for c in range(num_data))
+    parity_cells = tuple(
+        (r, c) for c in (row_parity_col, diag_col, anti_col) for r in range(rows)
+    )
+
+    chains: list[ParityChain] = []
+    for i in range(rows):
+        cells = frozenset(
+            {(i, j) for j in range(num_data)} | {(i, row_parity_col)}
+        )
+        chains.append(
+            ParityChain(Direction.HORIZONTAL, i, cells, (i, row_parity_col))
+        )
+    for d in range(p - 1):
+        cells: set[Cell] = {(d, diag_col)}
+        for vj, phys in covered.items():
+            i = (d - vj) % p
+            if i < rows:
+                cells.add((i, phys))
+        chains.append(ParityChain(Direction.DIAGONAL, d, frozenset(cells), (d, diag_col)))
+    for d in range(p - 1):
+        cells = {(d, anti_col)}
+        for vj, phys in covered.items():
+            i = (d + vj) % p
+            if i < rows:
+                cells.add((i, phys))
+        chains.append(
+            ParityChain(Direction.ANTIDIAGONAL, d, frozenset(cells), (d, anti_col))
+        )
+
+    return CodeLayout(
+        name=name,
+        p=p,
+        rows=rows,
+        num_disks=num_disks,
+        data_cells=data_cells,
+        parity_cells=parity_cells,
+        chains=tuple(chains),
+        description=description,
+    )
+
+
+def build_star_family(name: str, p: int, num_data: int, description: str = "") -> CodeLayout:
+    """STAR-style layout: EVENODD diagonals over data columns with adjusters.
+
+    Physical columns: ``0..num_data-1`` data, ``num_data`` horizontal
+    parity, ``num_data+1`` diagonal parity, ``num_data+2`` anti-diagonal
+    parity.  Diagonal ``p-1`` (and anti-diagonal ``p-1``) has no parity
+    cell; its data cells — the *adjuster* — are folded into every chain of
+    that direction.
+    """
+    _check_args(p, num_data, p)
+    rows = p - 1
+    h_col = num_data
+    diag_col = num_data + 1
+    anti_col = num_data + 2
+    num_disks = num_data + 3
+
+    data_cells = tuple((r, c) for r in range(rows) for c in range(num_data))
+    parity_cells = tuple(
+        (r, c) for c in (h_col, diag_col, anti_col) for r in range(rows)
+    )
+
+    diag_adjuster = frozenset(
+        (i, j)
+        for j in range(num_data)
+        for i in [(p - 1 - j) % p]
+        if i < rows
+    )
+    anti_adjuster = frozenset(
+        (i, j)
+        for j in range(num_data)
+        for i in [(p - 1 + j) % p]
+        if i < rows
+    )
+
+    chains: list[ParityChain] = []
+    for i in range(rows):
+        cells = frozenset({(i, j) for j in range(num_data)} | {(i, h_col)})
+        chains.append(ParityChain(Direction.HORIZONTAL, i, cells, (i, h_col)))
+    for d in range(p - 1):
+        diag_cells = {
+            (i, j)
+            for j in range(num_data)
+            for i in [(d - j) % p]
+            if i < rows
+        }
+        cells = frozenset(diag_cells | diag_adjuster | {(d, diag_col)})
+        chains.append(ParityChain(Direction.DIAGONAL, d, cells, (d, diag_col)))
+    for d in range(p - 1):
+        anti_cells = {
+            (i, j)
+            for j in range(num_data)
+            for i in [(d + j) % p]
+            if i < rows
+        }
+        cells = frozenset(anti_cells | anti_adjuster | {(d, anti_col)})
+        chains.append(ParityChain(Direction.ANTIDIAGONAL, d, cells, (d, anti_col)))
+
+    return CodeLayout(
+        name=name,
+        p=p,
+        rows=rows,
+        num_disks=num_disks,
+        data_cells=data_cells,
+        parity_cells=parity_cells,
+        chains=tuple(chains),
+        description=description,
+    )

@@ -1,0 +1,28 @@
+"""HDD1 code (Tau & Wang, 2003) — p+1 disks.
+
+HDD1 is a horizontal/dual-diagonal parity placement for triple failure
+tolerance on ``p + 1`` disks.  We model it as the STAR family shortened to
+``p - 2`` data columns (see DESIGN.md §4): EVENODD-style diagonal and
+anti-diagonal chains *with adjusters*, which differentiates its recovery
+behaviour from the adjuster-free TIP at the same disk count.
+"""
+
+from __future__ import annotations
+
+from ._builders import build_star_family
+from .layout import CodeLayout
+
+__all__ = ["make_hdd1"]
+
+
+def make_hdd1(p: int) -> CodeLayout:
+    """Build the HDD1 layout for prime ``p`` (``p + 1`` disks)."""
+    return build_star_family(
+        "HDD1",
+        p,
+        num_data=p - 2,
+        description=(
+            f"HDD1 code, p={p}: {p - 2} data disks + horizontal/diagonal/"
+            "anti-diagonal parity disks; EVENODD-style adjusters."
+        ),
+    )

@@ -1,0 +1,297 @@
+"""Stripe layouts and parity chains for XOR-based 3DFT erasure codes.
+
+Every code in this package lays a stripe out as a grid of *cells* — ``rows``
+rows by ``num_disks`` columns, one column per disk.  Each cell holds one
+chunk (the paper's recovery unit).  A *parity chain* is a set of cells whose
+payloads XOR to zero; one member of the set is the designated parity cell
+(where the redundancy is physically stored) and the rest are the covered
+cells.  Chains come in three directions — horizontal, diagonal, and
+anti-diagonal — which is the structural property FBF exploits.
+
+Codes with EVENODD-style *adjusters* (STAR, HDD1) fold the adjuster
+diagonal's cells directly into every chain of that direction, so a chain is
+always exactly one XOR-sums-to-zero constraint.  A side effect faithfully
+reproduced here: adjuster cells appear in *every* chain of their direction,
+which is why the paper observes STAR's adjuster chunks being referenced
+more than three times during recovery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from functools import cached_property
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .gf2 import gf2_rank
+
+__all__ = [
+    "Cell",
+    "Direction",
+    "CellKind",
+    "ParityChain",
+    "CodeLayout",
+    "LayoutError",
+]
+
+#: A cell is addressed by (row, column) within a stripe.
+Cell = tuple[int, int]
+
+
+class LayoutError(ValueError):
+    """Raised when a layout violates its structural invariants."""
+
+
+class Direction(Enum):
+    """The three parity-chain directions of a 3DFT code."""
+
+    HORIZONTAL = "H"
+    DIAGONAL = "D"
+    ANTIDIAGONAL = "A"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class CellKind(Enum):
+    DATA = "data"
+    PARITY = "parity"
+    UNUSED = "unused"
+
+
+@dataclass(frozen=True)
+class ParityChain:
+    """One XOR constraint: the payloads of ``cells`` XOR to zero.
+
+    ``parity_cell`` is the member where the redundancy is stored; it is the
+    cell this chain can *recompute*, and any single missing member can be
+    rebuilt from the others.
+    """
+
+    direction: Direction
+    index: int
+    cells: frozenset[Cell]
+    parity_cell: Cell
+
+    def __post_init__(self) -> None:
+        if self.parity_cell not in self.cells:
+            raise LayoutError(
+                f"parity cell {self.parity_cell} not a member of chain "
+                f"{self.direction.value}{self.index}"
+            )
+        if len(self.cells) < 2:
+            raise LayoutError(
+                f"chain {self.direction.value}{self.index} has fewer than 2 cells"
+            )
+
+    @property
+    def chain_id(self) -> str:
+        return f"{self.direction.value}{self.index}"
+
+    def others(self, cell: Cell) -> frozenset[Cell]:
+        """All chain members except ``cell``."""
+        if cell not in self.cells:
+            raise KeyError(f"{cell} not in chain {self.chain_id}")
+        return self.cells - {cell}
+
+    def columns(self) -> set[int]:
+        return {c for _, c in self.cells}
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __contains__(self, cell: object) -> bool:
+        return cell in self.cells
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParityChain({self.chain_id}, {len(self.cells)} cells)"
+
+
+@dataclass
+class CodeLayout:
+    """A fully-specified stripe layout for one XOR 3DFT code.
+
+    Concrete codes (STAR, Triple-STAR, TIP, HDD1) construct an instance via
+    their module-level ``make(p)`` builders.  The class itself is
+    code-agnostic: everything downstream (recovery planning, priorities,
+    encoding, decoding, simulation) works purely off the chain structure.
+    """
+
+    name: str
+    p: int
+    rows: int
+    num_disks: int
+    data_cells: tuple[Cell, ...]
+    parity_cells: tuple[Cell, ...]
+    chains: tuple[ParityChain, ...]
+    description: str = ""
+    _chains_by_cell: dict[Cell, tuple[ParityChain, ...]] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self.validate()
+        by_cell: dict[Cell, list[ParityChain]] = {}
+        for chain in self.chains:
+            for cell in chain.cells:
+                by_cell.setdefault(cell, []).append(chain)
+        self._chains_by_cell = {c: tuple(v) for c, v in by_cell.items()}
+
+    # -- structure ------------------------------------------------------
+    @property
+    def all_cells(self) -> tuple[Cell, ...]:
+        return self.data_cells + self.parity_cells
+
+    @cached_property
+    def cell_index(self) -> dict[Cell, int]:
+        """Stable cell → integer index (for linear-algebra views)."""
+        return {cell: i for i, cell in enumerate(self.all_cells)}
+
+    def kind(self, cell: Cell) -> CellKind:
+        if cell in self._data_set:
+            return CellKind.DATA
+        if cell in self._parity_set:
+            return CellKind.PARITY
+        return CellKind.UNUSED
+
+    @cached_property
+    def _data_set(self) -> frozenset[Cell]:
+        return frozenset(self.data_cells)
+
+    @cached_property
+    def _parity_set(self) -> frozenset[Cell]:
+        return frozenset(self.parity_cells)
+
+    def cells_on_disk(self, disk: int) -> tuple[Cell, ...]:
+        """All used cells in column ``disk``, in row order."""
+        if not 0 <= disk < self.num_disks:
+            raise IndexError(f"disk {disk} out of range (0..{self.num_disks - 1})")
+        used = self._data_set | self._parity_set
+        return tuple((r, disk) for r in range(self.rows) if (r, disk) in used)
+
+    def chains_for(self, cell: Cell) -> tuple[ParityChain, ...]:
+        """Every chain the cell participates in (possibly many for adjusters)."""
+        return self._chains_by_cell.get(cell, ())
+
+    def chains_in(self, direction: Direction) -> tuple[ParityChain, ...]:
+        return tuple(c for c in self.chains if c.direction is direction)
+
+    # -- invariants -------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`LayoutError` if broken."""
+        seen: set[Cell] = set()
+        for cell in itertools.chain(self.data_cells, self.parity_cells):
+            r, c = cell
+            if not (0 <= r < self.rows and 0 <= c < self.num_disks):
+                raise LayoutError(f"cell {cell} outside {self.rows}x{self.num_disks} grid")
+            if cell in seen:
+                raise LayoutError(f"cell {cell} declared twice")
+            seen.add(cell)
+        parity_set = set(self.parity_cells)
+        chain_ids = set()
+        chain_parity_cells = set()
+        for chain in self.chains:
+            if chain.chain_id in chain_ids:
+                raise LayoutError(f"duplicate chain id {chain.chain_id}")
+            chain_ids.add(chain.chain_id)
+            if chain.parity_cell not in parity_set:
+                raise LayoutError(
+                    f"chain {chain.chain_id} stores parity in non-parity cell "
+                    f"{chain.parity_cell}"
+                )
+            if chain.parity_cell in chain_parity_cells:
+                raise LayoutError(
+                    f"parity cell {chain.parity_cell} used by two chains"
+                )
+            chain_parity_cells.add(chain.parity_cell)
+            for cell in chain.cells:
+                if cell not in seen:
+                    raise LayoutError(
+                        f"chain {chain.chain_id} references undeclared cell {cell}"
+                    )
+        if chain_parity_cells != parity_set:
+            orphans = parity_set - chain_parity_cells
+            raise LayoutError(f"parity cells without a chain: {sorted(orphans)}")
+        for cell in self.data_cells:
+            if not any(cell in chain for chain in self.chains):
+                raise LayoutError(f"data cell {cell} not protected by any chain")
+
+    # -- linear-algebra views ---------------------------------------------
+    def constraint_matrix(self) -> np.ndarray:
+        """Chains × cells incidence matrix over GF(2).
+
+        Row *i* has ones at the cells of chain *i* (including its parity
+        cell); a stripe payload vector ``v`` is valid iff ``M @ v == 0``.
+        """
+        idx = self.cell_index
+        m = np.zeros((len(self.chains), len(idx)), dtype=np.uint8)
+        for i, chain in enumerate(self.chains):
+            for cell in chain.cells:
+                m[i, idx[cell]] = 1
+        return m
+
+    def erasure_matrix(self, erased: Iterable[Cell]) -> tuple[np.ndarray, list[Cell]]:
+        """Constraint submatrix restricted to ``erased`` cells.
+
+        Returns ``(A, erased_list)`` where ``A[i, j] == 1`` iff chain *i*
+        contains the *j*-th erased cell.  The pattern is decodable iff
+        ``A`` has full column rank.
+        """
+        erased_list = sorted(set(erased))
+        idx = self.cell_index
+        for cell in erased_list:
+            if cell not in idx:
+                raise KeyError(f"cell {cell} is not part of layout {self.name}")
+        a = np.zeros((len(self.chains), len(erased_list)), dtype=np.uint8)
+        for i, chain in enumerate(self.chains):
+            for j, cell in enumerate(erased_list):
+                if cell in chain:
+                    a[i, j] = 1
+        return a, erased_list
+
+    def tolerates(self, erased: Iterable[Cell]) -> bool:
+        """True if the erasure pattern is decodable (full column rank)."""
+        a, erased_list = self.erasure_matrix(erased)
+        if not erased_list:
+            return True
+        return gf2_rank(a) == len(erased_list)
+
+    def tolerates_disks(self, disks: Sequence[int]) -> bool:
+        """True if losing the given whole columns is decodable."""
+        erased = [cell for d in disks for cell in self.cells_on_disk(d)]
+        return self.tolerates(erased)
+
+    # -- presentation -------------------------------------------------------
+    def ascii_grid(self, annotate: Mapping[Cell, str] | None = None) -> str:
+        """Render the stripe as a small ASCII grid (docs/examples helper)."""
+        annotate = annotate or {}
+        width = max(
+            4, max((len(v) for v in annotate.values()), default=0) + 1
+        )
+        lines = [
+            "".join(f"d{c:<{width - 1}}" for c in range(self.num_disks))
+        ]
+        for r in range(self.rows):
+            row = []
+            for c in range(self.num_disks):
+                cell = (r, c)
+                if cell in annotate:
+                    tag = annotate[cell]
+                elif self.kind(cell) is CellKind.DATA:
+                    tag = "."
+                elif self.kind(cell) is CellKind.PARITY:
+                    tag = "P"
+                else:
+                    tag = " "
+                row.append(f"{tag:<{width}}")
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CodeLayout({self.name}, p={self.p}, {self.rows}x{self.num_disks}, "
+            f"{len(self.chains)} chains)"
+        )

@@ -1,0 +1,43 @@
+"""Name-based registry of the available 3DFT codes."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .hdd1 import make_hdd1
+from .layout import CodeLayout
+from .star import make_star
+from .tip import make_tip
+from .triple_star import make_triple_star
+
+__all__ = ["CODES", "make_code", "available_codes"]
+
+CODES: dict[str, Callable[[int], CodeLayout]] = {
+    "star": make_star,
+    "triple-star": make_triple_star,
+    "tip": make_tip,
+    "hdd1": make_hdd1,
+}
+
+_ALIASES = {
+    "triplestar": "triple-star",
+    "triple_star": "triple-star",
+    "tip-code": "tip",
+}
+
+
+def available_codes() -> tuple[str, ...]:
+    return tuple(CODES)
+
+
+def make_code(name: str, p: int) -> CodeLayout:
+    """Construct a code layout by name (case-insensitive, alias-friendly)."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        builder = CODES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown code {name!r}; available: {', '.join(sorted(CODES))}"
+        ) from None
+    return builder(p)

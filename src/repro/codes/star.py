@@ -1,0 +1,28 @@
+"""STAR code (Huang & Xu, 2008) — p+3 disks.
+
+STAR extends EVENODD with an anti-diagonal parity column: ``p`` data
+columns, one horizontal parity column, and diagonal / anti-diagonal parity
+columns whose chains carry EVENODD adjusters.  The adjuster cells belong to
+every chain of their direction, so during recovery they are referenced many
+times — the effect the FBF paper credits for STAR's higher hit ratios.
+"""
+
+from __future__ import annotations
+
+from ._builders import build_star_family
+from .layout import CodeLayout
+
+__all__ = ["make_star"]
+
+
+def make_star(p: int) -> CodeLayout:
+    """Build the STAR layout for prime ``p`` (``p + 3`` disks)."""
+    return build_star_family(
+        "STAR",
+        p,
+        num_data=p,
+        description=(
+            f"STAR code, p={p}: {p} data disks + horizontal/diagonal/"
+            "anti-diagonal parity disks; EVENODD-style adjusters."
+        ),
+    )

@@ -1,0 +1,28 @@
+"""TIP-code (Zhang, Wu, Li & Guo, DSN 2015) — p+1 disks.
+
+TIP ("Three Independent Parities") tolerates triple failures on ``p + 1``
+disks with optimal update complexity.  We model it as the RTP family
+shortened to ``p - 2`` data columns (see DESIGN.md §4): three independent
+parity directions, no adjusters, ``p + 1`` disks — preserving the chain
+geometry the FBF evaluation exercises.
+"""
+
+from __future__ import annotations
+
+from ._builders import build_rtp_family
+from .layout import CodeLayout
+
+__all__ = ["make_tip"]
+
+
+def make_tip(p: int) -> CodeLayout:
+    """Build the TIP layout for prime ``p`` (``p + 1`` disks)."""
+    return build_rtp_family(
+        "TIP",
+        p,
+        num_data=p - 2,
+        description=(
+            f"TIP-code, p={p}: {p - 2} data disks + row/diagonal/anti-diagonal "
+            "parity disks; shortened RTP-style chains."
+        ),
+    )

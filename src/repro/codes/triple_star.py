@@ -1,0 +1,29 @@
+"""Triple-STAR code (Wang, Li & Zhong, 2012) — p+2 disks.
+
+The published Triple-STAR targets optimal *encoding* complexity.  We model
+it as the adjuster-free member of the RTP family with ``p - 1`` data
+columns: diagonal and anti-diagonal chains run across the data columns and
+the row-parity column, so every parity is a plain XOR of a chain with no
+adjuster correction — matching the code's minimal-XOR-count character.
+(See DESIGN.md §4 for the substitution rationale.)
+"""
+
+from __future__ import annotations
+
+from ._builders import build_rtp_family
+from .layout import CodeLayout
+
+__all__ = ["make_triple_star"]
+
+
+def make_triple_star(p: int) -> CodeLayout:
+    """Build the Triple-STAR layout for prime ``p`` (``p + 2`` disks)."""
+    return build_rtp_family(
+        "Triple-STAR",
+        p,
+        num_data=p - 1,
+        description=(
+            f"Triple-STAR code, p={p}: {p - 1} data disks + row parity + "
+            "diagonal + anti-diagonal parity disks; adjuster-free RTP-style chains."
+        ),
+    )

@@ -1,0 +1,68 @@
+"""Update-complexity metrics for the XOR 3DFT codes.
+
+When an application overwrites one data chunk, every parity chunk whose
+chain contains it must be XOR-patched (read-modify-write).  The *update
+complexity* of a cell is the number of parity cells it feeds; its
+average over data cells is a primary figure of merit for array codes —
+TIP-code's headline claim is *optimal* update complexity (3 for a 3DFT:
+one parity per direction), while EVENODD-style adjuster codes (STAR,
+HDD1) pay extra because adjuster cells feed every chain of a direction.
+
+These metrics come straight from the encoder's parity-combination matrix,
+so they reflect the actual constructions in this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .encoder import Encoder
+from .layout import Cell, CodeLayout
+
+__all__ = ["UpdateComplexity", "update_complexity", "parities_touched"]
+
+#: a 3-failure-tolerant code cannot update fewer parities than this.
+OPTIMAL_3DFT = 3
+
+
+@dataclass(frozen=True)
+class UpdateComplexity:
+    """Distribution of parity writes per single-chunk data update."""
+
+    code: str
+    p: int
+    average: float
+    minimum: int
+    maximum: int
+    #: data cells hitting the theoretical optimum of 3.
+    optimal_fraction: float
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when every data cell updates exactly 3 parities."""
+        return self.minimum == self.maximum == OPTIMAL_3DFT
+
+
+def parities_touched(layout: CodeLayout, encoder: Encoder | None = None) -> dict[Cell, int]:
+    """Per data cell: how many parity chunks an overwrite must patch."""
+    enc = encoder if encoder is not None else Encoder(layout)
+    counts = enc.combination.sum(axis=0)  # parity x data -> per-data column sum
+    return {
+        cell: int(counts[i]) for i, cell in enumerate(layout.data_cells)
+    }
+
+
+def update_complexity(layout: CodeLayout) -> UpdateComplexity:
+    """Summarize the update cost distribution of a layout."""
+    per_cell = parities_touched(layout)
+    values = np.array(list(per_cell.values()))
+    return UpdateComplexity(
+        code=layout.name,
+        p=layout.p,
+        average=float(values.mean()),
+        minimum=int(values.min()),
+        maximum=int(values.max()),
+        optimal_fraction=float((values == OPTIMAL_3DFT).mean()),
+    )

@@ -1,0 +1,35 @@
+"""FBF core: recovery schemes, priorities, and the FBF cache policy.
+
+This package is the paper's primary contribution:
+
+* :func:`generate_plan` — build a recovery scheme ("typical", "fbf", or
+  "greedy") for a partial stripe error.
+* :class:`PriorityDictionary` — the per-plan chunk → priority map
+  (paper Table II/III).
+* :class:`FBFCache` — the three-queue, demote-on-hit replacement policy
+  (paper Algorithm 1).
+"""
+
+from .fbf_cache import FBFCache
+from .priorities import MAX_PRIORITY, PriorityDictionary, priority_of_count
+from .scheme import (
+    DIRECTION_LOOP,
+    ChainAssignment,
+    RecoveryPlan,
+    SchemeMode,
+    UnrecoverableError,
+    generate_plan,
+)
+
+__all__ = [
+    "FBFCache",
+    "MAX_PRIORITY",
+    "PriorityDictionary",
+    "priority_of_count",
+    "DIRECTION_LOOP",
+    "ChainAssignment",
+    "RecoveryPlan",
+    "SchemeMode",
+    "UnrecoverableError",
+    "generate_plan",
+]

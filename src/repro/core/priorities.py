@@ -1,0 +1,95 @@
+"""Priority definition (paper §III-A step 1, Tables II–III).
+
+Each chunk fetched during recovery is assigned a priority equal to the
+number of selected parity chains that reference it, saturated at 3:
+
+===========  ===============================  ===============
+priority     shared parity chains             reduced I/Os
+===========  ===============================  ===============
+3            three or more                    up to 2
+2            two                              up to 1
+1            one                              0
+===========  ===============================  ===============
+
+Chunks absent from the dictionary (e.g. application I/O mixed into the
+recovery stream) default to priority 1 — they cannot save any recovery
+I/O, so FBF treats them like ordinary single-use blocks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Iterator
+
+from ..codes.layout import Cell
+from .scheme import RecoveryPlan
+
+__all__ = ["MAX_PRIORITY", "PriorityDictionary", "priority_of_count"]
+
+MAX_PRIORITY = 3
+
+
+def priority_of_count(shared_chains: int) -> int:
+    """Map a chain-share count to the paper's 1..3 priority scale."""
+    if shared_chains < 1:
+        raise ValueError(f"share count must be >= 1, got {shared_chains}")
+    return min(shared_chains, MAX_PRIORITY)
+
+
+class PriorityDictionary(Mapping):
+    """Immutable cell → priority mapping for one recovery plan.
+
+    Behaves as a mapping with a default of 1 through :meth:`lookup`,
+    and records the underlying share counts for analysis (Table III
+    reproduction, STAR's >3-references adjusters, ...).
+    """
+
+    def __init__(self, plan: RecoveryPlan):
+        self.plan = plan
+        self._counts: dict[Cell, int] = dict(plan.chain_share_count)
+        self._prio: dict[Cell, int] = {
+            cell: priority_of_count(n) for cell, n in self._counts.items()
+        }
+
+    @classmethod
+    def from_plan(cls, plan: RecoveryPlan) -> "PriorityDictionary":
+        return cls(plan)
+
+    # -- Mapping protocol --------------------------------------------------
+    def __getitem__(self, cell: Cell) -> int:
+        return self._prio[cell]
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._prio)
+
+    def __len__(self) -> int:
+        return len(self._prio)
+
+    # -- convenience ---------------------------------------------------------
+    def lookup(self, cell: Cell) -> int:
+        """Priority with the paper's default of 1 for unknown chunks."""
+        return self._prio.get(cell, 1)
+
+    def share_count(self, cell: Cell) -> int:
+        """Raw number of selected chains referencing ``cell`` (0 if none)."""
+        return self._counts.get(cell, 0)
+
+    def cells_at(self, priority: int) -> tuple[Cell, ...]:
+        """All cells holding a given priority, sorted (Table III rows)."""
+        return tuple(
+            sorted(c for c, p in self._prio.items() if p == priority)
+        )
+
+    def histogram(self) -> dict[int, int]:
+        hist = {1: 0, 2: 0, 3: 0}
+        for p in self._prio.values():
+            hist[p] += 1
+        return hist
+
+    def table(self) -> str:
+        """Render the paper's Table III format for this plan."""
+        lines = ["Priority | Chunks", "---------+-------"]
+        for prio in (3, 2, 1):
+            cells = ", ".join(f"C{c}" for c in self.cells_at(prio))
+            lines.append(f"{prio:>8} | {cells or '(none)'}")
+        return "\n".join(lines)

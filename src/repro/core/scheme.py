@@ -1,0 +1,227 @@
+"""Recovery-scheme generation (paper §III-A step 1, Figures 2–3).
+
+Given the set of failed chunks of a partial stripe error, a *recovery
+scheme* assigns one parity chain to each failed chunk; reconstructing the
+chunk then requires fetching every surviving member of its chain.
+
+Three strategies are implemented:
+
+* ``typical`` — every failed chunk uses its horizontal chain (the paper's
+  Figure 2(a) baseline, after Patterson's original RAID recovery).
+* ``fbf`` — the paper's strategy: loop the three directions (horizontal,
+  diagonal, anti-diagonal) across consecutive failed chunks so that the
+  selected chains overlap (Figure 2(b), Figure 3).  Among several valid
+  chains of the looped direction, the one overlapping most with already
+  selected chains is chosen.
+* ``greedy`` — an ablation that ignores the direction loop and always
+  picks the chain (any direction) adding the fewest *new* chunks to the
+  fetch set.  Unlike the round-robin loop, this never fetches more unique
+  chunks than ``typical`` (the horizontal chain is always a candidate) —
+  relevant for adjuster codes (STAR, HDD1), where diagonal chains are
+  longer and round-robin can cost extra I/O on short errors.
+
+A chain is *eligible* for a failed chunk only if it contains no other
+failed chunk at all — even one recovered earlier in the plan.  The strict
+rule keeps every fetched chunk a plain read of intact data (no re-reading
+of freshly-recovered chunks whose on-disk copy is stale), and it is always
+satisfiable for the paper's single-disk partial stripe errors because each
+horizontal chain touches any column exactly once.  Error patterns spanning
+several disks may be rejected with :class:`UnrecoverableError`; those are
+whole-stripe reconstruction territory (handled at the payload level by
+:func:`repro.codes.decode`), not partial stripe recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Literal, Sequence
+
+from ..codes.layout import Cell, CodeLayout, Direction, ParityChain
+
+__all__ = [
+    "SchemeMode",
+    "ChainAssignment",
+    "RecoveryPlan",
+    "UnrecoverableError",
+    "generate_plan",
+    "DIRECTION_LOOP",
+]
+
+SchemeMode = Literal["typical", "fbf", "greedy"]
+
+#: the paper's direction loop order.
+DIRECTION_LOOP: tuple[Direction, ...] = (
+    Direction.HORIZONTAL,
+    Direction.DIAGONAL,
+    Direction.ANTIDIAGONAL,
+)
+
+
+class UnrecoverableError(ValueError):
+    """No eligible chain exists for some failed chunk."""
+
+
+@dataclass(frozen=True)
+class ChainAssignment:
+    """One failed chunk and the parity chain chosen to rebuild it."""
+
+    failed_cell: Cell
+    chain: ParityChain
+
+    @property
+    def reads(self) -> tuple[Cell, ...]:
+        """Surviving chain members to fetch, in deterministic order."""
+        return tuple(sorted(self.chain.others(self.failed_cell)))
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """A complete recovery scheme for one partial stripe error."""
+
+    layout: CodeLayout
+    mode: str
+    assignments: tuple[ChainAssignment, ...]
+
+    @property
+    def failed_cells(self) -> tuple[Cell, ...]:
+        return tuple(a.failed_cell for a in self.assignments)
+
+    @cached_property
+    def chain_share_count(self) -> dict[Cell, int]:
+        """For each cell to fetch: how many selected chains reference it.
+
+        This is the quantity FBF's priorities are derived from (paper
+        Table II).  Failed cells themselves are never fetched (eligible
+        chains exclude them), so every counted cell is a surviving chunk.
+        """
+        counts: dict[Cell, int] = {}
+        for a in self.assignments:
+            for cell in a.reads:
+                counts[cell] = counts.get(cell, 0) + 1
+        return counts
+
+    @cached_property
+    def request_sequence(self) -> tuple[Cell, ...]:
+        """Every chunk-read the controller issues, in order.
+
+        Chains are processed in assignment order; within a chain, reads go
+        in sorted cell order.  Shared chunks appear once per referencing
+        chain — the repeats are exactly the cache-hit opportunities FBF
+        targets.
+        """
+        return tuple(cell for a in self.assignments for cell in a.reads)
+
+    @property
+    def unique_reads(self) -> int:
+        """Distinct chunks that must come from disk at least once."""
+        return len(self.chain_share_count)
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.request_sequence)
+
+    def direction_histogram(self) -> dict[Direction, int]:
+        hist = {d: 0 for d in Direction}
+        for a in self.assignments:
+            hist[a.chain.direction] += 1
+        return hist
+
+
+def _eligible_chains(
+    layout: CodeLayout, cell: Cell, failed: set[Cell]
+) -> list[ParityChain]:
+    """Chains containing ``cell`` and no other failed cell."""
+    return [
+        ch
+        for ch in layout.chains_for(cell)
+        if not (ch.cells & failed) - {cell}
+    ]
+
+
+def _overlap(chain: ParityChain, cell: Cell, needed: set[Cell]) -> int:
+    return len((chain.cells - {cell}) & needed)
+
+
+def _pick(
+    candidates: Sequence[ParityChain],
+    cell: Cell,
+    needed: set[Cell],
+) -> ParityChain:
+    """Max overlap with already-needed cells; deterministic tie-breaks."""
+    return max(
+        candidates,
+        key=lambda ch: (
+            _overlap(ch, cell, needed),
+            -len(ch.cells),  # fewer new fetches on overlap ties
+            -DIRECTION_LOOP.index(ch.direction),
+            -ch.index,
+        ),
+    )
+
+
+def generate_plan(
+    layout: CodeLayout,
+    failed_cells: Iterable[Cell],
+    mode: SchemeMode = "fbf",
+) -> RecoveryPlan:
+    """Build the recovery scheme for ``failed_cells`` under ``mode``.
+
+    Failed cells are processed in sorted order (top-to-bottom within a
+    column — the order a controller walks a contiguous error).  Raises
+    :class:`UnrecoverableError` if some chunk has no eligible chain, i.e.
+    the error pattern cannot be repaired chain-by-chain (never the case
+    for the paper's single-disk partial stripe errors).
+    """
+    if mode not in ("typical", "fbf", "greedy"):
+        raise ValueError(f"unknown scheme mode {mode!r}")
+    cells = sorted(set(failed_cells))
+    if not cells:
+        raise ValueError("no failed cells given")
+    valid = set(layout.all_cells)
+    for cell in cells:
+        if cell not in valid:
+            raise KeyError(f"failed cell {cell} is not a used cell of {layout.name}")
+
+    failed = set(cells)
+    needed: set[Cell] = set()
+    assignments: list[ChainAssignment] = []
+    for i, cell in enumerate(cells):
+        candidates = _eligible_chains(layout, cell, failed)
+        if not candidates:
+            raise UnrecoverableError(
+                f"{layout.name}: no eligible parity chain for {cell} "
+                f"(failed={sorted(failed)})"
+            )
+        if mode == "typical":
+            preferred = [
+                ch for ch in candidates if ch.direction is Direction.HORIZONTAL
+            ]
+            chosen = (
+                min(preferred, key=lambda ch: ch.index)
+                if preferred
+                else _pick(candidates, cell, needed)
+            )
+        elif mode == "fbf":
+            want = DIRECTION_LOOP[i % len(DIRECTION_LOOP)]
+            for offset in range(len(DIRECTION_LOOP)):
+                direction = DIRECTION_LOOP[
+                    (DIRECTION_LOOP.index(want) + offset) % len(DIRECTION_LOOP)
+                ]
+                in_dir = [ch for ch in candidates if ch.direction is direction]
+                if in_dir:
+                    chosen = _pick(in_dir, cell, needed)
+                    break
+        else:  # greedy: fewest new fetches, then most overlap
+            chosen = min(
+                candidates,
+                key=lambda ch: (
+                    len(ch.cells - needed - {cell}),
+                    -_overlap(ch, cell, needed),
+                    DIRECTION_LOOP.index(ch.direction),
+                    ch.index,
+                ),
+            )
+        assignments.append(ChainAssignment(cell, chosen))
+        needed |= chosen.cells - {cell}
+    return RecoveryPlan(layout=layout, mode=mode, assignments=tuple(assignments))

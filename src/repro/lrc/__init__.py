@@ -1,0 +1,34 @@
+"""Local Reconstruction Codes + FBF (the paper's footnote-3 extension).
+
+* :mod:`repro.lrc.gf256` — GF(2^8) arithmetic for Reed-Solomon parities.
+* :mod:`repro.lrc.code` — the ``LRC(k, l, g)`` code: encode, verify,
+  decode, chain structure.
+* :mod:`repro.lrc.scheme` — FBF-style recovery planning over local and
+  global parity chains, producing the same request-stream + priority
+  interface the XOR codes feed into the cache simulators.
+"""
+
+from .code import Block, LRCChain, LRCCode
+from .rs import RSCode
+from .scheme import LRCRecoveryPlan, execute_plan, plan_lrc_recovery
+from .tracesim import LRCTraceResult, simulate_lrc_trace
+from .update import LRCUpdateComplexity, lrc_parities_touched, lrc_update_complexity
+from .workload import LRCFailureEvent, LRCWorkloadConfig, generate_lrc_failures
+
+__all__ = [
+    "Block",
+    "LRCChain",
+    "LRCCode",
+    "RSCode",
+    "LRCRecoveryPlan",
+    "execute_plan",
+    "plan_lrc_recovery",
+    "LRCTraceResult",
+    "simulate_lrc_trace",
+    "LRCFailureEvent",
+    "LRCWorkloadConfig",
+    "generate_lrc_failures",
+    "LRCUpdateComplexity",
+    "lrc_parities_touched",
+    "lrc_update_complexity",
+]

@@ -1,0 +1,269 @@
+"""Local Reconstruction Codes (Huang et al., USENIX ATC 2012).
+
+An ``LRC(k, l, g)`` stripe has ``k`` data blocks split into ``l`` equal
+local groups, one XOR *local parity* per group, and ``g`` Reed-Solomon
+*global parities*.
+
+For ``g <= 2`` the global coefficients follow the Azure LRC paper's
+subfield construction, which makes the code *Maximally Recoverable* —
+every information-theoretically decodable erasure pattern actually
+decodes.  Block ``j`` of group ``t`` gets coefficient
+``alpha = gamma_t * beta_j`` in the first global parity and ``alpha**2``
+in the second, where the ``beta_j`` are nonzero elements of the GF(16)
+subfield of GF(2^8) and ``gamma_t`` are representatives of distinct
+cosets of ``GF(16)*`` in ``GF(256)*``.  Why it works (the 2+2 failure
+split, the hard case): the joint determinant factors as
+``(a+b)(c+d)((a+b)+(c+d))`` with ``a+b in gamma_s GF(16)*`` and
+``c+d in gamma_t GF(16)*`` — within-group sums stay inside their own
+coset, cosets are disjoint, so no factor vanishes.  This bounds
+``group_size <= 15`` and ``l <= 17``.
+
+For ``g >= 3`` a Cauchy matrix is used instead: all patterns with at most
+``g + 1`` erasures decode (any such pattern reduces to an invertible
+Cauchy submatrix), but maximal recoverability of larger mixed patterns is
+not guaranteed — ``decodable()`` always reports the truth either way.
+
+Azure's production code is ``LRC(12, 2, 2)``; the FBF paper's footnote 3
+says FBF "can be applied ... by investigating relationships among
+global/local parity chains during the recovery" — this module provides
+the code itself; :mod:`repro.lrc.scheme` provides that investigation.
+
+Block naming: ``("d", i)`` data block i, ``("lp", j)`` local parity of
+group j, ``("gp", m)`` global parity m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Literal
+
+import numpy as np
+
+from .gf256 import cauchy_matrix, gf_matmul, gf_mul, gf_pow, gf_rank, gf_solve
+
+__all__ = ["Block", "LRCChain", "LRCCode"]
+
+Block = tuple[str, int]
+
+
+def _gf16_subfield() -> list[int]:
+    """Nonzero elements of the GF(16) subfield of GF(2^8), sorted.
+
+    GF(16)* is the order-15 subgroup of GF(256)*: the elements satisfying
+    ``x ** 16 == x``.
+    """
+    return sorted(x for x in range(1, 256) if gf_pow(x, 16) == x)
+
+
+def _mr_coefficients(k: int, l: int, g: int) -> np.ndarray:
+    """Maximally recoverable global coefficients for g <= 2 (see module doc)."""
+    group_size = k // l
+    betas = _gf16_subfield()
+    if group_size > len(betas):
+        raise ValueError(
+            f"MR construction supports group sizes up to {len(betas)}, "
+            f"got {group_size}"
+        )
+    if l > 17:
+        raise ValueError(f"MR construction supports up to 17 groups, got {l}")
+    # gamma_t = 2**t: exponents 0..16 hit the 17 distinct cosets of
+    # GF(16)* (index 17 subgroup of the order-255 group).
+    alphas = np.zeros(k, dtype=np.uint8)
+    for t in range(l):
+        gamma = gf_pow(2, t)
+        for j in range(group_size):
+            alphas[t * group_size + j] = gf_mul(gamma, betas[j])
+    coeffs = np.zeros((g, k), dtype=np.uint8)
+    for m in range(g):
+        for i in range(k):
+            coeffs[m, i] = gf_pow(int(alphas[i]), m + 1)
+    return coeffs
+
+
+@dataclass(frozen=True)
+class LRCChain:
+    """One parity relation: ``parity = combine(coefficients, members)``.
+
+    Local chains have all-ones coefficients (pure XOR); global chains
+    carry Cauchy coefficients over every data block.
+    """
+
+    kind: Literal["local", "global"]
+    index: int
+    members: tuple[Block, ...]
+    parity: Block
+
+    @property
+    def chain_id(self) -> str:
+        return f"{'L' if self.kind == 'local' else 'G'}{self.index}"
+
+    @property
+    def blocks(self) -> tuple[Block, ...]:
+        """Members plus the parity block itself."""
+        return self.members + (self.parity,)
+
+    def __contains__(self, block: object) -> bool:
+        return block in self.blocks
+
+    def others(self, block: Block) -> tuple[Block, ...]:
+        if block not in self.blocks:
+            raise KeyError(f"{block} not in chain {self.chain_id}")
+        return tuple(b for b in self.blocks if b != block)
+
+
+class LRCCode:
+    """An ``LRC(k, l, g)`` code over GF(2^8)."""
+
+    def __init__(self, k: int = 12, l: int = 2, g: int = 2):
+        if k < 1 or l < 1 or g < 0:
+            raise ValueError(f"invalid LRC parameters k={k}, l={l}, g={g}")
+        if k % l != 0:
+            raise ValueError(f"k={k} must divide evenly into l={l} groups")
+        self.k = k
+        self.l = l
+        self.g = g
+        self.group_size = k // l
+        if g == 0:
+            self._global_coeffs = np.zeros((0, k), np.uint8)
+        elif g <= 2:
+            self._global_coeffs = _mr_coefficients(k, l, g)
+        else:
+            self._global_coeffs = cauchy_matrix(g, k)
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"LRC({self.k},{self.l},{self.g})"
+
+    @property
+    def n_blocks(self) -> int:
+        return self.k + self.l + self.g
+
+    @cached_property
+    def data_blocks(self) -> tuple[Block, ...]:
+        return tuple(("d", i) for i in range(self.k))
+
+    @cached_property
+    def parity_blocks(self) -> tuple[Block, ...]:
+        return tuple(("lp", j) for j in range(self.l)) + tuple(
+            ("gp", m) for m in range(self.g)
+        )
+
+    @cached_property
+    def all_blocks(self) -> tuple[Block, ...]:
+        return self.data_blocks + self.parity_blocks
+
+    def group_of(self, data_index: int) -> int:
+        if not 0 <= data_index < self.k:
+            raise IndexError(f"data index {data_index} out of range")
+        return data_index // self.group_size
+
+    @cached_property
+    def chains(self) -> tuple[LRCChain, ...]:
+        chains: list[LRCChain] = []
+        for j in range(self.l):
+            members = tuple(
+                ("d", i) for i in range(j * self.group_size, (j + 1) * self.group_size)
+            )
+            chains.append(LRCChain("local", j, members, ("lp", j)))
+        for m in range(self.g):
+            chains.append(LRCChain("global", m, self.data_blocks, ("gp", m)))
+        return tuple(chains)
+
+    def chains_for(self, block: Block) -> tuple[LRCChain, ...]:
+        return tuple(ch for ch in self.chains if block in ch)
+
+    # -- linear algebra view ---------------------------------------------------
+    @cached_property
+    def block_index(self) -> dict[Block, int]:
+        return {b: i for i, b in enumerate(self.all_blocks)}
+
+    @cached_property
+    def constraint_matrix(self) -> np.ndarray:
+        """(l+g) x n coefficient matrix with ``M @ blocks == 0``."""
+        m = np.zeros((self.l + self.g, self.n_blocks), dtype=np.uint8)
+        idx = self.block_index
+        for j in range(self.l):
+            for i in range(j * self.group_size, (j + 1) * self.group_size):
+                m[j, idx[("d", i)]] = 1
+            m[j, idx[("lp", j)]] = 1
+        for g_i in range(self.g):
+            row = self.l + g_i
+            for i in range(self.k):
+                m[row, idx[("d", i)]] = self._global_coeffs[g_i, i]
+            m[row, idx[("gp", g_i)]] = 1
+        return m
+
+    # -- encode / decode ---------------------------------------------------------
+    def encode(self, data: np.ndarray) -> dict[Block, np.ndarray]:
+        """Encode ``data`` of shape (k, payload) into a full block map."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.uint8))
+        if data.shape[0] != self.k:
+            raise ValueError(f"expected {self.k} data blocks, got {data.shape[0]}")
+        blocks: dict[Block, np.ndarray] = {
+            ("d", i): data[i].copy() for i in range(self.k)
+        }
+        for j in range(self.l):
+            acc = np.zeros(data.shape[1], dtype=np.uint8)
+            for i in range(j * self.group_size, (j + 1) * self.group_size):
+                acc ^= data[i]
+            blocks[("lp", j)] = acc
+        if self.g:
+            gp = gf_matmul(self._global_coeffs, data)
+            for m in range(self.g):
+                blocks[("gp", m)] = gp[m]
+        return blocks
+
+    def verify(self, blocks: dict[Block, np.ndarray]) -> bool:
+        """True iff every chain relation holds."""
+        idx = self.block_index
+        payload = np.stack([blocks[b] for b in self.all_blocks])
+        return not gf_matmul(self.constraint_matrix, payload).any()
+
+    def decodable(self, erased: Iterable[Block]) -> bool:
+        """Whether an erasure pattern is recoverable."""
+        erased_list = sorted(set(erased), key=self.block_index.__getitem__)
+        if not erased_list:
+            return True
+        cols = [self.block_index[b] for b in erased_list]
+        sub = self.constraint_matrix[:, cols]
+        return gf_rank(sub) == len(cols)
+
+    def decode(
+        self, blocks: dict[Block, np.ndarray], erased: Iterable[Block]
+    ) -> dict[Block, np.ndarray]:
+        """Rebuild ``erased`` blocks in place inside ``blocks``.
+
+        Raises ``ValueError`` if the pattern exceeds the code's power.
+        """
+        erased_list = sorted(set(erased), key=self.block_index.__getitem__)
+        if not erased_list:
+            return blocks
+        for b in erased_list:
+            if b not in self.block_index:
+                raise KeyError(f"unknown block {b}")
+        erased_set = set(erased_list)
+        cols = [self.block_index[b] for b in erased_list]
+        a = self.constraint_matrix[:, cols]
+        # rhs: for each chain, the combination of *surviving* blocks.
+        survivors = [b for b in self.all_blocks if b not in erased_set]
+        surv_cols = [self.block_index[b] for b in survivors]
+        payload_len = len(next(iter(blocks.values())))
+        surv_payload = np.stack([blocks[b] for b in survivors]) if survivors else (
+            np.zeros((0, payload_len), dtype=np.uint8)
+        )
+        b_rhs = gf_matmul(self.constraint_matrix[:, surv_cols], surv_payload)
+        try:
+            solution = gf_solve(a, b_rhs)
+        except ValueError:
+            raise ValueError(
+                f"{self.name}: erasure pattern {erased_list} is undecodable"
+            ) from None
+        solution = np.atleast_2d(solution)
+        for row, block in zip(solution, erased_list):
+            blocks[block] = row.astype(np.uint8)
+        return blocks
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

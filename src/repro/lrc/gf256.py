@@ -1,0 +1,188 @@
+"""Arithmetic over GF(2^8) for Reed-Solomon-style parities.
+
+The four XOR codes need only GF(2); Local Reconstruction Codes add
+*global* parities built from Reed-Solomon coefficients, which live in
+GF(2^8) (the field used by Azure's LRC and most RS deployments).
+
+Implementation: classic log/antilog tables over the AES-adjacent
+primitive polynomial ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11d), with numpy
+vectorization so chunk payloads multiply element-wise in one shot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GF_ORDER",
+    "gf_add",
+    "gf_mul",
+    "gf_inv",
+    "gf_div",
+    "gf_pow",
+    "gf_matmul",
+    "gf_solve",
+    "gf_rank",
+    "cauchy_matrix",
+]
+
+GF_ORDER = 256
+_PRIMITIVE_POLY = 0x11D
+
+# -- table construction (module import time, ~microseconds) -------------------
+_EXP = np.zeros(512, dtype=np.uint8)  # doubled to skip mod-255 in hot paths
+_LOG = np.zeros(256, dtype=np.int32)
+_x = 1
+for _i in range(255):
+    _EXP[_i] = _x
+    _LOG[_x] = _i
+    _x <<= 1
+    if _x & 0x100:
+        _x ^= _PRIMITIVE_POLY
+_EXP[255:510] = _EXP[:255]
+
+
+def gf_add(a, b):
+    """Addition (== subtraction) in GF(2^8) is XOR."""
+    return np.bitwise_xor(np.asarray(a, dtype=np.uint8), np.asarray(b, dtype=np.uint8))
+
+
+def gf_mul(a, b) -> np.ndarray:
+    """Element-wise product; handles scalars and arrays symmetrically."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    out = _EXP[(_LOG[a.astype(np.int32)] + _LOG[b.astype(np.int32)])]
+    # anything multiplied by zero is zero (log[0] is a garbage sentinel)
+    out = np.where((a == 0) | (b == 0), 0, out)
+    return out.astype(np.uint8)
+
+
+def gf_inv(a) -> np.ndarray:
+    """Multiplicative inverse; raises on zero."""
+    a = np.asarray(a, dtype=np.uint8)
+    if np.any(a == 0):
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return _EXP[255 - _LOG[a.astype(np.int32)]].astype(np.uint8)
+
+
+def gf_div(a, b) -> np.ndarray:
+    """Element-wise quotient ``a / b``; raises on division by zero."""
+    b = np.asarray(b, dtype=np.uint8)
+    if np.any(b == 0):
+        raise ZeroDivisionError("division by zero in GF(256)")
+    return gf_mul(a, gf_inv(b))
+
+
+def gf_pow(a: int, n: int) -> int:
+    """Scalar power ``a ** n``."""
+    if a == 0:
+        return 0 if n else 1
+    return int(_EXP[(_LOG[a] * (n % 255)) % 255])
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2^8).
+
+    ``b`` may be a matrix of payload columns; the product is computed row
+    by row with vectorized multiplies and XOR reduction.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.uint8))
+    b = np.atleast_2d(np.asarray(b, dtype=np.uint8))
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for i in range(a.shape[0]):
+        coeffs = a[i]
+        nz = np.nonzero(coeffs)[0]
+        for j in nz:
+            out[i] ^= gf_mul(coeffs[j], b[j])
+    return out
+
+
+def gf_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``a @ x == b`` over GF(2^8) by Gaussian elimination.
+
+    Requires full column rank (unique solution); raises ``ValueError``
+    otherwise.  ``b`` may carry multiple right-hand-side columns (payload
+    bytes), all solved in one elimination.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.uint8)).copy()
+    b = np.asarray(b, dtype=np.uint8)
+    vector = b.ndim == 1
+    if vector:
+        b = b[:, None]
+    b = b.copy()
+    rows, cols = a.shape
+    if b.shape[0] != rows:
+        raise ValueError(f"rhs rows {b.shape[0]} != matrix rows {rows}")
+    row = 0
+    pivots: list[int] = []
+    for col in range(cols):
+        nz = np.nonzero(a[row:, col])[0]
+        if nz.size == 0:
+            continue
+        pivot = row + int(nz[0])
+        if pivot != row:
+            a[[row, pivot]] = a[[pivot, row]]
+            b[[row, pivot]] = b[[pivot, row]]
+        inv = gf_inv(a[row, col])
+        a[row] = gf_mul(a[row], inv)
+        b[row] = gf_mul(b[row], inv)
+        for r in range(rows):
+            if r != row and a[r, col]:
+                factor = a[r, col]
+                a[r] ^= gf_mul(factor, a[row])
+                b[r] ^= gf_mul(factor, b[row])
+        pivots.append(col)
+        row += 1
+        if row == rows:
+            break
+    if len(pivots) < cols:
+        raise ValueError(
+            f"system is rank deficient: rank {len(pivots)} < {cols} unknowns"
+        )
+    x = np.zeros((cols, b.shape[1]), dtype=np.uint8)
+    for r, col in enumerate(pivots):
+        x[col] = b[r]
+    return x[:, 0] if vector else x
+
+
+def gf_rank(a: np.ndarray) -> int:
+    """Rank over GF(2^8)."""
+    a = np.atleast_2d(np.asarray(a, dtype=np.uint8)).copy()
+    rows, cols = a.shape
+    rank = 0
+    for col in range(cols):
+        nz = np.nonzero(a[rank:, col])[0]
+        if nz.size == 0:
+            continue
+        pivot = rank + int(nz[0])
+        if pivot != rank:
+            a[[rank, pivot]] = a[[pivot, rank]]
+        a[rank] = gf_mul(a[rank], gf_inv(a[rank, col]))
+        for r in range(rows):
+            if r != rank and a[r, col]:
+                a[r] ^= gf_mul(a[r, col], a[rank])
+        rank += 1
+        if rank == rows:
+            break
+    return rank
+
+
+def cauchy_matrix(n_rows: int, n_cols: int) -> np.ndarray:
+    """A Cauchy matrix over GF(2^8): every square submatrix is invertible.
+
+    Used for global-parity coefficients so that *any* combination of
+    erasures within the code's distance is decodable.
+    """
+    if n_rows + n_cols > GF_ORDER:
+        raise ValueError(
+            f"Cauchy matrix needs {n_rows + n_cols} distinct field points, "
+            f"GF(256) has only {GF_ORDER}"
+        )
+    xs = np.arange(n_rows, dtype=np.uint8)
+    ys = np.arange(n_rows, n_rows + n_cols, dtype=np.uint8)
+    out = np.zeros((n_rows, n_cols), dtype=np.uint8)
+    for i, x in enumerate(xs):
+        out[i] = gf_inv(np.bitwise_xor(x, ys))
+    return out

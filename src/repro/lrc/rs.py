@@ -1,0 +1,93 @@
+"""Plain Reed-Solomon erasure coding (the paper's reference [11]).
+
+``RS(k, m)`` over GF(2^8) with a Cauchy generator: any ``m`` erasures
+decode, and — the property LRC was invented to fix — repairing even a
+*single* lost block requires reading ``k`` survivors.  Provided as the
+baseline that makes the LRC/FBF repair-cost numbers meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from .gf256 import cauchy_matrix, gf_matmul, gf_rank, gf_solve
+
+__all__ = ["RSCode"]
+
+
+class RSCode:
+    """Systematic Reed-Solomon code: k data blocks + m parity blocks."""
+
+    def __init__(self, k: int, m: int):
+        if k < 1 or m < 0:
+            raise ValueError(f"invalid RS parameters k={k}, m={m}")
+        if k + m > 255:
+            raise ValueError(f"k + m = {k + m} exceeds GF(256) limits")
+        self.k = k
+        self.m = m
+        self._coeffs = cauchy_matrix(m, k) if m else np.zeros((0, k), np.uint8)
+
+    @property
+    def name(self) -> str:
+        return f"RS({self.k},{self.m})"
+
+    @property
+    def n_blocks(self) -> int:
+        return self.k + self.m
+
+    @cached_property
+    def generator(self) -> np.ndarray:
+        """(k+m) x k systematic generator: identity atop the Cauchy rows."""
+        return np.concatenate(
+            [np.eye(self.k, dtype=np.uint8), self._coeffs], axis=0
+        )
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """(k, payload) data -> (k+m, payload) codeword."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.uint8))
+        if data.shape[0] != self.k:
+            raise ValueError(f"expected {self.k} data blocks, got {data.shape[0]}")
+        return gf_matmul(self.generator, data)
+
+    def decodable(self, erased: list[int]) -> bool:
+        erased_set = set(erased)
+        if any(not 0 <= e < self.n_blocks for e in erased_set):
+            raise IndexError(f"erased indices {sorted(erased_set)} out of range")
+        if len(erased_set) > self.m:
+            return False
+        survivors = [i for i in range(self.n_blocks) if i not in erased_set]
+        sub = self.generator[survivors[: self.k]]
+        # any k survivor rows of a Cauchy-extended systematic generator are
+        # invertible, but verify rather than assume:
+        return gf_rank(self.generator[survivors]) == self.k
+
+    def repair_reads(self, erased: list[int]) -> int:
+        """Survivor blocks that must be read to repair ``erased`` — always
+        ``k`` for RS, regardless of how little was lost."""
+        if not erased:
+            return 0
+        if not self.decodable(erased):
+            raise ValueError(f"{self.name}: {sorted(set(erased))} is undecodable")
+        return self.k
+
+    def decode(self, codeword: np.ndarray, erased: list[int]) -> np.ndarray:
+        """Rebuild the full codeword in place from any >= k survivors."""
+        codeword = np.asarray(codeword, dtype=np.uint8).copy()
+        erased_set = sorted(set(erased))
+        if not erased_set:
+            return codeword
+        if not self.decodable(erased_set):
+            raise ValueError(f"{self.name}: {erased_set} is undecodable")
+        survivors = [i for i in range(self.n_blocks) if i not in set(erased_set)][
+            : self.k
+        ]
+        a = self.generator[survivors]
+        b = codeword[survivors]
+        data = gf_solve(a, b)
+        rebuilt = gf_matmul(self.generator, np.atleast_2d(data))
+        for e in erased_set:
+            codeword[e] = rebuilt[e]
+        return codeword

@@ -1,0 +1,164 @@
+"""FBF-style recovery planning for Local Reconstruction Codes.
+
+The FBF paper's footnote 3: RS-based codes "like Local Reconstruction
+Codes can be applied with FBF as well, by investigating relationships
+among global/local parity chains during the recovery."  This module is
+that investigation:
+
+1. **Equation selection** — for a batch of failed blocks, pick a minimal
+   set of parity relations (local chains preferred: they read one group,
+   not the whole stripe) whose coefficient submatrix over the failures
+   has full rank.  Groups with a single failure repair locally; groups
+   with several failures pull in global chains (and their own local
+   chain, which is a cheap extra equation).
+2. **Request stream** — each selected equation reads its surviving
+   members; blocks referenced by several equations repeat in the stream,
+   exactly the rereference structure FBF exploits in the XOR codes.
+3. **Priorities** — per block, the number of selected equations that
+   reference it, capped at 3 (paper Table II), ready to feed
+   :class:`repro.core.FBFCache` as the per-request hint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .code import Block, LRCChain, LRCCode
+from .gf256 import gf_matmul, gf_rank, gf_solve
+
+__all__ = ["LRCRecoveryPlan", "plan_lrc_recovery", "execute_plan"]
+
+
+@dataclass(frozen=True)
+class LRCRecoveryPlan:
+    """Selected equations and the read stream to repair one failure batch."""
+
+    code: LRCCode
+    failed: tuple[Block, ...]
+    equations: tuple[LRCChain, ...]
+
+    @cached_property
+    def reads_per_equation(self) -> tuple[tuple[Block, ...], ...]:
+        failed_set = set(self.failed)
+        return tuple(
+            tuple(sorted(b for b in eq.blocks if b not in failed_set))
+            for eq in self.equations
+        )
+
+    @cached_property
+    def request_sequence(self) -> tuple[Block, ...]:
+        return tuple(b for reads in self.reads_per_equation for b in reads)
+
+    @cached_property
+    def chain_share_count(self) -> dict[Block, int]:
+        counts: dict[Block, int] = {}
+        for reads in self.reads_per_equation:
+            for b in reads:
+                counts[b] = counts.get(b, 0) + 1
+        return counts
+
+    @cached_property
+    def priorities(self) -> dict[Block, int]:
+        """FBF priorities (Table II: shares capped at 3, default 1)."""
+        return {b: min(n, 3) for b, n in self.chain_share_count.items()}
+
+    @property
+    def unique_reads(self) -> int:
+        return len(self.chain_share_count)
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.request_sequence)
+
+
+def _equation_rank(code: LRCCode, equations: Sequence[LRCChain], failed: Sequence[Block]) -> int:
+    if not equations:
+        return 0
+    idx = code.block_index
+    rows = code.constraint_matrix
+    chain_row = {ch.chain_id: i for i, ch in enumerate(code.chains)}
+    cols = [idx[b] for b in failed]
+    sub = np.stack([rows[chain_row[eq.chain_id]][cols] for eq in equations])
+    return gf_rank(sub)
+
+
+def plan_lrc_recovery(code: LRCCode, failed: Iterable[Block]) -> LRCRecoveryPlan:
+    """Select a full-rank, read-cheap equation set for ``failed`` blocks.
+
+    Greedy: local chains containing at least one failure first (shortest
+    read lists), then global chains, each added only if it increases the
+    rank over the failed blocks.  Raises ``ValueError`` when the pattern
+    exceeds the code's recovery power.
+    """
+    failed_list = sorted(set(failed), key=lambda b: (b[0], b[1]))
+    if not failed_list:
+        raise ValueError("no failed blocks given")
+    for b in failed_list:
+        if b not in code.block_index:
+            raise KeyError(f"unknown block {b}")
+    if not code.decodable(failed_list):
+        raise ValueError(
+            f"{code.name}: failure pattern {failed_list} is undecodable"
+        )
+
+    failed_set = set(failed_list)
+    # candidates: any chain touching a failure; locals first, then globals,
+    # and within each kind, fewest surviving reads first.
+    candidates = [
+        ch for ch in code.chains if any(b in failed_set for b in ch.blocks)
+    ]
+    candidates.sort(
+        key=lambda ch: (
+            ch.kind != "local",
+            sum(1 for b in ch.blocks if b not in failed_set),
+            ch.index,
+        )
+    )
+    chosen: list[LRCChain] = []
+    rank = 0
+    for ch in candidates:
+        if rank == len(failed_list):
+            break
+        trial = chosen + [ch]
+        new_rank = _equation_rank(code, trial, failed_list)
+        if new_rank > rank:
+            chosen.append(ch)
+            rank = new_rank
+    if rank < len(failed_list):  # pragma: no cover - guarded by decodable()
+        raise ValueError(
+            f"{code.name}: could not assemble a full-rank equation set for "
+            f"{failed_list}"
+        )
+    return LRCRecoveryPlan(code=code, failed=tuple(failed_list), equations=tuple(chosen))
+
+
+def execute_plan(
+    plan: LRCRecoveryPlan, blocks: dict[Block, np.ndarray]
+) -> dict[Block, np.ndarray]:
+    """Solve the plan's equations on real payloads; returns failed -> bytes.
+
+    ``blocks`` must contain every surviving block the plan reads; failed
+    blocks are ignored if present (they are the unknowns).
+    """
+    code = plan.code
+    idx = code.block_index
+    chain_row = {ch.chain_id: i for i, ch in enumerate(code.chains)}
+    cols = [idx[b] for b in plan.failed]
+    a = np.stack(
+        [code.constraint_matrix[chain_row[eq.chain_id]][cols] for eq in plan.equations]
+    )
+    payload_len = len(next(iter(blocks.values())))
+    b_rhs = np.zeros((len(plan.equations), payload_len), dtype=np.uint8)
+    for row, (eq, reads) in enumerate(zip(plan.equations, plan.reads_per_equation)):
+        coeff_row = code.constraint_matrix[chain_row[eq.chain_id]]
+        for block in reads:
+            b_rhs[row] ^= gf_matmul(
+                np.array([[coeff_row[idx[block]]]], dtype=np.uint8),
+                blocks[block][None, :],
+            )[0]
+    solution = np.atleast_2d(gf_solve(a, b_rhs))
+    return {block: solution[i] for i, block in enumerate(plan.failed)}

@@ -1,0 +1,83 @@
+"""Trace-driven cache simulation for LRC recovery (footnote-3 experiment).
+
+Mirrors :func:`repro.sim.simulate_cache_trace` for the LRC world: each
+failure event's recovery plan produces a request stream over
+``(stripe, block)`` keys with FBF priorities; any registered replacement
+policy replays the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..cache.base import CachePolicy
+from ..cache.registry import make_policy
+from .code import Block, LRCCode
+from .scheme import LRCRecoveryPlan, plan_lrc_recovery
+from .workload import LRCFailureEvent
+
+__all__ = ["LRCTraceResult", "simulate_lrc_trace"]
+
+
+@dataclass
+class LRCTraceResult:
+    policy: str
+    code: str
+    capacity_blocks: int
+    workers: int
+    n_events: int
+    requests: int
+    hits: int
+    disk_reads: int
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+def simulate_lrc_trace(
+    code: LRCCode,
+    events: Sequence[LRCFailureEvent],
+    policy: str = "fbf",
+    capacity_blocks: int = 8,
+    workers: int = 1,
+    policy_factory: Callable[[int], CachePolicy] | None = None,
+) -> LRCTraceResult:
+    """Replay the recovery streams of ``events`` through a cache."""
+    if capacity_blocks < 0:
+        raise ValueError(f"capacity_blocks must be >= 0, got {capacity_blocks}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    events = sorted(events)
+    workers = min(workers, len(events)) or 1
+    per_worker = capacity_blocks // workers
+    if policy_factory is not None:
+        policies = [policy_factory(per_worker) for _ in range(workers)]
+    else:
+        policies = [make_policy(policy, per_worker) for _ in range(workers)]
+
+    plan_memo: dict[tuple[Block, ...], LRCRecoveryPlan] = {}
+    for i, event in enumerate(events):
+        cache = policies[i % workers]
+        plan = plan_memo.get(event.failed)
+        if plan is None:
+            plan = plan_lrc_recovery(code, event.failed)
+            plan_memo[event.failed] = plan
+        for block in plan.request_sequence:
+            cache.request(
+                (event.stripe, block), priority=plan.priorities.get(block, 1)
+            )
+
+    hits = sum(p.stats.hits for p in policies)
+    misses = sum(p.stats.misses for p in policies)
+    return LRCTraceResult(
+        policy=policy if policy_factory is None else getattr(policies[0], "name", "custom"),
+        code=code.name,
+        capacity_blocks=capacity_blocks,
+        workers=workers,
+        n_events=len(events),
+        requests=hits + misses,
+        hits=hits,
+        disk_reads=misses,
+    )

@@ -1,0 +1,52 @@
+"""Update complexity of LRC codes (for comparison with the 3DFT codes).
+
+An LRC data write patches its group's local parity plus every global
+parity: ``1 + g`` parity writes, uniformly across data blocks — the
+regularity that makes LRC attractive for write-heavy deployments, in
+contrast to the XOR 3DFT codes' row-parity coupling and adjusters
+(:mod:`repro.codes.update`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .code import Block, LRCCode
+
+__all__ = ["LRCUpdateComplexity", "lrc_update_complexity", "lrc_parities_touched"]
+
+
+@dataclass(frozen=True)
+class LRCUpdateComplexity:
+    code: str
+    average: float
+    minimum: int
+    maximum: int
+
+    @property
+    def is_uniform(self) -> bool:
+        return self.minimum == self.maximum
+
+
+def lrc_parities_touched(code: LRCCode) -> dict[Block, int]:
+    """Per data block: parity blocks a write must patch (from the actual
+    constraint matrix, so zero coefficients don't count)."""
+    out: dict[Block, int] = {}
+    idx = code.block_index
+    parity_rows = code.constraint_matrix
+    for block in code.data_blocks:
+        col = parity_rows[:, idx[block]]
+        out[block] = int(np.count_nonzero(col))
+    return out
+
+
+def lrc_update_complexity(code: LRCCode) -> LRCUpdateComplexity:
+    values = np.array(list(lrc_parities_touched(code).values()))
+    return LRCUpdateComplexity(
+        code=code.name,
+        average=float(values.mean()),
+        minimum=int(values.min()),
+        maximum=int(values.max()),
+    )

@@ -1,0 +1,93 @@
+"""Storage simulation substrate (our DiskSim substitute).
+
+* :mod:`repro.sim.kernel` — discrete-event engine.
+* :mod:`repro.sim.disk` / :mod:`repro.sim.array` — disks and the array.
+* :mod:`repro.sim.cache_sim` — the timed buffer cache.
+* :mod:`repro.sim.controller` — the RAID controller's recovery logic.
+* :mod:`repro.sim.reconstruction` — serial/SOR batch reconstruction.
+* :mod:`repro.sim.tracesim` — fast untimed cache-trace replay.
+"""
+
+from .array import ArrayGeometry, DiskArray
+from .cache_sim import ResponseLog, TimedBufferCache
+from .controller import OverheadLog, RAIDController
+from .disk import (
+    Disk,
+    DiskStats,
+    FixedLatencyModel,
+    SeekRotateTransferModel,
+)
+from .kernel import (
+    AllOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Request,
+    Resource,
+    SimulationError,
+    Store,
+    Timeout,
+)
+from .datapath import PayloadOracle, VerifyingDataPath
+from .dor import run_reconstruction_dor
+from .online import OnlineReport, run_online_recovery
+from .rebuild import (
+    RebuildSavings,
+    rebuild_errors,
+    rebuild_read_savings,
+    run_disk_rebuild,
+)
+from .reconstruction import ReconstructionReport, SimConfig, build_array, run_reconstruction
+from .scheduling import (
+    FCFSScheduler,
+    SSTFScheduler,
+    ScanScheduler,
+    ScheduledDisk,
+    make_scheduler,
+)
+from .tracesim import PlanCache, TraceSimResult, simulate_cache_trace
+
+__all__ = [
+    "ArrayGeometry",
+    "DiskArray",
+    "ResponseLog",
+    "TimedBufferCache",
+    "OverheadLog",
+    "RAIDController",
+    "Disk",
+    "DiskStats",
+    "FixedLatencyModel",
+    "SeekRotateTransferModel",
+    "AllOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "ReconstructionReport",
+    "SimConfig",
+    "build_array",
+    "run_reconstruction",
+    "run_reconstruction_dor",
+    "OnlineReport",
+    "run_online_recovery",
+    "RebuildSavings",
+    "rebuild_errors",
+    "rebuild_read_savings",
+    "run_disk_rebuild",
+    "PayloadOracle",
+    "VerifyingDataPath",
+    "FCFSScheduler",
+    "SSTFScheduler",
+    "ScanScheduler",
+    "ScheduledDisk",
+    "make_scheduler",
+    "PlanCache",
+    "TraceSimResult",
+    "simulate_cache_trace",
+]

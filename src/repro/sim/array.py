@@ -1,0 +1,112 @@
+"""The simulated disk array: geometry, address mapping, chunk I/O.
+
+Addressing follows the usual array-code convention: stripes are stacked
+vertically, so chunk ``(stripe, row, column)`` lives on disk ``column`` at
+chunk offset ``stripe * rows + row``.  Each disk reserves a spare region
+after the data region; recovered chunks are written to the failed chunk's
+spare slot on the *same* disk (sector/chunk sparing, as in the paper —
+partial errors are repaired in place, not by disk replacement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from ..codes.layout import Cell, CodeLayout
+from .disk import Disk, ServiceTimeModel
+from .kernel import Environment
+
+__all__ = ["ArrayGeometry", "DiskArray"]
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Static shape of the simulated array."""
+
+    layout: CodeLayout
+    chunk_size: int = 32 * 1024  # the paper's 32 KB chunks
+    stripes: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.stripes < 1:
+            raise ValueError(f"stripes must be >= 1, got {self.stripes}")
+
+    @property
+    def num_disks(self) -> int:
+        return self.layout.num_disks
+
+    @property
+    def chunks_per_disk(self) -> int:
+        return self.stripes * self.layout.rows
+
+    def check(self, stripe: int, cell: Cell) -> None:
+        row, col = cell
+        if not 0 <= stripe < self.stripes:
+            raise ValueError(f"stripe {stripe} outside [0, {self.stripes})")
+        if not 0 <= row < self.layout.rows:
+            raise ValueError(f"row {row} outside [0, {self.layout.rows})")
+        if not 0 <= col < self.num_disks:
+            raise ValueError(f"column {col} outside [0, {self.num_disks})")
+
+    def lba(self, stripe: int, cell: Cell) -> int:
+        """Byte address of a chunk in its disk's data region."""
+        self.check(stripe, cell)
+        row, _ = cell
+        return (stripe * self.layout.rows + row) * self.chunk_size
+
+    def spare_lba(self, stripe: int, cell: Cell) -> int:
+        """Byte address of the chunk's spare slot (after the data region)."""
+        data_end = self.chunks_per_disk * self.chunk_size
+        return data_end + self.lba(stripe, cell)
+
+
+class DiskArray:
+    """The bank of simulated disks plus chunk-level read/write helpers."""
+
+    def __init__(
+        self,
+        env: Environment,
+        geometry: ArrayGeometry,
+        disk_model_factory: Callable[[int], ServiceTimeModel] | None = None,
+        disk_factory: Callable[[Environment, int], object] | None = None,
+    ):
+        """``disk_factory`` builds each disk outright (e.g. a
+        :class:`~repro.sim.scheduling.ScheduledDisk`); otherwise plain
+        :class:`Disk` objects are built, optionally with per-disk service
+        models from ``disk_model_factory``."""
+        self.env = env
+        self.geometry = geometry
+        if disk_factory is not None:
+            self.disks = [disk_factory(env, i) for i in range(geometry.num_disks)]
+        elif disk_model_factory is None:
+            self.disks = [Disk(env, i) for i in range(geometry.num_disks)]
+        else:
+            self.disks = [
+                Disk(env, i, disk_model_factory(i)) for i in range(geometry.num_disks)
+            ]
+
+    def disk_of(self, cell: Cell) -> Disk:
+        return self.disks[cell[1]]
+
+    def read_chunk(self, stripe: int, cell: Cell) -> Generator:
+        """Process generator: one chunk read from the data region."""
+        yield from self.disk_of(cell).access(
+            "read", self.geometry.lba(stripe, cell), self.geometry.chunk_size
+        )
+
+    def write_spare_chunk(self, stripe: int, cell: Cell) -> Generator:
+        """Process generator: write a recovered chunk to its spare slot."""
+        yield from self.disk_of(cell).access(
+            "write", self.geometry.spare_lba(stripe, cell), self.geometry.chunk_size
+        )
+
+    @property
+    def total_reads(self) -> int:
+        return sum(d.stats.reads for d in self.disks)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(d.stats.writes for d in self.disks)

@@ -1,0 +1,119 @@
+"""Optional payload-carrying data path for the event simulator.
+
+The timing simulation treats chunks as opaque; this module adds real
+bytes, making every simulated recovery *self-checking*:
+
+* :class:`PayloadOracle` provides deterministic ground-truth payloads for
+  any ``(stripe, cell)`` — stripe data is derived from the stripe id and a
+  seed, encoded once with the stripe's layout, and cached (bounded LRU).
+* :class:`VerifyingDataPath` executes a chain assignment the way the
+  controller's XOR engine would — fetch the survivors' payloads, XOR them
+  — and compares the rebuilt chunk against the oracle.
+
+Corruption injection (silent data corruption on a read, §II-C's first
+error class) flips bits in a fetched payload; the resulting mismatch is
+*recorded*, modelling the scrubbing check a verifying controller performs
+on recovered data before writing it to the spare area.
+
+Payload size is deliberately decoupled from the simulated chunk size
+(timing uses 32 KB; verification uses a small payload) so the data path
+adds negligible runtime to benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..codes.encoder import Encoder
+from ..codes.layout import Cell, CodeLayout
+from ..core.scheme import ChainAssignment
+
+__all__ = ["PayloadOracle", "VerifyingDataPath"]
+
+
+class PayloadOracle:
+    """Deterministic ground truth for every chunk in the array.
+
+    Stripe ``s``'s data cells are filled from ``default_rng(seed + s)``
+    and encoded; payload lookups are pure functions of (layout, seed,
+    stripe, cell).  Encoded stripes are cached with a bounded LRU so
+    arbitrarily large arrays stay in constant memory.
+    """
+
+    def __init__(
+        self,
+        layout: CodeLayout,
+        payload_size: int = 64,
+        seed: int = 0,
+        max_cached_stripes: int = 256,
+    ):
+        if payload_size < 1:
+            raise ValueError(f"payload_size must be >= 1, got {payload_size}")
+        if max_cached_stripes < 1:
+            raise ValueError(
+                f"max_cached_stripes must be >= 1, got {max_cached_stripes}"
+            )
+        self.layout = layout
+        self.payload_size = payload_size
+        self.seed = seed
+        self.max_cached_stripes = max_cached_stripes
+        self._encoder = Encoder(layout)
+        self._stripes: OrderedDict[int, np.ndarray] = OrderedDict()
+
+    def _stripe(self, stripe: int) -> np.ndarray:
+        cached = self._stripes.get(stripe)
+        if cached is not None:
+            self._stripes.move_to_end(stripe)
+            return cached
+        rng = np.random.default_rng(self.seed + stripe)
+        payload = self._encoder.random_stripe(self.payload_size, rng)
+        self._stripes[stripe] = payload
+        if len(self._stripes) > self.max_cached_stripes:
+            self._stripes.popitem(last=False)
+        return payload
+
+    def chunk(self, stripe: int, cell: Cell) -> np.ndarray:
+        """The true payload of one chunk (a copy; caller may mutate)."""
+        r, c = cell
+        return self._stripe(stripe)[r, c].copy()
+
+
+@dataclass
+class VerifyingDataPath:
+    """XOR engine + scrubbing check over a :class:`PayloadOracle`."""
+
+    oracle: PayloadOracle
+    chunks_verified: int = 0
+    mismatches: int = 0
+    mismatch_log: list[tuple[int, Cell]] = field(default_factory=list)
+    _corrupted: set[tuple[int, Cell]] = field(default_factory=set)
+
+    def inject_corruption(self, stripe: int, cell: Cell) -> None:
+        """Mark a chunk as silently corrupted: reads of it return flipped bits."""
+        self._corrupted.add((stripe, cell))
+
+    def clear_corruption(self) -> None:
+        self._corrupted.clear()
+
+    def fetch(self, stripe: int, cell: Cell) -> np.ndarray:
+        """A chunk as the disk returns it (possibly silently corrupted)."""
+        payload = self.oracle.chunk(stripe, cell)
+        if (stripe, cell) in self._corrupted:
+            payload ^= 0xFF
+        return payload
+
+    def rebuild(self, stripe: int, assignment: ChainAssignment) -> np.ndarray:
+        """XOR the chain's surviving chunks to rebuild the failed one,
+        then scrub-check the result against ground truth."""
+        out = np.zeros(self.oracle.payload_size, dtype=np.uint8)
+        for cell in assignment.chain.others(assignment.failed_cell):
+            out ^= self.fetch(stripe, cell)
+        self.chunks_verified += 1
+        expected = self.oracle.chunk(stripe, assignment.failed_cell)
+        if not np.array_equal(out, expected):
+            self.mismatches += 1
+            self.mismatch_log.append((stripe, assignment.failed_cell))
+        return out

@@ -1,0 +1,159 @@
+"""Disk service-time models and the simulated disk itself.
+
+Two models:
+
+* :class:`FixedLatencyModel` — every access costs a constant service time.
+  The paper's evaluation uses exactly this (10 ms per disk access, 0.5 ms
+  per buffer-cache access), so it is the default everywhere.
+* :class:`SeekRotateTransferModel` — a classic mechanical model: seek time
+  grows with the square root of cylinder distance, rotational latency is
+  drawn uniformly in one revolution, transfer time is size over rate.
+  Useful for sensitivity studies; deterministic given its seed.
+
+A :class:`Disk` owns a queue-depth-1 FIFO resource, so concurrent requests
+from parallel reconstruction workers serialize and experience queueing
+delay — the effect that turns cache misses into response-time tails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Literal, Protocol
+
+import numpy as np
+
+from ..utils import make_rng
+from .kernel import Environment, Resource
+
+__all__ = [
+    "AccessKind",
+    "ServiceTimeModel",
+    "FixedLatencyModel",
+    "SeekRotateTransferModel",
+    "DiskStats",
+    "Disk",
+]
+
+AccessKind = Literal["read", "write"]
+
+
+class ServiceTimeModel(Protocol):
+    """Maps one access to a service time in seconds (may keep head state)."""
+
+    def service_time(self, lba: int, nbytes: int, kind: AccessKind) -> float: ...
+
+
+@dataclass
+class FixedLatencyModel:
+    """Constant service time per access (paper: 10 ms for a data disk)."""
+
+    latency: float = 0.010
+
+    def __post_init__(self) -> None:
+        if self.latency <= 0:
+            raise ValueError(f"latency must be > 0, got {self.latency}")
+
+    def service_time(self, lba: int, nbytes: int, kind: AccessKind) -> float:
+        return self.latency
+
+
+@dataclass
+class SeekRotateTransferModel:
+    """Mechanical HDD model: seek + rotation + transfer.
+
+    Seek time follows the standard ``a + b * sqrt(cylinder distance)``
+    curve; rotational latency is uniform over one revolution (drawn from a
+    private seeded RNG so runs stay reproducible); transfer is linear in
+    request size.
+    """
+
+    cylinders: int = 50_000
+    bytes_per_cylinder: int = 4 * 1024 * 1024
+    seek_base: float = 0.0008
+    seek_factor: float = 0.00004
+    rpm: float = 7200.0
+    transfer_rate: float = 150e6  # bytes/second
+    seed: int = 0
+    _head: int = field(default=0, init=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cylinders < 1 or self.bytes_per_cylinder < 1:
+            raise ValueError("geometry must be positive")
+        if self.rpm <= 0 or self.transfer_rate <= 0:
+            raise ValueError("rpm and transfer_rate must be positive")
+        self._rng = make_rng(self.seed)
+
+    def _cylinder_of(self, lba: int) -> int:
+        return min(self.cylinders - 1, lba // self.bytes_per_cylinder)
+
+    def service_time(self, lba: int, nbytes: int, kind: AccessKind) -> float:
+        target = self._cylinder_of(lba)
+        distance = abs(target - self._head)
+        self._head = target
+        seek = 0.0 if distance == 0 else self.seek_base + self.seek_factor * np.sqrt(distance)
+        rotation = float(self._rng.uniform(0.0, 60.0 / self.rpm))
+        transfer = nbytes / self.transfer_rate
+        return seek + rotation + transfer
+
+
+@dataclass
+class DiskStats:
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time: float = 0.0
+    queue_wait: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+
+class Disk:
+    """One simulated disk: a service-time model behind a FIFO queue.
+
+    ``queue_depth`` > 1 admits that many requests concurrently (NCQ /
+    SSD-style internal parallelism); each still pays its own service
+    time, but queueing delay shrinks under load.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        disk_id: int,
+        model: ServiceTimeModel | None = None,
+        queue_depth: int = 1,
+    ):
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.env = env
+        self.disk_id = disk_id
+        self.model = model if model is not None else FixedLatencyModel()
+        self.queue = Resource(env, capacity=queue_depth)
+        self.stats = DiskStats()
+
+    def access(self, kind: AccessKind, lba: int, nbytes: int) -> Generator:
+        """Process generator: queue, serve, account.  Yields until done."""
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be > 0, got {nbytes}")
+        arrived = self.env.now
+        req = self.queue.request()
+        yield req
+        self.stats.queue_wait += self.env.now - arrived
+        try:
+            service = self.model.service_time(lba, nbytes, kind)
+            yield self.env.timeout(service)
+            self.stats.busy_time += service
+            if kind == "read":
+                self.stats.reads += 1
+                self.stats.bytes_read += nbytes
+            else:
+                self.stats.writes += 1
+                self.stats.bytes_written += nbytes
+        finally:
+            self.queue.release(req)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Disk({self.disk_id}, q={self.queue.queue_length})"

@@ -1,0 +1,440 @@
+"""Minimal discrete-event simulation kernel.
+
+This module is the engine underneath the storage simulator (our substitute
+for DiskSim's event core).  It follows the SimPy process-based style:
+simulation *processes* are Python generators that ``yield`` events; the
+:class:`Environment` advances virtual time and resumes processes when the
+events they wait on fire.
+
+Only the features the storage stack needs are implemented, which keeps the
+kernel small enough to test exhaustively:
+
+* :class:`Event` — one-shot triggers carrying an optional value.
+* :class:`Timeout` — an event scheduled at ``now + delay``.
+* :class:`Process` — a running generator; itself an event that fires when
+  the generator returns (value = the generator's return value).
+* :class:`Resource` — a counted FIFO resource (disk queue slots, worker
+  tokens).
+* :class:`AllOf` — barrier over several events (used for parallel reads).
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing tiebreaker), so a simulation run is a
+pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Resource",
+    "Request",
+    "Store",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (re-triggering events, yielding non-events)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (scheduled with a value, waiting in the event queue), and *processed*
+    (callbacks ran).  Waiting on an already-processed event resumes the
+    waiter immediately at the current simulation time.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "triggered", "processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self.triggered = False
+        self.processed = False
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self.triggered = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see ``exc`` raised."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self._ok = False
+        self._value = exc
+        self.env._schedule(self)
+        return self
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self.processed = True
+        for cb in callbacks or ():
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self.triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an event: it triggers when the generator returns.
+    The event value is the generator's return value (``StopIteration``
+    payload).
+    """
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(self, env: "Environment", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process requires a generator, got {gen!r}")
+        super().__init__(env)
+        self._gen = gen
+        self._target: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Bootstrap: resume the generator as soon as the simulation runs.
+        init = Event(env)
+        init.triggered = True
+        init.callbacks.append(self._resume)
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        interrupt_ev = Event(self.env)
+        interrupt_ev.triggered = True
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        # Detach from whatever the process was waiting on.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        interrupt_ev.callbacks.append(self._resume)
+        self.env._schedule(interrupt_ev)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        gen = self._gen
+        while True:
+            try:
+                if event.ok:
+                    next_ev = gen.send(event.value)
+                else:
+                    next_ev = gen.throw(event.value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            if not isinstance(next_ev, Event):
+                gen.close()
+                raise SimulationError(f"process yielded non-event {next_ev!r}")
+            if next_ev.processed:
+                # Already happened: resume synchronously with its value.
+                event = next_ev
+                continue
+            next_ev.callbacks.append(self._resume)
+            self._target = next_ev
+            return
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: "Environment", resource: "Resource"):
+        super().__init__(env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue.
+
+    ``capacity`` concurrent holders are allowed; further requests queue in
+    arrival order.  Disks with queue depth 1, worker-pool tokens, and bus
+    slots are all modelled with this.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._holders: set[Request] = set()
+        self._queue: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> Request:
+        req = Request(self.env, self)
+        if len(self._holders) < self.capacity:
+            self._holders.add(req)
+            req.succeed(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        if req in self._holders:
+            self._holders.remove(req)
+        else:
+            # Releasing a queued (never-granted) request cancels it.
+            try:
+                self._queue.remove(req)
+            except ValueError:
+                raise SimulationError("release of a request not held or queued")
+            return
+        while self._queue and len(self._holders) < self.capacity:
+            nxt = self._queue.popleft()
+            self._holders.add(nxt)
+            nxt.succeed(nxt)
+
+
+class Store:
+    """An unbounded FIFO channel between processes.
+
+    ``put(item)`` never blocks; ``get()`` returns an event that fires with
+    the next item (immediately if one is queued, else when one arrives).
+    Work queues — e.g. recovery jobs flowing from the error detector to
+    the reconstruction workers — are modelled with this.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class AllOf(Event):
+    """Barrier event: fires when every child event has fired.
+
+    Value is the list of child values in the order given.  If any child
+    fails, the barrier fails with the first failure.
+    """
+
+    __slots__ = ("_pending", "_events")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = 0
+        for ev in self._events:
+            if not isinstance(ev, Event):
+                raise TypeError(f"AllOf requires events, got {ev!r}")
+            if not ev.processed:
+                self._pending += 1
+                ev.callbacks.append(self._child_done)
+        if self._pending == 0:
+            self.succeed([ev.value for ev in self._events])
+
+    def _child_done(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Race event: fires when the *first* child fires.
+
+    Value is ``(index, value)`` of the winner.  Later children are left
+    running (no cancellation); a first-to-fail child fails the race.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf requires at least one event")
+        for i, ev in enumerate(self._events):
+            if not isinstance(ev, Event):
+                raise TypeError(f"AnyOf requires events, got {ev!r}")
+            if ev.processed:
+                if ev.ok:
+                    self.succeed((i, ev.value))
+                else:
+                    self.fail(ev.value)
+                return
+        for i, ev in enumerate(self._events):
+            ev.callbacks.append(lambda e, i=i: self._child_done(i, e))
+
+    def _child_done(self, index: int, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.ok:
+            self.succeed((index, ev.value))
+        else:
+            self.fail(ev.value)
+
+
+class Environment:
+    """Simulation environment: the clock and the event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self.now = float(initial_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = 0
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._counter += 1
+        heapq.heappush(self._heap, (self.now + delay, self._counter, event))
+
+    # -- factory helpers ------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> "AnyOf":
+        return AnyOf(self, events)
+
+    # -- execution ------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _, event = heapq.heappop(self._heap)
+        self.now = when
+        event._process()
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        * ``until=None`` — run to quiescence.
+        * ``until=<number>`` — run events strictly before the deadline, then
+          set ``now`` to the deadline.
+        * ``until=<Event>`` — run until that event is *processed* and return
+          its value (raising if it failed).
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "event queue drained before target event fired (deadlock?)"
+                    )
+                self.step()
+            if not target.ok:
+                raise target.value
+            return target.value
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        deadline = float(until)
+        if deadline < self.now:
+            raise ValueError(f"deadline {deadline} is in the past (now={self.now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self.now = deadline
+        return None

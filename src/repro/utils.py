@@ -1,0 +1,80 @@
+"""Small shared helpers: primality, size parsing, deterministic RNG."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["is_prime", "require_prime", "parse_size", "format_size", "make_rng"]
+
+_UNITS = {
+    "B": 1,
+    "KB": 1024,
+    "MB": 1024**2,
+    "GB": 1024**3,
+    "TB": 1024**4,
+}
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test for the small primes used by array codes."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def require_prime(p: int, what: str = "p") -> int:
+    if not isinstance(p, int) or not is_prime(p):
+        raise ValueError(f"{what} must be a prime integer, got {p!r}")
+    return p
+
+
+def parse_size(text: str | int) -> int:
+    """Parse ``"32KB"`` / ``"2MB"`` / plain ints into bytes."""
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"negative size {text}")
+        return text
+    s = text.strip().upper().replace(" ", "")
+    for suffix in sorted(_UNITS, key=len, reverse=True):
+        if s.endswith(suffix):
+            num = s[: -len(suffix)]
+            try:
+                value = float(num)
+            except ValueError as exc:
+                raise ValueError(f"cannot parse size {text!r}") from exc
+            return int(value * _UNITS[suffix])
+    try:
+        return int(s)
+    except ValueError as exc:
+        raise ValueError(f"cannot parse size {text!r}") from exc
+
+
+def format_size(nbytes: int) -> str:
+    """Human-readable size, preferring exact binary multiples."""
+    if nbytes < 0:
+        raise ValueError(f"negative size {nbytes}")
+    for suffix in ("TB", "GB", "MB", "KB"):
+        unit = _UNITS[suffix]
+        if nbytes >= unit and nbytes % unit == 0:
+            return f"{nbytes // unit}{suffix}"
+    for suffix in ("TB", "GB", "MB", "KB"):
+        unit = _UNITS[suffix]
+        if nbytes >= unit:
+            return f"{nbytes / unit:.1f}{suffix}"
+    return f"{nbytes}B"
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalize seeds/generators into a ``numpy`` Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

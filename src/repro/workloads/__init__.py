@@ -1,0 +1,27 @@
+"""Workload generation: error traces, trace files, foreground I/O."""
+
+from .app_io import AppRequest, AppWorkloadConfig, generate_app_requests
+from .distributions import SizeDistribution
+from .errors import ErrorTraceConfig, PartialStripeError, generate_errors
+from .field import FieldModel, expected_error_count, generate_field_trace
+from .lba_traces import ByteExtentError, extents_to_errors
+from .traces import TRACE_HEADER, TraceFormatError, read_trace, write_trace
+
+__all__ = [
+    "AppRequest",
+    "AppWorkloadConfig",
+    "generate_app_requests",
+    "SizeDistribution",
+    "ErrorTraceConfig",
+    "PartialStripeError",
+    "generate_errors",
+    "TRACE_HEADER",
+    "TraceFormatError",
+    "read_trace",
+    "write_trace",
+    "ByteExtentError",
+    "extents_to_errors",
+    "FieldModel",
+    "expected_error_count",
+    "generate_field_trace",
+]

@@ -1,0 +1,56 @@
+"""Error-size distributions for partial stripe errors.
+
+The paper draws error sizes uniformly from ``[1, p-1]`` chunks (mean
+``(p-1)/2``) and notes FBF "can be proved under other distributions as
+well" — so alongside ``uniform`` we provide ``fixed`` and a truncated
+``geometric`` favouring small errors (the empirically common case for
+latent sector errors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+__all__ = ["SizeDistribution"]
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """Samples error lengths in chunks, always within ``[1, max_size]``."""
+
+    kind: Literal["uniform", "fixed", "geometric"] = "uniform"
+    #: for ``fixed``: the constant size; for ``geometric``: the mean.
+    parameter: float = 0.0
+
+    def sample(self, max_size: int, rng: np.random.Generator) -> int:
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        if self.kind == "uniform":
+            return int(rng.integers(1, max_size + 1))
+        if self.kind == "fixed":
+            size = int(self.parameter) or 1
+            if not 1 <= size <= max_size:
+                raise ValueError(
+                    f"fixed size {size} outside [1, {max_size}]"
+                )
+            return size
+        if self.kind == "geometric":
+            mean = self.parameter if self.parameter > 0 else max(1.0, max_size / 4)
+            p = min(1.0, 1.0 / mean)
+            size = int(rng.geometric(p))
+            return min(max(size, 1), max_size)
+        raise ValueError(f"unknown size distribution {self.kind!r}")
+
+    def mean(self, max_size: int) -> float:
+        """Expected sampled size (after truncation, approximately)."""
+        if self.kind == "uniform":
+            return (1 + max_size) / 2
+        if self.kind == "fixed":
+            return float(int(self.parameter) or 1)
+        if self.kind == "geometric":
+            mean = self.parameter if self.parameter > 0 else max(1.0, max_size / 4)
+            return min(mean, float(max_size))
+        raise ValueError(f"unknown size distribution {self.kind!r}")

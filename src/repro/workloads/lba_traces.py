@@ -1,0 +1,90 @@
+"""Adapter: byte-extent error records -> partial stripe errors.
+
+Field reports (and public error datasets) describe latent sector errors
+as per-disk byte extents ``(disk, offset, length)``.  This module maps
+such extents onto a layout's stripe/row geometry, producing the
+:class:`~repro.workloads.errors.PartialStripeError` batches the rest of
+the system consumes.  Extents spanning stripe boundaries split into one
+error per stripe; extents are rounded outward to whole chunks (a
+partially damaged chunk is a damaged chunk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..codes.layout import CodeLayout
+from .errors import PartialStripeError
+
+__all__ = ["ByteExtentError", "extents_to_errors"]
+
+
+@dataclass(frozen=True)
+class ByteExtentError:
+    """One reported unreadable byte range on one disk."""
+
+    time: float
+    disk: int
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"negative time {self.time}")
+        if self.disk < 0:
+            raise ValueError(f"negative disk {self.disk}")
+        if self.offset < 0:
+            raise ValueError(f"negative offset {self.offset}")
+        if self.length < 1:
+            raise ValueError(f"length must be >= 1, got {self.length}")
+
+
+def extents_to_errors(
+    layout: CodeLayout,
+    extents: Iterable[ByteExtentError],
+    chunk_size: int = 32 * 1024,
+) -> list[PartialStripeError]:
+    """Convert byte extents into per-stripe partial stripe errors.
+
+    Disk addressing matches the simulators: chunk ``i`` on a disk belongs
+    to stripe ``i // rows``, row ``i % rows``.  Overlapping extents on
+    the same stripe/disk are merged into one contiguous error covering
+    their union (the paper treats co-stripe errors as one continuous
+    run).
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    rows = layout.rows
+    # (stripe, disk) -> [first_row, last_row, earliest_time]
+    merged: dict[tuple[int, int], list] = {}
+    for ext in extents:
+        if ext.disk >= layout.num_disks:
+            raise ValueError(
+                f"extent on disk {ext.disk} but {layout.name} has "
+                f"{layout.num_disks} disks"
+            )
+        first_chunk = ext.offset // chunk_size
+        last_chunk = (ext.offset + ext.length - 1) // chunk_size
+        for chunk in range(first_chunk, last_chunk + 1):
+            stripe, row = divmod(chunk, rows)
+            key = (stripe, ext.disk)
+            entry = merged.get(key)
+            if entry is None:
+                merged[key] = [row, row, ext.time]
+            else:
+                entry[0] = min(entry[0], row)
+                entry[1] = max(entry[1], row)
+                entry[2] = min(entry[2], ext.time)
+    errors = [
+        PartialStripeError(
+            time=time,
+            stripe=stripe,
+            disk=disk,
+            start_row=first,
+            length=last - first + 1,
+        )
+        for (stripe, disk), (first, last, time) in merged.items()
+    ]
+    errors.sort()
+    return errors

@@ -1,0 +1,97 @@
+"""On-disk trace format for partial-stripe-error workloads.
+
+A plain text format so traces can be generated once, shared, diffed, and
+replayed (the simulators accept any ``list[PartialStripeError]``, wherever
+it came from)::
+
+    # repro-fbf-trace v1
+    # code=tip p=7 chunk=32KB           <- free-form metadata comments
+    # time stripe disk start_row length
+    0.000000 1843 0 2 3
+    1.271828 1849 5 0 1
+
+Lines starting with ``#`` are comments; fields are whitespace-separated.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from .errors import PartialStripeError
+
+__all__ = ["write_trace", "read_trace", "TraceFormatError", "TRACE_HEADER"]
+
+TRACE_HEADER = "# repro-fbf-trace v1"
+
+
+class TraceFormatError(ValueError):
+    """Raised for malformed trace files."""
+
+
+def write_trace(
+    destination: str | Path | TextIO,
+    errors: Iterable[PartialStripeError],
+    metadata: dict[str, str] | None = None,
+) -> None:
+    """Serialize ``errors`` to ``destination`` (path or open text file)."""
+
+    def _write(fh: TextIO) -> None:
+        fh.write(TRACE_HEADER + "\n")
+        if metadata:
+            meta = " ".join(f"{k}={v}" for k, v in sorted(metadata.items()))
+            fh.write(f"# {meta}\n")
+        fh.write("# time stripe disk start_row length\n")
+        for e in errors:
+            fh.write(f"{e.time:.6f} {e.stripe} {e.disk} {e.start_row} {e.length}\n")
+
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as fh:
+            _write(fh)
+    else:
+        _write(destination)
+
+
+def read_trace(source: str | Path | TextIO) -> list[PartialStripeError]:
+    """Parse a trace file; raises :class:`TraceFormatError` on bad input."""
+
+    def _read(fh: TextIO) -> list[PartialStripeError]:
+        first = fh.readline().rstrip("\n")
+        if first != TRACE_HEADER:
+            raise TraceFormatError(
+                f"bad header {first!r}; expected {TRACE_HEADER!r}"
+            )
+        errors: list[PartialStripeError] = []
+        for lineno, line in enumerate(fh, start=2):
+            body = line.strip()
+            if not body or body.startswith("#"):
+                continue
+            parts = body.split()
+            if len(parts) != 5:
+                raise TraceFormatError(
+                    f"line {lineno}: expected 5 fields, got {len(parts)}: {body!r}"
+                )
+            try:
+                time = float(parts[0])
+                stripe, disk, start, length = (int(x) for x in parts[1:])
+            except ValueError as exc:
+                raise TraceFormatError(f"line {lineno}: {exc}") from None
+            try:
+                errors.append(
+                    PartialStripeError(
+                        time=time,
+                        stripe=stripe,
+                        disk=disk,
+                        start_row=start,
+                        length=length,
+                    )
+                )
+            except ValueError as exc:
+                raise TraceFormatError(f"line {lineno}: {exc}") from None
+        return errors
+
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return _read(fh)
+    return _read(source)

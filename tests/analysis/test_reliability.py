@@ -1,0 +1,78 @@
+"""Tests for MTTDL / WOV models."""
+
+import pytest
+
+from repro.analysis import mttdl_3dft, mttdl_birth_death, wov_improvement
+
+
+MTBF = 1_000_000.0  # hours, a typical spec-sheet number
+REPAIR = 10.0
+
+
+class TestMttdlBirthDeath:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mttdl_birth_death(3, MTBF, REPAIR, fault_tolerance=3)
+        with pytest.raises(ValueError):
+            mttdl_birth_death(8, 0, REPAIR)
+        with pytest.raises(ValueError):
+            mttdl_birth_death(8, MTBF, 0)
+        with pytest.raises(ValueError):
+            mttdl_birth_death(8, MTBF, REPAIR, fault_tolerance=-1)
+
+    def test_raid0_closed_form(self):
+        """m=0: MTTDL = MTBF / n exactly."""
+        assert mttdl_birth_death(10, MTBF, REPAIR, fault_tolerance=0) == pytest.approx(
+            MTBF / 10
+        )
+
+    def test_raid5_closed_form(self):
+        """m=1: MTTDL = (lam(n) + lam(n-1) + mu) / (lam(n) * lam(n-1)),
+        the textbook RAID-5 result."""
+        n = 8
+        lam = 1 / MTBF
+        mu = 1 / REPAIR
+        expected = ((2 * n - 1) * lam + mu) / (n * (n - 1) * lam**2)
+        assert mttdl_birth_death(n, MTBF, REPAIR, fault_tolerance=1) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_more_tolerance_much_more_mttdl(self):
+        vals = [
+            mttdl_birth_death(8, MTBF, REPAIR, fault_tolerance=m) for m in range(4)
+        ]
+        for lo, hi in zip(vals, vals[1:]):
+            assert hi > lo * 100  # each parity multiplies MTTDL enormously
+
+    def test_faster_repair_improves_mttdl(self):
+        slow = mttdl_3dft(8, MTBF, 20.0)
+        fast = mttdl_3dft(8, MTBF, 10.0)
+        assert fast > slow
+
+    def test_more_disks_lower_mttdl(self):
+        assert mttdl_3dft(16, MTBF, REPAIR) < mttdl_3dft(8, MTBF, REPAIR)
+
+    def test_3dft_scaling_is_cubic_in_repair(self):
+        """For mu >> lam, 3DFT MTTDL ~ mu^3, so halving the repair time
+        multiplies MTTDL by ~8 — the reliability payoff of faster recovery."""
+        slow = mttdl_3dft(8, MTBF, 20.0)
+        fast = mttdl_3dft(8, MTBF, 10.0)
+        assert fast / slow == pytest.approx(8.0, rel=0.05)
+
+
+class TestWovImprovement:
+    def test_swapped_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            wov_improvement(8, MTBF, 1.0, 2.0)
+
+    def test_paper_figure11_scenario(self):
+        """A 14.9% reconstruction-time cut (FBF vs LRU) shrinks the WOV by
+        14.9% and grows 3DFT MTTDL by ~(1/0.851)^3 ~ 1.62x."""
+        cmp = wov_improvement(8, MTBF, 10.0, 10.0 * (1 - 0.149))
+        assert cmp.wov_reduction_percent == pytest.approx(14.9)
+        assert cmp.mttdl_gain_factor == pytest.approx((1 / 0.851) ** 3, rel=0.05)
+
+    def test_no_improvement_is_identity(self):
+        cmp = wov_improvement(8, MTBF, 10.0, 10.0)
+        assert cmp.wov_reduction_percent == 0.0
+        assert cmp.mttdl_gain_factor == pytest.approx(1.0)

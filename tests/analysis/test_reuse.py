@@ -1,0 +1,95 @@
+"""Tests for reuse-distance analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import INFINITE, lru_hit_curve, recovery_reuse_profile, reuse_distances
+from repro.cache import LRUCache
+
+
+class TestReuseDistances:
+    def test_cold_misses_are_infinite(self):
+        assert reuse_distances("abc") == [INFINITE] * 3
+
+    def test_immediate_rereference_is_zero(self):
+        assert reuse_distances("aa") == [INFINITE, 0]
+
+    def test_classic_example(self):
+        # a b c a : distance of the second 'a' is 2 (b, c in between)
+        assert reuse_distances("abca")[-1] == 2
+
+    def test_duplicates_between_count_once(self):
+        # a b b a : only one distinct block between the two a's
+        assert reuse_distances("abba")[-1] == 1
+
+    def test_empty_stream(self):
+        assert reuse_distances([]) == []
+
+
+class TestLruHitCurve:
+    def test_matches_real_lru_cache(self):
+        """Mattson: curve(C) equals simulating LRUCache(C), for all C."""
+        stream = list("abcabcddabeecbaabcxyzzyab")
+        curve = lru_hit_curve(stream, range(0, 8))
+        for cap in range(0, 8):
+            cache = LRUCache(cap)
+            for key in stream:
+                cache.request(key)
+            assert curve[cap] == pytest.approx(cache.stats.hit_ratio), cap
+
+    def test_monotone_in_capacity(self):
+        stream = list("abcdabcdaabbccdd")
+        curve = lru_hit_curve(stream, range(0, 10))
+        vals = [curve[c] for c in range(0, 10)]
+        assert vals == sorted(vals)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            lru_hit_curve("ab", [-1])
+
+    def test_empty_stream(self):
+        assert lru_hit_curve([], [4]) == {4: 0.0}
+
+
+@given(st.lists(st.integers(0, 8), max_size=60), st.integers(0, 10))
+@settings(max_examples=60, deadline=None)
+def test_mattson_property(stream, cap):
+    """The inclusion property, on random streams: curve == simulated LRU."""
+    curve = lru_hit_curve(stream, [cap])
+    cache = LRUCache(cap)
+    for key in stream:
+        cache.request(key)
+    assert curve[cap] == pytest.approx(cache.stats.hit_ratio)
+
+
+class TestRecoveryReuseProfile:
+    def test_typical_has_no_rereferences(self, tip7):
+        prof = recovery_reuse_profile(tip7, [(r, 0) for r in range(5)], "typical")
+        assert prof.rereferences == 0
+        assert prof.min_lru_capacity_for_all_hits() == 0
+
+    def test_fbf_rereferences_match_plan(self, tip7):
+        from repro.core import generate_plan
+
+        failed = [(r, 0) for r in range(5)]
+        prof = recovery_reuse_profile(tip7, failed, "fbf")
+        plan = generate_plan(tip7, failed, "fbf")
+        assert prof.total_requests == plan.total_requests
+        assert prof.rereferences == plan.total_requests - plan.unique_reads
+
+    def test_explains_fbf_vs_lru(self, tip7):
+        """The LRU capacity needed to catch all rereferences exceeds the
+        number of shared chunks FBF must pin — the paper's core argument."""
+        failed = [(r, 0) for r in range(5)]
+        prof = recovery_reuse_profile(tip7, failed, "fbf")
+        shared_chunks = sum(
+            len(v) for k, v in prof.distances_by_priority.items() if k >= 2
+        )
+        assert prof.min_lru_capacity_for_all_hits() > shared_chunks
+
+    def test_distances_keyed_by_priority(self, tip7):
+        prof = recovery_reuse_profile(tip7, [(r, 0) for r in range(5)], "fbf")
+        assert set(prof.distances_by_priority) <= {1, 2, 3}
+        # priority-1 chunks are never rereferenced
+        assert 1 not in prof.distances_by_priority

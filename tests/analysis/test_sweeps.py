@@ -1,0 +1,90 @@
+"""Tests for sweep-curve analytics."""
+
+import pytest
+
+from repro.analysis import peak_gain, stable_point, summarize_panel
+from repro.bench import SweepPoint
+
+
+def _pt(policy, mb, hr, code="TIP", p=7):
+    return SweepPoint(
+        experiment="fig8", code=code, p=p, policy=policy, cache_mb=mb, hit_ratio=hr
+    )
+
+
+PANEL = [
+    # fbf plateaus at 8MB; lru keeps climbing through 32MB
+    _pt("fbf", 2, 0.05), _pt("fbf", 4, 0.12), _pt("fbf", 8, 0.16),
+    _pt("fbf", 16, 0.16), _pt("fbf", 32, 0.16),
+    _pt("lru", 2, 0.00), _pt("lru", 4, 0.02), _pt("lru", 8, 0.06),
+    _pt("lru", 16, 0.12), _pt("lru", 32, 0.16),
+]
+
+
+class TestStablePoint:
+    def test_finds_plateau_start(self):
+        assert stable_point(PANEL, "fbf") == 8
+        assert stable_point(PANEL, "lru") == 32
+
+    def test_flat_series_is_stable_from_start(self):
+        pts = [_pt("fbf", mb, 0.2) for mb in (1, 2, 4)]
+        assert stable_point(pts, "fbf") == 1
+
+    def test_tolerance_widens_the_plateau(self):
+        assert stable_point(PANEL, "lru", tolerance=0.5) < 32
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            stable_point(PANEL, "nope")
+
+
+class TestPeakGain:
+    def test_locates_mid_sweep_peak(self):
+        size, gain = peak_gain(PANEL)
+        assert size == 8  # 0.16 - 0.06 = 0.10, the largest gap
+        assert gain == pytest.approx(0.10)
+
+    def test_lower_better_metric(self):
+        pts = [
+            SweepPoint(experiment="fig9", code="TIP", p=7, policy=pol,
+                       cache_mb=mb, disk_reads=reads)
+            for pol, mb, reads in [
+                ("fbf", 2, 90), ("lru", 2, 100),
+                ("fbf", 4, 50), ("lru", 4, 80),
+            ]
+        ]
+        size, gain = peak_gain(pts, metric="disk_reads", higher_better=False)
+        assert size == 4 and gain == 30
+
+
+class TestSummarizePanel:
+    def test_headline_numbers(self):
+        summary = summarize_panel(PANEL)
+        assert summary.code == "TIP" and summary.p == 7
+        assert summary.fbf_stable_point_mb == 8
+        assert summary.best_baseline_stable_point_mb == 32
+        assert summary.fbf_plateaus_earlier
+        assert summary.peak_gain_mb == 8
+
+    def test_requires_single_panel(self):
+        mixed = PANEL + [_pt("fbf", 2, 0.1, code="STAR")]
+        with pytest.raises(ValueError, match="one panel"):
+            summarize_panel(mixed)
+
+    def test_requires_baselines(self):
+        only_fbf = [p for p in PANEL if p.policy == "fbf"]
+        with pytest.raises(ValueError, match="baseline"):
+            summarize_panel(only_fbf)
+
+    def test_on_real_sweep(self):
+        """The paper's claim holds on an actual mini-sweep: FBF's stable
+        point is never later than the best baseline's."""
+        from repro.bench import Scale, fig8_hit_ratio
+
+        points = fig8_hit_ratio(
+            Scale(n_errors=40, workers=16, cache_mbs=(0.5, 1, 2, 4, 8, 16),
+                  codes=("tip",), ps_main=(7,))
+        )
+        summary = summarize_panel(points, tolerance=0.02)
+        assert summary.fbf_plateaus_earlier
+        assert summary.peak_gain_value > 0

@@ -1,0 +1,83 @@
+"""Tests for the in-memory block device."""
+
+import numpy as np
+import pytest
+
+from repro.array import BlockDevice, ChunkError, DiskFailure
+
+
+@pytest.fixture
+def disk():
+    return BlockDevice(disk_id=0, chunk_size=16, num_chunks=8)
+
+
+class TestBasicIO:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockDevice(0, chunk_size=0, num_chunks=4)
+        with pytest.raises(ValueError):
+            BlockDevice(0, chunk_size=4, num_chunks=0)
+
+    def test_unwritten_reads_zero(self, disk):
+        assert not disk.read(0).any()
+
+    def test_write_read_roundtrip(self, disk):
+        payload = np.arange(16, dtype=np.uint8)
+        disk.write(3, payload)
+        assert np.array_equal(disk.read(3), payload)
+
+    def test_read_returns_copy(self, disk):
+        disk.write(0, np.ones(16, dtype=np.uint8))
+        a = disk.read(0)
+        a[:] = 0
+        assert disk.read(0).all()
+
+    def test_bounds(self, disk):
+        with pytest.raises(IndexError):
+            disk.read(8)
+        with pytest.raises(IndexError):
+            disk.write(-1, np.zeros(16, dtype=np.uint8))
+
+    def test_wrong_payload_shape(self, disk):
+        with pytest.raises(ValueError):
+            disk.write(0, np.zeros(7, dtype=np.uint8))
+
+    def test_stats(self, disk):
+        disk.write(0, np.zeros(16, dtype=np.uint8))
+        disk.read(0)
+        disk.read(0)
+        assert disk.writes == 1 and disk.reads == 2
+
+
+class TestFaults:
+    def test_media_error(self, disk):
+        disk.fail_chunks(2, count=3)
+        with pytest.raises(ChunkError):
+            disk.read(3)
+        with pytest.raises(ChunkError):
+            disk.write(2, np.zeros(16, dtype=np.uint8))
+        disk.read(0)  # other chunks unaffected
+
+    def test_device_failure(self, disk):
+        disk.fail_device()
+        with pytest.raises(DiskFailure):
+            disk.read(0)
+        with pytest.raises(DiskFailure):
+            disk.write(0, np.zeros(16, dtype=np.uint8))
+
+    def test_repair_clears_media_error(self, disk):
+        disk.fail_chunks(1)
+        fresh = np.full(16, 7, dtype=np.uint8)
+        disk.repair_chunk(1, fresh)
+        assert np.array_equal(disk.read(1), fresh)
+        assert 1 not in disk.bad_chunks
+
+    def test_silent_corruption_reads_fine(self, disk):
+        disk.write(4, np.zeros(16, dtype=np.uint8))
+        disk.corrupt_chunk(4)
+        corrupted = disk.read(4)  # no exception: silent
+        assert corrupted.all()  # 0x00 ^ 0xFF
+
+    def test_fail_chunks_bounds(self, disk):
+        with pytest.raises(IndexError):
+            disk.fail_chunks(7, count=2)

@@ -1,0 +1,151 @@
+"""Tests for the experiment runners (tiny scales)."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    Scale,
+    ablation_demotion,
+    ablation_scheme,
+    fig8_hit_ratio,
+    fig9_read_ops,
+    fig10_response_time,
+    fig11_reconstruction_time,
+    table4_overhead,
+    table5_max_improvement,
+)
+
+TINY = Scale(
+    n_errors=10,
+    workers=4,
+    cache_mbs=(0.25, 1.0),
+    seed=1,
+    codes=("tip",),
+    ps_main=(5,),
+    ps_tip=(5,),
+)
+
+
+@pytest.fixture(scope="module")
+def fig8_points():
+    return fig8_hit_ratio(TINY)
+
+
+@pytest.fixture(scope="module")
+def fig10_points():
+    return fig10_response_time(TINY)
+
+
+class TestScale:
+    def test_blocks_for(self):
+        assert TINY.blocks_for(1.0) == 32
+        assert TINY.blocks_for(0.25) == 8
+
+
+class TestFig8:
+    def test_grid_complete(self, fig8_points):
+        assert len(fig8_points) == 1 * 1 * 5 * 2  # codes x ps x policies x sizes
+        assert all(0.0 <= p.hit_ratio <= 1.0 for p in fig8_points)
+
+    def test_fbf_wins_or_ties_everywhere(self, fig8_points):
+        by_cfg = {}
+        for p in fig8_points:
+            by_cfg.setdefault((p.p, p.cache_mb), {})[p.policy] = p.hit_ratio
+        for cfg, vals in by_cfg.items():
+            for pol, hr in vals.items():
+                assert vals["fbf"] >= hr - 1e-9, (cfg, pol)
+
+    def test_hit_ratio_monotone_in_cache_for_fbf(self, fig8_points):
+        fbf = sorted(
+            (p.cache_mb, p.hit_ratio) for p in fig8_points if p.policy == "fbf"
+        )
+        assert fbf[0][1] <= fbf[-1][1] + 1e-9
+
+
+class TestFig9:
+    def test_reads_decrease_with_cache(self):
+        pts = fig9_read_ops(TINY)
+        for pol in {p.policy for p in pts}:
+            series = sorted((p.cache_mb, p.disk_reads) for p in pts if p.policy == pol)
+            assert series[-1][1] <= series[0][1]
+
+    def test_tip_only(self):
+        assert {p.code for p in fig9_read_ops(TINY)} == {"TIP"}
+
+
+class TestFig10:
+    def test_metrics_populated(self, fig10_points):
+        for p in fig10_points:
+            assert p.avg_response_time > 0
+            assert p.reconstruction_time > 0
+            assert not math.isnan(p.overhead_ms)
+
+    def test_fbf_response_time_competitive(self, fig10_points):
+        by_cfg = {}
+        for p in fig10_points:
+            by_cfg.setdefault(p.cache_mb, {})[p.policy] = p.avg_response_time
+        for mb, vals in by_cfg.items():
+            assert vals["fbf"] <= min(vals.values()) * 1.05, mb
+
+
+class TestFig11:
+    def test_larger_cache_not_slower(self):
+        pts = fig11_reconstruction_time(TINY)
+        fbf = sorted(
+            (p.cache_mb, p.reconstruction_time) for p in pts if p.policy == "fbf"
+        )
+        assert fbf[-1][1] <= fbf[0][1] * 1.05
+
+
+class TestTable4:
+    def test_one_row_per_code_p(self):
+        pts = table4_overhead(TINY)
+        assert {(p.code, p.p) for p in pts} == {("TIP", 5)}
+        assert all(p.policy == "fbf" for p in pts)
+        assert all(p.overhead_ms >= 0 for p in pts)
+
+    def test_overhead_grows_with_p(self):
+        scale = Scale(
+            n_errors=8, workers=4, cache_mbs=(1.0,), codes=("tip",), ps_tip=(5, 13)
+        )
+        pts = table4_overhead(scale)
+        by_p = {p.p: p.overhead_ms for p in pts}
+        assert by_p[13] > by_p[5]
+
+
+class TestTable5:
+    def test_structure_and_positivity(self, fig8_points, fig10_points):
+        result = table5_max_improvement(
+            TINY,
+            fig8=fig8_points,
+            fig9=fig9_read_ops(TINY),
+            fig10=fig10_points,
+            fig11=fig11_reconstruction_time(TINY),
+        )
+        assert set(result) == {
+            "hit_ratio",
+            "disk_reads",
+            "response_time",
+            "reconstruction_time",
+        }
+        for metric, per_baseline in result.items():
+            assert set(per_baseline) == {"fifo", "lru", "lfu", "arc"}
+        # the headline: FBF improves hit ratio over every baseline somewhere
+        assert all(v > 0 for v in result["hit_ratio"].values())
+
+
+class TestAblations:
+    def test_scheme_ablation_orders_modes(self):
+        pts = ablation_scheme(TINY)
+        assert {p.scheme_mode for p in pts} == {"typical", "fbf", "greedy"}
+        hr = {}
+        for p in pts:
+            hr.setdefault(p.scheme_mode, []).append(p.hit_ratio)
+        # typical recovery shares nothing -> zero hit ratio
+        assert max(hr["typical"]) == 0.0
+        assert max(hr["fbf"]) > 0.0
+
+    def test_demotion_ablation_labels(self):
+        pts = ablation_demotion(TINY)
+        assert {p.policy for p in pts} == {"fbf", "fbf-sticky"}

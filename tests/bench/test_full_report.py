@@ -1,0 +1,54 @@
+"""Tests for the one-shot full report generator."""
+
+from repro.bench import Scale, write_full_report
+
+TINY = Scale(
+    n_errors=8,
+    workers=4,
+    cache_mbs=(0.25, 1.0),
+    seed=1,
+    codes=("tip",),
+    ps_main=(5,),
+    ps_tip=(5,),
+)
+
+
+def test_writes_every_report(tmp_path):
+    paths = write_full_report(TINY, tmp_path / "report")
+    names = {p.name for p in paths}
+    assert "INDEX.md" in names
+    for expected in (
+        "fig8_hit_ratio.txt",
+        "fig9_read_ops.txt",
+        "fig10_response_time.txt",
+        "fig11_reconstruction_time.txt",
+        "table4_overhead.txt",
+        "table5_max_improvement.txt",
+        "ablation_scheme.txt",
+        "ablation_demotion.txt",
+    ):
+        assert expected in names, expected
+    for path in paths:
+        assert path.exists()
+        assert path.read_text().strip()
+
+
+def test_index_lists_runtimes(tmp_path):
+    paths = write_full_report(TINY, tmp_path / "r")
+    index = next(p for p in paths if p.name == "INDEX.md")
+    text = index.read_text()
+    assert "fig8" in text and "table5" in text
+    assert "| experiment | file | runtime (s) |" in text
+
+
+def test_cli_report_command(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "cli-report"
+    rc = main([
+        "report", "--out", str(out), "--quick",
+        "--errors", "6", "--workers", "2", "--cache-mbs", "0.25,1",
+    ])
+    assert rc == 0
+    assert (out / "INDEX.md").exists()
+    assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,141 @@
+"""Tests for report rendering."""
+
+from repro.bench import SweepPoint, figure_report, series_table, table4_report, table5_report
+
+
+def _pt(**kw):
+    defaults = dict(
+        experiment="fig8",
+        code="TIP",
+        p=7,
+        policy="lru",
+        cache_mb=8.0,
+        hit_ratio=0.25,
+    )
+    defaults.update(kw)
+    return SweepPoint(**defaults)
+
+
+class TestSeriesTable:
+    def test_basic_layout(self):
+        pts = [
+            _pt(policy="lru", cache_mb=8, hit_ratio=0.1),
+            _pt(policy="fbf", cache_mb=8, hit_ratio=0.3),
+            _pt(policy="lru", cache_mb=16, hit_ratio=0.2),
+            _pt(policy="fbf", cache_mb=16, hit_ratio=0.4),
+        ]
+        text = series_table(pts, "hit_ratio")
+        lines = text.splitlines()
+        assert "cache(MB)" in lines[0]
+        assert "lru" in lines[0] and "fbf" in lines[0]
+        assert "0.1000" in text and "0.4000" in text
+
+    def test_policy_ordering_follows_paper(self):
+        pts = [_pt(policy=p) for p in ("fbf", "arc", "fifo", "lfu", "lru")]
+        header = series_table(pts, "hit_ratio").splitlines()[0]
+        cols = header.split()
+        assert cols[1:] == ["fifo", "lru", "lfu", "arc", "fbf"]
+
+    def test_missing_cell_rendered_as_dash(self):
+        pts = [_pt(policy="lru", cache_mb=8), _pt(policy="fbf", cache_mb=16)]
+        assert "-" in series_table(pts, "hit_ratio")
+
+    def test_nan_rendered_as_dash(self):
+        pts = [_pt(hit_ratio=float("nan"))]
+        body = series_table(pts, "hit_ratio").splitlines()[2]
+        assert "-" in body
+
+
+class TestFigureReport:
+    def test_one_panel_per_code_p(self):
+        pts = [
+            _pt(code="TIP", p=7),
+            _pt(code="TIP", p=11),
+            _pt(code="STAR", p=7),
+        ]
+        text = figure_report(pts, "hit_ratio", "Figure 8")
+        assert text.count("--") >= 3
+        assert "Figure 8" in text
+        assert "TIP, P=11" in text and "STAR, P=7" in text
+
+    def test_ablation_columns_are_schemes(self):
+        pts = [
+            _pt(policy="fbf", scheme_mode="typical", hit_ratio=0.0),
+            _pt(policy="fbf", scheme_mode="fbf", hit_ratio=0.3),
+        ]
+        text = figure_report(pts, "hit_ratio", "Ablation")
+        assert "typical" in text
+
+
+class TestSparklines:
+    def test_monotone_series(self):
+        from repro.bench.reporting import sparkline
+
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        from repro.bench.reporting import sparkline
+
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_nan_renders_as_space(self):
+        from repro.bench.reporting import sparkline
+
+        assert sparkline([0.0, float("nan"), 1.0]) == "▁ █"
+
+    def test_shared_scale(self):
+        from repro.bench.reporting import sparkline
+
+        low = sparkline([1, 2], lo=0, hi=8)
+        assert low[0] in "▁▂" and low[1] in "▂▃"
+
+    def test_series_sparklines_layout(self):
+        from repro.bench.reporting import series_sparklines
+
+        pts = [
+            _pt(policy="lru", cache_mb=8, hit_ratio=0.0),
+            _pt(policy="lru", cache_mb=16, hit_ratio=0.1),
+            _pt(policy="fbf", cache_mb=8, hit_ratio=0.2),
+            _pt(policy="fbf", cache_mb=16, hit_ratio=0.4),
+        ]
+        text = series_sparklines(pts, "hit_ratio")
+        lines = text.splitlines()
+        assert lines[0].startswith("lru")
+        assert lines[1].startswith("fbf")
+        assert lines[1].endswith("█")  # fbf holds the max on the shared scale
+
+    def test_empty_data(self):
+        from repro.bench.reporting import series_sparklines
+
+        assert series_sparklines([_pt(hit_ratio=float("nan"))], "hit_ratio") == "(no data)"
+
+
+class TestTable4Report:
+    def test_renders_all_codes_and_ps(self):
+        pts = [
+            SweepPoint(
+                experiment="table4", code=c, p=p, policy="fbf", cache_mb=8,
+                overhead_ms=0.1, overhead_percent=1.5,
+            )
+            for c in ("TIP", "STAR")
+            for p in (5, 7)
+        ]
+        text = table4_report(pts)
+        assert "P = 5" in text and "P = 7" in text
+        assert "TIP" in text and "STAR" in text
+        assert "overhead(ms)" in text and "percent(%)" in text
+
+
+class TestTable5Report:
+    def test_renders_metrics_and_baselines(self):
+        result = {
+            "hit_ratio": {"fifo": 134.06, "lru": 142.70, "lfu": 247.67, "arc": 63.74},
+            "disk_reads": {"fifo": 14.13, "lru": 17.14, "lfu": 22.52, "arc": 12.37},
+            "response_time": {"fifo": 24.51, "lru": 24.46, "lfu": 31.39, "arc": 18.02},
+            "reconstruction_time": {"fifo": 11.77, "lru": 14.9, "lfu": 13.42, "arc": 12.04},
+        }
+        text = table5_report(result)
+        assert "Hit ratio" in text
+        assert "FIFO" in text and "ARC" in text
+        assert "247.67%" in text

@@ -1,0 +1,107 @@
+"""ARC against a literal transcription of Megiddo & Modha's Figure 4.
+
+The production :class:`~repro.cache.ARCCache` is structured for clarity;
+this oracle transcribes the published pseudocode line by line with plain
+lists.  Hypothesis then demands bit-identical behaviour — hits, p, and
+all four list contents — over random request streams.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import ARCCache
+
+
+class ArcOracle:
+    """Verbatim ARC(c) from the FAST 2003 paper, Figure 4."""
+
+    def __init__(self, c: int):
+        self.c = c
+        self.p = 0.0
+        self.t1: list = []  # LRU at index 0
+        self.t2: list = []
+        self.b1: list = []
+        self.b2: list = []
+
+    def replace(self, x) -> None:
+        if self.t1 and (
+            len(self.t1) > self.p
+            or (x in self.b2 and len(self.t1) == self.p)
+        ):
+            lru = self.t1.pop(0)
+            self.b1.append(lru)
+        else:
+            lru = self.t2.pop(0)
+            self.b2.append(lru)
+
+    def request(self, x) -> bool:
+        # Case I
+        if x in self.t1:
+            self.t1.remove(x)
+            self.t2.append(x)
+            return True
+        if x in self.t2:
+            self.t2.remove(x)
+            self.t2.append(x)
+            return True
+        # Case II
+        if x in self.b1:
+            self.p = min(self.c, self.p + max(len(self.b2) / len(self.b1), 1))
+            self.replace(x)
+            self.b1.remove(x)
+            self.t2.append(x)
+            return False
+        # Case III
+        if x in self.b2:
+            self.p = max(0, self.p - max(len(self.b1) / len(self.b2), 1))
+            self.replace(x)
+            self.b2.remove(x)
+            self.t2.append(x)
+            return False
+        # Case IV
+        l1 = len(self.t1) + len(self.b1)
+        l2 = len(self.t2) + len(self.b2)
+        if l1 == self.c:
+            if len(self.t1) < self.c:
+                self.b1.pop(0)
+                self.replace(x)
+            else:
+                self.t1.pop(0)
+        elif l1 < self.c and l1 + l2 >= self.c:
+            if l1 + l2 == 2 * self.c:
+                self.b2.pop(0)
+            self.replace(x)
+        self.t1.append(x)
+        return False
+
+
+streams = st.lists(st.integers(0, 12), min_size=1, max_size=300)
+
+
+@given(streams, st.integers(1, 8))
+@settings(max_examples=80, deadline=None)
+def test_arc_matches_published_pseudocode(stream, capacity):
+    real = ARCCache(capacity)
+    oracle = ArcOracle(capacity)
+    for key in stream:
+        assert real.request(key) == oracle.request(key), key
+        assert real.target_p == oracle.p
+        assert list(real._t1) == oracle.t1
+        assert list(real._t2) == oracle.t2
+        assert list(real._b1) == oracle.b1
+        assert list(real._b2) == oracle.b2
+
+
+@given(streams, st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_arc_dbl_invariants(stream, capacity):
+    """The paper's invariants: |T1|+|T2| <= c, |T1|+|B1| <= c,
+    |T2|+|B2| <= 2c, total directory <= 2c."""
+    cache = ARCCache(capacity)
+    for key in stream:
+        cache.request(key)
+        t1, t2 = len(cache._t1), len(cache._t2)
+        b1, b2 = len(cache._b1), len(cache._b2)
+        assert t1 + t2 <= capacity
+        assert t1 + b1 <= capacity
+        assert t1 + t2 + b1 + b2 <= 2 * capacity

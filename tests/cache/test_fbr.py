@@ -1,0 +1,59 @@
+"""FBR policy tests."""
+
+import pytest
+
+from repro.cache import FBRCache
+
+
+def test_fraction_validation():
+    with pytest.raises(ValueError):
+        FBRCache(8, new_fraction=0.0)
+    with pytest.raises(ValueError):
+        FBRCache(8, new_fraction=0.7, old_fraction=0.5)
+    with pytest.raises(ValueError):
+        FBRCache(8, a_max=1)
+
+
+def test_new_section_hit_does_not_increment_count():
+    c = FBRCache(8, new_fraction=0.5, old_fraction=0.25)
+    c.request("a")          # a at MRU, inside the new section
+    c.request("a")
+    assert c._count["a"] == 1
+
+
+def test_old_section_hit_increments_count():
+    c = FBRCache(4, new_fraction=0.25, old_fraction=0.5)  # new section = 1 slot
+    c.request("a")
+    c.request("b")
+    c.request("c")
+    c.request("d")          # a now deepest (old section)
+    c.request("a")          # hit outside the new section
+    assert c._count["a"] == 2
+
+
+def test_evicts_least_count_in_old_section():
+    c = FBRCache(4, new_fraction=0.25, old_fraction=0.5)
+    for k in "abcd":
+        c.request(k)
+    c.request("a")   # bump a's count (it sits in the old section)
+    c.request("e")   # old section now ends with b; b has count 1 -> victim
+    assert "b" not in c
+    assert "a" in c
+
+
+def test_capacity_respected():
+    c = FBRCache(3)
+    for k in "abcdefgh":
+        c.request(k)
+    assert len(c) <= 3
+
+
+def test_aging_halves_counts():
+    c = FBRCache(2, new_fraction=0.4, old_fraction=0.5, a_max=2)
+    c.request("a")
+    c.request("b")
+    for _ in range(12):
+        c.request("a")
+        c.request("b")
+    # with a_max=2 and 2 blocks, counts must have been halved at least once
+    assert max(c._count.values()) < 12

@@ -1,0 +1,35 @@
+"""FIFO policy tests."""
+
+from repro.cache import FIFOCache
+
+
+def test_evicts_in_arrival_order():
+    c = FIFOCache(3)
+    for k in "abc":
+        c.request(k)
+    c.request("d")
+    assert "a" not in c and all(k in c for k in "bcd")
+
+
+def test_hit_does_not_refresh_position():
+    c = FIFOCache(2)
+    c.request("a")
+    c.request("b")
+    assert c.request("a") is True  # hit
+    c.request("c")  # evicts "a" despite the recent hit
+    assert "a" not in c and "b" in c
+
+
+def test_capacity_respected():
+    c = FIFOCache(2)
+    for k in "abcdef":
+        c.request(k)
+    assert len(c) == 2
+
+
+def test_stats_accumulate():
+    c = FIFOCache(2)
+    c.request("a")
+    c.request("a")
+    c.request("b")
+    assert c.stats.hits == 1 and c.stats.misses == 2

@@ -1,0 +1,50 @@
+"""LFU policy tests."""
+
+from repro.cache import LFUCache
+
+
+def test_evicts_least_frequent():
+    c = LFUCache(2)
+    c.request("a")
+    c.request("a")  # freq(a)=2
+    c.request("b")  # freq(b)=1
+    c.request("c")  # evicts b
+    assert "b" not in c and "a" in c and "c" in c
+
+
+def test_tie_broken_by_lru():
+    c = LFUCache(2)
+    c.request("a")
+    c.request("b")
+    c.request("c")  # a and b tie at freq 1; a is older
+    assert "a" not in c and "b" in c
+
+
+def test_frequency_resets_on_eviction():
+    """Plain LFU keeps no ghost state: history dies with the block."""
+    c = LFUCache(1)
+    for _ in range(5):
+        c.request("a")  # freq(a) = 5
+    c.request("b")  # a is the only resident, so it is evicted anyway
+    assert "a" not in c and "b" in c
+    c.request("a")  # readmitted at freq 1, evicting b
+    assert "a" in c and "b" not in c
+
+
+def test_min_freq_tracking_across_promotions():
+    c = LFUCache(3)
+    c.request("a")
+    c.request("a")
+    c.request("b")
+    c.request("b")
+    c.request("c")
+    c.request("d")  # evicts c (only freq-1 block)
+    assert "c" not in c
+    assert all(k in c for k in "abd")
+
+
+def test_stats():
+    c = LFUCache(2)
+    for k in "aabbb":
+        c.request(k)
+    assert c.stats.hits == 3 and c.stats.misses == 2

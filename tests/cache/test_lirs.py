@@ -1,0 +1,118 @@
+"""LIRS policy tests."""
+
+import pytest
+
+from repro.cache import LIRSCache
+
+
+class TestValidation:
+    def test_params(self):
+        with pytest.raises(ValueError):
+            LIRSCache(8, hir_fraction=0.0)
+        with pytest.raises(ValueError):
+            LIRSCache(8, hir_fraction=1.0)
+        with pytest.raises(ValueError):
+            LIRSCache(8, history_factor=-1)
+
+
+class TestStartup:
+    def test_early_blocks_become_lir(self):
+        c = LIRSCache(10, hir_fraction=0.2)  # 8 LIR slots
+        for k in "abcdefgh":
+            c.request(k)
+        for k in "abcdefgh":
+            assert c.status_of(k) == "LIR", k
+
+    def test_after_lir_full_new_blocks_are_hir(self):
+        c = LIRSCache(10, hir_fraction=0.2)
+        for k in "abcdefgh":
+            c.request(k)
+        c.request("x")
+        assert c.status_of("x") == "HIR"
+
+
+class TestPromotion:
+    def test_rereferenced_hir_with_recency_promotes(self):
+        c = LIRSCache(4, hir_fraction=0.25)  # 3 LIR + 1 HIR
+        for k in "abc":
+            c.request(k)  # LIR set
+        c.request("x")  # HIR, in S and Q
+        assert c.status_of("x") == "HIR"
+        c.request("x")  # second access while in S: low IRR -> LIR
+        assert c.status_of("x") == "LIR"
+        # one LIR block was demoted to keep the LIR count bounded
+        lir = [k for k in "abcx" if k in c and c.status_of(k) == "LIR"]
+        assert len(lir) == 3
+
+    def test_non_resident_history_promotes_on_readmission(self):
+        c = LIRSCache(4, hir_fraction=0.25)
+        for k in "abc":
+            c.request(k)
+        c.request("x")   # HIR resident
+        c.request("y")   # evicts x from Q; x's history stays in S
+        assert "x" not in c
+        c.request("x")   # readmitted with recency -> LIR directly
+        assert c.status_of("x") == "LIR"
+
+
+class TestEviction:
+    def test_hir_queue_evicted_before_lir(self):
+        c = LIRSCache(4, hir_fraction=0.25)
+        for k in "abc":
+            c.request(k)      # LIR
+        c.request("h1")       # HIR
+        c.request("h2")       # evicts h1 (the only resident HIR)
+        assert "h1" not in c
+        assert all(k in c for k in "abc")
+
+    def test_capacity_never_exceeded(self):
+        c = LIRSCache(5)
+        for i in range(200):
+            c.request(i % 13)
+            assert len(c) <= 5
+
+    def test_zero_capacity(self):
+        c = LIRSCache(0)
+        assert c.request("a") is False
+        assert len(c) == 0
+
+
+class TestScanResistance:
+    def test_one_shot_scan_cannot_displace_lir_set(self):
+        c = LIRSCache(6, hir_fraction=0.17)  # 5 LIR + 1 HIR
+        hot = list("abcde")
+        for k in hot:
+            c.request(k)
+        for k in hot:
+            c.request(k)  # establish low IRR
+        for i in range(100, 140):  # long one-shot scan
+            c.request(i)
+        hits = sum(c.request(k) for k in hot)
+        assert hits == len(hot)  # the scan displaced nothing hot
+
+    def test_beats_lru_on_loop_with_reuse(self):
+        from repro.cache import LRUCache
+
+        def run(cache):
+            hot = ["h1", "h2"]
+            stream = []
+            for round_ in range(25):
+                stream += hot
+                stream += [f"scan-{round_}-{i}" for i in range(5)]
+            for k in stream:
+                cache.request(k)
+            return cache.stats.hits
+
+        assert run(LIRSCache(4)) > run(LRUCache(4))
+
+
+class TestHistoryBound:
+    def test_stack_does_not_grow_unboundedly(self):
+        c = LIRSCache(4, history_factor=2)
+        for i in range(10_000):
+            c.request(i)
+        assert len(c._s) <= 4 + c.history_limit + 1
+
+    def test_status_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            LIRSCache(4).status_of("ghost")

@@ -1,0 +1,58 @@
+"""LRFU policy tests."""
+
+import pytest
+
+from repro.cache import LRFUCache
+
+
+def test_lambda_validation():
+    with pytest.raises(ValueError):
+        LRFUCache(4, lam=1.5)
+    with pytest.raises(ValueError):
+        LRFUCache(4, lam=-0.1)
+
+
+def test_lambda_zero_behaves_like_lfu():
+    """lam=0: F(x)=1, CRF = pure reference count."""
+    c = LRFUCache(2, lam=0.0)
+    c.request("a")
+    c.request("a")
+    c.request("b")
+    c.request("c")  # b has CRF 1, a has CRF 2 -> evict b
+    assert "a" in c and "b" not in c
+
+
+def test_lambda_one_behaves_like_lru():
+    """lam=1: the most recent reference dominates the CRF."""
+    c = LRFUCache(2, lam=1.0)
+    for _ in range(5):
+        c.request("a")
+    c.request("b")
+    c.request("a")
+    c.request("c")  # LRU-like: b evicted despite being fresher than old a-refs
+    assert "b" not in c and "a" in c
+
+
+def test_crf_decays_over_time():
+    c = LRFUCache(4, lam=0.5)
+    c.request("a")
+    before = c.crf("a")
+    c.request("b")
+    c.request("c")
+    after = c.crf("a")
+    assert after < before
+
+
+def test_hit_increases_crf():
+    c = LRFUCache(4, lam=0.5)
+    c.request("a")
+    low = c.crf("a")
+    c.request("a")
+    assert c.crf("a") > low
+
+
+def test_capacity_respected():
+    c = LRFUCache(3, lam=0.2)
+    for k in "abcdefg":
+        c.request(k)
+    assert len(c) <= 3

@@ -1,0 +1,37 @@
+"""LRU policy tests."""
+
+from repro.cache import LRUCache
+
+
+def test_evicts_least_recently_used():
+    c = LRUCache(3)
+    for k in "abc":
+        c.request(k)
+    c.request("a")  # refresh a
+    c.request("d")  # evicts b
+    assert "b" not in c and all(k in c for k in "acd")
+
+
+def test_hit_refreshes_recency():
+    c = LRUCache(2)
+    c.request("a")
+    c.request("b")
+    c.request("a")
+    c.request("c")  # b is LRU now
+    assert "b" not in c and "a" in c
+
+
+def test_repeated_misses_cycle():
+    c = LRUCache(1)
+    for k in "ababab":
+        assert c.request(k) is False
+    assert c.stats.misses == 6
+
+
+def test_sequential_scan_thrashing():
+    """Classic LRU weakness: a loop one block bigger than the cache."""
+    c = LRUCache(3)
+    for _ in range(3):
+        for k in "abcd":
+            c.request(k)
+    assert c.stats.hits == 0

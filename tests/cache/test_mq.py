@@ -1,0 +1,100 @@
+"""MQ policy tests."""
+
+import pytest
+
+from repro.cache import MQCache
+
+
+class TestValidation:
+    def test_params(self):
+        with pytest.raises(ValueError):
+            MQCache(4, n_queues=0)
+        with pytest.raises(ValueError):
+            MQCache(4, life_time=0)
+        with pytest.raises(ValueError):
+            MQCache(4, qout_factor=-1)
+
+
+class TestQueuePlacement:
+    def test_first_access_level_zero(self):
+        c = MQCache(8)
+        c.request("a")
+        assert c.level_of("a") == 0
+
+    def test_levels_follow_log2_frequency(self):
+        c = MQCache(8)
+        for i in range(1, 9):
+            c.request("a")
+            import math
+
+            expected = min(int(math.log2(i)), c.n_queues - 1)
+            assert c.level_of("a") == expected, i
+
+    def test_level_capped_at_top_queue(self):
+        c = MQCache(8, n_queues=2)
+        for _ in range(100):
+            c.request("a")
+        assert c.level_of("a") == 1
+
+
+class TestEviction:
+    def test_evicts_lowest_queue_first(self):
+        c = MQCache(2)
+        c.request("hot")
+        c.request("hot")  # level 1
+        c.request("cold")  # level 0
+        c.request("new")  # evicts cold, not hot
+        assert "cold" not in c and "hot" in c
+
+    def test_capacity_respected(self):
+        c = MQCache(3)
+        for i in range(30):
+            c.request(i % 7)
+            assert len(c) <= 3
+
+
+class TestGhostBuffer:
+    def test_readmission_resumes_frequency(self):
+        c = MQCache(1, qout_factor=4)
+        c.request("a")
+        c.request("a")
+        c.request("a")  # freq 3, level 1
+        c.request("b")  # evict a -> qout with freq 3
+        c.request("a")  # readmit: freq 4 -> level 2
+        assert c.level_of("a") == 2
+
+    def test_qout_bounded(self):
+        c = MQCache(1, qout_factor=2)
+        for i in range(10):
+            c.request(i)
+        assert len(c._qout) <= 2
+
+    def test_qout_disabled(self):
+        c = MQCache(1, qout_factor=0)
+        c.request("a")
+        c.request("a")
+        c.request("b")
+        c.request("a")  # freq restarts at 1
+        assert c.level_of("a") == 0
+
+
+class TestExpiry:
+    def test_idle_hot_block_demotes(self):
+        c = MQCache(4, life_time=3)
+        for _ in range(4):
+            c.request("hot")  # level 2
+        assert c.level_of("hot") == 2
+        for i in range(10):
+            c.request(f"filler{i % 3}")
+        assert c.level_of("hot") < 2  # expired and demoted
+
+    def test_demotion_is_gradual(self):
+        c = MQCache(4, life_time=2)
+        for _ in range(8):
+            c.request("hot")  # level 3
+        start = c.level_of("hot")
+        c.request("x")
+        c.request("x")
+        c.request("x")
+        assert start - c.level_of("hot") <= start  # never below 0, stepwise
+        assert c.level_of("hot") >= 0

@@ -1,0 +1,89 @@
+"""Hypothesis property tests over every registered policy.
+
+Invariants that must hold for *any* replacement policy:
+
+* residency never exceeds capacity;
+* a request for a resident block is a hit, for an absent block a miss;
+* stats add up (hits + misses == requests, evictions <= misses);
+* behaviour is a deterministic function of the request sequence;
+* an infinite cache never evicts, and every re-reference hits.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import available_policies, make_policy
+
+POLICY_NAMES = sorted(available_policies())
+
+requests = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(1, 3)), min_size=1, max_size=200
+)
+capacities = st.integers(0, 12)
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+@given(reqs=requests, capacity=capacities)
+@settings(max_examples=40, deadline=None)
+def test_capacity_and_stats_invariants(name, reqs, capacity):
+    policy = make_policy(name, capacity)
+    for key, prio in reqs:
+        resident_before = key in policy
+        hit = policy.request(key, priority=prio)
+        assert hit == resident_before
+        if hit:
+            assert key in policy  # hits never evict the hit block itself
+        assert len(policy) <= capacity
+        if capacity > 0:
+            assert key in policy  # just-fetched blocks are resident
+    s = policy.stats
+    assert s.hits + s.misses == len(reqs)
+    assert s.evictions <= s.misses
+    assert 0.0 <= s.hit_ratio <= 1.0
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+@given(reqs=requests, capacity=capacities)
+@settings(max_examples=25, deadline=None)
+def test_determinism(name, reqs, capacity):
+    a = make_policy(name, capacity)
+    b = make_policy(name, capacity)
+    for key, prio in reqs:
+        assert a.request(key, priority=prio) == b.request(key, priority=prio)
+    assert a.stats.hits == b.stats.hits
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+@given(reqs=requests)
+@settings(max_examples=25, deadline=None)
+def test_infinite_cache_is_optimal(name, reqs):
+    """With capacity >= distinct keys, every re-reference hits."""
+    distinct = len({k for k, _ in reqs})
+    policy = make_policy(name, distinct)
+    for key, prio in reqs:
+        policy.request(key, priority=prio)
+    assert policy.stats.misses == distinct
+    assert policy.stats.evictions == 0
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+@given(reqs=requests, capacity=st.integers(1, 12))
+@settings(max_examples=25, deadline=None)
+def test_reset_restores_cold_state(name, reqs, capacity):
+    policy = make_policy(name, capacity)
+    for key, prio in reqs:
+        policy.request(key, priority=prio)
+    policy.reset()
+    fresh = make_policy(name, capacity)
+    for key, prio in reqs:
+        assert policy.request(key, priority=prio) == fresh.request(key, priority=prio)
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+def test_priority_hint_accepted_by_all(name):
+    """Non-FBF policies must tolerate (and ignore) the priority hint."""
+    policy = make_policy(name, 4)
+    policy.request("x", priority=3)
+    policy.request("y", priority=None)
+    assert policy.stats.misses == 2

@@ -1,0 +1,145 @@
+"""Model-based testing: each policy against a brute-force oracle.
+
+The production policies use incremental data structures (frequency
+buckets, ghost lists, priority queues); the oracles below recompute the
+victim from the full access history on every request.  Hypothesis drives
+random request streams through both and demands identical hit/miss
+behaviour — the strongest correctness statement short of a proof.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import FIFOCache, LFUCache, LRUCache
+from repro.core import FBFCache
+
+streams = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(1, 3)), min_size=1, max_size=150
+)
+capacities = st.integers(1, 8)
+
+
+class OracleLRU:
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.history: list = []
+
+    def request(self, key):
+        resident = self._contents()
+        hit = key in resident
+        self.history.append(key)
+        return hit
+
+    def _contents(self):
+        seen: list = []
+        for key in reversed(self.history):
+            if key not in seen:
+                seen.append(key)
+            if len(seen) == self.capacity:
+                break
+        return seen
+
+
+@given(streams, capacities)
+@settings(max_examples=60, deadline=None)
+def test_lru_matches_oracle(reqs, capacity):
+    real, oracle = LRUCache(capacity), OracleLRU(capacity)
+    for key, _ in reqs:
+        assert real.request(key) == oracle.request(key)
+
+
+class OracleFIFO:
+    """FIFO residency derived from arrival order alone."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.arrivals: OrderedDict = OrderedDict()
+
+    def request(self, key):
+        hit = key in self.arrivals
+        if not hit:
+            self.arrivals[key] = None
+            while len(self.arrivals) > self.capacity:
+                self.arrivals.popitem(last=False)
+        return hit
+
+
+@given(streams, capacities)
+@settings(max_examples=60, deadline=None)
+def test_fifo_matches_oracle(reqs, capacity):
+    real, oracle = FIFOCache(capacity), OracleFIFO(capacity)
+    for key, _ in reqs:
+        assert real.request(key) == oracle.request(key)
+
+
+class OracleLFU:
+    """LFU with LRU tie-break, recomputed from scratch each eviction."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.resident: dict = {}  # key -> [freq, last_access]
+        self.clock = 0
+
+    def request(self, key):
+        self.clock += 1
+        if key in self.resident:
+            self.resident[key][0] += 1
+            self.resident[key][1] = self.clock
+            return True
+        if len(self.resident) >= self.capacity:
+            victim = min(
+                self.resident, key=lambda k: (self.resident[k][0], self.resident[k][1])
+            )
+            del self.resident[victim]
+        self.resident[key] = [1, self.clock]
+        return False
+
+
+@given(streams, capacities)
+@settings(max_examples=60, deadline=None)
+def test_lfu_matches_oracle(reqs, capacity):
+    real, oracle = LFUCache(capacity), OracleLFU(capacity)
+    for key, _ in reqs:
+        assert real.request(key) == oracle.request(key)
+
+
+class OracleFBF:
+    """Paper Algorithm 1 restated with plain lists."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.queues = {1: [], 2: [], 3: []}  # LRU first
+
+    def _find(self, key):
+        for q, items in self.queues.items():
+            if key in items:
+                return q
+        return None
+
+    def request(self, key, priority):
+        q = self._find(key)
+        if q is not None:
+            self.queues[q].remove(key)
+            target = q - 1 if q > 1 else 1
+            self.queues[target].append(key)
+            return True
+        if sum(len(v) for v in self.queues.values()) >= self.capacity:
+            for level in (1, 2, 3):
+                if self.queues[level]:
+                    self.queues[level].pop(0)
+                    break
+        self.queues[min(priority, 3)].append(key)
+        return False
+
+
+@given(streams, capacities)
+@settings(max_examples=60, deadline=None)
+def test_fbf_matches_oracle(reqs, capacity):
+    real, oracle = FBFCache(capacity), OracleFBF(capacity)
+    for key, prio in reqs:
+        assert real.request(key, priority=prio) == oracle.request(key, prio)
+    # final queue contents agree too
+    for level in (1, 2, 3):
+        assert list(real.queue_contents(level)) == oracle.queues[level]

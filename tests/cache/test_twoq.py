@@ -1,0 +1,76 @@
+"""2Q policy tests."""
+
+import pytest
+
+from repro.cache import TwoQCache
+
+
+def test_fraction_validation():
+    with pytest.raises(ValueError):
+        TwoQCache(8, kin_fraction=0.0)
+    with pytest.raises(ValueError):
+        TwoQCache(8, kout_fraction=0.0)
+
+
+def test_first_touch_goes_to_a1in():
+    c = TwoQCache(8)
+    c.request("a")
+    assert "a" in c._a1in and "a" not in c._am
+
+
+def test_a1in_spills_only_when_full():
+    """With free slots, blocks accumulate in A1in beyond Kin (paper's 2Q)."""
+    c = TwoQCache(4)  # kin = 1
+    c.request("a")
+    c.request("b")
+    assert "a" in c._a1in and not c._a1out
+
+
+def test_promotion_requires_a1out_hit():
+    c = TwoQCache(4)  # kin = 1
+    for k in "abcd":
+        c.request(k)        # cache full, all in A1in
+    c.request("e")          # reclaim pushes a -> A1out
+    assert "a" in c._a1out
+    c.request("a")          # ghost hit -> Am
+    assert "a" in c._am
+
+
+def test_a1in_hit_does_not_promote():
+    c = TwoQCache(8)  # kin = 2
+    c.request("a")
+    assert c.request("a") is True
+    assert "a" in c._a1in and "a" not in c._am
+
+
+def test_scan_does_not_pollute_am():
+    c = TwoQCache(8)
+    # establish a hot block in Am
+    c.request("h")
+    for k in "xyzw":
+        c.request(k)
+    c.request("h")  # via A1out if pushed, or A1in hit
+    for k in "12345678":
+        c.request(k)  # a long scan
+    assert len(c._am) <= max(1, len(c._am))  # Am never flooded by the scan
+    assert all(k not in c._am for k in "12345678")
+
+
+def test_capacity_respected():
+    c = TwoQCache(4)
+    for k in "abcdefghij":
+        c.request(k)
+    assert len(c) <= 4
+
+
+def test_ghost_list_bounded():
+    c = TwoQCache(4)  # kout = 2
+    for k in "abcdefghij":
+        c.request(k)
+    assert len(c._a1out) <= c.kout
+
+
+def test_zero_capacity():
+    c = TwoQCache(0)
+    assert c.request("a") is False
+    assert len(c) == 0

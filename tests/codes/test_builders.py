@@ -1,0 +1,116 @@
+"""Tests for the RTP/STAR family builders."""
+
+import pytest
+
+from repro.codes._builders import build_rtp_family, build_star_family
+from repro.codes.layout import Direction
+
+
+class TestArgumentValidation:
+    def test_rejects_non_prime(self):
+        with pytest.raises(ValueError, match="prime"):
+            build_rtp_family("x", 4, 2)
+
+    def test_rejects_num_data_too_large_rtp(self):
+        with pytest.raises(ValueError, match="num_data"):
+            build_rtp_family("x", 5, 5)  # RTP max is p - 1
+
+    def test_rejects_num_data_too_large_star(self):
+        with pytest.raises(ValueError, match="num_data"):
+            build_star_family("x", 5, 6)  # STAR max is p
+
+    def test_rejects_zero_data(self):
+        with pytest.raises(ValueError, match="num_data"):
+            build_star_family("x", 5, 0)
+
+
+class TestRTPFamily:
+    def test_dimensions(self):
+        lay = build_rtp_family("rtp", 7, 6)
+        assert lay.rows == 6
+        assert lay.num_disks == 9
+        assert len(lay.data_cells) == 36
+        assert len(lay.parity_cells) == 18
+        # p-1 chains in each of 3 directions
+        assert len(lay.chains) == 18
+
+    def test_row_parity_column_participates_in_diagonals(self):
+        lay = build_rtp_family("rtp", 5, 4)
+        row_parity_col = 4
+        diag_cols = set()
+        for chain in lay.chains_in(Direction.DIAGONAL):
+            diag_cols |= chain.columns()
+        assert row_parity_col in diag_cols
+
+    def test_no_adjusters(self):
+        """RTP chains never share data cells across same-direction chains."""
+        lay = build_rtp_family("rtp", 5, 4)
+        for direction in (Direction.DIAGONAL, Direction.ANTIDIAGONAL):
+            chains = lay.chains_in(direction)
+            for i, a in enumerate(chains):
+                for b in chains[i + 1:]:
+                    assert not (a.cells & b.cells)
+
+    def test_shortening_preserves_tolerance(self):
+        for k in (1, 2, 3, 4):
+            lay = build_rtp_family("rtp", 5, k)
+            import itertools
+
+            for combo in itertools.combinations(range(lay.num_disks), 3):
+                assert lay.tolerates_disks(combo), (k, combo)
+
+
+class TestSTARFamily:
+    def test_dimensions(self):
+        lay = build_star_family("star", 7, 7)
+        assert lay.rows == 6
+        assert lay.num_disks == 10
+        assert len(lay.data_cells) == 42
+        assert len(lay.chains) == 18
+
+    def test_adjuster_cells_shared_by_all_diagonal_chains(self):
+        lay = build_star_family("star", 5, 5)
+        diag = lay.chains_in(Direction.DIAGONAL)
+        shared = set.intersection(*(set(c.cells) for c in diag))
+        # the adjuster diagonal: data cells with (i+j) % p == p-1
+        expected = {
+            (i, j) for j in range(5) for i in [(4 - j) % 5] if i < 4
+        }
+        assert shared & set(lay.data_cells) == expected
+        assert len(expected) > 0
+
+    def test_adjuster_absent_when_shortened_past_it(self):
+        # num_data=1: only column 0; adjuster diagonal has no real cell in
+        # column 0 (it sits on the imaginary row), so chains are disjoint.
+        lay = build_star_family("star", 5, 1)
+        diag = lay.chains_in(Direction.DIAGONAL)
+        shared = set.intersection(*(set(c.cells) for c in diag))
+        assert not shared
+
+    def test_shortening_preserves_tolerance(self):
+        import itertools
+
+        for k in (1, 3, 5):
+            lay = build_star_family("star", 5, k)
+            for combo in itertools.combinations(range(lay.num_disks), 3):
+                assert lay.tolerates_disks(combo), (k, combo)
+
+
+class TestChainGeometry:
+    @pytest.mark.parametrize("builder,max_k", [(build_rtp_family, 4), (build_star_family, 5)])
+    def test_diagonal_slope(self, builder, max_k):
+        """Within a diagonal chain, data cells satisfy (i + j) % p == const."""
+        lay = builder("x", 5, max_k)
+        data = set(lay.data_cells)
+        for chain in lay.chains_in(Direction.DIAGONAL):
+            diags = {(i + j) % 5 for (i, j) in chain.cells if (i, j) in data}
+            # one diagonal (plus, for STAR, the adjuster diagonal p-1)
+            assert len(diags - {4}) <= 1
+
+    @pytest.mark.parametrize("builder,max_k", [(build_rtp_family, 4), (build_star_family, 5)])
+    def test_antidiagonal_slope(self, builder, max_k):
+        lay = builder("x", 5, max_k)
+        data = set(lay.data_cells)
+        for chain in lay.chains_in(Direction.ANTIDIAGONAL):
+            adiags = {(i - j) % 5 for (i, j) in chain.cells if (i, j) in data}
+            assert len(adiags - {4}) <= 1

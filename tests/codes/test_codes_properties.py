@@ -1,0 +1,120 @@
+"""Hypothesis property tests over all four codes.
+
+These are the code-correctness invariants the rest of the system rests on:
+encode/erase/decode round-trips for arbitrary data and erasure patterns
+within the erasure-correcting power, and the MDS storage-efficiency
+accounting.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.codes import Encoder, decode, make_code, verify_stripe
+from repro.codes.registry import available_codes
+
+LAYOUTS = {
+    (name, p): make_code(name, p)
+    for name in available_codes()
+    for p in (3, 5, 7)
+}
+ENCODERS = {key: Encoder(lay) for key, lay in LAYOUTS.items()}
+
+
+layout_keys = st.sampled_from(sorted(LAYOUTS))
+
+
+@st.composite
+def stripe_and_erasure(draw, max_columns=3):
+    key = draw(layout_keys)
+    layout = LAYOUTS[key]
+    n_cols = draw(st.integers(0, max_columns))
+    cols = draw(
+        st.lists(
+            st.integers(0, layout.num_disks - 1),
+            min_size=n_cols,
+            max_size=n_cols,
+            unique=True,
+        )
+    )
+    seed = draw(st.integers(0, 2**31))
+    return key, cols, seed
+
+
+@given(stripe_and_erasure())
+@settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_column_erasure_roundtrip(case):
+    """Any <=3 whole-column loss decodes back to the original payloads."""
+    key, cols, seed = case
+    layout, enc = LAYOUTS[key], ENCODERS[key]
+    rng = np.random.default_rng(seed)
+    stripe = enc.random_stripe(8, rng)
+    cells = [c for d in cols for c in layout.cells_on_disk(d)]
+    broken = stripe.copy()
+    for r, c in cells:
+        broken[r, c] = rng.integers(0, 256, 8, dtype=np.uint8)
+    decode(layout, broken, cells)
+    assert np.array_equal(broken, stripe)
+
+
+@st.composite
+def partial_stripe_case(draw):
+    key = draw(layout_keys)
+    layout = LAYOUTS[key]
+    disk = draw(st.integers(0, layout.num_disks - 1))
+    length = draw(st.integers(1, layout.rows))
+    start = draw(st.integers(0, layout.rows - length))
+    seed = draw(st.integers(0, 2**31))
+    return key, disk, start, length, seed
+
+
+@given(partial_stripe_case())
+@settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_partial_stripe_roundtrip(case):
+    """The paper's error unit — contiguous chunks on one disk — always decodes."""
+    key, disk, start, length, seed = case
+    layout, enc = LAYOUTS[key], ENCODERS[key]
+    rng = np.random.default_rng(seed)
+    stripe = enc.random_stripe(8, rng)
+    cells = [(r, disk) for r in range(start, start + length)]
+    broken = stripe.copy()
+    for r, c in cells:
+        broken[r, c] = 0
+    decode(layout, broken, cells)
+    assert np.array_equal(broken, stripe)
+
+
+@given(layout_keys, st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_encoded_stripe_always_verifies(key, seed):
+    layout, enc = LAYOUTS[key], ENCODERS[key]
+    stripe = enc.random_stripe(4, np.random.default_rng(seed))
+    assert verify_stripe(layout, stripe)
+
+
+@given(layout_keys)
+@settings(max_examples=20, deadline=None)
+def test_mds_storage_efficiency(key):
+    """All four codes are MDS: data cells == (disks - 3) * rows."""
+    layout = LAYOUTS[key]
+    assert len(layout.data_cells) == (layout.num_disks - 3) * layout.rows
+    assert len(layout.parity_cells) == 3 * layout.rows
+
+
+@given(stripe_and_erasure(max_columns=2), st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_decode_only_touches_erased_cells(case, payload_seed):
+    """Decoding must never modify surviving chunks."""
+    key, cols, seed = case
+    layout, enc = LAYOUTS[key], ENCODERS[key]
+    rng = np.random.default_rng(payload_seed)
+    stripe = enc.random_stripe(8, rng)
+    cells = [c for d in cols for c in layout.cells_on_disk(d)]
+    broken = stripe.copy()
+    erased_set = set(cells)
+    decode(layout, broken, cells)
+    for cell in layout.all_cells:
+        if cell not in erased_set:
+            r, c = cell
+            assert np.array_equal(broken[r, c], stripe[r, c])

@@ -1,0 +1,93 @@
+"""Tests for stripe encoding."""
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    Encoder,
+    empty_stripe,
+    encode_by_chains,
+    make_code,
+    verify_stripe,
+    xor_cells,
+)
+
+
+class TestHelpers:
+    def test_empty_stripe_shape(self, tip7):
+        s = empty_stripe(tip7, 16)
+        assert s.shape == (tip7.rows, tip7.num_disks, 16)
+        assert not s.any()
+
+    def test_empty_stripe_rejects_bad_chunk(self, tip7):
+        with pytest.raises(ValueError):
+            empty_stripe(tip7, 0)
+
+    def test_xor_cells_empty_is_zero(self, tip7):
+        s = empty_stripe(tip7, 8)
+        assert not xor_cells(s, []).any()
+
+    def test_xor_cells_self_inverse(self, tip7, rng):
+        s = Encoder(tip7).random_stripe(8, rng)
+        cells = [(0, 0), (1, 1), (0, 0)]
+        # duplicated cell cancels out
+        assert np.array_equal(xor_cells(s, cells), s[1, 1])
+
+    def test_verify_rejects_wrong_shape(self, tip7):
+        with pytest.raises(ValueError, match="shape"):
+            verify_stripe(tip7, np.zeros((1, 2, 3), dtype=np.uint8))
+
+
+class TestEncoder:
+    def test_zero_data_encodes_to_zero_parity(self, layout):
+        s = empty_stripe(layout, 8)
+        Encoder(layout).encode(s)
+        assert not s.any()
+        assert verify_stripe(layout, s)
+
+    def test_random_stripe_verifies(self, layout, rng):
+        s = Encoder(layout).random_stripe(32, rng)
+        assert verify_stripe(layout, s)
+
+    def test_corruption_breaks_verification(self, layout, rng):
+        s = Encoder(layout).random_stripe(32, rng)
+        r, c = layout.data_cells[0]
+        s[r, c, 0] ^= 0xFF
+        assert not verify_stripe(layout, s)
+
+    def test_matches_reference_encoder(self, layout, rng):
+        enc = Encoder(layout)
+        s = enc.random_stripe(16, rng)
+        ref = s.copy()
+        for r, c in layout.parity_cells:
+            ref[r, c] = 0
+        encode_by_chains(layout, ref)
+        assert np.array_equal(s, ref)
+
+    def test_linearity(self, layout, rng):
+        """encode(a ^ b) == encode(a) ^ encode(b) — XOR codes are linear."""
+        enc = Encoder(layout)
+        a = enc.random_stripe(8, rng)
+        b = enc.random_stripe(8, rng)
+        combined = empty_stripe(layout, 8)
+        for r, c in layout.data_cells:
+            combined[r, c] = a[r, c] ^ b[r, c]
+        enc.encode(combined)
+        assert np.array_equal(combined, a ^ b)
+
+    def test_combination_matrix_is_binary(self, layout):
+        comb = Encoder(layout).combination
+        assert set(np.unique(comb).tolist()) <= {0, 1}
+        assert comb.shape == (len(layout.parity_cells), len(layout.data_cells))
+
+    def test_update_complexity_positive(self, layout):
+        """Every data cell feeds at least 3 parities (3DFT lower bound)."""
+        comb = Encoder(layout).combination
+        per_data = comb.sum(axis=0)
+        assert (per_data >= 3).all()
+
+    def test_encode_idempotent(self, layout, rng):
+        enc = Encoder(layout)
+        s = enc.random_stripe(8, rng)
+        again = enc.encode(s.copy())
+        assert np.array_equal(s, again)

@@ -1,0 +1,140 @@
+"""Unit and property tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.gf2 import (
+    gf2_echelon,
+    gf2_matmul,
+    gf2_rank,
+    gf2_solve,
+    gf2_solve_map,
+    is_gf2,
+)
+
+
+def test_is_gf2_accepts_binary():
+    assert is_gf2(np.array([[0, 1], [1, 0]], dtype=np.uint8))
+
+
+def test_is_gf2_rejects_other_values():
+    assert not is_gf2(np.array([[0, 2]], dtype=np.uint8))
+
+
+def test_rank_identity():
+    assert gf2_rank(np.eye(5, dtype=np.uint8)) == 5
+
+
+def test_rank_zero_matrix():
+    assert gf2_rank(np.zeros((3, 4), dtype=np.uint8)) == 0
+
+
+def test_rank_empty():
+    assert gf2_rank(np.zeros((0, 0), dtype=np.uint8)) == 0
+
+
+def test_rank_dependent_rows():
+    a = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], dtype=np.uint8)
+    # third row = row0 XOR row1
+    assert gf2_rank(a) == 2
+
+
+def test_rank_rejects_non_binary():
+    with pytest.raises(ValueError):
+        gf2_rank(np.array([[3]], dtype=np.uint8))
+
+
+def test_echelon_pivots_are_increasing():
+    a = np.array([[1, 1, 0], [1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+    red, pivots = gf2_echelon(a)
+    assert pivots == sorted(pivots)
+    # reduced form: pivot columns have exactly one 1
+    for row_idx, col in enumerate(pivots):
+        assert red[:, col].sum() == 1
+        assert red[row_idx, col] == 1
+
+
+def test_matmul_matches_mod2():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 2, (4, 5)).astype(np.uint8)
+    b = rng.integers(0, 2, (5, 3)).astype(np.uint8)
+    expected = (a.astype(int) @ b.astype(int)) % 2
+    assert np.array_equal(gf2_matmul(a, b), expected.astype(np.uint8))
+
+
+def test_solve_unique_system():
+    a = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+    x = np.array([1, 1], dtype=np.uint8)
+    b = gf2_matmul(a, x[:, None])[:, 0]
+    assert np.array_equal(gf2_solve(a, b), x)
+
+
+def test_solve_inconsistent_returns_none():
+    a = np.array([[1, 0], [1, 0]], dtype=np.uint8)
+    b = np.array([0, 1], dtype=np.uint8)
+    assert gf2_solve(a, b) is None
+
+
+def test_solve_underdetermined_raises():
+    a = np.array([[1, 1]], dtype=np.uint8)
+    b = np.array([0], dtype=np.uint8)
+    with pytest.raises(ValueError, match="underdetermined"):
+        gf2_solve(a, b)
+
+
+def test_solve_matrix_rhs():
+    a = np.array([[1, 0], [0, 1], [1, 1]], dtype=np.uint8)
+    x = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+    b = gf2_matmul(a, x)
+    assert np.array_equal(gf2_solve(a, b), x)
+
+
+def test_solve_shape_mismatch():
+    a = np.eye(2, dtype=np.uint8)
+    with pytest.raises(ValueError, match="rows"):
+        gf2_solve(a, np.zeros(3, dtype=np.uint8))
+
+
+def test_solve_map_identity():
+    s = gf2_solve_map(np.eye(4, dtype=np.uint8))
+    assert np.array_equal(s, np.eye(4, dtype=np.uint8))
+
+
+def test_solve_map_rank_deficient_raises():
+    a = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+    with pytest.raises(ValueError, match="undecodable"):
+        gf2_solve_map(a)
+
+
+@st.composite
+def _full_rank_system(draw):
+    n = draw(st.integers(1, 6))
+    extra = draw(st.integers(0, 4))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    while True:
+        a = rng.integers(0, 2, (n + extra, n)).astype(np.uint8)
+        if gf2_rank(a) == n:
+            return a, rng
+
+
+@given(_full_rank_system())
+@settings(max_examples=60, deadline=None)
+def test_solve_roundtrip_property(system):
+    """For full-column-rank A and any x: solve(A, A@x) == x."""
+    a, rng = system
+    x = rng.integers(0, 2, a.shape[1]).astype(np.uint8)
+    b = gf2_matmul(a, x[:, None])[:, 0]
+    assert np.array_equal(gf2_solve(a, b), x)
+
+
+@given(_full_rank_system())
+@settings(max_examples=60, deadline=None)
+def test_solve_map_matches_solve(system):
+    """The precomputed operator S satisfies S@b == solve(A, b)."""
+    a, rng = system
+    x = rng.integers(0, 2, a.shape[1]).astype(np.uint8)
+    b = gf2_matmul(a, x[:, None])[:, 0]
+    s = gf2_solve_map(a)
+    assert np.array_equal(gf2_matmul(s, b[:, None])[:, 0], x)

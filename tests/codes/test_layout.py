@@ -1,0 +1,194 @@
+"""Tests for the layout framework: cells, chains, invariants."""
+
+import pytest
+
+from repro.codes.layout import (
+    CellKind,
+    CodeLayout,
+    Direction,
+    LayoutError,
+    ParityChain,
+)
+
+
+def _tiny_layout(**overrides):
+    """A hand-built 2x3 layout: two data columns and a parity column."""
+    chains = (
+        ParityChain(Direction.HORIZONTAL, 0, frozenset({(0, 0), (0, 1), (0, 2)}), (0, 2)),
+        ParityChain(Direction.HORIZONTAL, 1, frozenset({(1, 0), (1, 1), (1, 2)}), (1, 2)),
+    )
+    kwargs = dict(
+        name="tiny",
+        p=3,
+        rows=2,
+        num_disks=3,
+        data_cells=((0, 0), (0, 1), (1, 0), (1, 1)),
+        parity_cells=((0, 2), (1, 2)),
+        chains=chains,
+    )
+    kwargs.update(overrides)
+    return CodeLayout(**kwargs)
+
+
+class TestParityChain:
+    def test_parity_cell_must_be_member(self):
+        with pytest.raises(LayoutError, match="not a member"):
+            ParityChain(Direction.HORIZONTAL, 0, frozenset({(0, 0)}), (9, 9))
+
+    def test_minimum_two_cells(self):
+        with pytest.raises(LayoutError, match="fewer than 2"):
+            ParityChain(Direction.HORIZONTAL, 0, frozenset({(0, 0)}), (0, 0))
+
+    def test_others_excludes_cell(self):
+        chain = ParityChain(
+            Direction.DIAGONAL, 2, frozenset({(0, 0), (1, 1), (0, 2)}), (0, 2)
+        )
+        assert chain.others((1, 1)) == frozenset({(0, 0), (0, 2)})
+
+    def test_others_unknown_cell_raises(self):
+        chain = ParityChain(Direction.DIAGONAL, 0, frozenset({(0, 0), (0, 1)}), (0, 1))
+        with pytest.raises(KeyError):
+            chain.others((5, 5))
+
+    def test_chain_id_and_len_and_contains(self):
+        chain = ParityChain(
+            Direction.ANTIDIAGONAL, 3, frozenset({(0, 0), (1, 1), (0, 2)}), (0, 2)
+        )
+        assert chain.chain_id == "A3"
+        assert len(chain) == 3
+        assert (1, 1) in chain and (9, 9) not in chain
+
+    def test_columns(self):
+        chain = ParityChain(
+            Direction.HORIZONTAL, 0, frozenset({(0, 0), (0, 1), (0, 2)}), (0, 2)
+        )
+        assert chain.columns() == {0, 1, 2}
+
+
+class TestCodeLayoutValidation:
+    def test_valid_layout_builds(self):
+        lay = _tiny_layout()
+        assert lay.rows == 2 and lay.num_disks == 3
+
+    def test_cell_outside_grid(self):
+        with pytest.raises(LayoutError, match="outside"):
+            _tiny_layout(data_cells=((0, 0), (0, 1), (1, 0), (5, 1)))
+
+    def test_duplicate_cell(self):
+        with pytest.raises(LayoutError, match="twice"):
+            _tiny_layout(data_cells=((0, 0), (0, 0), (1, 0), (1, 1)))
+
+    def test_chain_parity_in_non_parity_cell(self):
+        bad = (
+            ParityChain(Direction.HORIZONTAL, 0, frozenset({(0, 0), (0, 1)}), (0, 1)),
+            ParityChain(Direction.HORIZONTAL, 1, frozenset({(1, 0), (1, 1), (1, 2)}), (1, 2)),
+        )
+        with pytest.raises(LayoutError, match="non-parity"):
+            _tiny_layout(chains=bad)
+
+    def test_unprotected_data_cell(self):
+        chains = (
+            ParityChain(Direction.HORIZONTAL, 0, frozenset({(0, 0), (0, 1), (0, 2)}), (0, 2)),
+            ParityChain(Direction.HORIZONTAL, 1, frozenset({(1, 0), (1, 2)}), (1, 2)),
+        )
+        with pytest.raises(LayoutError, match="not protected"):
+            _tiny_layout(chains=chains)
+
+    def test_orphan_parity_cell(self):
+        chains = (
+            ParityChain(Direction.HORIZONTAL, 0,
+                        frozenset({(0, 0), (0, 1), (1, 0), (1, 1), (0, 2)}), (0, 2)),
+        )
+        with pytest.raises(LayoutError, match="without a chain"):
+            _tiny_layout(chains=chains)
+
+
+class TestCodeLayoutQueries:
+    def test_kind(self):
+        lay = _tiny_layout()
+        assert lay.kind((0, 0)) is CellKind.DATA
+        assert lay.kind((0, 2)) is CellKind.PARITY
+
+    def test_cells_on_disk(self):
+        lay = _tiny_layout()
+        assert lay.cells_on_disk(0) == ((0, 0), (1, 0))
+        assert lay.cells_on_disk(2) == ((0, 2), (1, 2))
+
+    def test_cells_on_disk_out_of_range(self):
+        with pytest.raises(IndexError):
+            _tiny_layout().cells_on_disk(3)
+
+    def test_chains_for_cell(self):
+        lay = _tiny_layout()
+        chains = lay.chains_for((0, 0))
+        assert len(chains) == 1 and chains[0].chain_id == "H0"
+        assert lay.chains_for((9, 9)) == ()
+
+    def test_chains_in_direction(self):
+        lay = _tiny_layout()
+        assert len(lay.chains_in(Direction.HORIZONTAL)) == 2
+        assert lay.chains_in(Direction.DIAGONAL) == ()
+
+    def test_cell_index_is_stable_bijection(self):
+        lay = _tiny_layout()
+        idx = lay.cell_index
+        assert sorted(idx.values()) == list(range(len(lay.all_cells)))
+
+    def test_tolerates_single_cell(self):
+        lay = _tiny_layout()
+        assert lay.tolerates([(0, 0)])
+        assert lay.tolerates([])
+
+    def test_does_not_tolerate_two_in_one_chain(self):
+        lay = _tiny_layout()
+        assert not lay.tolerates([(0, 0), (0, 1)])
+
+    def test_tolerates_disks(self):
+        lay = _tiny_layout()
+        assert lay.tolerates_disks([0])
+        assert not lay.tolerates_disks([0, 1])
+
+    def test_erasure_matrix_unknown_cell(self):
+        with pytest.raises(KeyError):
+            _tiny_layout().erasure_matrix([(7, 7)])
+
+    def test_ascii_grid_renders(self):
+        grid = _tiny_layout().ascii_grid(annotate={(0, 0): "X"})
+        assert "X" in grid and "P" in grid
+
+
+class TestRealLayoutStructure:
+    def test_disk_counts(self):
+        from repro.codes import make_code
+
+        assert make_code("star", 5).num_disks == 8        # p + 3
+        assert make_code("triple-star", 5).num_disks == 7  # p + 2
+        assert make_code("tip", 5).num_disks == 6          # p + 1
+        assert make_code("hdd1", 5).num_disks == 4 + 2     # p + 1
+
+    def test_three_directions_present(self, layout):
+        for direction in Direction:
+            assert layout.chains_in(direction), f"no {direction} chains"
+
+    def test_every_data_cell_has_horizontal_chain(self, layout):
+        for cell in layout.data_cells:
+            dirs = {ch.direction for ch in layout.chains_for(cell)}
+            assert Direction.HORIZONTAL in dirs
+
+    def test_horizontal_chains_have_one_cell_per_column(self, layout):
+        for chain in layout.chains_in(Direction.HORIZONTAL):
+            cols = [c for _, c in chain.cells]
+            assert len(cols) == len(set(cols))
+
+    def test_chains_hold_at_most_two_cells_per_column(self, layout):
+        # One diagonal cell plus at most one adjuster cell per column.
+        for chain in layout.chains:
+            per_col: dict[int, int] = {}
+            for _, col in chain.cells:
+                per_col[col] = per_col.get(col, 0) + 1
+            assert max(per_col.values()) <= 2
+
+    def test_constraint_matrix_shape(self, layout):
+        m = layout.constraint_matrix()
+        assert m.shape == (len(layout.chains), len(layout.all_cells))
+        assert set(m.ravel().tolist()) <= {0, 1}

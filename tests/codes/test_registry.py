@@ -1,0 +1,44 @@
+"""Tests for the code registry."""
+
+import pytest
+
+from repro.codes import available_codes, make_code
+
+
+def test_available_codes():
+    assert set(available_codes()) == {"star", "triple-star", "tip", "hdd1"}
+
+
+def test_make_code_case_insensitive():
+    assert make_code("TIP", 5).name == "TIP"
+    assert make_code("Star", 5).name == "STAR"
+
+
+def test_aliases():
+    assert make_code("triple_star", 5).name == "Triple-STAR"
+    assert make_code("triplestar", 5).name == "Triple-STAR"
+    assert make_code("tip-code", 5).name == "TIP"
+
+
+def test_unknown_code():
+    with pytest.raises(ValueError, match="unknown code"):
+        make_code("rs", 5)
+
+
+def test_non_prime_p():
+    with pytest.raises(ValueError, match="prime"):
+        make_code("tip", 9)
+
+
+@pytest.mark.parametrize(
+    "name,p,disks",
+    [
+        ("star", 7, 10),
+        ("triple-star", 7, 9),
+        ("tip", 7, 8),
+        ("hdd1", 7, 8),
+    ],
+)
+def test_disk_counts_match_paper(name, p, disks):
+    """Paper: STAR = p+3, Triple-STAR = p+2, TIP and HDD1 = p+1 disks."""
+    assert make_code(name, p).num_disks == disks

@@ -1,0 +1,92 @@
+"""Hand-computed checks of the RTP-style construction (Triple-STAR p=3).
+
+2 rows x 5 disks: data columns 0-1, row parity column 2 (virtual column
+p-1 = 2 for the diagonal geometry), diagonal parity column 3,
+anti-diagonal parity column 4.  Small enough to verify by hand.
+
+Diagonal index d(i, vj) = (i + vj) mod 3 over virtual columns {0, 1, 2};
+diagonal 2 has no parity.  Anti-diagonal a(i, vj) = (i - vj) mod 3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import Direction, Encoder, make_code
+
+
+@pytest.fixture(scope="module")
+def ts3():
+    return make_code("triple-star", 3)
+
+
+@pytest.fixture()
+def stripe(ts3):
+    # data: d(0,0)=1 d(0,1)=2 d(1,0)=4 d(1,1)=8
+    s = np.zeros((2, 5, 1), dtype=np.uint8)
+    s[0, 0, 0], s[0, 1, 0] = 1, 2
+    s[1, 0, 0], s[1, 1, 0] = 4, 8
+    Encoder(ts3).encode(s)
+    return s
+
+
+class TestHandComputedParities:
+    def test_row_parity(self, ts3, stripe):
+        assert stripe[0, 2, 0] == 1 ^ 2
+        assert stripe[1, 2, 0] == 4 ^ 8
+
+    def test_diagonal_parity(self, ts3, stripe):
+        r0, r1 = 1 ^ 2, 4 ^ 8  # row parities
+        # diag 0: cells with (i+vj)%3==0, i<2: (0,0); (2,1)x; (1,2)=row parity r1
+        assert stripe[0, 3, 0] == 1 ^ r1
+        # diag 1: (1,0)=4; (0,1)=2; (2,2)x
+        assert stripe[1, 3, 0] == 4 ^ 2
+
+    def test_antidiagonal_parity(self, ts3, stripe):
+        r0, r1 = 1 ^ 2, 4 ^ 8
+        # anti 0: (i-vj)%3==0: (0,0)=1; (1,1)=8; (2,2)x
+        assert stripe[0, 4, 0] == 1 ^ 8
+        # anti 1: (1,0)=4; (2,1)x; (0,2)=r0
+        assert stripe[1, 4, 0] == 4 ^ r0
+
+    def test_all_chains_zero(self, ts3, stripe):
+        for chain in ts3.chains:
+            acc = 0
+            for r, c in chain.cells:
+                acc ^= int(stripe[r, c, 0])
+            assert acc == 0, chain.chain_id
+
+
+class TestChainStructure:
+    def test_diagonal_chains_include_row_parity_column(self, ts3):
+        d0 = next(ch for ch in ts3.chains_in(Direction.DIAGONAL) if ch.index == 0)
+        assert d0.cells == frozenset({(0, 0), (1, 2), (0, 3)})
+
+    def test_no_adjusters(self, ts3):
+        """Same-direction chains never share cells in the RTP family."""
+        for direction in (Direction.DIAGONAL, Direction.ANTIDIAGONAL):
+            chains = ts3.chains_in(direction)
+            for i, a in enumerate(chains):
+                for b in chains[i + 1:]:
+                    assert not (a.cells & b.cells)
+
+    def test_row_parity_cells_sit_on_diagonal_chains(self, ts3):
+        """Unlike STAR's dedicated H parities, RTP row-parity cells also
+        sit on diagonal/anti-diagonal chains (each cell can miss at most
+        one direction — the dropped diagonal through it)."""
+        all_dirs = set()
+        for row in range(ts3.rows):
+            dirs = {ch.direction for ch in ts3.chains_for((row, 2))}
+            assert Direction.HORIZONTAL in dirs
+            assert len(dirs) >= 2
+            all_dirs |= dirs
+        assert all_dirs == set(Direction)
+
+    def test_larger_p_row_parity_mostly_three_directions(self):
+        ts7 = make_code("triple-star", 7)
+        rp_col = 6
+        full = sum(
+            1
+            for row in range(ts7.rows)
+            if len({ch.direction for ch in ts7.chains_for((row, rp_col))}) == 3
+        )
+        assert full >= ts7.rows - 2  # at most one row misses D, one misses A

@@ -1,0 +1,91 @@
+"""Hand-computed checks of the STAR construction for p=3.
+
+Small enough to verify every parity by hand: 2 rows x 6 disks (3 data
+columns, H/D/A parity columns).  Cells are addressed (row, col); the
+imaginary row 2 is all-zero.
+
+Diagonal index d(i,j) = (i+j) mod 3, parity stored for d in {0,1},
+adjuster = diagonal 2.  Anti-diagonal a(i,j) = (i-j) mod 3, adjuster =
+anti-diagonal 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import Encoder, make_code
+
+
+@pytest.fixture(scope="module")
+def star3():
+    return make_code("star", 3)
+
+
+@pytest.fixture()
+def data():
+    # d[i][j] for i in {0,1}, j in {0,1,2}: distinct single-byte values
+    return {
+        (0, 0): 1, (0, 1): 2, (0, 2): 4,
+        (1, 0): 8, (1, 1): 16, (1, 2): 32,
+    }
+
+
+def _encode(star3, data):
+    stripe = np.zeros((2, 6, 1), dtype=np.uint8)
+    for (i, j), v in data.items():
+        stripe[i, j, 0] = v
+    Encoder(star3).encode(stripe)
+    return stripe
+
+
+class TestHandComputedParities:
+    def test_horizontal(self, star3, data):
+        stripe = _encode(star3, data)
+        assert stripe[0, 3, 0] == 1 ^ 2 ^ 4
+        assert stripe[1, 3, 0] == 8 ^ 16 ^ 32
+
+    def test_diagonal_with_adjuster(self, star3, data):
+        stripe = _encode(star3, data)
+        # diagonals d(i,j) = (i+j) % 3 over data cells:
+        #   d=0: (0,0), (1,2)      d=1: (0,1), (1,0)      d=2 (adjuster): (0,2), (1,1)
+        s = 4 ^ 16
+        assert stripe[0, 4, 0] == (1 ^ 32) ^ s
+        assert stripe[1, 4, 0] == (2 ^ 8) ^ s
+
+    def test_antidiagonal_with_adjuster(self, star3, data):
+        stripe = _encode(star3, data)
+        # anti-diagonals a(i,j) = (i-j) % 3:
+        #   a=0: (0,0), (1,1)      a=1: (1,0), (0,2)      a=2 (adjuster): (0,1), (1,2)
+        s = 2 ^ 32
+        assert stripe[0, 5, 0] == (1 ^ 16) ^ s
+        assert stripe[1, 5, 0] == (8 ^ 4) ^ s
+
+    def test_every_chain_xors_to_zero(self, star3, data):
+        stripe = _encode(star3, data)
+        for chain in star3.chains:
+            acc = 0
+            for r, c in chain.cells:
+                acc ^= int(stripe[r, c, 0])
+            assert acc == 0, chain.chain_id
+
+
+class TestChainMembership:
+    def test_diagonal_chain_contents(self, star3):
+        from repro.codes import Direction
+
+        d0 = next(
+            ch for ch in star3.chains_in(Direction.DIAGONAL) if ch.index == 0
+        )
+        # diagonal 0 cells + adjuster cells + parity cell
+        assert d0.cells == frozenset(
+            {(0, 0), (1, 2), (0, 2), (1, 1), (0, 4)}
+        )
+
+    def test_adjuster_cells_in_both_diagonal_chains(self, star3):
+        from repro.codes import Direction
+
+        for adjuster_cell in [(0, 2), (1, 1)]:
+            chains = [
+                ch for ch in star3.chains_for(adjuster_cell)
+                if ch.direction is Direction.DIAGONAL
+            ]
+            assert len(chains) == 2  # every diagonal chain (p - 1 = 2)

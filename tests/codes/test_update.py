@@ -1,0 +1,62 @@
+"""Tests for update-complexity metrics."""
+
+import pytest
+
+from repro.codes import make_code
+from repro.codes.update import parities_touched, update_complexity
+
+
+class TestParitiesTouched:
+    def test_covers_all_data_cells(self, layout):
+        touched = parities_touched(layout)
+        assert set(touched) == set(layout.data_cells)
+
+    def test_lower_bound_is_three(self, layout):
+        """A 3DFT code must propagate every data write to >= 3 parities."""
+        assert min(parities_touched(layout).values()) >= 3
+
+    def test_matches_chain_membership_for_star(self, star5):
+        """For STAR (diagonals over data only), a non-adjuster data cell
+        touches exactly its 3 chains' parities."""
+        touched = parities_touched(star5)
+        for cell, count in touched.items():
+            chains = star5.chains_for(cell)
+            assert count == len(chains)
+
+
+class TestUpdateComplexity:
+    def test_summary_consistency(self, layout):
+        u = update_complexity(layout)
+        assert u.minimum <= u.average <= u.maximum
+        assert 0.0 <= u.optimal_fraction <= 1.0
+        assert u.code == layout.name
+
+    def test_rtp_family_bounded_by_five(self):
+        """TIP/Triple-STAR substitutes: a data write patches at most its
+        row parity, its own two diagonals, and the row-parity cell's two
+        diagonals — 5 parities."""
+        for name in ("tip", "triple-star"):
+            for p in (5, 7, 11):
+                u = update_complexity(make_code(name, p))
+                assert u.maximum <= 5, (name, p)
+
+    def test_adjuster_cells_dominate_star_family(self):
+        """STAR/HDD1: adjuster cells feed every chain of a direction, so
+        the worst-case update cost grows with p."""
+        for name in ("star", "hdd1"):
+            small = update_complexity(make_code(name, 5))
+            large = update_complexity(make_code(name, 11))
+            assert large.maximum > small.maximum, name
+            assert large.maximum >= large.p - 1
+
+    def test_substitutes_are_not_update_optimal(self):
+        """Documented limitation (DESIGN.md §4): our chain-geometry
+        substitutes do not reproduce TIP's optimal update complexity."""
+        assert not update_complexity(make_code("tip", 7)).is_optimal
+
+    def test_star_family_has_more_optimal_cells_than_rtp(self):
+        """In STAR-family codes most non-adjuster cells sit at exactly 3;
+        in RTP-family codes the row-parity coupling lifts almost all."""
+        star = update_complexity(make_code("star", 11))
+        tip = update_complexity(make_code("tip", 11))
+        assert star.optimal_fraction > tip.optimal_fraction

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import Encoder, make_code
+from repro.codes.registry import available_codes
+
+ALL_CODES = available_codes()
+SMALL_PRIMES = (3, 5, 7)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=ALL_CODES)
+def code_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture(params=SMALL_PRIMES)
+def prime(request) -> int:
+    return request.param
+
+
+@pytest.fixture
+def layout(code_name, prime):
+    return make_code(code_name, prime)
+
+
+@pytest.fixture
+def tip7():
+    """The paper's running example: TIP with p=7 (8 disks)."""
+    return make_code("tip", 7)
+
+
+@pytest.fixture
+def star5():
+    return make_code("star", 5)
+
+
+@pytest.fixture
+def encoded_stripe(layout, rng):
+    """(layout, stripe) pair with random encoded payloads."""
+    return layout, Encoder(layout).random_stripe(32, rng)

@@ -1,0 +1,192 @@
+"""Tests for the FBF replacement policy (paper Algorithm 1, Figures 5-7)."""
+
+import pytest
+
+from repro.core import FBFCache
+
+
+class TestAdmission:
+    def test_attaches_to_queue_matching_priority(self):
+        c = FBFCache(8)
+        c.request("p1", priority=1)
+        c.request("p2", priority=2)
+        c.request("p3", priority=3)
+        assert c.queue_of("p1") == 1
+        assert c.queue_of("p2") == 2
+        assert c.queue_of("p3") == 3
+
+    def test_priority_none_defaults_to_one(self):
+        c = FBFCache(4)
+        c.request("x")
+        assert c.queue_of("x") == 1
+
+    def test_priority_above_three_caps(self):
+        c = FBFCache(4)
+        c.request("x", priority=9)
+        assert c.queue_of("x") == 3
+
+    def test_priority_validation(self):
+        c = FBFCache(4)
+        with pytest.raises(ValueError):
+            c.request("x", priority=0)
+        with pytest.raises(TypeError):
+            c.request("y", priority="high")
+
+
+class TestReplacement:
+    def test_evicts_queue1_first(self):
+        """Figure 7: low-priority chunks leave before idle high-priority ones."""
+        c = FBFCache(3)
+        c.request("hi", priority=3)
+        c.request("mid", priority=2)
+        c.request("lo", priority=1)
+        c.request("new", priority=1)
+        assert "lo" not in c
+        assert "hi" in c and "mid" in c
+
+    def test_evicts_queue2_when_queue1_empty(self):
+        c = FBFCache(2)
+        c.request("hi", priority=3)
+        c.request("mid", priority=2)
+        c.request("new", priority=3)
+        assert "mid" not in c and "hi" in c
+
+    def test_evicts_queue3_last(self):
+        c = FBFCache(2)
+        c.request("a", priority=3)
+        c.request("b", priority=3)
+        c.request("d", priority=1)
+        assert "a" not in c  # LRU of Queue3
+        assert "b" in c and "d" in c
+
+    def test_lru_order_within_queue(self):
+        c = FBFCache(2)
+        c.request("a", priority=1)
+        c.request("b", priority=1)
+        c.request("a", priority=1)  # hit: a moves to MRU end of Queue1
+        c.request("x", priority=1)  # evicts b
+        assert "b" not in c and "a" in c
+
+
+class TestDemotion:
+    def test_queue3_hit_demotes_to_queue2(self):
+        """Figure 6: one rereference consumed, one queue down."""
+        c = FBFCache(4)
+        c.request("x", priority=3)
+        assert c.request("x") is True
+        assert c.queue_of("x") == 2
+
+    def test_full_demotion_chain(self):
+        c = FBFCache(4)
+        c.request("x", priority=3)
+        c.request("x")
+        c.request("x")
+        assert c.queue_of("x") == 1
+        c.request("x")  # Queue1 hits stay in Queue1
+        assert c.queue_of("x") == 1
+
+    def test_demoted_block_attached_at_mru(self):
+        c = FBFCache(4)
+        c.request("old1", priority=1)
+        c.request("x", priority=2)
+        c.request("x")  # demote into Queue1 at the MRU end
+        assert c.queue_contents(1) == ("old1", "x")
+
+    def test_sticky_mode_never_demotes(self):
+        c = FBFCache(4, demote_on_hit=False)
+        c.request("x", priority=3)
+        c.request("x")
+        c.request("x")
+        assert c.queue_of("x") == 3
+
+
+class TestPaperWarmupExample:
+    def test_figure5_warmup(self):
+        """Figure 5: requests C(1,1), C(2,2), C(4,4), C(5,5), C(0,6) with
+        priorities 3, 1, 2, 1, 1 land in Queue3/Queue1/Queue2/Queue1/Queue1."""
+        c = FBFCache(8)
+        seq = [((1, 1), 3), ((2, 2), 1), ((4, 4), 2), ((5, 5), 1), ((0, 6), 1)]
+        for cell, prio in seq:
+            assert c.request(cell, priority=prio) is False
+        assert c.queue_contents(3) == ((1, 1),)
+        assert c.queue_contents(2) == ((4, 4),)
+        assert c.queue_contents(1) == ((2, 2), (5, 5), (0, 6))
+
+    def test_figure6_two_hits_demote_c11_to_queue1(self):
+        c = FBFCache(8)
+        c.request((1, 1), priority=3)
+        c.request((1, 1))
+        assert c.queue_of((1, 1)) == 2
+        c.request((1, 1))
+        assert c.queue_of((1, 1)) == 1
+
+
+class TestQueueCountVariants:
+    def test_n_queues_validation(self):
+        with pytest.raises(ValueError):
+            FBFCache(4, n_queues=0)
+
+    def test_hints_capped_at_n_queues(self):
+        c = FBFCache(8, n_queues=5)
+        c.request("x", priority=17)
+        assert c.queue_of("x") == 5
+
+    def test_extra_queues_rank_beyond_three(self):
+        c = FBFCache(8, n_queues=5)
+        c.request("mid", priority=3)
+        c.request("hot", priority=5)
+        # evict 6 fillers' worth to reach the high queues
+        for i in range(16):
+            c.request(i, priority=1)
+        assert "mid" in c and "hot" in c
+        c2 = FBFCache(2, n_queues=5)
+        c2.request("mid", priority=3)
+        c2.request("hot", priority=5)
+        c2.request("new", priority=1)  # evicts mid (lowest populated queue)
+        assert "mid" not in c2 and "hot" in c2
+
+    def test_single_queue_behaves_like_lru(self):
+        from repro.cache import LRUCache
+
+        fbf = FBFCache(3, n_queues=1)
+        lru = LRUCache(3)
+        stream = [("a", 1), ("b", 3), ("a", 2), ("c", 1), ("d", 2), ("b", 1)]
+        for key, prio in stream:
+            assert fbf.request(key, priority=prio) == lru.request(key)
+
+    def test_demotion_chain_spans_all_queues(self):
+        c = FBFCache(8, n_queues=4)
+        c.request("x", priority=4)
+        for expected in (3, 2, 1, 1):
+            c.request("x")
+            assert c.queue_of("x") == expected
+
+
+class TestBookkeeping:
+    def test_len_counts_all_queues(self):
+        c = FBFCache(8)
+        for i, p in enumerate((1, 2, 3, 1)):
+            c.request(i, priority=p)
+        assert len(c) == 4
+
+    def test_zero_capacity(self):
+        c = FBFCache(0)
+        assert c.request("x", priority=3) is False
+        assert len(c) == 0
+
+    def test_capacity_never_exceeded(self):
+        c = FBFCache(3)
+        for i in range(20):
+            c.request(i, priority=(i % 3) + 1)
+            assert len(c) <= 3
+
+    def test_reset(self):
+        c = FBFCache(4)
+        c.request("x", priority=3)
+        c.reset()
+        assert len(c) == 0 and c.stats.requests == 0
+        assert "x" not in c
+
+    def test_queue_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            FBFCache(4).queue_of("ghost")

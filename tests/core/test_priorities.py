@@ -1,0 +1,89 @@
+"""Tests for the priority dictionary (paper Table II)."""
+
+import pytest
+
+from repro.core import PriorityDictionary, generate_plan, priority_of_count
+from repro.core.priorities import MAX_PRIORITY
+
+
+class TestPriorityOfCount:
+    def test_table_ii_mapping(self):
+        assert priority_of_count(1) == 1
+        assert priority_of_count(2) == 2
+        assert priority_of_count(3) == 3
+
+    def test_saturates_above_three(self):
+        """'>= Three' shared chains all map to priority 3 (STAR adjusters)."""
+        assert priority_of_count(4) == 3
+        assert priority_of_count(17) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            priority_of_count(0)
+
+
+@pytest.fixture
+def plan(tip7):
+    return generate_plan(tip7, [(r, 0) for r in range(5)], "fbf")
+
+
+@pytest.fixture
+def priorities(plan):
+    return PriorityDictionary(plan)
+
+
+class TestPriorityDictionary:
+    def test_mapping_protocol(self, priorities):
+        assert len(priorities) > 0
+        for cell in priorities:
+            assert priorities[cell] in (1, 2, 3)
+
+    def test_lookup_default_is_one(self, priorities):
+        assert priorities.lookup(("not", "a", "cell")) == 1
+
+    def test_share_count_zero_for_unknown(self, priorities):
+        assert priorities.share_count((99, 99)) == 0
+
+    def test_consistency_with_plan(self, plan, priorities):
+        for cell, count in plan.chain_share_count.items():
+            assert priorities[cell] == min(count, MAX_PRIORITY)
+            assert priorities.share_count(cell) == count
+
+    def test_histogram_sums_to_len(self, priorities):
+        hist = priorities.histogram()
+        assert sum(hist.values()) == len(priorities)
+        assert set(hist) == {1, 2, 3}
+
+    def test_cells_at_partition(self, priorities):
+        all_cells = set()
+        for p in (1, 2, 3):
+            cells = priorities.cells_at(p)
+            assert list(cells) == sorted(cells)
+            all_cells |= set(cells)
+        assert all_cells == set(priorities)
+
+    def test_table_renders(self, priorities):
+        table = priorities.table()
+        assert "Priority" in table
+        for p in ("3", "2", "1"):
+            assert p in table
+
+    def test_typical_plan_is_all_priority_one(self, tip7):
+        plan = generate_plan(tip7, [(r, 0) for r in range(5)], "typical")
+        pd = PriorityDictionary(plan)
+        assert pd.histogram() == {1: len(pd), 2: 0, 3: 0}
+
+
+class TestStarAdjusterEffect:
+    def test_adjuster_cells_hit_priority_cap(self, star5):
+        """Paper §IV-B-1: STAR's adjusters are referenced >3 times and always
+        get the highest priority."""
+        failed = [(r, 0) for r in range(star5.rows)]
+        plan = generate_plan(star5, failed, "fbf")
+        pd = PriorityDictionary(plan)
+        over_cap = [c for c in pd if pd.share_count(c) > MAX_PRIORITY]
+        if over_cap:  # depends on how many diagonal chains got selected
+            for cell in over_cap:
+                assert pd[cell] == MAX_PRIORITY
+        # at minimum, some cell must be shared by multiple chains
+        assert any(pd[c] >= 2 for c in pd)

@@ -1,0 +1,125 @@
+"""Tests for recovery-scheme generation."""
+
+import pytest
+
+from repro.codes import Direction, make_code
+from repro.core import UnrecoverableError, generate_plan
+from repro.core.scheme import DIRECTION_LOOP
+
+
+class TestValidation:
+    def test_unknown_mode(self, tip7):
+        with pytest.raises(ValueError, match="unknown scheme mode"):
+            generate_plan(tip7, [(0, 0)], "magic")
+
+    def test_empty_failure_set(self, tip7):
+        with pytest.raises(ValueError, match="no failed cells"):
+            generate_plan(tip7, [])
+
+    def test_cell_outside_layout(self, tip7):
+        with pytest.raises(KeyError):
+            generate_plan(tip7, [(99, 0)])
+
+
+class TestTypicalScheme:
+    def test_data_cells_use_horizontal_chains(self, layout):
+        failed = [(r, 0) for r in range(min(3, layout.rows))]
+        plan = generate_plan(layout, failed, "typical")
+        for a in plan.assignments:
+            assert a.chain.direction is Direction.HORIZONTAL
+
+    def test_no_shared_chunks_on_horizontal_recovery(self, layout):
+        """Horizontal chains of different rows are disjoint: zero overlap."""
+        failed = [(r, 0) for r in range(min(3, layout.rows))]
+        plan = generate_plan(layout, failed, "typical")
+        assert plan.total_requests == plan.unique_reads
+
+    def test_parity_disk_error_recovers_via_own_chain(self, tip7):
+        # TIP p=7: column 7 is the anti-diagonal parity disk
+        anti_col = tip7.num_disks - 1
+        plan = generate_plan(tip7, [(0, anti_col)], "typical")
+        assert plan.assignments[0].chain.direction is Direction.ANTIDIAGONAL
+
+
+class TestFBFScheme:
+    def test_directions_cycle(self, tip7):
+        failed = [(r, 0) for r in range(6)]
+        plan = generate_plan(tip7, failed, "fbf")
+        dirs = [a.chain.direction for a in plan.assignments]
+        assert dirs == [DIRECTION_LOOP[i % 3] for i in range(6)]
+
+    def test_creates_shared_chunks(self, tip7):
+        failed = [(r, 0) for r in range(5)]
+        plan = generate_plan(tip7, failed, "fbf")
+        assert plan.total_requests > plan.unique_reads
+
+    def test_fewer_unique_reads_than_typical(self, tip7):
+        failed = [(r, 0) for r in range(5)]
+        typical = generate_plan(tip7, failed, "typical")
+        fbf = generate_plan(tip7, failed, "fbf")
+        assert fbf.unique_reads < typical.unique_reads
+
+    def test_every_failed_cell_assigned_exactly_once(self, layout):
+        failed = [(r, 1) for r in range(layout.rows)]
+        plan = generate_plan(layout, failed, "fbf")
+        assert sorted(plan.failed_cells) == sorted(failed)
+
+    def test_chains_contain_their_failed_cell(self, layout):
+        failed = [(r, 0) for r in range(min(4, layout.rows))]
+        plan = generate_plan(layout, failed, "fbf")
+        for a in plan.assignments:
+            assert a.failed_cell in a.chain
+
+    def test_chain_never_contains_another_failed_cell(self, layout):
+        """Strict eligibility: chains only read intact, surviving chunks."""
+        failed = [(r, 0) for r in range(layout.rows)]
+        plan = generate_plan(layout, failed, "fbf")
+        failed_set = set(failed)
+        for a in plan.assignments:
+            assert a.chain.cells & failed_set == {a.failed_cell}
+
+    def test_single_chunk_error(self, layout):
+        plan = generate_plan(layout, [(0, 0)], "fbf")
+        assert len(plan.assignments) == 1
+        assert plan.unique_reads == len(plan.assignments[0].reads)
+
+
+class TestGreedyScheme:
+    def test_at_least_as_few_unique_reads_as_typical(self, layout):
+        failed = [(r, 0) for r in range(min(5, layout.rows))]
+        greedy = generate_plan(layout, failed, "greedy")
+        typical = generate_plan(layout, failed, "typical")
+        assert greedy.unique_reads <= typical.unique_reads
+
+
+class TestPlanProperties:
+    def test_request_sequence_matches_assignments(self, tip7):
+        plan = generate_plan(tip7, [(0, 0), (1, 0)], "fbf")
+        expected = [c for a in plan.assignments for c in a.reads]
+        assert list(plan.request_sequence) == expected
+
+    def test_reads_exclude_all_failed_cells(self, tip7):
+        plan = generate_plan(tip7, [(r, 0) for r in range(4)], "fbf")
+        failed = set(plan.failed_cells)
+        assert not (set(plan.request_sequence) & failed)
+
+    def test_direction_histogram_totals(self, tip7):
+        plan = generate_plan(tip7, [(r, 0) for r in range(5)], "fbf")
+        assert sum(plan.direction_histogram().values()) == 5
+
+    def test_share_counts_cover_all_reads(self, tip7):
+        plan = generate_plan(tip7, [(r, 0) for r in range(5)], "fbf")
+        assert sum(plan.chain_share_count.values()) == plan.total_requests
+        assert set(plan.chain_share_count) == set(plan.request_sequence)
+
+
+class TestAllDisksAllSizes:
+    def test_every_single_disk_partial_error_is_plannable(self, layout):
+        """Any contiguous error on any one disk gets a full plan, all modes."""
+        for disk in range(layout.num_disks):
+            cells_on_disk = layout.cells_on_disk(disk)
+            for length in (1, len(cells_on_disk)):
+                failed = list(cells_on_disk[:length])
+                for mode in ("typical", "fbf", "greedy"):
+                    plan = generate_plan(layout, failed, mode)
+                    assert len(plan.assignments) == len(failed)

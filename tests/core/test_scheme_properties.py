@@ -1,0 +1,93 @@
+"""Hypothesis property tests for recovery-scheme generation.
+
+Broad sweep over all codes, primes up to 13, every disk, and arbitrary
+contiguous error extents — the full input space the simulators feed the
+planner.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import make_code
+from repro.codes.registry import available_codes
+from repro.core import PriorityDictionary, generate_plan
+
+LAYOUTS = {
+    (name, p): make_code(name, p)
+    for name in available_codes()
+    for p in (3, 5, 7, 11, 13)
+}
+
+
+@st.composite
+def plan_cases(draw):
+    key = draw(st.sampled_from(sorted(LAYOUTS)))
+    layout = LAYOUTS[key]
+    disk = draw(st.integers(0, layout.num_disks - 1))
+    length = draw(st.integers(1, layout.rows))
+    start = draw(st.integers(0, layout.rows - length))
+    mode = draw(st.sampled_from(["typical", "fbf", "greedy"]))
+    return layout, disk, start, length, mode
+
+
+@given(plan_cases())
+@settings(max_examples=150, deadline=None)
+def test_plan_invariants(case):
+    layout, disk, start, length, mode = case
+    failed = [(r, disk) for r in range(start, start + length)]
+    plan = generate_plan(layout, failed, mode)
+
+    # one assignment per failed cell, in order
+    assert list(plan.failed_cells) == failed
+    failed_set = set(failed)
+    for a in plan.assignments:
+        # each chain contains exactly its own failed cell
+        assert a.chain.cells & failed_set == {a.failed_cell}
+        # reads are the chain minus the failed cell, sorted
+        assert set(a.reads) == set(a.chain.others(a.failed_cell))
+        assert list(a.reads) == sorted(a.reads)
+
+    # bookkeeping identities
+    assert plan.total_requests == sum(len(a.reads) for a in plan.assignments)
+    assert plan.unique_reads == len(set(plan.request_sequence))
+    assert sum(plan.chain_share_count.values()) == plan.total_requests
+
+    # priorities follow Table II
+    pd = PriorityDictionary(plan)
+    for cell, count in plan.chain_share_count.items():
+        assert pd[cell] == min(count, 3)
+    assert set(pd) == set(plan.chain_share_count)
+
+
+@given(plan_cases())
+@settings(max_examples=100, deadline=None)
+def test_mode_orderings(case):
+    layout, disk, start, length, _ = case
+    failed = [(r, disk) for r in range(start, start + length)]
+    typical = generate_plan(layout, failed, "typical")
+    greedy = generate_plan(layout, failed, "greedy")
+    # greedy never fetches more unique chunks than typical
+    assert greedy.unique_reads <= typical.unique_reads
+    # whenever typical actually got horizontal chains (always possible for
+    # data/H-parity disks), those chains are disjoint: zero sharing.
+    from repro.codes import Direction
+
+    if all(a.chain.direction is Direction.HORIZONTAL for a in typical.assignments):
+        assert typical.total_requests == typical.unique_reads
+    else:
+        # errors on a diagonal-parity disk of an adjuster code: even
+        # "typical" recovery shares the adjuster cells between chains.
+        assert typical.total_requests >= typical.unique_reads
+
+
+@given(plan_cases())
+@settings(max_examples=60, deadline=None)
+def test_plan_determinism(case):
+    layout, disk, start, length, mode = case
+    failed = [(r, disk) for r in range(start, start + length)]
+    a = generate_plan(layout, failed, mode)
+    b = generate_plan(layout, failed, mode)
+    assert a.request_sequence == b.request_sequence
+    assert [x.chain.chain_id for x in a.assignments] == [
+        x.chain.chain_id for x in b.assignments
+    ]

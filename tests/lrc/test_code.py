@@ -1,0 +1,172 @@
+"""Tests for the LRC code: structure, encode/verify/decode, MR property."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.lrc import LRCCode
+
+
+@pytest.fixture
+def azure():
+    """Azure's production parameters."""
+    return LRCCode(12, 2, 2)
+
+
+@pytest.fixture
+def small():
+    return LRCCode(6, 2, 2)
+
+
+def _encoded(code, seed=0, payload=16):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, (code.k, payload), dtype=np.uint8)
+    return code.encode(data)
+
+
+class TestStructure:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRCCode(0, 1, 1)
+        with pytest.raises(ValueError):
+            LRCCode(7, 2, 2)  # k not divisible by l
+        with pytest.raises(ValueError):
+            LRCCode(12, 2, -1)
+
+    def test_block_counts(self, azure):
+        assert azure.n_blocks == 16
+        assert len(azure.data_blocks) == 12
+        assert len(azure.parity_blocks) == 4
+
+    def test_groups(self, azure):
+        assert azure.group_of(0) == 0
+        assert azure.group_of(5) == 0
+        assert azure.group_of(6) == 1
+        with pytest.raises(IndexError):
+            azure.group_of(12)
+
+    def test_chains(self, azure):
+        assert len(azure.chains) == 4
+        locals_ = [c for c in azure.chains if c.kind == "local"]
+        globals_ = [c for c in azure.chains if c.kind == "global"]
+        assert len(locals_) == 2 and len(globals_) == 2
+        assert len(locals_[0].members) == 6
+        assert len(globals_[0].members) == 12
+
+    def test_chains_for(self, azure):
+        chains = azure.chains_for(("d", 0))
+        kinds = sorted(c.kind for c in chains)
+        assert kinds == ["global", "global", "local"]
+        # a local parity belongs only to its own chain
+        assert len(azure.chains_for(("lp", 0))) == 1
+
+    def test_chain_others(self, azure):
+        chain = azure.chains[0]
+        assert ("d", 0) not in chain.others(("d", 0))
+        with pytest.raises(KeyError):
+            chain.others(("d", 11))
+
+    def test_mr_group_size_cap(self):
+        with pytest.raises(ValueError, match="group sizes"):
+            LRCCode(32, 2, 2)  # group size 16 > 15
+
+
+class TestEncodeVerify:
+    def test_encoded_stripe_verifies(self, azure):
+        assert azure.verify(_encoded(azure))
+
+    def test_corruption_detected(self, azure):
+        blocks = _encoded(azure)
+        blocks[("d", 3)][0] ^= 1
+        assert not azure.verify(blocks)
+
+    def test_local_parity_is_group_xor(self, azure):
+        blocks = _encoded(azure)
+        acc = np.zeros(16, dtype=np.uint8)
+        for i in range(6):
+            acc ^= blocks[("d", i)]
+        assert np.array_equal(acc, blocks[("lp", 0)])
+
+    def test_wrong_data_shape_rejected(self, azure):
+        with pytest.raises(ValueError):
+            azure.encode(np.zeros((5, 8), dtype=np.uint8))
+
+    def test_zero_data_zero_parity(self, azure):
+        blocks = azure.encode(np.zeros((12, 8), dtype=np.uint8))
+        assert not blocks[("gp", 0)].any()
+        assert not blocks[("lp", 1)].any()
+
+
+class TestDecode:
+    @pytest.mark.parametrize("block", [("d", 0), ("d", 11), ("lp", 1), ("gp", 0)])
+    def test_single_erasure(self, azure, block):
+        blocks = _encoded(azure)
+        golden = blocks[block].copy()
+        blocks[block] = np.zeros_like(golden)
+        azure.decode(blocks, [block])
+        assert np.array_equal(blocks[block], golden)
+
+    def test_four_erasures_mixed(self, azure):
+        blocks = _encoded(azure)
+        erased = [("d", 0), ("d", 7), ("lp", 0), ("gp", 1)]
+        golden = {b: blocks[b].copy() for b in erased}
+        for b in erased:
+            blocks[b] = np.zeros_like(blocks[b])
+        azure.decode(blocks, erased)
+        for b in erased:
+            assert np.array_equal(blocks[b], golden[b])
+
+    def test_undecodable_raises(self, azure):
+        blocks = _encoded(azure)
+        erased = [("d", 0), ("d", 1), ("d", 2), ("d", 3), ("d", 4)]
+        with pytest.raises(ValueError, match="undecodable"):
+            azure.decode(blocks, erased)
+
+    def test_unknown_block_raises(self, azure):
+        with pytest.raises(KeyError):
+            azure.decode(_encoded(azure), [("x", 0)])
+
+    def test_empty_erasure_noop(self, azure):
+        blocks = _encoded(azure)
+        azure.decode(blocks, [])
+        assert azure.verify(blocks)
+
+
+class TestMaximalRecoverability:
+    @staticmethod
+    def _info_decodable(code, pattern):
+        """The combinatorial MR condition for l=2, g=2."""
+        per_group = [0] * code.l
+        gp_erased = 0
+        for kind, i in pattern:
+            if kind == "d":
+                per_group[code.group_of(i)] += 1
+            elif kind == "lp":
+                per_group[i] += 1
+            else:
+                gp_erased += 1
+        g_avail = code.g - gp_erased
+        for size in range(1, code.l + 1):
+            for groups in itertools.combinations(range(code.l), size):
+                if sum(per_group[t] for t in groups) > size + g_avail:
+                    return False
+        return True
+
+    def test_all_triples_decodable(self, small):
+        for pattern in itertools.combinations(small.all_blocks, 3):
+            assert small.decodable(pattern), pattern
+
+    def test_four_erasures_exactly_match_info_theory(self, small):
+        for pattern in itertools.combinations(small.all_blocks, 4):
+            assert small.decodable(pattern) == self._info_decodable(small, pattern), (
+                pattern
+            )
+
+    def test_azure_hard_pattern(self, azure):
+        """Two failures in each group — the pattern a Cauchy choice misses."""
+        assert azure.decodable([("d", 0), ("d", 1), ("d", 6), ("d", 7)])
+
+    def test_five_erasures_never_decodable_for_g2l2(self, small):
+        for pattern in itertools.combinations(small.all_blocks, 5):
+            assert not small.decodable(pattern)

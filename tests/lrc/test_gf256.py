@@ -1,0 +1,136 @@
+"""Tests for GF(2^8) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lrc.gf256 import (
+    cauchy_matrix,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_matmul,
+    gf_mul,
+    gf_pow,
+    gf_rank,
+    gf_solve,
+)
+
+elements = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    @settings(max_examples=100, deadline=None)
+    def test_mul_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    @settings(max_examples=100, deadline=None)
+    def test_mul_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    @settings(max_examples=100, deadline=None)
+    def test_distributive(self, a, b, c):
+        left = gf_mul(a, gf_add(b, c))
+        right = gf_add(gf_mul(a, b), gf_mul(a, c))
+        assert left == right
+
+    @given(nonzero)
+    @settings(max_examples=100, deadline=None)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(elements)
+    @settings(max_examples=50, deadline=None)
+    def test_identity_and_zero(self, a):
+        assert gf_mul(a, 1) == a
+        assert gf_mul(a, 0) == 0
+
+    @given(elements, nonzero)
+    @settings(max_examples=50, deadline=None)
+    def test_div_roundtrip(self, a, b):
+        assert gf_mul(gf_div(a, b), b) == a
+
+
+class TestScalarHelpers:
+    def test_pow(self):
+        assert gf_pow(2, 0) == 1
+        assert gf_pow(2, 1) == 2
+        assert gf_pow(0, 5) == 0
+        assert gf_pow(0, 0) == 1
+        # 2 is primitive: order 255
+        assert gf_pow(2, 255) == 1
+        assert all(gf_pow(2, n) != 1 for n in range(1, 255))
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+        with pytest.raises(ZeroDivisionError):
+            gf_div(3, 0)
+
+    def test_vectorized_mul(self):
+        a = np.arange(256, dtype=np.uint8)
+        out = gf_mul(a, 1)
+        assert np.array_equal(out, a)
+        assert not gf_mul(a, 0).any()
+
+
+class TestLinearAlgebra:
+    def test_matmul_identity(self):
+        m = np.arange(1, 10, dtype=np.uint8).reshape(3, 3)
+        eye = np.eye(3, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(eye, m), m)
+
+    def test_matmul_shape_check(self):
+        with pytest.raises(ValueError):
+            gf_matmul(np.ones((2, 3), np.uint8), np.ones((2, 2), np.uint8))
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_solve_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        while True:
+            a = rng.integers(0, 256, (n, n), dtype=np.uint8)
+            if gf_rank(a) == n:
+                break
+        x = rng.integers(0, 256, n, dtype=np.uint8)
+        b = gf_matmul(a, x[:, None])[:, 0]
+        assert np.array_equal(gf_solve(a, b), x)
+
+    def test_solve_rank_deficient_raises(self):
+        a = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        with pytest.raises(ValueError, match="rank deficient"):
+            gf_solve(a, np.zeros(2, dtype=np.uint8))
+
+    def test_solve_matrix_rhs(self):
+        a = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+        x = np.array([[3, 7], [5, 11]], dtype=np.uint8)
+        b = gf_matmul(a, x)
+        assert np.array_equal(gf_solve(a, b), x)
+
+    def test_rank(self):
+        assert gf_rank(np.eye(4, dtype=np.uint8)) == 4
+        assert gf_rank(np.zeros((3, 3), np.uint8)) == 0
+        dep = np.array([[1, 2], [2, 4]], dtype=np.uint8)
+        assert gf_rank(dep) == 1  # row2 = 2 * row1 over GF(256)
+
+
+class TestCauchy:
+    def test_every_square_submatrix_invertible(self):
+        m = cauchy_matrix(3, 5)
+        import itertools
+
+        for size in (1, 2, 3):
+            for rows in itertools.combinations(range(3), size):
+                for cols in itertools.combinations(range(5), size):
+                    sub = m[np.ix_(rows, cols)]
+                    assert gf_rank(sub) == size, (rows, cols)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix(200, 100)

@@ -1,0 +1,93 @@
+"""Tests for the Reed-Solomon baseline."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lrc import LRCCode, RSCode, plan_lrc_recovery
+
+
+@pytest.fixture
+def rs():
+    return RSCode(6, 3)
+
+
+def _codeword(rs, seed=0, payload=16):
+    rng = np.random.default_rng(seed)
+    return rs.encode(rng.integers(0, 256, (rs.k, payload), dtype=np.uint8))
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RSCode(0, 1)
+        with pytest.raises(ValueError):
+            RSCode(200, 100)
+
+    def test_systematic(self, rs):
+        cw = _codeword(rs)
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, (6, 16), dtype=np.uint8)
+        assert np.array_equal(rs.encode(data)[:6], data)
+
+    def test_shapes(self, rs):
+        assert rs.n_blocks == 9
+        assert rs.generator.shape == (9, 6)
+
+
+class TestDecoding:
+    def test_all_triple_erasures_decode(self, rs):
+        cw = _codeword(rs, seed=3)
+        for combo in itertools.combinations(range(rs.n_blocks), 3):
+            broken = cw.copy()
+            for e in combo:
+                broken[e] = 0
+            assert np.array_equal(rs.decode(broken, list(combo)), cw), combo
+
+    def test_four_erasures_rejected(self, rs):
+        assert not rs.decodable([0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            rs.decode(_codeword(rs), [0, 1, 2, 3])
+
+    def test_empty_erasure_noop(self, rs):
+        cw = _codeword(rs)
+        assert np.array_equal(rs.decode(cw, []), cw)
+
+    def test_out_of_range_index(self, rs):
+        with pytest.raises(IndexError):
+            rs.decodable([99])
+
+
+@given(st.integers(0, 2**31), st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_random_erasure_roundtrip(seed, n_erasures):
+    rs = RSCode(5, 3)
+    rng = np.random.default_rng(seed)
+    cw = rs.encode(rng.integers(0, 256, (5, 8), dtype=np.uint8))
+    erased = list(rng.choice(rs.n_blocks, size=n_erasures, replace=False))
+    broken = cw.copy()
+    for e in erased:
+        broken[e] = rng.integers(0, 256, 8, dtype=np.uint8)
+    assert np.array_equal(rs.decode(broken, [int(e) for e in erased]), cw)
+
+
+class TestRepairCostVsLRC:
+    def test_rs_single_failure_reads_k(self):
+        assert RSCode(12, 4).repair_reads([3]) == 12
+
+    def test_lrc_single_failure_reads_group(self):
+        """The motivating comparison: same storage overhead ballpark, but
+        LRC repairs a single block with group_size reads vs RS's k."""
+        lrc = LRCCode(12, 2, 2)   # 16 blocks for 12 data
+        rs = RSCode(12, 4)        # 16 blocks for 12 data
+        lrc_reads = plan_lrc_recovery(lrc, [("d", 3)]).unique_reads
+        rs_reads = rs.repair_reads([3])
+        assert lrc_reads == 6
+        assert rs_reads == 12
+        assert lrc_reads < rs_reads
+
+    def test_no_failure_reads_nothing(self):
+        assert RSCode(6, 2).repair_reads([]) == 0

@@ -1,0 +1,31 @@
+"""Tests for LRC update complexity."""
+
+from repro.codes import make_code, update_complexity
+from repro.lrc import LRCCode, lrc_parities_touched, lrc_update_complexity
+
+
+class TestLRCUpdateComplexity:
+    def test_uniform_one_plus_g(self):
+        code = LRCCode(12, 2, 2)
+        u = lrc_update_complexity(code)
+        assert u.is_uniform
+        assert u.minimum == u.maximum == 1 + code.g
+        assert u.average == 3.0
+
+    def test_no_globals(self):
+        u = lrc_update_complexity(LRCCode(6, 2, 0))
+        assert u.minimum == u.maximum == 1
+
+    def test_per_block_counts(self):
+        code = LRCCode(6, 2, 2)
+        touched = lrc_parities_touched(code)
+        assert set(touched) == set(code.data_blocks)
+        assert all(v == 3 for v in touched.values())
+
+    def test_lrc_beats_3dft_substitutes_on_updates(self):
+        """LRC(12,2,2) patches exactly 3 parities per write — below the
+        averages of every XOR 3DFT substitute in this package."""
+        lrc = lrc_update_complexity(LRCCode(12, 2, 2))
+        for name in ("tip", "hdd1", "triple-star", "star"):
+            xor = update_complexity(make_code(name, 11))
+            assert lrc.average < xor.average, name

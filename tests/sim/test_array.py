@@ -1,0 +1,78 @@
+"""Tests for array geometry and chunk addressing."""
+
+import pytest
+
+from repro.codes import make_code
+from repro.sim.array import ArrayGeometry, DiskArray
+from repro.sim.kernel import Environment
+
+
+@pytest.fixture
+def geometry(tip7):
+    return ArrayGeometry(layout=tip7, chunk_size=32 * 1024, stripes=1000)
+
+
+class TestGeometry:
+    def test_validation(self, tip7):
+        with pytest.raises(ValueError):
+            ArrayGeometry(layout=tip7, chunk_size=0)
+        with pytest.raises(ValueError):
+            ArrayGeometry(layout=tip7, stripes=0)
+
+    def test_lba_is_unique_per_disk(self, geometry):
+        seen = set()
+        for stripe in range(3):
+            for row in range(geometry.layout.rows):
+                lba = geometry.lba(stripe, (row, 0))
+                assert lba not in seen
+                seen.add(lba)
+
+    def test_lba_layout_is_contiguous_per_stripe(self, geometry):
+        rows = geometry.layout.rows
+        cs = geometry.chunk_size
+        assert geometry.lba(0, (0, 0)) == 0
+        assert geometry.lba(0, (1, 0)) == cs
+        assert geometry.lba(1, (0, 0)) == rows * cs
+
+    def test_spare_region_beyond_data(self, geometry):
+        data_end = geometry.chunks_per_disk * geometry.chunk_size
+        assert geometry.spare_lba(0, (0, 0)) == data_end
+        assert geometry.spare_lba(5, (2, 3)) == data_end + geometry.lba(5, (2, 3))
+
+    def test_bounds_checks(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.lba(10**9, (0, 0))
+        with pytest.raises(ValueError):
+            geometry.lba(0, (99, 0))
+        with pytest.raises(ValueError):
+            geometry.lba(0, (0, 99))
+
+
+class TestDiskArray:
+    def test_one_disk_per_column(self, geometry):
+        array = DiskArray(Environment(), geometry)
+        assert len(array.disks) == geometry.num_disks
+
+    def test_read_goes_to_the_right_disk(self, geometry):
+        env = Environment()
+        array = DiskArray(env, geometry)
+        env.run(env.process(array.read_chunk(0, (0, 3))))
+        assert array.disks[3].stats.reads == 1
+        assert array.total_reads == 1
+
+    def test_spare_write_hits_failed_disk(self, geometry):
+        env = Environment()
+        array = DiskArray(env, geometry)
+        env.run(env.process(array.write_spare_chunk(7, (1, 2))))
+        assert array.disks[2].stats.writes == 1
+        assert array.total_writes == 1
+
+    def test_custom_disk_model_factory(self, geometry):
+        from repro.sim.disk import FixedLatencyModel
+
+        env = Environment()
+        array = DiskArray(
+            env, geometry, disk_model_factory=lambda i: FixedLatencyModel(0.001 * (i + 1))
+        )
+        env.run(env.process(array.read_chunk(0, (0, 1))))
+        assert env.now == pytest.approx(0.002)

@@ -1,0 +1,77 @@
+"""Tests for the timed buffer cache."""
+
+import pytest
+
+from repro.cache import LRUCache
+from repro.sim.array import ArrayGeometry, DiskArray
+from repro.sim.cache_sim import TimedBufferCache
+from repro.sim.kernel import Environment
+
+
+@pytest.fixture
+def stack(tip7):
+    env = Environment()
+    array = DiskArray(env, ArrayGeometry(layout=tip7, stripes=100))
+    cache = TimedBufferCache(env, LRUCache(4), array, hit_time=0.0005)
+    return env, array, cache
+
+
+class TestTiming:
+    def test_miss_costs_disk_time(self, stack):
+        env, array, cache = stack
+        env.run(env.process(cache.get_chunk(0, (0, 0))))
+        assert env.now == pytest.approx(0.010)
+        assert cache.log.disk_reads == 1
+
+    def test_hit_costs_half_millisecond(self, stack):
+        env, array, cache = stack
+        env.run(env.process(cache.get_chunk(0, (0, 0))))
+        t0 = env.now
+        env.run(env.process(cache.get_chunk(0, (0, 0))))
+        assert env.now - t0 == pytest.approx(0.0005)
+        assert cache.log.disk_reads == 1  # unchanged
+
+    def test_validation(self, stack):
+        env, array, _ = stack
+        with pytest.raises(ValueError):
+            TimedBufferCache(env, LRUCache(4), array, hit_time=-1)
+
+
+class TestLogging:
+    def test_mean_and_max(self, stack):
+        env, array, cache = stack
+
+        def run():
+            yield from cache.get_chunk(0, (0, 0))  # miss, 10 ms
+            yield from cache.get_chunk(0, (0, 0))  # hit, 0.5 ms
+
+        env.run(env.process(run()))
+        assert cache.log.count == 2
+        assert cache.log.mean == pytest.approx((0.010 + 0.0005) / 2)
+        assert cache.log.max == pytest.approx(0.010)
+
+    def test_empty_log(self):
+        from repro.sim.cache_sim import ResponseLog
+
+        log = ResponseLog()
+        assert log.mean == 0.0
+
+    def test_priority_reaches_policy(self, tip7):
+        from repro.core import FBFCache
+
+        env = Environment()
+        array = DiskArray(env, ArrayGeometry(layout=tip7, stripes=100))
+        fbf = FBFCache(4)
+        cache = TimedBufferCache(env, fbf, array)
+        env.run(env.process(cache.get_chunk(0, (0, 0), priority=3)))
+        assert fbf.queue_of((0, (0, 0))) == 3
+
+    def test_distinct_stripes_are_distinct_keys(self, stack):
+        env, array, cache = stack
+
+        def run():
+            yield from cache.get_chunk(0, (0, 0))
+            yield from cache.get_chunk(1, (0, 0))
+
+        env.run(env.process(run()))
+        assert cache.log.disk_reads == 2

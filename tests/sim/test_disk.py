@@ -1,0 +1,97 @@
+"""Tests for disk models and the simulated disk."""
+
+import pytest
+
+from repro.sim.disk import Disk, FixedLatencyModel, SeekRotateTransferModel
+from repro.sim.kernel import Environment
+
+
+class TestFixedLatencyModel:
+    def test_constant(self):
+        m = FixedLatencyModel(0.01)
+        assert m.service_time(0, 1, "read") == 0.01
+        assert m.service_time(10**12, 10**6, "write") == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedLatencyModel(0)
+
+
+class TestSeekRotateTransferModel:
+    def test_zero_distance_has_no_seek(self):
+        m = SeekRotateTransferModel(seed=1)
+        t1 = m.service_time(0, 32768, "read")  # head starts at cylinder 0
+        max_rotation = 60.0 / m.rpm
+        transfer = 32768 / m.transfer_rate
+        assert t1 <= max_rotation + transfer + 1e-12
+
+    def test_longer_seeks_cost_more_on_average(self):
+        near = SeekRotateTransferModel(seed=2)
+        far = SeekRotateTransferModel(seed=2)
+        n = 200
+        near_total = sum(
+            near.service_time((i % 2) * near.bytes_per_cylinder, 4096, "read")
+            for i in range(n)
+        )
+        far_total = sum(
+            far.service_time((i % 2) * 40_000 * far.bytes_per_cylinder, 4096, "read")
+            for i in range(n)
+        )
+        assert far_total > near_total
+
+    def test_deterministic_given_seed(self):
+        a = SeekRotateTransferModel(seed=5)
+        b = SeekRotateTransferModel(seed=5)
+        seq_a = [a.service_time(i * 10**7, 4096, "read") for i in range(20)]
+        seq_b = [b.service_time(i * 10**7, 4096, "read") for i in range(20)]
+        assert seq_a == seq_b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeekRotateTransferModel(rpm=0)
+        with pytest.raises(ValueError):
+            SeekRotateTransferModel(cylinders=0)
+
+
+class TestDisk:
+    def test_read_takes_service_time(self):
+        env = Environment()
+        disk = Disk(env, 0, FixedLatencyModel(0.01))
+        p = env.process(disk.access("read", 0, 4096))
+        env.run(p)
+        assert env.now == pytest.approx(0.01)
+        assert disk.stats.reads == 1
+        assert disk.stats.bytes_read == 4096
+
+    def test_write_accounting(self):
+        env = Environment()
+        disk = Disk(env, 0, FixedLatencyModel(0.01))
+        env.run(env.process(disk.access("write", 0, 8192)))
+        assert disk.stats.writes == 1
+        assert disk.stats.bytes_written == 8192
+        assert disk.stats.accesses == 1
+
+    def test_queueing_serializes_and_counts_wait(self):
+        env = Environment()
+        disk = Disk(env, 0, FixedLatencyModel(0.01))
+
+        def issue():
+            yield from disk.access("read", 0, 4096)
+
+        procs = [env.process(issue()) for _ in range(3)]
+        env.run(env.all_of(procs))
+        assert env.now == pytest.approx(0.03)
+        assert disk.stats.queue_wait == pytest.approx(0.01 + 0.02)
+        assert disk.stats.busy_time == pytest.approx(0.03)
+
+    def test_rejects_empty_access(self):
+        env = Environment()
+        disk = Disk(env, 0)
+        with pytest.raises(ValueError):
+            env.run(env.process(disk.access("read", 0, 0)))
+
+    def test_default_model_is_papers_10ms(self):
+        env = Environment()
+        disk = Disk(env, 0)
+        env.run(env.process(disk.access("read", 0, 1)))
+        assert env.now == pytest.approx(0.010)

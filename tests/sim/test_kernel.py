@@ -1,0 +1,314 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import (
+    AllOf,
+    Environment,
+    Event,
+    Interrupt,
+    Resource,
+    SimulationError,
+)
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        env = Environment()
+        ev = env.event()
+        results = []
+
+        def proc():
+            results.append((yield ev))
+
+        env.process(proc())
+        ev.succeed("payload")
+        env.run()
+        assert results == ["payload"]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_raises_in_waiter(self):
+        env = Environment()
+        ev = env.event()
+
+        def proc():
+            with pytest.raises(RuntimeError, match="boom"):
+                yield ev
+            return "handled"
+
+        p = env.process(proc())
+        ev.fail(RuntimeError("boom"))
+        assert env.run(p) == "handled"
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_waiting_on_processed_event_resumes_immediately(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(99)
+        env.run()
+        out = []
+
+        def proc():
+            out.append((yield ev))
+
+        env.process(proc())
+        env.run()
+        assert out == [99]
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(5.0)
+            yield env.timeout(2.5)
+
+        p = env.process(proc())
+        env.run(p)
+        assert env.now == pytest.approx(7.5)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Environment().timeout(-1)
+
+    def test_same_time_fifo_order(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_deadline(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(10)
+            fired.append(True)
+
+        env.process(proc())
+        env.run(until=5)
+        assert env.now == 5 and not fired
+        env.run(until=15)
+        assert fired
+
+    def test_run_until_past_deadline_rejected(self):
+        env = Environment()
+        env.run(until=5)
+        with pytest.raises(ValueError):
+            env.run(until=1)
+
+
+class TestProcesses:
+    def test_return_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            return 42
+
+        assert env.run(env.process(proc())) == 42
+
+    def test_process_waits_on_process(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(3)
+            return "child-result"
+
+        def parent():
+            value = yield env.process(child())
+            return value + "!"
+
+        assert env.run(env.process(parent())) == "child-result!"
+        assert env.now == 3
+
+    def test_yielding_non_event_raises(self):
+        env = Environment()
+
+        def proc():
+            yield "not an event"
+
+        env.process(proc())
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+
+    def test_requires_generator(self):
+        with pytest.raises(TypeError):
+            Environment().process(lambda: None)
+
+    def test_deadlock_detected_when_waiting_forever(self):
+        env = Environment()
+        never = env.event()
+
+        def proc():
+            yield never
+
+        p = env.process(proc())
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run(p)
+
+    def test_interrupt(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                log.append(i.cause)
+            yield env.timeout(1)
+
+        def interrupter(target):
+            yield env.timeout(2)
+            target.interrupt("wake up")
+
+        p = env.process(sleeper())
+        env.process(interrupter(p))
+        env.run(p)
+        assert log == ["wake up"]
+        assert env.now == 3
+
+    def test_interrupt_finished_process_rejected(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(0)
+
+        p = env.process(quick())
+        env.run(p)
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+    def test_serializes_access(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        spans = []
+
+        def worker(tag):
+            with (yield res.request()):
+                start = env.now
+                yield env.timeout(10)
+                spans.append((tag, start, env.now))
+
+        for tag in "ab":
+            env.process(worker(tag))
+        env.run()
+        assert spans == [("a", 0, 10), ("b", 10, 20)]
+
+    def test_capacity_two_overlaps(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        done = []
+
+        def worker(tag):
+            req = res.request()
+            yield req
+            yield env.timeout(10)
+            res.release(req)
+            done.append((tag, env.now))
+
+        for tag in "abc":
+            env.process(worker(tag))
+        env.run()
+        assert done == [("a", 10), ("b", 10), ("c", 20)]
+
+    def test_cancel_queued_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        first = res.request()
+        second = res.request()
+        assert res.queue_length == 1
+        res.release(second)  # cancel while queued
+        assert res.queue_length == 0
+        res.release(first)
+        assert res.count == 0
+
+    def test_release_unknown_request_rejected(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        foreign = Resource(env, capacity=1).request()
+        with pytest.raises(SimulationError):
+            res.release(foreign)
+
+
+class TestAllOf:
+    def test_barrier_waits_for_all(self):
+        env = Environment()
+
+        def delayed(d, v):
+            yield env.timeout(d)
+            return v
+
+        procs = [env.process(delayed(d, d)) for d in (5, 1, 3)]
+        result = env.run(env.all_of(procs))
+        assert result == [5, 1, 3]
+        assert env.now == 5
+
+    def test_empty_barrier_fires_immediately(self):
+        env = Environment()
+        ev = env.all_of([])
+        env.run()
+        assert ev.processed and ev.value == []
+
+    def test_barrier_fails_on_child_failure(self):
+        env = Environment()
+        bad = env.event()
+        good = env.timeout(1)
+        barrier = env.all_of([good, bad])
+        bad.fail(ValueError("child failed"))
+        with pytest.raises(ValueError, match="child failed"):
+            env.run(barrier)
+
+    def test_non_event_rejected(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            AllOf(env, ["nope"])
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def build():
+            env = Environment()
+            trace = []
+
+            def worker(tag, delay):
+                for _ in range(3):
+                    yield env.timeout(delay)
+                    trace.append((tag, env.now))
+
+            env.process(worker("x", 1.5))
+            env.process(worker("y", 2.0))
+            env.run()
+            return trace
+
+        assert build() == build()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(4.0)
+        assert env.peek() == 4.0

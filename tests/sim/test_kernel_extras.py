@@ -1,0 +1,102 @@
+"""Additional kernel tests: AnyOf, queue-depth disks, edge behaviours."""
+
+import pytest
+
+from repro.sim.disk import Disk, FixedLatencyModel
+from repro.sim.kernel import AnyOf, Environment
+
+
+class TestAnyOf:
+    def test_first_wins(self):
+        env = Environment()
+
+        def delayed(d, v):
+            yield env.timeout(d)
+            return v
+
+        procs = [env.process(delayed(d, f"v{d}")) for d in (5, 2, 9)]
+        index, value = env.run(env.any_of(procs))
+        assert (index, value) == (1, "v2")
+        assert env.now == 2
+
+    def test_already_processed_child(self):
+        env = Environment()
+        done = env.timeout(0, value="early")
+        env.run()
+        race = env.any_of([done, env.timeout(100)])
+        env.run(race)
+        assert race.value == (0, "early")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AnyOf(Environment(), [])
+
+    def test_non_event_rejected(self):
+        with pytest.raises(TypeError):
+            AnyOf(Environment(), ["nope"])
+
+    def test_child_failure_fails_race(self):
+        env = Environment()
+        bad = env.event()
+        race = env.any_of([bad, env.timeout(10)])
+        bad.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run(race)
+
+    def test_losers_keep_running(self):
+        env = Environment()
+        finished = []
+
+        def worker(d):
+            yield env.timeout(d)
+            finished.append(d)
+
+        procs = [env.process(worker(d)) for d in (1, 3)]
+        env.run(env.any_of(procs))
+        assert finished == [1]
+        env.run()
+        assert finished == [1, 3]
+
+    def test_timeout_race_pattern(self):
+        """The request-with-deadline idiom."""
+        env = Environment()
+
+        def slow_io():
+            yield env.timeout(50)
+            return "data"
+
+        def with_deadline():
+            io = env.process(slow_io())
+            deadline = env.timeout(10, value="timed-out")
+            index, value = yield env.any_of([io, deadline])
+            return value
+
+        assert env.run(env.process(with_deadline())) == "timed-out"
+
+
+class TestQueueDepth:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Disk(Environment(), 0, queue_depth=0)
+
+    def test_depth_two_overlaps_service(self):
+        env = Environment()
+        disk = Disk(env, 0, FixedLatencyModel(0.01), queue_depth=2)
+
+        def issue():
+            yield from disk.access("read", 0, 4096)
+
+        procs = [env.process(issue()) for _ in range(4)]
+        env.run(env.all_of(procs))
+        assert env.now == pytest.approx(0.02)  # two waves of two
+
+    def test_depth_one_serializes(self):
+        env = Environment()
+        disk = Disk(env, 0, FixedLatencyModel(0.01), queue_depth=1)
+
+        def issue():
+            yield from disk.access("read", 0, 4096)
+
+        procs = [env.process(issue()) for _ in range(4)]
+        env.run(env.all_of(procs))
+        assert env.now == pytest.approx(0.04)

@@ -1,0 +1,78 @@
+"""Hypothesis stress tests for the event kernel.
+
+Random process/timeout/resource graphs must preserve the kernel's core
+guarantees: virtual time never runs backwards, a capacity-``c`` resource
+never has more than ``c`` concurrent holders, every process completes,
+and identical inputs produce identical traces.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Environment, Resource
+
+
+@st.composite
+def process_specs(draw):
+    n_procs = draw(st.integers(1, 8))
+    capacity = draw(st.integers(1, 3))
+    specs = []
+    for _ in range(n_procs):
+        steps = draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["sleep", "acquire"]),
+                    st.floats(0.0, 5.0, allow_nan=False),
+                ),
+                min_size=1,
+                max_size=5,
+            )
+        )
+        specs.append(steps)
+    return capacity, specs
+
+
+def _run(capacity, specs):
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    trace: list[tuple] = []
+    max_holders = 0
+    last_time = [0.0]
+
+    def worker(wid, steps):
+        nonlocal max_holders
+        for kind, duration in steps:
+            assert env.now >= last_time[0], "time ran backwards"
+            last_time[0] = env.now
+            if kind == "sleep":
+                yield env.timeout(duration)
+            else:
+                req = resource.request()
+                yield req
+                max_holders = max(max_holders, resource.count)
+                yield env.timeout(duration)
+                resource.release(req)
+            trace.append((wid, kind, env.now))
+
+    procs = [env.process(worker(i, steps)) for i, steps in enumerate(specs)]
+    env.run(env.all_of(procs))
+    return trace, max_holders, env.now
+
+
+@given(process_specs())
+@settings(max_examples=60, deadline=None)
+def test_kernel_invariants(spec):
+    capacity, specs = spec
+    trace, max_holders, end = _run(capacity, specs)
+    assert max_holders <= capacity
+    assert len(trace) == sum(len(s) for s in specs)  # every step completed
+    times = [t for _, _, t in trace]
+    assert all(t >= 0 for t in times)
+    assert end == max(times)
+
+
+@given(process_specs())
+@settings(max_examples=30, deadline=None)
+def test_kernel_determinism(spec):
+    capacity, specs = spec
+    assert _run(capacity, specs) == _run(capacity, specs)

@@ -1,0 +1,195 @@
+"""Tests for online recovery with degraded foreground reads."""
+
+import pytest
+
+from repro.sim import SimConfig
+from repro.sim.kernel import Environment, Store
+from repro.sim.online import run_online_recovery
+from repro.workloads import (
+    AppWorkloadConfig,
+    ErrorTraceConfig,
+    generate_app_requests,
+    generate_errors,
+)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+
+        env.process(consumer())
+        env.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+
+        def producer():
+            yield env.timeout(5)
+            store.put(42)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [42] and env.now == 5
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(consumer())
+        for x in "abc":
+            store.put(x)
+        env.run()
+        assert got == ["a", "b", "c"]
+
+    def test_len(self):
+        store = Store(Environment())
+        assert len(store) == 0
+        store.put(1)
+        assert len(store) == 1
+
+
+@pytest.fixture
+def scenario(tip7):
+    errors = generate_errors(
+        tip7,
+        ErrorTraceConfig(n_errors=12, seed=4, array_stripes=2000,
+                         burst_gap=0.5, intra_burst_gap=0.05),
+    )
+    # aim the app stream at the same stripe range so degraded reads occur
+    apps = generate_app_requests(
+        tip7,
+        AppWorkloadConfig(n_requests=400, seed=9, array_stripes=2000,
+                          working_set=600, interarrival=0.005),
+    )
+    return errors, apps
+
+
+class TestOnlineRecovery:
+    def test_rejects_empty_errors(self, tip7):
+        with pytest.raises(ValueError):
+            run_online_recovery(tip7, [], [], SimConfig())
+
+    def test_accounting(self, tip7, scenario):
+        errors, apps = scenario
+        rep = run_online_recovery(tip7, errors, apps, SimConfig(workers=4))
+        assert rep.n_errors == len(errors)
+        assert rep.app_requests == len(apps)
+        assert 0 <= rep.degraded_reads <= rep.app_requests
+        assert rep.recovery_makespan > 0
+        assert rep.cache_hits + rep.cache_misses >= rep.app_requests
+
+    def test_deterministic(self, tip7, scenario):
+        errors, apps = scenario
+        a = run_online_recovery(tip7, errors, apps, SimConfig(workers=4))
+        b = run_online_recovery(tip7, errors, apps, SimConfig(workers=4))
+        assert a.recovery_makespan == b.recovery_makespan
+        assert a.degraded_reads == b.degraded_reads
+
+    def test_degraded_reads_happen_and_cost_more(self, tip7):
+        """Force overlap: every app read targets an error stripe right
+        after the error arrives."""
+        from repro.workloads import AppRequest, PartialStripeError
+
+        errors = [
+            PartialStripeError(time=1.0, stripe=5, disk=0, start_row=0, length=6)
+        ]
+        apps = [
+            AppRequest(time=1.0 + 1e-6 * i, stripe=5, cell=(i % 6, 0))
+            for i in range(6)
+        ]
+        rep = run_online_recovery(tip7, errors, apps, SimConfig(workers=1))
+        assert rep.degraded_reads > 0
+        if rep.normal_reads:
+            assert rep.degraded_mean_response >= rep.normal_mean_response
+
+    def test_no_overlap_no_degraded_reads(self, tip7):
+        from repro.workloads import AppRequest, PartialStripeError
+
+        errors = [
+            PartialStripeError(time=0.0, stripe=5, disk=0, start_row=0, length=2)
+        ]
+        apps = [AppRequest(time=100.0, stripe=999, cell=(0, 1))]
+        rep = run_online_recovery(tip7, errors, apps, SimConfig(workers=2))
+        assert rep.degraded_reads == 0
+
+    def test_detection_validation(self, tip7, scenario):
+        errors, apps = scenario
+        with pytest.raises(ValueError):
+            run_online_recovery(tip7, errors, apps, detection="psychic")
+        with pytest.raises(ValueError):
+            run_online_recovery(tip7, errors, apps, detection="scrub",
+                                scrub_scan_time=0)
+
+    def test_immediate_detection_has_zero_latency(self, tip7, scenario):
+        errors, apps = scenario
+        rep = run_online_recovery(tip7, errors, apps, SimConfig(workers=4))
+        assert rep.mean_detection_latency == 0.0
+        assert len(rep.detection_latencies) == len(errors)
+
+    def test_scrub_detection_adds_latency(self, tip7, scenario):
+        errors, apps = scenario
+        rep = run_online_recovery(
+            tip7, errors, apps, SimConfig(workers=4),
+            detection="scrub", scrub_scan_time=0.05, scrub_cycle=512,
+        )
+        assert len(rep.detection_latencies) == len(errors)
+        assert rep.mean_detection_latency > 0.0
+        # every error is still repaired
+        assert rep.recovery_makespan > 0
+
+    def test_faster_scrub_detects_sooner(self, tip7, scenario):
+        errors, apps = scenario
+        slow = run_online_recovery(
+            tip7, errors, apps, SimConfig(workers=4),
+            detection="scrub", scrub_scan_time=0.2, scrub_cycle=512,
+        )
+        fast = run_online_recovery(
+            tip7, errors, apps, SimConfig(workers=4),
+            detection="scrub", scrub_scan_time=0.01, scrub_cycle=512,
+        )
+        assert fast.mean_detection_latency < slow.mean_detection_latency
+
+    def test_access_triggered_detection(self, tip7):
+        """A foreground read of a failed chunk discovers the error before
+        the (slow) scrubber would."""
+        from repro.workloads import AppRequest, PartialStripeError
+
+        errors = [
+            PartialStripeError(time=1.0, stripe=100, disk=0, start_row=0, length=3)
+        ]
+        apps = [AppRequest(time=1.5, stripe=100, cell=(0, 0))]
+        rep = run_online_recovery(
+            tip7, errors, apps, SimConfig(workers=1),
+            detection="scrub", scrub_scan_time=10.0, scrub_cycle=1024,
+        )
+        assert rep.access_detections == 1
+        assert rep.degraded_reads == 1
+        assert rep.detection_latencies[0] == pytest.approx(0.5)
+
+    def test_fbf_recovers_no_slower_than_lru(self, tip7, scenario):
+        errors, apps = scenario
+        fbf = run_online_recovery(
+            tip7, errors, apps, SimConfig(workers=4, policy="fbf", cache_size="1MB")
+        )
+        lru = run_online_recovery(
+            tip7, errors, apps, SimConfig(workers=4, policy="lru", cache_size="1MB")
+        )
+        assert fbf.hit_ratio >= lru.hit_ratio - 0.02

@@ -1,0 +1,147 @@
+"""Tests for disk scheduling disciplines."""
+
+import pytest
+
+from repro.sim.disk import FixedLatencyModel, SeekRotateTransferModel
+from repro.sim.kernel import Environment
+from repro.sim.scheduling import (
+    FCFSScheduler,
+    PendingRequest,
+    SSTFScheduler,
+    ScanScheduler,
+    ScheduledDisk,
+    make_scheduler,
+)
+
+
+def _req(lba, arrived=0.0):
+    class _Dummy:  # the scheduler never touches `done`
+        pass
+
+    return PendingRequest(kind="read", lba=lba, nbytes=4096, arrived=arrived,
+                          done=_Dummy())
+
+
+class TestFCFS:
+    def test_arrival_order(self):
+        s = FCFSScheduler()
+        for lba in (50, 10, 90):
+            s.push(_req(lba))
+        assert [s.pop(0).lba for _ in range(3)] == [50, 10, 90]
+
+    def test_empty_pop(self):
+        assert FCFSScheduler().pop(0) is None
+
+
+class TestSSTF:
+    def test_nearest_first(self):
+        s = SSTFScheduler()
+        for lba in (100, 10, 55):
+            s.push(_req(lba))
+        assert s.pop(50).lba == 55
+        assert s.pop(55).lba == 100  # 45 away vs 10 at distance 45 -> tie, but
+        # 100-55=45 == 55-10=45: stable tie keeps arrival order (100 first)
+        assert s.pop(100).lba == 10
+
+    def test_exact_position_wins(self):
+        s = SSTFScheduler()
+        s.push(_req(30))
+        s.push(_req(70))
+        assert s.pop(70).lba == 70
+
+
+class TestScan:
+    def test_sweeps_up_then_down(self):
+        s = ScanScheduler()
+        for lba in (80, 20, 60, 40):
+            s.push(_req(lba))
+        # start at 50 sweeping up: 60, 80; reverse: 40, 20
+        got = []
+        head = 50
+        for _ in range(4):
+            r = s.pop(head)
+            got.append(r.lba)
+            head = r.lba
+        assert got == [60, 80, 40, 20]
+
+    def test_reverses_at_end(self):
+        s = ScanScheduler()
+        s.push(_req(10))
+        assert s.pop(90).lba == 10  # nothing ahead -> reverse
+
+
+def test_make_scheduler():
+    assert isinstance(make_scheduler("sstf"), SSTFScheduler)
+    assert isinstance(make_scheduler("SCAN"), ScanScheduler)
+    with pytest.raises(ValueError):
+        make_scheduler("magic")
+
+
+class TestScheduledDisk:
+    def test_matches_plain_disk_semantics(self):
+        env = Environment()
+        disk = ScheduledDisk(env, 0, FixedLatencyModel(0.01))
+
+        def issue():
+            yield from disk.access("read", 0, 4096)
+
+        procs = [env.process(issue()) for _ in range(3)]
+        env.run(env.all_of(procs))
+        assert env.now == pytest.approx(0.03)
+        assert disk.stats.reads == 3
+        assert disk.stats.queue_wait == pytest.approx(0.03)  # 0 + 10 + 20 ms
+
+    def test_server_restarts_after_idle(self):
+        env = Environment()
+        disk = ScheduledDisk(env, 0, FixedLatencyModel(0.01))
+
+        def burst(at):
+            yield env.timeout(at)
+            yield from disk.access("write", 0, 512)
+
+        procs = [env.process(burst(0.0)), env.process(burst(1.0))]
+        env.run(env.all_of(procs))
+        assert disk.stats.writes == 2
+        assert env.now == pytest.approx(1.01)
+
+    def test_rejects_empty_access(self):
+        env = Environment()
+        disk = ScheduledDisk(env, 0)
+        with pytest.raises(ValueError):
+            env.run(env.process(disk.access("read", 0, 0)))
+
+    def test_sstf_beats_fcfs_on_seek_heavy_load(self):
+        """With a mechanical model and scattered LBAs, SSTF finishes the
+        same batch no later than FCFS."""
+
+        def run(sched_name):
+            env = Environment()
+            disk = ScheduledDisk(
+                env, 0,
+                SeekRotateTransferModel(seed=3, rpm=1e9),  # rotation ~ 0
+                make_scheduler(sched_name),
+            )
+            lbas = [0, 900, 50, 800, 100, 700][::1]
+            bpc = disk.model.bytes_per_cylinder
+
+            def issue(lba):
+                yield from disk.access("read", lba * bpc, 4096)
+
+            procs = [env.process(issue(lba)) for lba in lbas]
+            env.run(env.all_of(procs))
+            return env.now
+
+        assert run("sstf") <= run("fcfs") + 1e-12
+
+    def test_queue_length_visible(self):
+        env = Environment()
+        disk = ScheduledDisk(env, 0, FixedLatencyModel(0.01))
+
+        def issue():
+            yield from disk.access("read", 0, 512)
+
+        for _ in range(3):
+            env.process(issue())
+        # before running, nothing queued yet (processes not started)
+        env.run()
+        assert disk.queue_length == 0

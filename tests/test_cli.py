@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_flags(self):
+        args = build_parser().parse_args(
+            ["fig8", "--quick", "--errors", "10", "--cache-mbs", "1,2"]
+        )
+        assert args.quick and args.errors == 10
+
+
+class TestInfo:
+    def test_prints_layout(self, capsys):
+        assert main(["info", "--code", "tip", "--p", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "6 disks" in out
+        assert "TIP" in out
+
+
+class TestTrace:
+    def test_stdout(self, capsys):
+        assert main(["trace", "--errors", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# repro-fbf-trace v1")
+        data_lines = [l for l in out.splitlines() if l and not l.startswith("#")]
+        assert len(data_lines) == 5
+
+    def test_file_roundtrips(self, tmp_path):
+        from repro.workloads import read_trace
+
+        out = tmp_path / "t.txt"
+        assert main(["trace", "--errors", "7", "--out", str(out)]) == 0
+        assert len(read_trace(out)) == 7
+
+
+class TestExperiments:
+    def _run(self, capsys, cmd, extra=()):
+        rc = main(
+            [cmd, "--quick", "--errors", "6", "--workers", "2",
+             "--cache-mbs", "0.25,1", *extra]
+        )
+        assert rc == 0
+        return capsys.readouterr().out
+
+    def test_fig8(self, capsys):
+        out = self._run(capsys, "fig8")
+        assert "Figure 8" in out and "fbf" in out
+
+    def test_fig9(self, capsys):
+        out = self._run(capsys, "fig9")
+        assert "Figure 9" in out and "TIP" in out
+
+    def test_table4(self, capsys):
+        out = self._run(capsys, "table4")
+        assert "Table IV" in out and "overhead(ms)" in out
+
+    def test_ablation_scheme(self, capsys):
+        out = self._run(capsys, "ablation-scheme")
+        assert "typical" in out
+
+
+class TestReplay:
+    def test_replays_all_policies(self, capsys, tmp_path):
+        trace = tmp_path / "t.trace"
+        main(["trace", "--errors", "10", "--out", str(trace)])
+        capsys.readouterr()
+        assert main(["replay", str(trace), "--blocks", "32", "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        for policy in ("fbf", "lru", "arc", "mq"):
+            assert policy in out
+
+
+class TestMttdl:
+    def test_reports_gain(self, capsys):
+        assert main(["mttdl", "--baseline-hours", "10",
+                     "--improved-hours", "8.51"]) == 0
+        out = capsys.readouterr().out
+        assert "14.9% smaller" in out
+        assert "MTTDL" in out
+
+
+class TestLRC:
+    def test_sweep(self, capsys):
+        assert main(["lrc", "--events", "30", "--blocks", "8,32"]) == 0
+        out = capsys.readouterr().out
+        assert "LRC(12,2,2)" in out
+        assert "fbf" in out
+
+
+class TestVerify:
+    def test_grid_reports_bit_exact(self, capsys):
+        assert main(["verify", "--errors", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact" in out
+        assert "STAR" in out and "TIP" in out
+
+
+class TestRebuild:
+    def test_savings_table(self, capsys):
+        assert main(["rebuild", "--p", "5", "--stripes", "4",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "typical" in out and "greedy" in out
+        assert "saved" in out
+        assert "timed rebuild" in out

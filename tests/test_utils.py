@@ -1,0 +1,85 @@
+"""Tests for shared helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import format_size, is_prime, make_rng, parse_size, require_prime
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        assert [n for n in range(20) if is_prime(n)] == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_larger(self):
+        assert is_prime(97)
+        assert not is_prime(91)  # 7 * 13
+
+    def test_require_prime_passthrough(self):
+        assert require_prime(13) == 13
+
+    def test_require_prime_rejects(self):
+        with pytest.raises(ValueError, match="prime"):
+            require_prime(9)
+        with pytest.raises(ValueError):
+            require_prime("7")
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("32KB", 32 * 1024),
+            ("2MB", 2 * 1024**2),
+            ("1GB", 1024**3),
+            ("0.5MB", 512 * 1024),
+            ("123", 123),
+            ("8 kb", 8 * 1024),
+            (64, 64),
+        ],
+    )
+    def test_cases(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")
+        with pytest.raises(ValueError):
+            parse_size("xMB")
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+
+class TestFormatSize:
+    def test_exact_multiples(self):
+        assert format_size(32 * 1024) == "32KB"
+        assert format_size(2 * 1024**2) == "2MB"
+
+    def test_exact_smaller_unit_preferred(self):
+        assert format_size(1536 * 1024) == "1536KB"
+
+    def test_fractional_when_no_exact_unit(self):
+        assert format_size(int(1.5 * 1024**2) + 1).endswith("MB")
+
+    def test_small(self):
+        assert format_size(100) == "100B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+    def test_roundtrip(self):
+        for n in (1024, 32 * 1024, 3 * 1024**2):
+            assert parse_size(format_size(n)) == n
+
+
+class TestMakeRng:
+    def test_from_seed(self):
+        a, b = make_rng(7), make_rng(7)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)

@@ -1,0 +1,57 @@
+"""Tests for the foreground application workload generator."""
+
+import pytest
+
+from repro.workloads import AppWorkloadConfig, generate_app_requests
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppWorkloadConfig(n_requests=0)
+        with pytest.raises(ValueError):
+            AppWorkloadConfig(zipf_s=1.0)
+        with pytest.raises(ValueError):
+            AppWorkloadConfig(working_set=0)
+        with pytest.raises(ValueError):
+            AppWorkloadConfig(interarrival=0)
+
+
+class TestGeneration:
+    def test_count_and_ordering(self, tip7):
+        reqs = generate_app_requests(tip7, AppWorkloadConfig(n_requests=200))
+        assert len(reqs) == 200
+        times = [r.time for r in reqs]
+        assert times == sorted(times)
+
+    def test_deterministic(self, tip7):
+        cfg = AppWorkloadConfig(n_requests=100, seed=3)
+        assert generate_app_requests(tip7, cfg) == generate_app_requests(tip7, cfg)
+
+    def test_requests_target_data_cells(self, tip7):
+        reqs = generate_app_requests(tip7, AppWorkloadConfig(n_requests=150))
+        data = set(tip7.data_cells)
+        assert all(r.cell in data for r in reqs)
+
+    def test_popularity_skew(self, tip7):
+        """Zipf popularity: the hottest stripe dominates."""
+        reqs = generate_app_requests(
+            tip7, AppWorkloadConfig(n_requests=2000, zipf_s=1.5, working_set=64)
+        )
+        from collections import Counter
+
+        counts = Counter(r.stripe for r in reqs)
+        top = counts.most_common(1)[0][1]
+        assert top > len(reqs) / 10
+
+    def test_stripes_within_array(self, tip7):
+        cfg = AppWorkloadConfig(n_requests=300, array_stripes=1000)
+        reqs = generate_app_requests(tip7, cfg)
+        assert all(0 <= r.stripe < 1000 for r in reqs)
+
+    def test_sequential_runs_present(self, tip7):
+        reqs = generate_app_requests(tip7, AppWorkloadConfig(n_requests=300))
+        same_time_pairs = sum(
+            1 for a, b in zip(reqs, reqs[1:]) if a.time == b.time and a.stripe == b.stripe
+        )
+        assert same_time_pairs > 0

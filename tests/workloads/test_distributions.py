@@ -1,0 +1,82 @@
+"""Tests for error-size distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import SizeDistribution
+
+
+class TestUniform:
+    def test_within_bounds(self):
+        dist = SizeDistribution("uniform")
+        rng = np.random.default_rng(0)
+        samples = [dist.sample(6, rng) for _ in range(500)]
+        assert min(samples) >= 1 and max(samples) <= 6
+
+    def test_covers_full_range(self):
+        dist = SizeDistribution("uniform")
+        rng = np.random.default_rng(0)
+        samples = {dist.sample(4, rng) for _ in range(500)}
+        assert samples == {1, 2, 3, 4}
+
+    def test_mean_matches_paper(self):
+        """Paper: average size is (p-1)/2 chunks for a (p-1)-row stripe."""
+        assert SizeDistribution("uniform").mean(12) == pytest.approx(6.5)
+
+    def test_empirical_mean_near_half_stripe(self):
+        dist = SizeDistribution("uniform")
+        rng = np.random.default_rng(1)
+        samples = [dist.sample(12, rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(6.5, abs=0.3)
+
+
+class TestFixed:
+    def test_constant(self):
+        dist = SizeDistribution("fixed", parameter=3)
+        rng = np.random.default_rng(0)
+        assert all(dist.sample(6, rng) == 3 for _ in range(10))
+
+    def test_out_of_range_rejected(self):
+        dist = SizeDistribution("fixed", parameter=9)
+        with pytest.raises(ValueError):
+            dist.sample(6, np.random.default_rng(0))
+
+    def test_mean(self):
+        assert SizeDistribution("fixed", parameter=3).mean(6) == 3.0
+
+
+class TestGeometric:
+    def test_within_bounds(self):
+        dist = SizeDistribution("geometric", parameter=2.0)
+        rng = np.random.default_rng(0)
+        samples = [dist.sample(6, rng) for _ in range(500)]
+        assert min(samples) >= 1 and max(samples) <= 6
+
+    def test_skews_small(self):
+        dist = SizeDistribution("geometric", parameter=2.0)
+        rng = np.random.default_rng(0)
+        samples = [dist.sample(12, rng) for _ in range(2000)]
+        assert np.mean(samples) < 6.5  # well below uniform's mean
+
+
+def test_unknown_kind():
+    with pytest.raises(ValueError):
+        SizeDistribution("weird").sample(4, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        SizeDistribution("weird").mean(4)
+
+
+def test_max_size_validation():
+    with pytest.raises(ValueError):
+        SizeDistribution().sample(0, np.random.default_rng(0))
+
+
+@given(st.sampled_from(["uniform", "geometric"]), st.integers(1, 20), st.integers(0, 2**31))
+@settings(max_examples=50, deadline=None)
+def test_samples_always_in_range(kind, max_size, seed):
+    dist = SizeDistribution(kind, parameter=2.0)
+    rng = np.random.default_rng(seed)
+    for _ in range(20):
+        assert 1 <= dist.sample(max_size, rng) <= max_size

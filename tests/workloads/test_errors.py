@@ -1,0 +1,113 @@
+"""Tests for partial-stripe-error generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import ErrorTraceConfig, PartialStripeError, generate_errors
+
+
+class TestPartialStripeError:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartialStripeError(time=-1, stripe=0, disk=0, start_row=0, length=1)
+        with pytest.raises(ValueError):
+            PartialStripeError(time=0, stripe=0, disk=0, start_row=0, length=0)
+        with pytest.raises(ValueError):
+            PartialStripeError(time=0, stripe=-1, disk=0, start_row=0, length=1)
+
+    def test_cells(self, tip7):
+        e = PartialStripeError(time=0, stripe=3, disk=2, start_row=1, length=3)
+        assert e.cells(tip7) == ((1, 2), (2, 2), (3, 2))
+
+    def test_cells_bounds_checked(self, tip7):
+        e = PartialStripeError(time=0, stripe=0, disk=2, start_row=4, length=4)
+        with pytest.raises(ValueError, match="exceed"):
+            e.cells(tip7)
+        e = PartialStripeError(time=0, stripe=0, disk=99, start_row=0, length=1)
+        with pytest.raises(ValueError, match="disks"):
+            e.cells(tip7)
+
+    def test_shape_ignores_stripe_and_time(self):
+        a = PartialStripeError(time=1, stripe=10, disk=2, start_row=1, length=3)
+        b = PartialStripeError(time=9, stripe=77, disk=2, start_row=1, length=3)
+        assert a.shape == b.shape
+
+    def test_ordering_by_time(self):
+        a = PartialStripeError(time=5, stripe=0, disk=0, start_row=0, length=1)
+        b = PartialStripeError(time=2, stripe=9, disk=0, start_row=0, length=1)
+        assert sorted([a, b])[0] is b
+
+
+class TestErrorTraceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorTraceConfig(n_errors=0)
+        with pytest.raises(ValueError):
+            ErrorTraceConfig(n_errors=10, array_stripes=5)
+        with pytest.raises(ValueError):
+            ErrorTraceConfig(spatial_locality=1.5)
+        with pytest.raises(ValueError):
+            ErrorTraceConfig(neighbor_distance=0)
+        with pytest.raises(ValueError):
+            ErrorTraceConfig(burst_gap=0)
+
+
+class TestGenerateErrors:
+    def test_count_and_sorted_times(self, tip7):
+        errors = generate_errors(tip7, ErrorTraceConfig(n_errors=50, seed=0))
+        assert len(errors) == 50
+        times = [e.time for e in errors]
+        assert times == sorted(times)
+
+    def test_deterministic_for_seed(self, tip7):
+        cfg = ErrorTraceConfig(n_errors=30, seed=5)
+        assert generate_errors(tip7, cfg) == generate_errors(tip7, cfg)
+
+    def test_different_seeds_differ(self, tip7):
+        a = generate_errors(tip7, ErrorTraceConfig(n_errors=30, seed=1))
+        b = generate_errors(tip7, ErrorTraceConfig(n_errors=30, seed=2))
+        assert a != b
+
+    def test_one_error_per_stripe(self, tip7):
+        errors = generate_errors(tip7, ErrorTraceConfig(n_errors=200, seed=0))
+        stripes = [e.stripe for e in errors]
+        assert len(stripes) == len(set(stripes))
+
+    def test_sizes_within_paper_bounds(self, layout):
+        """Sizes in [1 chunk, (p-1) chunks], rows fit the stripe."""
+        errors = generate_errors(layout, ErrorTraceConfig(n_errors=100, seed=0))
+        for e in errors:
+            assert 1 <= e.length <= layout.rows
+            assert e.start_row + e.length <= layout.rows
+            assert 0 <= e.disk < layout.num_disks
+            e.cells(layout)  # must not raise
+
+    def test_spatial_locality_observable(self, tip7):
+        near_cfg = ErrorTraceConfig(
+            n_errors=300, seed=0, spatial_locality=0.9, neighbor_distance=10
+        )
+        far_cfg = ErrorTraceConfig(
+            n_errors=300, seed=0, spatial_locality=0.0, neighbor_distance=10
+        )
+
+        def near_fraction(errors):
+            count = 0
+            for prev, cur in zip(errors, errors[1:]):
+                if abs(cur.stripe - prev.stripe) <= 10:
+                    count += 1
+            return count / (len(errors) - 1)
+
+        assert near_fraction(generate_errors(tip7, near_cfg)) > 0.5
+        assert near_fraction(generate_errors(tip7, far_cfg)) < 0.1
+
+    def test_temporal_bursts(self, tip7):
+        cfg = ErrorTraceConfig(
+            n_errors=300, seed=0, burst_gap=1000.0, intra_burst_gap=0.1
+        )
+        errors = generate_errors(tip7, cfg)
+        gaps = np.diff([e.time for e in errors])
+        assert (gaps < 1.0).sum() > (gaps > 100.0).sum()
+
+    def test_all_sizes_appear(self, tip7):
+        errors = generate_errors(tip7, ErrorTraceConfig(n_errors=300, seed=0))
+        assert {e.length for e in errors} == set(range(1, tip7.rows + 1))

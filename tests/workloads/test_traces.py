@@ -1,0 +1,70 @@
+"""Tests for trace file round-tripping and validation."""
+
+import io
+
+import pytest
+
+from repro.workloads import (
+    ErrorTraceConfig,
+    TraceFormatError,
+    generate_errors,
+    read_trace,
+    write_trace,
+)
+
+
+@pytest.fixture
+def errors(tip7):
+    return generate_errors(tip7, ErrorTraceConfig(n_errors=30, seed=11))
+
+
+class TestRoundTrip:
+    def test_via_path(self, errors, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, errors, metadata={"code": "tip", "p": "7"})
+        loaded = read_trace(path)
+        assert [e.shape for e in loaded] == [e.shape for e in errors]
+        assert [e.stripe for e in loaded] == [e.stripe for e in errors]
+        assert all(
+            abs(a.time - b.time) < 1e-6 for a, b in zip(loaded, errors)
+        )
+
+    def test_via_stream(self, errors):
+        buf = io.StringIO()
+        write_trace(buf, errors)
+        buf.seek(0)
+        assert len(read_trace(buf)) == len(errors)
+
+    def test_metadata_is_comment_only(self, errors):
+        buf = io.StringIO()
+        write_trace(buf, errors, metadata={"hello": "world"})
+        text = buf.getvalue()
+        assert "# hello=world" in text
+
+
+class TestValidation:
+    def test_bad_header(self):
+        with pytest.raises(TraceFormatError, match="header"):
+            read_trace(io.StringIO("not a trace\n"))
+
+    def test_wrong_field_count(self):
+        body = "# repro-fbf-trace v1\n1.0 2 3\n"
+        with pytest.raises(TraceFormatError, match="5 fields"):
+            read_trace(io.StringIO(body))
+
+    def test_non_numeric_field(self):
+        body = "# repro-fbf-trace v1\nabc 1 2 3 4\n"
+        with pytest.raises(TraceFormatError, match="line 2"):
+            read_trace(io.StringIO(body))
+
+    def test_semantic_validation_applied(self):
+        body = "# repro-fbf-trace v1\n1.0 5 0 0 0\n"  # length 0
+        with pytest.raises(TraceFormatError, match="length"):
+            read_trace(io.StringIO(body))
+
+    def test_blank_lines_and_comments_skipped(self):
+        body = "# repro-fbf-trace v1\n\n# comment\n1.0 5 0 0 1\n"
+        assert len(read_trace(io.StringIO(body))) == 1
+
+    def test_empty_trace(self):
+        assert read_trace(io.StringIO("# repro-fbf-trace v1\n")) == []
