@@ -94,7 +94,7 @@ def summarize_panel(
     panels = {(p.code, p.p) for p in points}
     if len(panels) != 1:
         raise ValueError(f"expected one panel, got {sorted(panels)}")
-    code, p = next(iter(panels))
+    code, p = min(panels)  # singleton (checked above); min() is order-stable
     baselines = sorted({pt.policy for pt in points} - {"fbf"})
     if not baselines:
         raise ValueError("no baseline policies in panel")

@@ -121,7 +121,7 @@ def figure_report(
     for code, p in panels:
         sub = [pt for pt in points if pt.code == code and pt.p == p]
         schemes = {pt.scheme_mode for pt in sub}
-        by_scheme = f" scheme={next(iter(schemes))}" if len(schemes) == 1 else ""
+        by_scheme = f" scheme={min(schemes)}" if len(schemes) == 1 else ""
         blocks.append(f"\n-- {code}, P={p}{by_scheme} --")
         if len(schemes) > 1:
             # ablation layout: columns are scheme modes instead of policies

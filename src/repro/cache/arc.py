@@ -10,7 +10,6 @@ takes hits.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
 
 from .base import CachePolicy, Key
 
@@ -61,7 +60,7 @@ class ARCCache(CachePolicy):
             self._b2[victim] = None
         self.stats.evictions += 1
 
-    def request(self, key: Key, priority: Optional[int] = None) -> bool:
+    def request(self, key: Key, priority: int | None = None) -> bool:
         if self.capacity == 0:
             self.stats.misses += 1
             return False

@@ -17,8 +17,8 @@ tuples.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from dataclasses import dataclass
+from typing import Hashable
 
 __all__ = ["CacheStats", "CachePolicy", "SimpleCachePolicy"]
 
@@ -60,7 +60,7 @@ class CachePolicy(ABC):
         self.stats = CacheStats()
 
     @abstractmethod
-    def request(self, key: Key, priority: Optional[int] = None) -> bool:
+    def request(self, key: Key, priority: int | None = None) -> bool:
         """Access ``key``; return True on hit.  On miss the block is
         fetched and installed (evicting if the cache is full)."""
 
@@ -90,7 +90,7 @@ class SimpleCachePolicy(CachePolicy):
     here once.
     """
 
-    def request(self, key: Key, priority: Optional[int] = None) -> bool:
+    def request(self, key: Key, priority: int | None = None) -> bool:
         if key in self:
             self.stats.hits += 1
             self._on_hit(key)
@@ -108,7 +108,7 @@ class SimpleCachePolicy(CachePolicy):
     def _on_hit(self, key: Key) -> None: ...
 
     @abstractmethod
-    def _admit(self, key: Key, priority: Optional[int]) -> None: ...
+    def _admit(self, key: Key, priority: int | None) -> None: ...
 
     @abstractmethod
     def _evict(self) -> Key:

@@ -12,7 +12,6 @@ aging) to let formerly-hot blocks cool down.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
 
 from .base import Key, SimpleCachePolicy
 
@@ -78,7 +77,7 @@ class FBRCache(SimpleCachePolicy):
             self._age_counts()
         self._stack.move_to_end(key, last=False)  # to MRU (front)
 
-    def _admit(self, key: Key, priority: Optional[int]) -> None:
+    def _admit(self, key: Key, priority: int | None) -> None:
         self._count[key] = 1
         self._stack[key] = None
         self._stack.move_to_end(key, last=False)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
 
 from .base import Key, SimpleCachePolicy
 
@@ -31,7 +30,7 @@ class FIFOCache(SimpleCachePolicy):
     def _on_hit(self, key: Key) -> None:
         pass  # arrival order is unaffected by hits
 
-    def _admit(self, key: Key, priority: Optional[int]) -> None:
+    def _admit(self, key: Key, priority: int | None) -> None:
         self._blocks[key] = None
 
     def _evict(self) -> Key:

@@ -9,7 +9,6 @@ Frequency state is discarded on eviction (plain LFU, no persistence).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
 
 from .base import Key, SimpleCachePolicy
 
@@ -52,7 +51,7 @@ class LFUCache(SimpleCachePolicy):
         self._freq_of[key] = freq + 1
         self._bucket(freq + 1)[key] = None
 
-    def _admit(self, key: Key, priority: Optional[int]) -> None:
+    def _admit(self, key: Key, priority: int | None) -> None:
         self._freq_of[key] = 1
         self._bucket(1)[key] = None
         self._min_freq = 1

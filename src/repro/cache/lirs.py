@@ -17,7 +17,6 @@ in ``S`` is bounded to ``history_factor * capacity`` entries.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
 
 from .base import CachePolicy, Key
 
@@ -49,7 +48,9 @@ class LIRSCache(CachePolicy):
         # S: key -> status, ordered bottom (LRU) .. top (MRU).
         self._s: OrderedDict[Key, str] = OrderedDict()
         self._q: OrderedDict[Key, None] = OrderedDict()  # resident HIR
-        self._resident: set[Key] = set()
+        # Admission-ordered; a dict (not a set) so any iteration is
+        # deterministic.
+        self._resident: dict[Key, None] = {}
         self._lir_count = 0
 
     # -- introspection -------------------------------------------------------
@@ -110,11 +111,11 @@ class LIRSCache(CachePolicy):
     def _evict_hir(self) -> None:
         """Evict the front of Q; keep its S history if present."""
         victim, _ = self._q.popitem(last=False)
-        self._resident.discard(victim)
+        self._resident.pop(victim, None)
         self.stats.evictions += 1
 
     # -- request --------------------------------------------------------------
-    def request(self, key: Key, priority: Optional[int] = None) -> bool:
+    def request(self, key: Key, priority: int | None = None) -> bool:
         if self.capacity == 0:
             self.stats.misses += 1
             return False
@@ -155,7 +156,7 @@ class LIRSCache(CachePolicy):
                 # no resident HIR: demote a LIR first, then evict it
                 self._demote_bottom_lir()
                 self._evict_hir()
-        self._resident.add(key)
+        self._resident[key] = None
         if self._lir_count < self.l_lirs and key not in self._s:
             # startup: fill the LIR set directly
             self._s[key] = _LIR

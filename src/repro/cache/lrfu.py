@@ -14,7 +14,6 @@ the test oracle trivial).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from .base import Key, SimpleCachePolicy
 
@@ -53,7 +52,7 @@ class LRFUCache(SimpleCachePolicy):
         crf, last = self._blocks[key]
         self._blocks[key] = (1.0 + self._weight(self._clock - last) * crf, self._clock)
 
-    def _admit(self, key: Key, priority: Optional[int]) -> None:
+    def _admit(self, key: Key, priority: int | None) -> None:
         self._clock += 1
         self._blocks[key] = (1.0, self._clock)
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
 
 from .base import Key, SimpleCachePolicy
 
@@ -31,7 +30,7 @@ class LRUCache(SimpleCachePolicy):
     def _on_hit(self, key: Key) -> None:
         self._blocks.move_to_end(key)
 
-    def _admit(self, key: Key, priority: Optional[int]) -> None:
+    def _admit(self, key: Key, priority: int | None) -> None:
         self._blocks[key] = None
 
     def _evict(self) -> Key:

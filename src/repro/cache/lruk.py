@@ -11,7 +11,6 @@ from scratch.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Optional
 
 from .base import Key, SimpleCachePolicy
 
@@ -25,7 +24,7 @@ class LRUKCache(SimpleCachePolicy):
 
     name = "lru2"
 
-    def __init__(self, capacity: int, k: int = 2, retained: Optional[int] = None):
+    def __init__(self, capacity: int, k: int = 2, retained: int | None = None):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         super().__init__(capacity)
@@ -58,7 +57,7 @@ class LRUKCache(SimpleCachePolicy):
         self._touch(key)
         self._resident.move_to_end(key)
 
-    def _admit(self, key: Key, priority: Optional[int]) -> None:
+    def _admit(self, key: Key, priority: int | None) -> None:
         if key in self._ghost_hist:
             self._hist[key] = self._ghost_hist.pop(key)
         self._touch(key)

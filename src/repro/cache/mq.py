@@ -20,7 +20,6 @@ rereference it is trying to keep, FBF does not.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
 
 from .base import CachePolicy, Key
 
@@ -126,7 +125,7 @@ class MQCache(CachePolicy):
         raise RuntimeError("evict on empty cache")  # pragma: no cover
 
     # -- request ---------------------------------------------------------------
-    def request(self, key: Key, priority: Optional[int] = None) -> bool:
+    def request(self, key: Key, priority: int | None = None) -> bool:
         self._clock += 1
         if key in self._level:
             self.stats.hits += 1

@@ -10,7 +10,6 @@ without polluting the hot list.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
 
 from .base import CachePolicy, Key
 
@@ -63,7 +62,7 @@ class TwoQCache(CachePolicy):
             self._am.popitem(last=False)
         self.stats.evictions += 1
 
-    def request(self, key: Key, priority: Optional[int] = None) -> bool:
+    def request(self, key: Key, priority: int | None = None) -> bool:
         if key in self._am:
             self._am.move_to_end(key)
             self.stats.hits += 1

@@ -1,0 +1,39 @@
+"""Machine-checked guardrails for the FBF reproduction.
+
+Two halves, one goal — keep every future change deterministic and
+invariant-preserving so the paper's comparisons stay trustworthy:
+
+* **simlint** (:mod:`~repro.checks.framework`, :mod:`~repro.checks.rules`,
+  :mod:`~repro.checks.report`, :mod:`~repro.checks.cli`): an AST-based
+  static pass with domain rules — kernel wall-clock hygiene, seeded
+  randomness, no observable set ordering, cache-policy interface
+  conformance, GF(2) purity.  Run it as ``repro-fbf check [paths]``.
+* **runtime sanitizer** (:mod:`~repro.checks.sanitizer`): wrappers that
+  assert FBF's Algorithm 1 invariants (single residency, demotion order,
+  capacity accounting) and the kernel's event-order stability during a
+  live simulation; enabled with ``sanitize=True`` on the simulators.
+"""
+
+from .framework import LintResult, Rule, Violation, lint_paths, lint_source
+from .report import render_rule_list, render_summary, render_violations
+from .rules import ALL_RULES, default_rules, rules_by_id
+from .sanitizer import InvariantViolation, SanitizedEnvironment, SimSanitizer
+from .cli import run_check
+
+__all__ = [
+    "ALL_RULES",
+    "InvariantViolation",
+    "LintResult",
+    "Rule",
+    "SanitizedEnvironment",
+    "SimSanitizer",
+    "Violation",
+    "default_rules",
+    "lint_paths",
+    "lint_source",
+    "render_rule_list",
+    "render_summary",
+    "render_violations",
+    "rules_by_id",
+    "run_check",
+]

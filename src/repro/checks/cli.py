@@ -1,0 +1,50 @@
+"""``repro-fbf check`` — run simlint from the command line.
+
+Exit status is the CI contract: 0 when the tree is clean, 1 when any
+violation is found (diagnostics on stdout, one per line), 2 for usage
+errors such as an unknown rule id.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from .framework import lint_paths
+from .report import render_rule_list, write_report
+from .rules import ALL_RULES, rules_by_id
+
+__all__ = ["run_check"]
+
+
+def run_check(
+    paths: Sequence[str],
+    select: Sequence[str] | None = None,
+    list_rules: bool = False,
+    stream: TextIO | None = None,
+) -> int:
+    """Lint ``paths`` (files or directories); returns the exit status."""
+    out = stream if stream is not None else sys.stdout
+    if list_rules:
+        out.write(render_rule_list() + "\n")
+        return 0
+    rules = ALL_RULES
+    if select:
+        known = rules_by_id()
+        unknown = [rule_id for rule_id in select if rule_id not in known]
+        if unknown:
+            out.write(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                f"known: {', '.join(known)}\n"
+            )
+            return 2
+        rules = tuple(known[rule_id] for rule_id in select)
+    targets = list(paths) or ["src"]
+    missing = [p for p in targets if not Path(p).exists()]
+    if missing:
+        out.write(f"no such file or directory: {', '.join(missing)}\n")
+        return 2
+    result = lint_paths(targets, rules)
+    write_report(result, out)
+    return 0 if result.ok else 1

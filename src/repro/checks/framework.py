@@ -1,0 +1,185 @@
+"""Rule framework for ``simlint``, the simulator-aware static checker.
+
+``simlint`` is a small AST-based analysis pass (stdlib :mod:`ast` only)
+with rules specific to this reproduction: the headline numbers (hit
+ratio, disk reads, reconstruction time) are only comparable across runs
+and policies if the discrete-event kernel and every replacement policy
+are deterministic and invariant-preserving.  Generic linters cannot see
+those domain constraints; these rules encode them.
+
+Vocabulary:
+
+* a :class:`Rule` visits one module's AST and yields :class:`Violation`
+  records;
+* rules declare *scopes* — path fragments such as ``repro/sim`` — so a
+  kernel-hygiene rule does not fire on reporting code;
+* a violating line can be suppressed with ``# simlint: ignore`` (any
+  rule) or ``# simlint: ignore[rule-id,...]`` (specific rules), which is
+  the reviewed escape hatch for false positives.
+
+The module is dependency-free and import-light so the CLI stays fast.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "LintResult",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([A-Za-z0-9_,\s-]+)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One diagnostic: where, which rule, and what went wrong."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
+
+
+class Rule(ABC):
+    """One named check over a module AST.
+
+    Subclasses set :attr:`rule_id` (stable, used in suppressions and
+    ``--select``), :attr:`summary` (one line for ``--list-rules``) and
+    optionally :attr:`scopes` / :attr:`excludes` (posix path fragments;
+    ``None`` scopes mean the rule applies to every file).
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    #: posix path fragments; the rule runs only on files containing one.
+    scopes: tuple[str, ...] | None = None
+    #: posix path fragments exempt even when in scope.
+    excludes: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        posix = Path(path).as_posix()
+        if any(fragment in posix for fragment in self.excludes):
+            return False
+        if self.scopes is None:
+            return True
+        return any(fragment in posix for fragment in self.scopes)
+
+    @abstractmethod
+    def check(self, tree: ast.Module, path: str) -> Iterator[Violation]:
+        """Yield violations found in ``tree`` (parsed from ``path``)."""
+
+    def violation(self, node: ast.AST, path: str, message: str) -> Violation:
+        return Violation(
+            rule_id=self.rule_id,
+            path=path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of one lint run."""
+
+    files_checked: int
+    violations: list[Violation]
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _suppressed_rules(source_lines: Sequence[str], line: int) -> tuple[str, ...] | None:
+    """Suppression spec on ``line`` (1-based): () = all rules, or rule ids."""
+    if not 1 <= line <= len(source_lines):
+        return None
+    match = _SUPPRESS_RE.search(source_lines[line - 1])
+    if match is None:
+        return None
+    spec = match.group(1)
+    if spec is None:
+        return ()
+    return tuple(part.strip() for part in spec.split(",") if part.strip())
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Iterable[Rule],
+) -> tuple[list[Violation], int]:
+    """Lint one module's source text; returns (violations, n_suppressed)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return (
+            [
+                Violation(
+                    rule_id="parse-error",
+                    path=path,
+                    line=exc.lineno or 0,
+                    col=(exc.offset or 1) - 1,
+                    message=f"could not parse file: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    source_lines = source.splitlines()
+    violations: list[Violation] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for violation in rule.check(tree, path):
+            spec = _suppressed_rules(source_lines, violation.line)
+            if spec is not None and (not spec or violation.rule_id in spec):
+                suppressed += 1
+                continue
+            violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations, suppressed
+
+
+def lint_file(path: str | Path, rules: Iterable[Rule]) -> tuple[list[Violation], int]:
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, str(path), rules)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(paths: Sequence[str | Path], rules: Sequence[Rule]) -> LintResult:
+    """Lint every python file under ``paths`` with ``rules``."""
+    violations: list[Violation] = []
+    suppressed = 0
+    n_files = 0
+    for path in iter_python_files(paths):
+        n_files += 1
+        found, skipped = lint_file(path, rules)
+        violations.extend(found)
+        suppressed += skipped
+    return LintResult(files_checked=n_files, violations=violations, suppressed=suppressed)

@@ -1,0 +1,53 @@
+"""Diagnostic rendering for ``simlint`` (``repro-fbf check``).
+
+Keeps the output format in one place: ``path:line:col: RULE-ID message``,
+one violation per line, grouped by file, followed by a summary line.  The
+format is the common compiler shape so editors and CI annotators parse it
+for free.
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from .framework import LintResult, Violation
+from .rules import ALL_RULES
+
+__all__ = ["render_violations", "render_summary", "render_rule_list", "write_report"]
+
+
+def render_violations(violations: list[Violation]) -> str:
+    return "\n".join(v.format() for v in violations)
+
+
+def render_summary(result: LintResult) -> str:
+    n = len(result.violations)
+    parts = [
+        f"simlint: {result.files_checked} files checked, "
+        f"{n} violation{'s' if n != 1 else ''}"
+    ]
+    if result.suppressed:
+        parts.append(f"{result.suppressed} suppressed")
+    if n:
+        by_rule: dict[str, int] = {}
+        for v in result.violations:
+            by_rule[v.rule_id] = by_rule.get(v.rule_id, 0) + 1
+        parts.append(
+            ", ".join(f"{rule}={count}" for rule, count in sorted(by_rule.items()))
+        )
+    return " | ".join(parts)
+
+
+def render_rule_list() -> str:
+    lines = ["simlint rules (suppress with `# simlint: ignore[ID]`):", ""]
+    for rule in ALL_RULES:
+        scope = ", ".join(rule.scopes) if rule.scopes else "all files"
+        lines.append(f"  {rule.rule_id}  {rule.summary}")
+        lines.append(f"          scope: {scope}")
+    return "\n".join(lines)
+
+
+def write_report(result: LintResult, stream: TextIO) -> None:
+    if result.violations:
+        stream.write(render_violations(result.violations) + "\n")
+    stream.write(render_summary(result) + "\n")

@@ -123,6 +123,23 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--workers", type=int)
     rep.add_argument("--seed", type=int)
     rep.add_argument("--cache-mbs", type=str)
+
+    c = sub.add_parser(
+        "check",
+        help="run simlint (domain static analysis) over source trees",
+    )
+    c.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    c.add_argument(
+        "--select", type=str, default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    c.add_argument(
+        "--list-rules", action="store_true",
+        help="describe every rule and exit",
+    )
     return parser
 
 
@@ -157,6 +174,14 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(layout.ascii_grid())
         return 0
+
+    if cmd == "check":
+        from .checks import run_check
+
+        select = None
+        if args.select:
+            select = [part.strip() for part in args.select.split(",") if part.strip()]
+        return run_check(args.paths, select=select, list_rules=args.list_rules)
 
     if cmd == "verify":
         from .sim import SimConfig, run_reconstruction

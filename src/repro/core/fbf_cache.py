@@ -22,7 +22,6 @@ handling of application I/O during reconstruction.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
 
 from ..cache.base import CachePolicy, Key
 from .priorities import MAX_PRIORITY
@@ -83,7 +82,7 @@ class FBFCache(CachePolicy):
         self._queue_of.clear()
 
     # -- algorithm ------------------------------------------------------------
-    def _normalize_priority(self, priority: Optional[int]) -> int:
+    def _normalize_priority(self, priority: int | None) -> int:
         if priority is None:
             return 1
         if not isinstance(priority, int):
@@ -112,7 +111,7 @@ class FBFCache(CachePolicy):
                 return victim
         raise RuntimeError("evict called on an empty cache")  # pragma: no cover
 
-    def request(self, key: Key, priority: Optional[int] = None) -> bool:
+    def request(self, key: Key, priority: int | None = None) -> bool:
         if key in self._queue_of:
             self.stats.hits += 1
             queue = self._queue_of[key]

@@ -9,7 +9,7 @@ queueing delay).  Per-request response times are recorded for the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional
 
 from ..cache.base import CachePolicy
@@ -56,10 +56,17 @@ class TimedBufferCache:
         policy: CachePolicy,
         array: DiskArray,
         hit_time: float = 0.0005,
+        sanitize: bool = False,
     ):
         if hit_time < 0:
             raise ValueError(f"hit_time must be >= 0, got {hit_time}")
         self.env = env
+        if sanitize:
+            # Imported here: repro.checks imports the kernel, which would
+            # cycle through repro.sim at module import time.
+            from ..checks.sanitizer import SimSanitizer
+
+            policy = SimSanitizer(policy)
         self.policy = policy
         self.array = array
         self.hit_time = hit_time

@@ -230,7 +230,8 @@ class Resource:
             raise ValueError("capacity must be >= 1")
         self.env = env
         self.capacity = capacity
-        self._holders: set[Request] = set()
+        # Grant-ordered; a dict (not a set) so any iteration is deterministic.
+        self._holders: dict[Request, None] = {}
         self._queue: deque[Request] = deque()
 
     @property
@@ -245,7 +246,7 @@ class Resource:
     def request(self) -> Request:
         req = Request(self.env, self)
         if len(self._holders) < self.capacity:
-            self._holders.add(req)
+            self._holders[req] = None
             req.succeed(req)
         else:
             self._queue.append(req)
@@ -253,7 +254,7 @@ class Resource:
 
     def release(self, req: Request) -> None:
         if req in self._holders:
-            self._holders.remove(req)
+            del self._holders[req]
         else:
             # Releasing a queued (never-granted) request cancels it.
             try:
@@ -263,7 +264,7 @@ class Resource:
             return
         while self._queue and len(self._holders) < self.capacity:
             nxt = self._queue.popleft()
-            self._holders.add(nxt)
+            self._holders[nxt] = None
             nxt.succeed(nxt)
 
 

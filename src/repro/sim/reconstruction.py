@@ -66,6 +66,10 @@ class SimConfig:
     payload_size: int = 64
     payload_seed: int = 0
     policy_kwargs: dict = field(default_factory=dict)
+    #: run under the invariant sanitizer: every cache request is checked
+    #: against FBF's Algorithm 1 (single residency, demotion order,
+    #: capacity accounting) and the event kernel asserts order stability.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -197,7 +201,14 @@ def run_reconstruction(
     if not errors:
         raise ValueError("no errors to recover")
     errors = sorted(errors)
-    env = Environment()
+    if config.sanitize:
+        # Imported here: repro.checks imports this package's kernel, which
+        # would cycle at module import time.
+        from ..checks.sanitizer import SanitizedEnvironment
+
+        env: Environment = SanitizedEnvironment()
+    else:
+        env = Environment()
     geometry = ArrayGeometry(
         layout=layout,
         chunk_size=config.chunk_bytes,
@@ -228,7 +239,9 @@ def run_reconstruction(
             policy = policy_factory(per_worker_blocks)
         else:
             policy = make_policy(config.policy, per_worker_blocks, **config.policy_kwargs)
-        cache = TimedBufferCache(env, policy, array, hit_time=config.hit_time)
+        cache = TimedBufferCache(
+            env, policy, array, hit_time=config.hit_time, sanitize=config.sanitize
+        )
         caches.append(cache)
         mine = errors[w::workers]  # SOR round-robin stripe assignment
         procs.append(

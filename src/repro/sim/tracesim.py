@@ -79,6 +79,7 @@ def simulate_cache_trace(
     plan_cache: PlanCache | None = None,
     policy_kwargs: dict | None = None,
     hint: str = "priority",
+    sanitize: bool = False,
 ) -> TraceSimResult:
     """Replay the recovery request stream of ``errors`` through a cache.
 
@@ -86,7 +87,10 @@ def simulate_cache_trace(
     it is partitioned evenly (integer division, like the paper's per-process
     cache slices).  ``hint`` selects what accompanies each request:
     ``"priority"`` (the paper's 1..3 value) or ``"share"`` (the raw chain
-    share count, for many-queue FBF variants).
+    share count, for many-queue FBF variants).  ``sanitize`` wraps every
+    policy in :class:`repro.checks.SimSanitizer`, which raises
+    :class:`repro.checks.InvariantViolation` the moment a cache invariant
+    (FBF single-residency, demotion order, capacity accounting) breaks.
     """
     if hint not in ("priority", "share"):
         raise ValueError(f"hint must be 'priority' or 'share', got {hint!r}")
@@ -107,6 +111,12 @@ def simulate_cache_trace(
         policies = [policy_factory(per_worker) for _ in range(workers)]
     else:
         policies = [make_policy(policy, per_worker, **kwargs) for _ in range(workers)]
+    if sanitize:
+        # Imported here: repro.checks imports the kernel, which would cycle
+        # through repro.sim at module import time.
+        from ..checks.sanitizer import SimSanitizer
+
+        policies = [SimSanitizer(p) for p in policies]
 
     for i, error in enumerate(errors):
         cache = policies[i % workers]

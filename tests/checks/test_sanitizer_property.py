@@ -1,0 +1,68 @@
+"""Property test: random request traces never break the FBF invariants.
+
+Hypothesis drives arbitrary fetch/hit/evict interleavings (small key
+spaces force heavy reuse and eviction pressure) against ``FBFCache``
+under the strict sanitizer — any single-residency, demotion-order, or
+capacity-accounting violation raises and fails the test.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checks import SimSanitizer
+from repro.core.fbf_cache import FBFCache
+
+# Tight key space (8 keys) so traces revisit blocks: hits exercise the
+# demotion path, and capacity below the key count exercises eviction.
+keys = st.integers(min_value=0, max_value=7)
+priorities = st.one_of(st.none(), st.integers(min_value=1, max_value=5))
+ops = st.lists(st.tuples(keys, priorities), min_size=1, max_size=200)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    trace=ops,
+    capacity=st.integers(min_value=0, max_value=6),
+    demote=st.booleans(),
+    n_queues=st.integers(min_value=1, max_value=5),
+)
+def test_random_trace_preserves_invariants(trace, capacity, demote, n_queues):
+    cache = SimSanitizer(
+        FBFCache(capacity, demote_on_hit=demote, n_queues=n_queues)
+    )
+    for key, priority in trace:
+        cache.request(key, priority=priority)  # strict: raises on violation
+    stats = cache.stats
+    assert stats.requests == len(trace)
+    assert len(cache) <= capacity
+    assert stats.evictions <= stats.misses
+
+
+@settings(max_examples=100, deadline=None)
+@given(trace=ops, capacity=st.integers(min_value=1, max_value=6))
+def test_interleaved_reset_preserves_invariants(trace, capacity):
+    """Reset mid-trace must return the policy to a consistent empty state."""
+    cache = SimSanitizer(FBFCache(capacity))
+    for i, (key, priority) in enumerate(trace):
+        cache.request(key, priority=priority)
+        if i % 31 == 30:
+            cache.reset()
+            assert len(cache) == 0 and cache.stats.requests == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(trace=ops, capacity=st.integers(min_value=1, max_value=6))
+def test_sanitizer_is_transparent(trace, capacity):
+    """A sanitized cache makes exactly the decisions of a bare one."""
+    bare = FBFCache(capacity)
+    checked = SimSanitizer(FBFCache(capacity))
+    for key, priority in trace:
+        assert bare.request(key, priority=priority) == checked.request(
+            key, priority=priority
+        )
+    assert bare.stats.hits == checked.stats.hits
+    assert bare.stats.evictions == checked.stats.evictions
+    for queue in range(1, bare.n_queues + 1):
+        assert bare.queue_contents(queue) == checked.policy.queue_contents(queue)

@@ -1,0 +1,434 @@
+"""Tests for the simlint static-analysis pass.
+
+The headline test lints the entire ``src/`` tree and fails on any new
+violation — that is the regression guard every future PR runs against.
+The seeded-violation tests write intentionally broken modules into paths
+matching each rule's scope and assert file:line diagnostics come back.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.checks import (
+    ALL_RULES,
+    lint_paths,
+    lint_source,
+    rules_by_id,
+    run_check,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def lint_snippet(source: str, path: str):
+    """Lint one in-memory module against the full rule set."""
+    violations, suppressed = lint_source(source, path, ALL_RULES)
+    return violations
+
+
+class TestWholeTree:
+    def test_src_tree_is_clean(self):
+        """The repo's own source must satisfy every simlint rule."""
+        result = lint_paths([SRC], ALL_RULES)
+        formatted = "\n".join(v.format() for v in result.violations)
+        assert result.ok, f"simlint violations in src/:\n{formatted}"
+        assert result.files_checked > 50  # the walker really walked the tree
+
+    def test_rule_ids_unique(self):
+        ids = [rule.rule_id for rule in ALL_RULES]
+        assert len(ids) == len(set(ids))
+        assert all(rule.summary for rule in ALL_RULES)
+
+
+class TestWallClock:
+    def test_time_time_in_sim_flagged(self):
+        violations = lint_snippet(
+            "import time\n\ndef proc(env):\n    start = time.time()\n",
+            "src/repro/sim/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["SIM001"]
+        assert violations[0].line == 4
+
+    def test_time_sleep_in_cache_flagged(self):
+        violations = lint_snippet(
+            "from time import sleep\n\ndef slow():\n    sleep(1)\n",
+            "src/repro/cache/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["SIM001"]
+
+    def test_perf_counter_allowed(self):
+        """Table IV measures real planning overhead with perf_counter."""
+        violations = lint_snippet(
+            "import time\n\ndef measure():\n    return time.perf_counter()\n",
+            "src/repro/sim/controller.py",
+        )
+        assert violations == []
+
+    def test_out_of_scope_not_flagged(self):
+        violations = lint_snippet(
+            "import time\n\ndef stamp():\n    return time.time()\n",
+            "src/repro/bench/reporting.py",
+        )
+        assert violations == []
+
+
+class TestYieldNonEvent:
+    def test_literal_yield_flagged(self):
+        violations = lint_snippet(
+            "def proc(env):\n    yield 5\n",
+            "src/repro/sim/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["SIM002"]
+
+    def test_bare_yield_flagged(self):
+        violations = lint_snippet(
+            "def proc(env):\n    yield\n",
+            "src/repro/sim/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["SIM002"]
+
+    def test_event_yield_allowed(self):
+        violations = lint_snippet(
+            "def proc(env):\n    yield env.timeout(1.0)\n    x = yield env.event()\n",
+            "src/repro/sim/broken.py",
+        )
+        assert violations == []
+
+
+class TestUnseededRandom:
+    def test_global_random_flagged(self):
+        violations = lint_snippet(
+            "import random\n\ndef pick():\n    return random.random()\n",
+            "src/repro/cache/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["DET001"]
+
+    def test_seeded_instance_allowed(self):
+        violations = lint_snippet(
+            "import random\n\ndef make(seed):\n    return random.Random(seed)\n",
+            "src/repro/cache/broken.py",
+        )
+        assert violations == []
+
+    def test_legacy_numpy_random_flagged(self):
+        violations = lint_snippet(
+            "import numpy as np\n\ndef pick():\n    return np.random.randint(10)\n",
+            "src/repro/workloads/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["DET001"]
+
+    def test_default_rng_allowed(self):
+        violations = lint_snippet(
+            "import numpy as np\n\ndef make(seed):\n    return np.random.default_rng(seed)\n",
+            "src/repro/workloads/broken.py",
+        )
+        assert violations == []
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_flagged(self):
+        violations = lint_snippet(
+            "def f():\n    pending = set()\n    for item in pending:\n        print(item)\n",
+            "src/repro/sim/broken.py",
+        )
+        assert any(v.rule_id == "DET002" for v in violations)
+
+    def test_annotated_self_attr_iteration_flagged(self):
+        source = (
+            "class Tracker:\n"
+            "    def __init__(self):\n"
+            "        self._live: set[int] = set()\n"
+            "    def drain(self):\n"
+            "        return list(self._live)\n"
+        )
+        violations = lint_snippet(source, "src/repro/analysis/broken.py")
+        assert any(v.rule_id == "DET002" for v in violations)
+
+    def test_sorted_wrapper_allowed(self):
+        violations = lint_snippet(
+            "def f():\n    pending = set()\n    for item in sorted(pending):\n        print(item)\n",
+            "src/repro/sim/broken.py",
+        )
+        assert [v for v in violations if v.rule_id == "DET002"] == []
+
+    def test_order_insensitive_consumers_allowed(self):
+        source = (
+            "def f(items):\n"
+            "    chosen = set(items)\n"
+            "    return any(x > 3 for x in chosen), sum(x for x in chosen), min(chosen)\n"
+        )
+        violations = lint_snippet(source, "src/repro/sim/broken.py")
+        assert [v for v in violations if v.rule_id == "DET002"] == []
+
+    def test_same_name_in_other_function_not_tainted(self):
+        """A name assigned as a set in one function is local to it."""
+        source = (
+            "def a(items):\n"
+            "    chosen = set(items)\n"
+            "    return len(chosen)\n"
+            "def b(items):\n"
+            "    chosen = sorted(set(items))\n"
+            "    return [x for x in chosen]\n"
+        )
+        violations = lint_snippet(source, "src/repro/sim/broken.py")
+        assert [v for v in violations if v.rule_id == "DET002"] == []
+
+    def test_set_pop_flagged(self):
+        violations = lint_snippet(
+            "def f():\n    live = set()\n    return live.pop()\n",
+            "src/repro/sim/broken.py",
+        )
+        assert any("set.pop()" in v.message for v in violations)
+
+
+class TestUnorderedState:
+    def test_set_state_in_kernel_scope_flagged(self):
+        source = (
+            "class Resource:\n"
+            "    def __init__(self):\n"
+            "        self._holders: set[int] = set()\n"
+        )
+        violations = lint_snippet(source, "src/repro/sim/kernel.py")
+        assert any(v.rule_id == "DET003" for v in violations)
+
+    def test_dict_state_allowed(self):
+        source = (
+            "class Resource:\n"
+            "    def __init__(self):\n"
+            "        self._holders: dict[int, None] = {}\n"
+        )
+        violations = lint_snippet(source, "src/repro/sim/kernel.py")
+        assert [v for v in violations if v.rule_id == "DET003"] == []
+
+    def test_out_of_scope_sim_module_not_flagged(self):
+        source = (
+            "class Oracle:\n"
+            "    def __init__(self):\n"
+            "        self._seen: set[int] = set()\n"
+        )
+        violations = lint_snippet(source, "src/repro/sim/datapath.py")
+        assert [v for v in violations if v.rule_id == "DET003"] == []
+
+
+class TestPolicyConformance:
+    BROKEN_PATH = "src/repro/cache/broken.py"
+
+    def test_mutable_class_state_flagged(self):
+        source = (
+            "from .base import CachePolicy\n"
+            "class BadCache(CachePolicy):\n"
+            "    name = 'bad'\n"
+            "    shared = []\n"
+        )
+        violations = lint_snippet(source, self.BROKEN_PATH)
+        assert any(v.rule_id == "POL001" for v in violations)
+
+    def test_dataclass_exempt_from_mutable_state(self):
+        source = (
+            "from dataclasses import dataclass, field\n"
+            "@dataclass\n"
+            "class Stats:\n"
+            "    samples: list = field(default_factory=list)\n"
+        )
+        violations = lint_snippet(source, self.BROKEN_PATH)
+        assert [v for v in violations if v.rule_id == "POL001"] == []
+
+    def test_missing_name_flagged(self):
+        source = (
+            "from .base import CachePolicy\n"
+            "class NoName(CachePolicy):\n"
+            "    def request(self, key, priority=None):\n"
+            "        return False\n"
+            "    def __contains__(self, key):\n"
+            "        return False\n"
+            "    def __len__(self):\n"
+            "        return 0\n"
+            "    def _clear(self):\n"
+            "        pass\n"
+        )
+        violations = lint_snippet(source, self.BROKEN_PATH)
+        assert any(
+            v.rule_id == "POL002" and "name" in v.message for v in violations
+        )
+
+    def test_missing_method_flagged(self):
+        source = (
+            "from .base import CachePolicy\n"
+            "class Partial(CachePolicy):\n"
+            "    name = 'partial'\n"
+            "    def request(self, key, priority=None):\n"
+            "        return False\n"
+        )
+        violations = lint_snippet(source, self.BROKEN_PATH)
+        missing = {v.message.split()[-1] for v in violations if v.rule_id == "POL002"}
+        assert "__contains__()" in missing and "_clear()" in missing
+
+    def test_wrong_request_signature_flagged(self):
+        source = (
+            "from .base import CachePolicy\n"
+            "class Drift(CachePolicy):\n"
+            "    name = 'drift'\n"
+            "    def request(self, key, weight=1.0):\n"
+            "        return False\n"
+            "    def __contains__(self, key):\n"
+            "        return False\n"
+            "    def __len__(self):\n"
+            "        return 0\n"
+            "    def _clear(self):\n"
+            "        pass\n"
+        )
+        violations = lint_snippet(source, self.BROKEN_PATH)
+        assert any(
+            v.rule_id == "POL002" and "signature" in v.message for v in violations
+        )
+
+    def test_conforming_policy_clean(self):
+        source = (
+            "from .base import Key, SimpleCachePolicy\n"
+            "class Fine(SimpleCachePolicy):\n"
+            "    name = 'fine'\n"
+            "    def __init__(self, capacity):\n"
+            "        super().__init__(capacity)\n"
+            "        self._d = {}\n"
+            "    def __contains__(self, key):\n"
+            "        return key in self._d\n"
+            "    def __len__(self):\n"
+            "        return len(self._d)\n"
+            "    def _clear(self):\n"
+            "        self._d.clear()\n"
+            "    def _on_hit(self, key):\n"
+            "        pass\n"
+            "    def _admit(self, key, priority):\n"
+            "        self._d[key] = None\n"
+            "    def _evict(self):\n"
+            "        return next(iter(self._d))\n"
+        )
+        violations = lint_snippet(source, self.BROKEN_PATH)
+        assert violations == []
+
+
+class TestGF2Purity:
+    def test_true_division_flagged(self):
+        violations = lint_snippet(
+            "def norm(a, b):\n    return a / b\n",
+            "src/repro/codes/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["GF2001"]
+
+    def test_floor_division_allowed(self):
+        violations = lint_snippet(
+            "def rows(a, b):\n    return a // b\n",
+            "src/repro/codes/broken.py",
+        )
+        assert violations == []
+
+    def test_float_dtype_flagged(self):
+        violations = lint_snippet(
+            "import numpy as np\n\ndef mat(n):\n    return np.zeros(n, dtype=np.float64)\n",
+            "src/repro/codes/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["GF2001"]
+
+    def test_astype_float_flagged(self):
+        violations = lint_snippet(
+            "def f(a):\n    return a.astype(float)\n",
+            "src/repro/codes/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["GF2001"]
+
+    def test_uint_dtypes_allowed(self):
+        violations = lint_snippet(
+            "import numpy as np\n\ndef mat(n):\n    return np.zeros(n, dtype=np.uint8)\n",
+            "src/repro/codes/broken.py",
+        )
+        assert violations == []
+
+
+class TestSuppression:
+    def test_blanket_ignore(self):
+        source = "import time\n\ndef f():\n    return time.time()  # simlint: ignore\n"
+        violations, suppressed = lint_source(
+            source, "src/repro/sim/broken.py", ALL_RULES
+        )
+        assert violations == [] and suppressed == 1
+
+    def test_targeted_ignore(self):
+        source = (
+            "import time\n\ndef f():\n"
+            "    return time.time()  # simlint: ignore[SIM001]\n"
+        )
+        violations, suppressed = lint_source(
+            source, "src/repro/sim/broken.py", ALL_RULES
+        )
+        assert violations == [] and suppressed == 1
+
+    def test_wrong_id_does_not_suppress(self):
+        source = (
+            "import time\n\ndef f():\n"
+            "    return time.time()  # simlint: ignore[GF2001]\n"
+        )
+        violations, suppressed = lint_source(
+            source, "src/repro/sim/broken.py", ALL_RULES
+        )
+        assert [v.rule_id for v in violations] == ["SIM001"] and suppressed == 0
+
+
+class TestCheckCommand:
+    def seed_violation(self, tmp_path: Path) -> Path:
+        bad = tmp_path / "src" / "repro" / "cache" / "bad_policy.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import random\n\ndef tiebreak():\n    return random.random()\n",
+            encoding="utf-8",
+        )
+        return bad
+
+    def test_clean_tree_exit_zero(self):
+        stream = io.StringIO()
+        assert run_check([str(SRC)], stream=stream) == 0
+        assert "0 violations" in stream.getvalue()
+
+    def test_seeded_violation_exit_nonzero(self, tmp_path):
+        bad = self.seed_violation(tmp_path)
+        stream = io.StringIO()
+        assert run_check([str(tmp_path)], stream=stream) == 1
+        out = stream.getvalue()
+        assert f"{bad}:4:" in out and "DET001" in out
+
+    def test_select_filters_rules(self, tmp_path):
+        self.seed_violation(tmp_path)
+        stream = io.StringIO()
+        assert run_check([str(tmp_path)], select=["GF2001"], stream=stream) == 0
+
+    def test_unknown_rule_id_usage_error(self):
+        stream = io.StringIO()
+        assert run_check(["src"], select=["NOPE99"], stream=stream) == 2
+
+    def test_missing_path_usage_error(self, tmp_path):
+        stream = io.StringIO()
+        missing = tmp_path / "nope"
+        assert run_check([str(missing)], stream=stream) == 2
+        assert "no such file or directory" in stream.getvalue()
+
+    def test_list_rules(self):
+        stream = io.StringIO()
+        assert run_check([], list_rules=True, stream=stream) == 0
+        out = stream.getvalue()
+        assert all(rule_id in out for rule_id in rules_by_id())
+
+    def test_cli_integration(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", str(SRC)]) == 0
+        assert "0 violations" in capsys.readouterr().out
+        assert main(["check", "--list-rules"]) == 0
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("rule_id", sorted(rules_by_id()))
+    def test_every_rule_reachable_by_select(self, rule_id):
+        stream = io.StringIO()
+        assert run_check([str(SRC)], select=[rule_id], stream=stream) == 0

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.codes import available_codes, make_code
+from repro.codes.layout import CodeLayout
+from repro.codes.registry import _ALIASES, CODES
 
 
 def test_available_codes():
@@ -23,6 +25,36 @@ def test_aliases():
 def test_unknown_code():
     with pytest.raises(ValueError, match="unknown code"):
         make_code("rs", 5)
+
+
+def test_unknown_code_error_lists_choices():
+    with pytest.raises(ValueError, match="hdd1.*star.*tip"):
+        make_code("raid6", 5)
+
+
+@pytest.mark.parametrize("name", sorted(CODES))
+def test_every_registered_name_round_trips(name):
+    """Registry name -> layout; rebuilding by the layout's key matches."""
+    layout = make_code(name, 5)
+    assert isinstance(layout, CodeLayout)
+    again = make_code(name, 5)
+    assert again.name == layout.name
+    assert again.num_disks == layout.num_disks
+    assert again.chains == layout.chains
+
+
+def test_no_duplicate_registrations():
+    """Each registered name maps to a distinct builder and layout name."""
+    builders = list(CODES.values())
+    assert len(builders) == len(set(builders))
+    layout_names = [make_code(n, 5).name for n in CODES]
+    assert len(layout_names) == len(set(layout_names))
+
+
+def test_aliases_resolve_to_registered_names():
+    for alias, target in _ALIASES.items():
+        assert target in CODES
+        assert alias not in CODES  # aliases must not shadow real entries
 
 
 def test_non_prime_p():
