@@ -14,14 +14,47 @@ from typing import Sequence
 
 from ..bench.experiments import SweepPoint
 
-__all__ = ["PanelSummary", "summarize_panel", "stable_point", "peak_gain"]
+__all__ = [
+    "NUMERIC_METRICS",
+    "PanelSummary",
+    "summarize_panel",
+    "stable_point",
+    "peak_gain",
+]
+
+
+#: SweepPoint columns a curve can be computed over.  Everything else on a
+#: row (experiment/code/policy labels, scheme_mode) is categorical.
+NUMERIC_METRICS: tuple[str, ...] = (
+    "hit_ratio",
+    "disk_reads",
+    "avg_response_time",
+    "reconstruction_time",
+    "overhead_ms",
+    "overhead_percent",
+)
+
+
+def _metric_value(point: SweepPoint, metric: str) -> float:
+    """``getattr`` guarded so a bad metric name fails loudly and clearly.
+
+    Without the guard, a label field (e.g. ``metric="policy"``) slips
+    through ``getattr`` and only explodes later as a bare ``TypeError``
+    deep inside the relative-span arithmetic of :func:`stable_point`.
+    """
+    if metric not in NUMERIC_METRICS:
+        raise ValueError(
+            f"metric {metric!r} is not a numeric SweepPoint metric; "
+            f"valid metrics: {', '.join(NUMERIC_METRICS)}"
+        )
+    return getattr(point, metric)
 
 
 def _series(
     points: Sequence[SweepPoint], policy: str, metric: str
 ) -> list[tuple[float, float]]:
     out = sorted(
-        (p.cache_mb, getattr(p, metric)) for p in points if p.policy == policy
+        (p.cache_mb, _metric_value(p, metric)) for p in points if p.policy == policy
     )
     if not out:
         raise ValueError(f"no points for policy {policy!r}")
@@ -56,7 +89,7 @@ def peak_gain(
     best_size, best_gain = sizes[0], float("-inf")
     for size in sizes:
         vals = {
-            p.policy: getattr(p, metric) for p in points if p.cache_mb == size
+            p.policy: _metric_value(p, metric) for p in points if p.cache_mb == size
         }
         if "fbf" not in vals or len(vals) < 2:
             continue

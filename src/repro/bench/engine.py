@@ -1,0 +1,507 @@
+"""Parallel sweep engine: fan a figure/table grid out across processes.
+
+The paper's evaluation is an embarrassingly parallel grid — every
+``(code, p, policy, cache size)`` cell is an independent deterministic
+simulation — so the engine decomposes a sweep into flat, hashable
+:class:`GridPoint` tasks, executes them on a ``ProcessPoolExecutor`` and
+reassembles :class:`~repro.bench.experiments.SweepPoint` rows in the
+original (canonical) grid order.  Because every simulation is a pure
+function of its ``GridPoint``, the parallel result is identical to the
+serial one, row for row.
+
+Three layers keep repeated runs cheap:
+
+* **per-group prepare** — layout construction, error-trace generation and
+  the :class:`~repro.sim.tracesim.PlanCache` are shared by every point of
+  a ``(code, p, n_errors, seed[, scheme])`` group.  Each worker process
+  memoises them, so a group costs one setup per process instead of one
+  per point (the serial path shares a single memo, matching the old
+  nested-loop behaviour exactly);
+* **persistent result cache** — each computed row is stored under a
+  SHA-256 key of the point's full parameter vector plus a code-version
+  salt (:data:`ENGINE_CACHE_VERSION`); re-running a sweep only computes
+  points whose parameters (or the salt) changed;
+* **process-pool fan-out** — ``workers="auto"`` uses ``os.cpu_count()``,
+  ``workers=0`` is an in-process serial fallback for debugging.  The
+  worker count only schedules work; it never parameterises a simulation
+  (simlint DET004 enforces this repo-wide).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+__all__ = [
+    "ENGINE_CACHE_VERSION",
+    "GridPoint",
+    "EngineConfig",
+    "PointTiming",
+    "EngineResult",
+    "ResultCache",
+    "default_cache_dir",
+    "run_grid",
+]
+
+#: Version salt mixed into every cache key.  Bump it whenever a change to
+#: the simulator, the policies, the codes, or the workload generator can
+#: alter any SweepPoint value — stale rows must never be served.
+ENGINE_CACHE_VERSION = "1"
+
+_POINT_KINDS = ("trace", "des", "demotion")
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One grid cell, described declaratively so it ships to any process.
+
+    A point carries *every* input its simulation depends on; nothing is
+    closed over.  That makes it hashable (deduplication), picklable
+    (process fan-out) and content-addressable (the persistent cache).
+    """
+
+    kind: str  #: "trace" (fig8/9 replay), "des" (event sim), "demotion"
+    experiment: str
+    code: str  #: registry name, e.g. "tip" (SweepPoint carries layout.name)
+    p: int
+    policy: str  #: policy registry name, or the ablation label
+    cache_mb: float
+    scheme_mode: str = "fbf"
+    n_errors: int = 48
+    seed: int = 42
+    sor_workers: int = 32  #: the paper's SOR worker count (simulated!)
+    chunk_size: str = "32KB"
+    demote_on_hit: bool | None = None  #: only for kind="demotion"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _POINT_KINDS:
+            raise ValueError(f"kind must be one of {_POINT_KINDS}, got {self.kind!r}")
+        if self.kind == "demotion" and self.demote_on_hit is None:
+            raise ValueError("demotion points require demote_on_hit")
+
+    def cache_key(self, salt: str = ENGINE_CACHE_VERSION) -> str:
+        """Content address: SHA-256 over the canonical parameter vector."""
+        payload = json.dumps(
+            {"v": salt, **asdict(self)}, sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How to execute a grid: fan-out width and result-cache location.
+
+    ``workers=0`` runs in-process (serial debugging fallback); ``"auto"``
+    resolves to ``os.cpu_count()``.  ``cache_dir=None`` disables the
+    persistent cache.
+    """
+
+    workers: int | str = 0
+    cache_dir: str | Path | None = None
+    #: multiprocessing start method ("spawn"/"fork"/"forkserver");
+    #: None = platform default.  The worker is a top-level function, so
+    #: every method is safe.
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workers, str):
+            if self.workers != "auto":
+                raise ValueError(f"workers must be an int >= 0 or 'auto', got {self.workers!r}")
+        elif self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+
+    def resolved_workers(self) -> int:
+        if self.workers == "auto":
+            return os.cpu_count() or 1
+        return int(self.workers)
+
+
+def default_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME/repro-fbf`` (or ``~/.cache/repro-fbf``)."""
+    root = os.environ.get("XDG_CACHE_HOME")
+    base = Path(root) if root else Path.home() / ".cache"
+    return base / "repro-fbf"
+
+
+class ResultCache:
+    """Content-addressed store of computed rows: one JSON file per point.
+
+    Files live at ``<dir>/<key[:2]>/<key>.json`` (sharded so directory
+    listings stay cheap at FULL scale).  Writes are atomic (temp file +
+    ``os.replace``), so a crashed or parallel run never leaves a torn
+    entry.
+    """
+
+    def __init__(self, directory: str | Path, salt: str = ENGINE_CACHE_VERSION):
+        self.directory = Path(directory)
+        self.salt = salt
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, point: GridPoint) -> "SweepPoint | None":
+        from .experiments import SweepPoint
+
+        path = self._path(point.cache_key(self.salt))
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        row = payload.get("row")
+        if not isinstance(row, dict):
+            return None
+        try:
+            return SweepPoint(**row)
+        except TypeError:  # schema drift without a salt bump: treat as miss
+            return None
+
+    def put(self, point: GridPoint, row: "SweepPoint") -> None:
+        key = point.cache_key(self.salt)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "point": asdict(point), "row": asdict(row)}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class PointTiming:
+    """Per-point provenance for BENCH reports."""
+
+    key: str
+    experiment: str
+    code: str
+    p: int
+    policy: str
+    cache_mb: float
+    seconds: float
+    cached: bool
+
+
+@dataclass
+class EngineResult:
+    """Rows in canonical grid order plus execution statistics."""
+
+    points: "list[SweepPoint]"
+    wall_s: float
+    workers: int
+    cache_hits: int
+    cache_misses: int
+    timings: list[PointTiming] = field(default_factory=list)
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def compute_s(self) -> float:
+        """Serial-equivalent compute time (sum of per-point times)."""
+        return sum(t.seconds for t in self.timings)
+
+    @property
+    def speedup_estimate(self) -> float:
+        """compute_s / wall_s — effective parallelism incl. cache effect."""
+        return self.compute_s / self.wall_s if self.wall_s > 0 else 0.0
+
+
+# -- worker side --------------------------------------------------------------
+#
+# Module-level memos keyed by value tuples: in a pool worker they amortise
+# the per-(code, p) setup across every point that process executes; in
+# the serial fallback they reproduce the old nested-loop sharing (one
+# layout/error-trace/PlanCache per sweep group).  All cached objects are
+# deterministic functions of their keys, so sharing never changes results.
+
+_LAYOUTS: dict = {}
+_ERRORS: dict = {}
+_PLANS: dict = {}
+
+
+def _reset_worker_state() -> None:
+    """Drop the per-process memos (test isolation / leak control)."""
+    _LAYOUTS.clear()
+    _ERRORS.clear()
+    _PLANS.clear()
+
+
+def _layout_for(code: str, p: int):
+    from ..codes.registry import make_code
+
+    key = (code, p)
+    layout = _LAYOUTS.get(key)
+    if layout is None:
+        layout = _LAYOUTS[key] = make_code(code, p)
+    return layout
+
+
+def _errors_for(code: str, p: int, n_errors: int, seed: int):
+    from ..workloads.errors import ErrorTraceConfig, generate_errors
+
+    key = (code, p, n_errors, seed)
+    errors = _ERRORS.get(key)
+    if errors is None:
+        errors = _ERRORS[key] = generate_errors(
+            _layout_for(code, p), ErrorTraceConfig(n_errors=n_errors, seed=seed)
+        )
+    return errors
+
+
+def _plans_for(code: str, p: int, scheme_mode: str):
+    from ..sim.tracesim import PlanCache
+
+    key = (code, p, scheme_mode)
+    plans = _PLANS.get(key)
+    if plans is None:
+        plans = _PLANS[key] = PlanCache(_layout_for(code, p), scheme_mode)
+    return plans
+
+
+def _blocks_for(cache_mb: float, chunk_size: str) -> int:
+    from ..utils import parse_size
+
+    return int(cache_mb * 1024 * 1024) // parse_size(chunk_size)
+
+
+def compute_point(point: GridPoint) -> "SweepPoint":
+    """Run one grid cell; pure function of ``point`` (spawn-safe)."""
+    from .experiments import SweepPoint
+
+    layout = _layout_for(point.code, point.p)
+    errors = _errors_for(point.code, point.p, point.n_errors, point.seed)
+
+    if point.kind == "trace":
+        from ..sim.tracesim import simulate_cache_trace
+
+        res = simulate_cache_trace(
+            layout,
+            errors,
+            policy=point.policy,
+            capacity_blocks=_blocks_for(point.cache_mb, point.chunk_size),
+            scheme_mode=point.scheme_mode,
+            workers=point.sor_workers,
+            plan_cache=_plans_for(point.code, point.p, point.scheme_mode),
+        )
+        return SweepPoint(
+            experiment=point.experiment,
+            code=layout.name,
+            p=point.p,
+            policy=point.policy,
+            cache_mb=point.cache_mb,
+            hit_ratio=res.hit_ratio,
+            disk_reads=res.disk_reads,
+            scheme_mode=point.scheme_mode,
+        )
+
+    if point.kind == "demotion":
+        from ..core.fbf_cache import FBFCache
+        from ..sim.tracesim import simulate_cache_trace
+
+        demote = bool(point.demote_on_hit)
+        res = simulate_cache_trace(
+            layout,
+            errors,
+            capacity_blocks=_blocks_for(point.cache_mb, point.chunk_size),
+            workers=point.sor_workers,
+            plan_cache=_plans_for(point.code, point.p, point.scheme_mode),
+            policy_factory=lambda cap, d=demote: FBFCache(cap, demote_on_hit=d),
+        )
+        return SweepPoint(
+            experiment=point.experiment,
+            code=layout.name,
+            p=point.p,
+            policy=point.policy,
+            cache_mb=point.cache_mb,
+            hit_ratio=res.hit_ratio,
+            disk_reads=res.disk_reads,
+        )
+
+    # kind == "des": the full event-driven simulation (timing metrics).
+    from ..sim.reconstruction import SimConfig, run_reconstruction
+
+    config = SimConfig(
+        policy=point.policy,
+        cache_size=int(point.cache_mb * 1024 * 1024),
+        chunk_size=point.chunk_size,
+        scheme_mode=point.scheme_mode,
+        workers=point.sor_workers,
+    )
+    rep = run_reconstruction(layout, errors, config)
+    return SweepPoint(
+        experiment=point.experiment,
+        code=layout.name,
+        p=point.p,
+        policy=point.policy,
+        cache_mb=point.cache_mb,
+        hit_ratio=rep.hit_ratio,
+        disk_reads=rep.disk_reads,
+        avg_response_time=rep.avg_response_time,
+        reconstruction_time=rep.reconstruction_time,
+        overhead_ms=rep.overhead_mean_s * 1000.0,
+        overhead_percent=rep.overhead_percent,
+        scheme_mode=point.scheme_mode,
+    )
+
+
+def _timed_point(point: GridPoint) -> "tuple[SweepPoint, float]":
+    """Pool entry point: compute one cell and report its compute time."""
+    t0 = time.perf_counter()
+    row = compute_point(point)
+    return row, time.perf_counter() - t0
+
+
+# -- driver side --------------------------------------------------------------
+
+def run_grid(
+    points: Sequence[GridPoint],
+    config: EngineConfig | None = None,
+    on_progress: Callable[[int, int], None] | None = None,
+) -> EngineResult:
+    """Execute ``points`` and return rows in the same (canonical) order.
+
+    Output is independent of ``config``: the worker count and the cache
+    only affect *when and where* cells are computed, never their values.
+    ``on_progress(done, total)`` is called after every completed point.
+    """
+    config = config or EngineConfig()
+    t_start = time.perf_counter()
+    total = len(points)
+    cache = (
+        ResultCache(config.cache_dir) if config.cache_dir is not None else None
+    )
+
+    rows: list = [None] * total
+    timings: list[PointTiming | None] = [None] * total
+    done = 0
+
+    def record(i: int, row, seconds: float, cached: bool) -> None:
+        nonlocal done
+        rows[i] = row
+        timings[i] = PointTiming(
+            key=points[i].cache_key(),
+            experiment=points[i].experiment,
+            code=points[i].code,
+            p=points[i].p,
+            policy=points[i].policy,
+            cache_mb=points[i].cache_mb,
+            seconds=seconds,
+            cached=cached,
+        )
+        done += 1
+        if on_progress is not None:
+            on_progress(done, total)
+
+    misses: list[int] = []
+    if cache is not None:
+        for i, point in enumerate(points):
+            row = cache.get(point)
+            if row is None:
+                misses.append(i)
+            else:
+                record(i, row, 0.0, cached=True)
+    else:
+        misses = list(range(total))
+    hits = total - len(misses)
+
+    n_workers = config.resolved_workers()
+    if n_workers == 0 or len(misses) <= 1:
+        for i in misses:
+            row, seconds = _timed_point(points[i])
+            if cache is not None:
+                cache.put(points[i], row)
+            record(i, row, seconds, cached=False)
+    else:
+        import multiprocessing
+
+        n_workers = min(n_workers, len(misses))
+        context = (
+            multiprocessing.get_context(config.start_method)
+            if config.start_method
+            else None
+        )
+        chunksize = max(1, len(misses) // (n_workers * 4))
+        with ProcessPoolExecutor(max_workers=n_workers, mp_context=context) as pool:
+            todo = [points[i] for i in misses]
+            for i, (row, seconds) in zip(misses, pool.map(_timed_point, todo, chunksize=chunksize)):
+                if cache is not None:
+                    cache.put(points[i], row)
+                record(i, row, seconds, cached=False)
+
+    return EngineResult(
+        points=rows,
+        wall_s=time.perf_counter() - t_start,
+        workers=0 if config.resolved_workers() == 0 else n_workers,
+        cache_hits=hits,
+        cache_misses=len(misses),
+        timings=[t for t in timings if t is not None],
+    )
+
+
+# -- BENCH report -------------------------------------------------------------
+
+def _git_rev() -> str | None:
+    """Current commit hash, or None outside a git checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def bench_payload(
+    experiment: str,
+    scale_name: str,
+    result: EngineResult,
+    extra: Mapping[str, object] | None = None,
+) -> dict:
+    """The machine-readable ``BENCH_<experiment>.json`` document."""
+    payload: dict = {
+        "schema": 1,
+        "experiment": experiment,
+        "scale": scale_name,
+        "engine_version": ENGINE_CACHE_VERSION,
+        "git_rev": _git_rev(),
+        "wall_s": result.wall_s,
+        "compute_s": result.compute_s,
+        "speedup_estimate": result.speedup_estimate,
+        "n_points": result.n_points,
+        "workers": result.workers,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "per_point": [asdict(t) for t in result.timings],
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_bench_json(
+    path: str | Path,
+    experiment: str,
+    scale_name: str,
+    result: EngineResult,
+    extra: Mapping[str, object] | None = None,
+) -> Path:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(bench_payload(experiment, scale_name, result, extra), indent=2)
+        + "\n",
+        encoding="utf-8",
+    )
+    return out

@@ -10,18 +10,25 @@ so the same code serves quick CI benchmarks and full reproductions:
 The paper's axes are preserved: cache size in MB with 32 KB chunks, the
 four codes, P in {5, 7, 11, 13}, and the policy set {FIFO, LRU, LFU, ARC,
 FBF}.
+
+Execution is delegated to :mod:`repro.bench.engine`: every runner first
+*describes* its sweep as a flat list of :class:`~repro.bench.engine.
+GridPoint` tasks in canonical grid order (``*_grid`` builders, also used
+directly by ``repro-fbf bench``), then executes them via
+:func:`~repro.bench.engine.run_grid`.  Passing an
+:class:`~repro.bench.engine.EngineConfig` fans the grid out across a
+process pool and/or reuses the persistent result cache; the default is
+the in-process serial path, whose output is identical row for row.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import math
+from dataclasses import dataclass, fields, replace
 from typing import Sequence
 
-from ..codes.registry import make_code
-from ..sim.reconstruction import SimConfig, run_reconstruction
-from ..sim.tracesim import PlanCache, simulate_cache_trace
+from .engine import EngineConfig, GridPoint, run_grid
 from ..utils import parse_size
-from ..workloads.errors import ErrorTraceConfig, generate_errors
 
 __all__ = [
     "Scale",
@@ -36,6 +43,10 @@ __all__ = [
     "table5_max_improvement",
     "ablation_scheme",
     "ablation_demotion",
+    "experiment_grid",
+    "rows_equivalent",
+    "EXPERIMENT_NAMES",
+    "MEASURED_FIELDS",
     "POLICY_ORDER",
 ]
 
@@ -78,9 +89,22 @@ FULL = Scale(
 )
 
 
-@dataclass(frozen=True)
+#: SweepPoint columns that are *measured* wall-clock quantities (Table
+#: IV's planning overhead), not simulated ones.  They vary run to run on
+#: any machine — serial or parallel — and are therefore excluded from the
+#: engine's determinism contract (see :func:`rows_equivalent`).
+MEASURED_FIELDS: tuple[str, ...] = ("overhead_ms", "overhead_percent")
+
+
+@dataclass(frozen=True, eq=False)
 class SweepPoint:
-    """One measurement: a (code, p, policy, cache size) cell."""
+    """One measurement: a (code, p, policy, cache size) cell.
+
+    Equality treats NaN fields (the not-measured defaults) as equal to
+    each other, so rows stay comparable after a pickle round-trip through
+    the process pool or a JSON round-trip through the result cache (both
+    produce fresh NaN objects, and ``nan != nan``).
+    """
 
     experiment: str
     code: str
@@ -95,127 +119,207 @@ class SweepPoint:
     overhead_percent: float = float("nan")
     scheme_mode: str = "fbf"
 
+    def _key(self, exclude: tuple[str, ...] = ()) -> tuple:
+        # NaN normalised to None so eq and hash agree (hash(nan) is
+        # id-based on 3.10+, which would break the hash/eq contract).
+        return tuple(
+            None
+            if isinstance(v, float) and math.isnan(v)
+            else v
+            for v in (
+                getattr(self, f.name)
+                for f in fields(self)
+                if f.name not in exclude
+            )
+        )
 
-def _errors_for(layout, scale: Scale):
-    return generate_errors(
-        layout, ErrorTraceConfig(n_errors=scale.n_errors, seed=scale.seed)
+    def simulated_key(self) -> tuple:
+        """Every deterministic (simulated) column — the comparison basis
+        for parallel-vs-serial and cached-vs-computed equivalence."""
+        return self._key(MEASURED_FIELDS)
+
+    def __eq__(self, other: object):
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+
+def rows_equivalent(
+    a: Sequence["SweepPoint"], b: Sequence["SweepPoint"]
+) -> bool:
+    """True when two sweeps agree on every *simulated* metric, row for row.
+
+    This is the engine's determinism contract: scheduling (worker count,
+    cache hits, execution order) must never change a simulated value.
+    The measured overhead columns (:data:`MEASURED_FIELDS`) are excluded —
+    they are wall-clock timings and legitimately vary between any two
+    runs, serial or parallel.
+    """
+    return len(a) == len(b) and all(
+        x.simulated_key() == y.simulated_key() for x, y in zip(a, b)
     )
 
 
-# -- trace-driven sweeps (Figures 8 and 9) ----------------------------------
-
-def _trace_sweep(
-    experiment: str,
-    codes: Sequence[str],
-    ps: Sequence[int],
-    scale: Scale,
-    scheme_mode: str = "fbf",
-) -> list[SweepPoint]:
-    points: list[SweepPoint] = []
-    for code in codes:
-        for p in ps:
-            layout = make_code(code, p)
-            errors = _errors_for(layout, scale)
-            plans = PlanCache(layout, scheme_mode)
-            for policy in scale.policies:
-                for mb in scale.cache_mbs:
-                    res = simulate_cache_trace(
-                        layout,
-                        errors,
-                        policy=policy,
-                        capacity_blocks=scale.blocks_for(mb),
-                        scheme_mode=scheme_mode,
-                        workers=scale.workers,
-                        plan_cache=plans,
-                    )
-                    points.append(
-                        SweepPoint(
-                            experiment=experiment,
-                            code=layout.name,
-                            p=p,
-                            policy=policy,
-                            cache_mb=mb,
-                            hit_ratio=res.hit_ratio,
-                            disk_reads=res.disk_reads,
-                            scheme_mode=scheme_mode,
-                        )
-                    )
-    return points
+def _points(grid: Sequence[GridPoint], engine: EngineConfig | None) -> list[SweepPoint]:
+    return run_grid(grid, engine).points
 
 
-def fig8_hit_ratio(scale: Scale = QUICK) -> list[SweepPoint]:
-    """Figure 8: hit ratio vs cache size, 4 codes x P in {7, 11, 13}."""
-    return _trace_sweep("fig8", scale.codes, scale.ps_main, scale)
+# -- grid builders (canonical order == the old nested loops) ------------------
 
-
-def fig9_read_ops(scale: Scale = QUICK) -> list[SweepPoint]:
-    """Figure 9: disk reads vs cache size, TIP-code, P in {5, 7, 11, 13}."""
-    return _trace_sweep("fig9", ("tip",), scale.ps_tip, scale)
-
-
-# -- event-driven sweeps (Figures 10 and 11, Table IV) -----------------------
-
-def _des_sweep(
+def _sweep_grid(
+    kind: str,
     experiment: str,
     codes: Sequence[str],
     ps: Sequence[int],
     scale: Scale,
     policies: Sequence[str] | None = None,
     scheme_mode: str = "fbf",
+) -> list[GridPoint]:
+    return [
+        GridPoint(
+            kind=kind,
+            experiment=experiment,
+            code=code,
+            p=p,
+            policy=policy,
+            cache_mb=mb,
+            scheme_mode=scheme_mode,
+            n_errors=scale.n_errors,
+            seed=scale.seed,
+            sor_workers=scale.workers,
+            chunk_size=scale.chunk_size,
+        )
+        for code in codes
+        for p in ps
+        for policy in (policies or scale.policies)
+        for mb in scale.cache_mbs
+    ]
+
+
+def fig8_grid(scale: Scale = QUICK) -> list[GridPoint]:
+    return _sweep_grid("trace", "fig8", scale.codes, scale.ps_main, scale)
+
+
+def fig9_grid(scale: Scale = QUICK) -> list[GridPoint]:
+    return _sweep_grid("trace", "fig9", ("tip",), scale.ps_tip, scale)
+
+
+def fig10_grid(scale: Scale = QUICK) -> list[GridPoint]:
+    return _sweep_grid("des", "fig10", scale.codes, scale.ps_main, scale)
+
+
+def fig11_grid(scale: Scale = QUICK) -> list[GridPoint]:
+    return _sweep_grid("des", "fig11", ("tip",), scale.ps_tip, scale)
+
+
+def table4_grid(scale: Scale = QUICK) -> list[GridPoint]:
+    mid_mb = scale.cache_mbs[len(scale.cache_mbs) // 2]
+    small = replace(scale, cache_mbs=(mid_mb,), policies=("fbf",))
+    return _sweep_grid("des", "table4", scale.codes, scale.ps_tip, small)
+
+
+def ablation_scheme_grid(
+    scale: Scale = QUICK, code: str = "tip", p: int = 7
+) -> list[GridPoint]:
+    small = replace(scale, policies=("fbf",))
+    return [
+        point
+        for mode in ("typical", "fbf", "greedy")
+        for point in _sweep_grid(
+            "trace", "ablation_scheme", (code,), (p,), small, scheme_mode=mode
+        )
+    ]
+
+
+def ablation_demotion_grid(
+    scale: Scale = QUICK, code: str = "tip", p: int = 7
+) -> list[GridPoint]:
+    return [
+        GridPoint(
+            kind="demotion",
+            experiment="ablation_demotion",
+            code=code,
+            p=p,
+            policy="fbf" if demote else "fbf-sticky",
+            cache_mb=mb,
+            n_errors=scale.n_errors,
+            seed=scale.seed,
+            sor_workers=scale.workers,
+            chunk_size=scale.chunk_size,
+            demote_on_hit=demote,
+        )
+        for demote in (True, False)
+        for mb in scale.cache_mbs
+    ]
+
+
+#: grid builder per CLI experiment name (``repro-fbf bench`` menu).
+EXPERIMENT_GRIDS = {
+    "fig8": fig8_grid,
+    "fig9": fig9_grid,
+    "fig10": fig10_grid,
+    "fig11": fig11_grid,
+    "table4": table4_grid,
+    "ablation-scheme": ablation_scheme_grid,
+    "ablation-demotion": ablation_demotion_grid,
+}
+
+EXPERIMENT_NAMES: tuple[str, ...] = tuple(EXPERIMENT_GRIDS)
+
+
+def experiment_grid(name: str, scale: Scale = QUICK) -> list[GridPoint]:
+    """The canonical task list of a named experiment (for the bench CLI)."""
+    try:
+        builder = EXPERIMENT_GRIDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; valid: {', '.join(EXPERIMENT_GRIDS)}"
+        ) from None
+    return builder(scale)
+
+
+# -- runners ------------------------------------------------------------------
+
+def fig8_hit_ratio(
+    scale: Scale = QUICK, engine: EngineConfig | None = None
 ) -> list[SweepPoint]:
-    points: list[SweepPoint] = []
-    for code in codes:
-        for p in ps:
-            layout = make_code(code, p)
-            errors = _errors_for(layout, scale)
-            for policy in policies or scale.policies:
-                for mb in scale.cache_mbs:
-                    config = SimConfig(
-                        policy=policy,
-                        cache_size=int(mb * 1024 * 1024),
-                        chunk_size=scale.chunk_size,
-                        scheme_mode=scheme_mode,
-                        workers=scale.workers,
-                    )
-                    rep = run_reconstruction(layout, errors, config)
-                    points.append(
-                        SweepPoint(
-                            experiment=experiment,
-                            code=layout.name,
-                            p=p,
-                            policy=policy,
-                            cache_mb=mb,
-                            hit_ratio=rep.hit_ratio,
-                            disk_reads=rep.disk_reads,
-                            avg_response_time=rep.avg_response_time,
-                            reconstruction_time=rep.reconstruction_time,
-                            overhead_ms=rep.overhead_mean_s * 1000.0,
-                            overhead_percent=rep.overhead_percent,
-                            scheme_mode=scheme_mode,
-                        )
-                    )
-    return points
+    """Figure 8: hit ratio vs cache size, 4 codes x P in {7, 11, 13}."""
+    return _points(fig8_grid(scale), engine)
 
 
-def fig10_response_time(scale: Scale = QUICK) -> list[SweepPoint]:
+def fig9_read_ops(
+    scale: Scale = QUICK, engine: EngineConfig | None = None
+) -> list[SweepPoint]:
+    """Figure 9: disk reads vs cache size, TIP-code, P in {5, 7, 11, 13}."""
+    return _points(fig9_grid(scale), engine)
+
+
+def fig10_response_time(
+    scale: Scale = QUICK, engine: EngineConfig | None = None
+) -> list[SweepPoint]:
     """Figure 10: average response time, 4 codes x P in {7, 11, 13}."""
-    return _des_sweep("fig10", scale.codes, scale.ps_main, scale)
+    return _points(fig10_grid(scale), engine)
 
 
-def fig11_reconstruction_time(scale: Scale = QUICK) -> list[SweepPoint]:
+def fig11_reconstruction_time(
+    scale: Scale = QUICK, engine: EngineConfig | None = None
+) -> list[SweepPoint]:
     """Figure 11: reconstruction time, TIP-code, P in {5, 7, 11, 13}."""
-    return _des_sweep("fig11", ("tip",), scale.ps_tip, scale)
+    return _points(fig11_grid(scale), engine)
 
 
-def table4_overhead(scale: Scale = QUICK) -> list[SweepPoint]:
+def table4_overhead(
+    scale: Scale = QUICK, engine: EngineConfig | None = None
+) -> list[SweepPoint]:
     """Table IV: FBF temporal overhead per code x P in {5, 7, 11, 13}.
 
     One mid-sweep cache size is used (overhead is cache-size independent,
     as the paper observes).
     """
-    mid_mb = scale.cache_mbs[len(scale.cache_mbs) // 2]
-    small = replace(scale, cache_mbs=(mid_mb,), policies=("fbf",))
-    return _des_sweep("table4", scale.codes, scale.ps_tip, small)
+    return _points(table4_grid(scale), engine)
 
 
 # -- Table V: maximum improvements -------------------------------------------
@@ -227,6 +331,7 @@ def table5_max_improvement(
     fig10: Sequence[SweepPoint] | None = None,
     fig11: Sequence[SweepPoint] | None = None,
     hit_ratio_floor: float = 0.02,
+    engine: EngineConfig | None = None,
 ) -> dict[str, dict[str, float]]:
     """Table V: max improvement of FBF over each baseline, per metric.
 
@@ -239,10 +344,10 @@ def table5_max_improvement(
     nonzero baselines).  Accepts precomputed sweeps to avoid rerunning
     them.
     """
-    fig8 = fig8 if fig8 is not None else fig8_hit_ratio(scale)
-    fig9 = fig9 if fig9 is not None else fig9_read_ops(scale)
-    fig10 = fig10 if fig10 is not None else fig10_response_time(scale)
-    fig11 = fig11 if fig11 is not None else fig11_reconstruction_time(scale)
+    fig8 = fig8 if fig8 is not None else fig8_hit_ratio(scale, engine)
+    fig9 = fig9 if fig9 is not None else fig9_read_ops(scale, engine)
+    fig10 = fig10 if fig10 is not None else fig10_response_time(scale, engine)
+    fig11 = fig11 if fig11 is not None else fig11_reconstruction_time(scale, engine)
     baselines = [p for p in scale.policies if p != "fbf"]
 
     def max_improvement(
@@ -285,51 +390,25 @@ def table5_max_improvement(
 
 # -- ablations (DESIGN.md §6) -------------------------------------------------
 
-def ablation_scheme(scale: Scale = QUICK, code: str = "tip", p: int = 7) -> list[SweepPoint]:
+def ablation_scheme(
+    scale: Scale = QUICK,
+    code: str = "tip",
+    p: int = 7,
+    engine: EngineConfig | None = None,
+) -> list[SweepPoint]:
     """Chain-selection ablation: typical vs fbf (round-robin) vs greedy.
 
     All three run the FBF replacement policy, isolating the effect of the
     recovery-scheme generator.
     """
-    small = replace(scale, policies=("fbf",))
-    points: list[SweepPoint] = []
-    for mode in ("typical", "fbf", "greedy"):
-        points.extend(
-            _trace_sweep("ablation_scheme", (code,), (p,), small, scheme_mode=mode)
-        )
-    return points
+    return _points(ablation_scheme_grid(scale, code, p), engine)
 
 
 def ablation_demotion(
-    scale: Scale = QUICK, code: str = "tip", p: int = 7
+    scale: Scale = QUICK,
+    code: str = "tip",
+    p: int = 7,
+    engine: EngineConfig | None = None,
 ) -> list[SweepPoint]:
     """Demote-on-hit (paper) vs sticky priorities, FBF policy."""
-    from ..core.fbf_cache import FBFCache
-
-    layout = make_code(code, p)
-    errors = _errors_for(layout, scale)
-    plans = PlanCache(layout, "fbf")
-    points: list[SweepPoint] = []
-    for demote in (True, False):
-        label = "fbf" if demote else "fbf-sticky"
-        for mb in scale.cache_mbs:
-            res = simulate_cache_trace(
-                layout,
-                errors,
-                capacity_blocks=scale.blocks_for(mb),
-                workers=scale.workers,
-                plan_cache=plans,
-                policy_factory=lambda cap, d=demote: FBFCache(cap, demote_on_hit=d),
-            )
-            points.append(
-                SweepPoint(
-                    experiment="ablation_demotion",
-                    code=layout.name,
-                    p=p,
-                    policy=label,
-                    cache_mb=mb,
-                    hit_ratio=res.hit_ratio,
-                    disk_reads=res.disk_reads,
-                )
-            )
-    return points
+    return _points(ablation_demotion_grid(scale, code, p), engine)

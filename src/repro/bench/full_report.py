@@ -2,7 +2,10 @@
 
 ``write_full_report`` runs the complete evaluation at a chosen scale and
 writes one text report per experiment plus an index — the automated
-counterpart of EXPERIMENTS.md.  Exposed as ``repro-fbf report``.
+counterpart of EXPERIMENTS.md.  Exposed as ``repro-fbf report``.  Pass an
+:class:`~repro.bench.engine.EngineConfig` to fan every sweep out across a
+process pool and reuse the persistent result cache; output files are
+identical either way.
 """
 
 from __future__ import annotations
@@ -10,6 +13,7 @@ from __future__ import annotations
 import time
 from pathlib import Path
 
+from .engine import EngineConfig
 from .experiments import (
     Scale,
     ablation_demotion,
@@ -26,7 +30,9 @@ from .reporting import figure_report, table4_report, table5_report
 __all__ = ["write_full_report"]
 
 
-def write_full_report(scale: Scale, out_dir: str | Path) -> list[Path]:
+def write_full_report(
+    scale: Scale, out_dir: str | Path, engine: EngineConfig | None = None
+) -> list[Path]:
     """Run every experiment at ``scale``; write reports into ``out_dir``.
 
     Returns the written paths (index first).  Sweeps feeding several
@@ -42,31 +48,31 @@ def write_full_report(scale: Scale, out_dir: str | Path) -> list[Path]:
         path.write_text(text + "\n", encoding="utf-8")
         written.append(path)
 
-    def timed(name, fn, *args):
+    def timed(name, fn, *args, **kwargs):
         t0 = time.perf_counter()
-        result = fn(*args)
+        result = fn(*args, **kwargs)
         timings.append((name, time.perf_counter() - t0))
         return result
 
-    fig8 = timed("fig8", fig8_hit_ratio, scale)
+    fig8 = timed("fig8", fig8_hit_ratio, scale, engine=engine)
     save("fig8_hit_ratio", figure_report(fig8, "hit_ratio", "Figure 8: cache hit ratio"))
 
-    fig9 = timed("fig9", fig9_read_ops, scale)
+    fig9 = timed("fig9", fig9_read_ops, scale, engine=engine)
     save("fig9_read_ops", figure_report(fig9, "disk_reads", "Figure 9: disk reads (TIP)", "d"))
 
-    fig10 = timed("fig10", fig10_response_time, scale)
+    fig10 = timed("fig10", fig10_response_time, scale, engine=engine)
     save(
         "fig10_response_time",
         figure_report(fig10, "avg_response_time", "Figure 10: average response time (s)", ".5f"),
     )
 
-    fig11 = timed("fig11", fig11_reconstruction_time, scale)
+    fig11 = timed("fig11", fig11_reconstruction_time, scale, engine=engine)
     save(
         "fig11_reconstruction_time",
         figure_report(fig11, "reconstruction_time", "Figure 11: reconstruction time (s, TIP)", ".3f"),
     )
 
-    t4 = timed("table4", table4_overhead, scale)
+    t4 = timed("table4", table4_overhead, scale, engine=engine)
     save("table4_overhead", table4_report(t4))
 
     t5 = timed(
@@ -74,12 +80,12 @@ def write_full_report(scale: Scale, out_dir: str | Path) -> list[Path]:
     )
     save("table5_max_improvement", table5_report(t5))
 
-    abl_s = timed("ablation_scheme", ablation_scheme, scale)
+    abl_s = timed("ablation_scheme", ablation_scheme, scale, engine=engine)
     save(
         "ablation_scheme",
         figure_report(abl_s, "hit_ratio", "Ablation: recovery scheme (hit ratio)"),
     )
-    abl_d = timed("ablation_demotion", ablation_demotion, scale)
+    abl_d = timed("ablation_demotion", ablation_demotion, scale, engine=engine)
     save(
         "ablation_demotion",
         figure_report(abl_d, "hit_ratio", "Ablation: demotion on hit (hit ratio)"),

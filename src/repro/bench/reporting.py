@@ -16,6 +16,7 @@ __all__ = [
     "figure_report",
     "table4_report",
     "table5_report",
+    "bench_summary",
     "sparkline",
     "series_sparklines",
 ]
@@ -158,6 +159,25 @@ def table4_report(points: Sequence[SweepPoint]) -> str:
             row_pct.append(f"{_fmt(pct, '.3f'):>12}")
         lines.append(" ".join(row_ms))
         lines.append(" ".join(row_pct))
+    return "\n".join(lines)
+
+
+def bench_summary(experiment: str, scale_name: str, result) -> str:
+    """Human-readable footer of one ``repro-fbf bench`` run.
+
+    ``result`` is a :class:`~repro.bench.engine.EngineResult`; the
+    machine-readable counterpart is ``BENCH_<experiment>.json``.
+    """
+    mode = "serial (in-process)" if result.workers == 0 else f"{result.workers} processes"
+    lines = [
+        f"== bench: {experiment} @ {scale_name} ==",
+        f"{'points':>14} {result.n_points}",
+        f"{'workers':>14} {mode}",
+        f"{'wall time':>14} {result.wall_s:.2f} s",
+        f"{'compute time':>14} {result.compute_s:.2f} s (serial-equivalent)",
+        f"{'speedup':>14} {result.speedup_estimate:.2f}x",
+        f"{'cache':>14} {result.cache_hits} hits, {result.cache_misses} computed",
+    ]
     return "\n".join(lines)
 
 

@@ -21,6 +21,13 @@ DET002     no iteration over ``set``-typed values where order escapes
 DET003     eviction/scheduling instance state must not be a ``set`` —
            use ``dict[K, None]`` / ``OrderedDict`` so any future
            iteration is insertion-ordered
+DET004     host parallelism must never parameterise a simulation:
+           ``os.cpu_count()`` / ``multiprocessing.cpu_count()`` are
+           forbidden inside simulation modules, and everywhere their
+           value may not flow into simulation entry points
+           (``SimConfig``/``Scale``/``GridPoint``/...) — worker counts
+           derived from the host are for scheduling (process pools)
+           only, or results would differ per machine
 POL001     no mutable class-level state (list/dict/set defaults) on cache
            policy modules — shared across instances, breaks run isolation
 POL002     every ``CachePolicy`` subclass implements the ``base.py``
@@ -35,6 +42,7 @@ GF2001     GF(2)/XOR purity in ``repro/codes``: no true division and no
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Iterator
 
 from .framework import Rule, Violation
@@ -360,6 +368,97 @@ class UnorderedIterationRule(Rule):
                     )
 
 
+class CpuCountLeakRule(Rule):
+    """DET004: host CPU topology may schedule work, never shape results.
+
+    An ``os.cpu_count()`` that reaches a *simulated* parameter — the
+    paper's SOR worker count, an error-trace size, a cache partition —
+    silently makes every headline number a function of the machine the
+    sweep ran on.  Feeding it to a ``ProcessPoolExecutor`` is fine: the
+    engine guarantees scheduling cannot change row values.
+    """
+
+    rule_id = "DET004"
+    summary = "cpu_count() must only size process pools, never simulation parameters"
+
+    _CPU_FNS = (
+        "os.cpu_count",
+        "os.process_cpu_count",
+        "multiprocessing.cpu_count",
+    )
+    #: constructors/functions whose arguments parameterise a simulation.
+    _SIM_ENTRY_POINTS = {
+        "SimConfig",
+        "Scale",
+        "GridPoint",
+        "ErrorTraceConfig",
+        "simulate_cache_trace",
+        "run_reconstruction",
+        "generate_errors",
+    }
+
+    def _is_cpu_call(self, node: ast.expr, imports: dict[str, str]) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and _resolve(node.func, imports) in self._CPU_FNS
+        )
+
+    def _contains_cpu_value(
+        self, node: ast.expr, imports: dict[str, str], tainted: set[str]
+    ) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in tainted:
+                return True
+            if self._is_cpu_call(sub, imports):
+                return True
+        return False
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Violation]:
+        imports = _import_map(tree)
+        in_sim_scope = any(
+            fragment in Path(path).as_posix()
+            for fragment in (*_SIM_SCOPES, "repro/workloads")
+        )
+        # Names assigned (anywhere in the module) from a cpu_count call.
+        tainted: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and self._contains_cpu_value(
+                node.value, imports, set()
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tainted.add(target.id)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if in_sim_scope and self._is_cpu_call(node, imports):
+                yield self.violation(
+                    node,
+                    path,
+                    "cpu_count() in simulation code couples results to the "
+                    "host machine; simulated worker counts must come from "
+                    "the experiment Scale",
+                )
+                continue
+            callee = None
+            if isinstance(node.func, ast.Name):
+                callee = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                callee = node.func.attr
+            if callee not in self._SIM_ENTRY_POINTS:
+                continue
+            for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                if self._contains_cpu_value(arg, imports, tainted):
+                    yield self.violation(
+                        node,
+                        path,
+                        f"cpu_count()-derived value flows into {callee}(); "
+                        f"host parallelism may size the process pool, never "
+                        f"a simulation parameter",
+                    )
+                    break
+
+
 class UnorderedStateRule(Rule):
     """DET003: ordered structures only for eviction/scheduling state.
 
@@ -582,6 +681,7 @@ ALL_RULES: tuple[Rule, ...] = (
     YieldNonEventRule(),
     UnseededRandomRule(),
     UnorderedIterationRule(),
+    CpuCountLeakRule(),
     UnorderedStateRule(),
     MutableClassStateRule(),
     PolicyInterfaceRule(),

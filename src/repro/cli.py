@@ -16,6 +16,7 @@ import sys
 from dataclasses import replace
 
 from .bench import (
+    EXPERIMENT_NAMES,
     FULL,
     QUICK,
     Scale,
@@ -66,6 +67,54 @@ def build_parser() -> argparse.ArgumentParser:
             type=str,
             help="comma-separated cache sizes in MB (e.g. 8,16,32)",
         )
+
+    b = sub.add_parser(
+        "bench",
+        help="run a named experiment through the parallel sweep engine",
+    )
+    b.add_argument(
+        "experiment",
+        choices=(*EXPERIMENT_NAMES, "all"),
+        help="which sweep to run ('all' = every experiment)",
+    )
+    b.add_argument(
+        "--scale", choices=("quick", "full"), default="quick",
+        help="grid size (default: quick)",
+    )
+    b.add_argument(
+        "--workers", default="auto",
+        help="process-pool size: an int, 0 = in-process serial, "
+             "or 'auto' = os.cpu_count() (default)",
+    )
+    b.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result cache directory "
+             "(default: $XDG_CACHE_HOME/repro-fbf or ~/.cache/repro-fbf)",
+    )
+    b.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache",
+    )
+    b.add_argument(
+        "--out", default=".",
+        help="directory for BENCH_<experiment>.json (default: .)",
+    )
+    b.add_argument(
+        "--check-serial", action="store_true",
+        help="also run serially and fail if the outputs diverge",
+    )
+    b.add_argument(
+        "--show", action="store_true",
+        help="print the experiment's figure/table report, not just timings",
+    )
+    b.add_argument("--errors", type=int, help="override: number of errors")
+    b.add_argument("--seed", type=int, help="override: workload seed")
+    b.add_argument("--sor-workers", type=int,
+                   help="override: simulated SOR worker count")
+    b.add_argument(
+        "--cache-mbs", type=str,
+        help="override: comma-separated cache sizes in MB (e.g. 8,16,32)",
+    )
 
     t = sub.add_parser("trace", help="generate a partial-stripe-error trace file")
     t.add_argument("--code", default="tip", choices=available_codes())
@@ -123,6 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--workers", type=int)
     rep.add_argument("--seed", type=int)
     rep.add_argument("--cache-mbs", type=str)
+    rep.add_argument(
+        "--engine-workers", default="0",
+        help="process-pool size for the sweeps: int, 0 = serial (default), "
+             "or 'auto'",
+    )
+    rep.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result cache directory (default: off)",
+    )
 
     c = sub.add_parser(
         "check",
@@ -159,6 +217,92 @@ def _scale_from(args: argparse.Namespace) -> Scale:
     return replace(scale, **overrides) if overrides else scale
 
 
+def _bench_scale(args: argparse.Namespace) -> Scale:
+    scale = QUICK if args.scale == "quick" else FULL
+    overrides = {}
+    if args.errors is not None:
+        overrides["n_errors"] = args.errors
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.sor_workers is not None:
+        overrides["workers"] = args.sor_workers
+    if args.cache_mbs:
+        overrides["cache_mbs"] = tuple(
+            float(x) for x in args.cache_mbs.split(",") if x.strip()
+        )
+    return replace(scale, **overrides) if overrides else scale
+
+
+_BENCH_METRICS = {
+    "fig8": ("hit_ratio", "Figure 8: cache hit ratio", ".4f"),
+    "fig9": ("disk_reads", "Figure 9: disk reads (TIP)", "d"),
+    "fig10": ("avg_response_time", "Figure 10: average response time (s)", ".5f"),
+    "fig11": ("reconstruction_time", "Figure 11: reconstruction time (s, TIP)", ".3f"),
+    "ablation-scheme": ("hit_ratio", "Ablation: recovery scheme (hit ratio)", ".4f"),
+    "ablation-demotion": ("hit_ratio", "Ablation: demotion on hit (hit ratio)", ".4f"),
+}
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import (
+        EngineConfig,
+        bench_summary,
+        default_cache_dir,
+        experiment_grid,
+        rows_equivalent,
+        run_grid,
+        write_bench_json,
+    )
+
+    scale = _bench_scale(args)
+    workers: int | str = args.workers if args.workers == "auto" else int(args.workers)
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    engine = EngineConfig(workers=workers, cache_dir=cache_dir)
+    names = list(EXPERIMENT_NAMES) if args.experiment == "all" else [args.experiment]
+
+    divergent: list[str] = []
+    for name in names:
+        grid = experiment_grid(name, scale)
+        result = run_grid(grid, engine)
+        extra: dict[str, object] = {}
+        if args.check_serial:
+            serial = run_grid(grid, EngineConfig(workers=0, cache_dir=None))
+            # Simulated metrics must match bit for bit; the measured
+            # overhead columns legitimately vary (see DESIGN §9).
+            identical = rows_equivalent(serial.points, result.points)
+            extra["serial_identical"] = identical
+            extra["serial_wall_s"] = serial.wall_s
+            if not identical:
+                divergent.append(name)
+        print(bench_summary(name, args.scale, result))
+        if args.check_serial:
+            status = "DIVERGED" if name in divergent else "identical"
+            print(f"{'serial check':>14} {status} "
+                  f"(serial wall {extra['serial_wall_s']:.2f} s)")
+        if args.show and name in _BENCH_METRICS:
+            metric, title, spec = _BENCH_METRICS[name]
+            print()
+            print(figure_report(result.points, metric, title, spec))
+        elif args.show and name == "table4":
+            print()
+            print(table4_report(result.points))
+        path = write_bench_json(
+            Path(args.out) / f"BENCH_{name.replace('-', '_')}.json",
+            name,
+            args.scale,
+            result,
+            extra,
+        )
+        print(f"{'bench json':>14} {path}")
+        print()
+    if divergent:
+        print(f"parallel/serial outputs DIVERGED for: {', '.join(divergent)}")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     cmd = args.command
@@ -182,6 +326,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.select:
             select = [part.strip() for part in args.select.split(",") if part.strip()]
         return run_check(args.paths, select=select, list_rules=args.list_rules)
+
+    if cmd == "bench":
+        return _run_bench(args)
 
     if cmd == "verify":
         from .sim import SimConfig, run_reconstruction
@@ -231,10 +378,16 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if cmd == "report":
-        from .bench import write_full_report
+        from .bench import EngineConfig, write_full_report
 
         scale = _scale_from(args)
-        paths = write_full_report(scale, args.out)
+        workers: int | str = (
+            args.engine_workers
+            if args.engine_workers == "auto"
+            else int(args.engine_workers)
+        )
+        engine = EngineConfig(workers=workers, cache_dir=args.cache_dir)
+        paths = write_full_report(scale, args.out, engine)
         print(f"wrote {len(paths)} reports to {args.out}/")
         for path in paths:
             print(f"  {path.name}")

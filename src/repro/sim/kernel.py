@@ -24,8 +24,8 @@ pure function of its inputs.
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -378,8 +378,8 @@ class Environment:
 
     # -- scheduling -----------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        self._counter += 1
-        heapq.heappush(self._heap, (self.now + delay, self._counter, event))
+        self._counter = counter = self._counter + 1
+        heappush(self._heap, (self.now + delay, counter, event))
 
     # -- factory helpers ------------------------------------------------
     def event(self) -> Event:
@@ -400,7 +400,7 @@ class Environment:
     # -- execution ------------------------------------------------------
     def step(self) -> None:
         """Process the single next event."""
-        when, _, event = heapq.heappop(self._heap)
+        when, _, event = heappop(self._heap)
         self.now = when
         event._process()
 
@@ -416,7 +416,54 @@ class Environment:
           set ``now`` to the deadline.
         * ``until=<Event>`` — run until that event is *processed* and return
           its value (raising if it failed).
+
+        The dispatch loops are inlined (no ``self.step()`` call) with the
+        heap and ``heappop`` held in locals: the loop body runs once per
+        simulated event, and on large DES sweeps the attribute lookups
+        plus the extra frame were a measurable slice of wall time (see
+        ``benchmarks/test_microbench.py::test_kernel_stepwise_throughput``
+        for the stepwise baseline it is measured against).  Popped
+        ``(when, counter, event)`` entries are unpacked once, in place —
+        the common timeout path never re-wraps or re-examines them.
+        Subclasses that override :meth:`step` (e.g. the checks module's
+        ``SanitizedEnvironment``) keep the stepwise dispatch so their
+        per-event hooks still run.
         """
+        if type(self).step is not Environment.step:
+            return self._run_stepwise(until)
+        heap = self._heap
+        pop = heappop
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not heap:
+                    raise SimulationError(
+                        "event queue drained before target event fired (deadlock?)"
+                    )
+                when, _, event = pop(heap)
+                self.now = when
+                event._process()
+            if not target.ok:
+                raise target.value
+            return target.value
+        if until is None:
+            while heap:
+                when, _, event = pop(heap)
+                self.now = when
+                event._process()
+            return None
+        deadline = float(until)
+        if deadline < self.now:
+            raise ValueError(f"deadline {deadline} is in the past (now={self.now})")
+        while heap and heap[0][0] <= deadline:
+            when, _, event = pop(heap)
+            self.now = when
+            event._process()
+        self.now = deadline
+        return None
+
+    def _run_stepwise(self, until: Optional[float | Event] = None) -> Any:
+        """:meth:`run` via ``self.step()`` — honours overridden dispatch."""
         if isinstance(until, Event):
             target = until
             while not target.processed:

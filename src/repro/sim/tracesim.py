@@ -27,12 +27,34 @@ __all__ = ["TraceSimResult", "simulate_cache_trace", "PlanCache"]
 
 
 class PlanCache:
-    """Shape-keyed memo of recovery plans + priorities (shared by runs)."""
+    """Shape-keyed memo of recovery plans + priorities (shared by runs).
 
-    def __init__(self, layout: CodeLayout, scheme_mode: SchemeMode):
+    One instance per ``(layout, scheme_mode)`` is meant to be *shared*
+    across every run that uses that pair — all cache sizes and policies
+    of a sweep group, and all trace replays of one engine worker — since
+    plans are deterministic functions of the error shape.  ``max_entries``
+    bounds the memo (FIFO eviction of the oldest shape) for long-lived
+    sharing; the distinct-shape count is ``O(disks x rows^2)``, so the
+    default is unbounded.
+    """
+
+    def __init__(
+        self,
+        layout: CodeLayout,
+        scheme_mode: SchemeMode,
+        max_entries: int | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.layout = layout
         self.scheme_mode: SchemeMode = scheme_mode
+        self.max_entries = max_entries
         self._memo: dict[tuple[int, int, int], tuple[RecoveryPlan, PriorityDictionary]] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memo)
 
     def get(
         self, error: PartialStripeError
@@ -40,12 +62,23 @@ class PlanCache:
         key = error.shape
         hit = self._memo.get(key)
         if hit is None:
+            self._misses += 1
             plan = generate_plan(
                 self.layout, error.cells(self.layout), self.scheme_mode
             )
             hit = (plan, PriorityDictionary(plan))
+            if self.max_entries is not None and len(self._memo) >= self.max_entries:
+                # FIFO: drop the oldest shape (dict preserves insertion
+                # order, so eviction is deterministic).
+                del self._memo[next(iter(self._memo))]
             self._memo[key] = hit
+        else:
+            self._hits += 1
         return hit
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters: plan-memo hits/misses and live entries."""
+        return {"hits": self._hits, "misses": self._misses, "entries": len(self._memo)}
 
 
 @dataclass

@@ -37,6 +37,19 @@ class TestStablePoint:
         with pytest.raises(ValueError):
             stable_point(PANEL, "nope")
 
+    def test_non_numeric_metric_rejected(self):
+        """A label column must fail loudly, not TypeError deep in the math."""
+        with pytest.raises(ValueError, match="not a numeric SweepPoint metric"):
+            stable_point(PANEL, "fbf", metric="policy")
+
+    def test_error_names_valid_metrics(self):
+        with pytest.raises(ValueError, match="hit_ratio"):
+            stable_point(PANEL, "fbf", metric="scheme_mode")
+
+    def test_typo_metric_rejected(self):
+        with pytest.raises(ValueError, match="hit_ration"):
+            stable_point(PANEL, "fbf", metric="hit_ration")
+
 
 class TestPeakGain:
     def test_locates_mid_sweep_peak(self):
@@ -55,6 +68,10 @@ class TestPeakGain:
         ]
         size, gain = peak_gain(pts, metric="disk_reads", higher_better=False)
         assert size == 4 and gain == 30
+
+    def test_non_numeric_metric_rejected(self):
+        with pytest.raises(ValueError, match="not a numeric SweepPoint metric"):
+            peak_gain(PANEL, metric="code")
 
 
 class TestSummarizePanel:

@@ -348,6 +348,56 @@ class TestGF2Purity:
         assert violations == []
 
 
+class TestCpuCountLeak:
+    def test_cpu_count_in_sim_scope_flagged(self):
+        violations = lint_snippet(
+            "import os\n\ndef workers():\n    return os.cpu_count()\n",
+            "src/repro/sim/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["DET004"]
+        assert violations[0].line == 4
+
+    def test_cpu_count_in_workloads_flagged(self):
+        violations = lint_snippet(
+            "from os import cpu_count\n\ndef trace_len():\n    return cpu_count() * 8\n",
+            "src/repro/workloads/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["DET004"]
+
+    def test_cpu_count_into_sim_config_flagged(self):
+        """Even outside sim scopes, cpu_count must not reach sim params."""
+        violations = lint_snippet(
+            "import os\n\nfrom repro.sim.reconstruction import SimConfig\n\n"
+            "def cfg():\n    return SimConfig(workers=os.cpu_count())\n",
+            "src/repro/bench/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["DET004"]
+
+    def test_tainted_name_into_entry_point_flagged(self):
+        violations = lint_snippet(
+            "import os\n\nn = os.cpu_count()\n\n"
+            "def errs(layout, cfg):\n    return generate_errors(layout, cfg, n)\n",
+            "src/repro/bench/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["DET004"]
+
+    def test_pool_sizing_allowed(self):
+        """The legitimate use: sizing a ProcessPoolExecutor."""
+        violations = lint_snippet(
+            "import os\nfrom concurrent.futures import ProcessPoolExecutor\n\n"
+            "def pool():\n    return ProcessPoolExecutor(max_workers=os.cpu_count())\n",
+            "src/repro/bench/broken.py",
+        )
+        assert violations == []
+
+    def test_unrelated_name_not_tainted(self):
+        violations = lint_snippet(
+            "def errs(layout, cfg, n):\n    return generate_errors(layout, cfg, n)\n",
+            "src/repro/bench/broken.py",
+        )
+        assert violations == []
+
+
 class TestSuppression:
     def test_blanket_ignore(self):
         source = "import time\n\ndef f():\n    return time.time()  # simlint: ignore\n"

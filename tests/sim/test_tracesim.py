@@ -29,6 +29,47 @@ class TestPlanCache:
             assert plan.request_sequence == direct.request_sequence
             assert dict(pd) == dict(PriorityDictionary(direct))
 
+    def test_stats_counts_hits_misses_entries(self, tip7, errors):
+        pc = PlanCache(tip7, "fbf")
+        assert pc.stats() == {"hits": 0, "misses": 0, "entries": 0}
+        pc.get(errors[0])
+        pc.get(errors[0])
+        stats = pc.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == len(pc) == 1
+
+    def test_shared_across_runs_accumulates(self, tip7, errors):
+        """One PlanCache serving a whole sweep group: the second replay
+        hits every shape the first one planned."""
+        pc = PlanCache(tip7, "fbf")
+        simulate_cache_trace(tip7, errors, policy="lru", capacity_blocks=32, plan_cache=pc)
+        planned = pc.stats()["misses"]
+        simulate_cache_trace(tip7, errors, policy="fbf", capacity_blocks=64, plan_cache=pc)
+        stats = pc.stats()
+        assert stats["misses"] == planned  # no new shapes on the re-run
+        assert stats["hits"] >= planned
+
+    def test_max_entries_bounds_and_evicts_fifo(self, tip7, errors):
+        distinct = []
+        seen = set()
+        for e in errors:
+            if e.shape not in seen:
+                seen.add(e.shape)
+                distinct.append(e)
+        assert len(distinct) >= 3
+        pc = PlanCache(tip7, "fbf", max_entries=2)
+        pc.get(distinct[0])
+        pc.get(distinct[1])
+        pc.get(distinct[2])  # evicts distinct[0] (oldest)
+        assert len(pc) == 2
+        pc.get(distinct[0])  # re-planned, not served from memo
+        assert pc.stats()["hits"] == 0
+        assert pc.stats()["misses"] == 4
+
+    def test_max_entries_validation(self, tip7):
+        with pytest.raises(ValueError, match="max_entries"):
+            PlanCache(tip7, "fbf", max_entries=0)
+
 
 class TestSimulateCacheTrace:
     def test_request_count_matches_plans(self, tip7, errors):

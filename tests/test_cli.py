@@ -67,6 +67,53 @@ class TestExperiments:
         assert "typical" in out
 
 
+class TestBench:
+    _ARGS = ["--scale", "quick", "--errors", "6", "--sor-workers", "2",
+             "--cache-mbs", "0.25,1"]
+
+    def test_writes_bench_json(self, capsys, tmp_path):
+        import json
+
+        rc = main(["bench", "fig9", *self._ARGS, "--workers", "0",
+                   "--no-cache", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "wall time" in out
+        payload = json.loads((tmp_path / "BENCH_fig9.json").read_text())
+        assert payload["experiment"] == "fig9"
+        assert payload["workers"] == 0
+        assert payload["n_points"] == len(payload["per_point"]) > 0
+
+    def test_check_serial_reports_identical(self, capsys, tmp_path):
+        rc = main(["bench", "fig8", *self._ARGS, "--workers", "2",
+                   "--no-cache", "--check-serial", "--out", str(tmp_path)])
+        assert rc == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_warm_cache_recomputes_nothing(self, capsys, tmp_path):
+        import json
+
+        cache = tmp_path / "cache"
+        args = ["bench", "fig9", *self._ARGS, "--workers", "0",
+                "--cache-dir", str(cache), "--out", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        payload = json.loads((tmp_path / "BENCH_fig9.json").read_text())
+        assert payload["cache_misses"] == 0
+        assert payload["cache_hits"] == payload["n_points"]
+
+    def test_show_prints_report(self, capsys, tmp_path):
+        rc = main(["bench", "ablation-scheme", *self._ARGS, "--workers", "0",
+                   "--no-cache", "--show", "--out", str(tmp_path)])
+        assert rc == 0
+        assert "typical" in capsys.readouterr().out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+
 class TestReplay:
     def test_replays_all_policies(self, capsys, tmp_path):
         trace = tmp_path / "t.trace"
