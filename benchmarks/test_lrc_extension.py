@@ -14,7 +14,8 @@ shared set itself overflows the cache.
 
 import pytest
 
-from repro.lrc import LRCCode, LRCWorkloadConfig, generate_lrc_failures, simulate_lrc_trace
+from repro.engine import LRCBackend, PlanCache, simulate_trace
+from repro.lrc import LRCCode, LRCWorkloadConfig, generate_lrc_failures
 
 POLICIES = ("fifo", "lru", "lfu", "arc", "fbf")
 CAPACITIES = (8, 16, 32, 48, 64, 128)
@@ -27,13 +28,16 @@ def test_lrc_fbf_extension(benchmark, save_report):
         n_events=150, seed=17, batch_size_weights=(0.3, 0.3, 0.25, 0.15)
     )
     events = generate_lrc_failures(code, cfg)
+    backend = LRCBackend(code)
 
     def run():
         table = {}
+        plans = PlanCache(backend)
         for cap in CAPACITIES:
             for pol in POLICIES:
-                table[(cap, pol)] = simulate_lrc_trace(
-                    code, events, policy=pol, capacity_blocks=cap, workers=4
+                table[(cap, pol)] = simulate_trace(
+                    backend, events, policy=pol, capacity_blocks=cap,
+                    workers=4, plan_cache=plans,
                 )
         return table
 

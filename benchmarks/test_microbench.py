@@ -7,6 +7,8 @@ recovery planner (the source of Table IV's overhead), the GF(2) solver,
 and the stripe encoder.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,7 @@ from repro.cache import available_policies, make_policy
 from repro.codes import Encoder, make_code
 from repro.codes.gf2 import gf2_solve_map
 from repro.core import PriorityDictionary, generate_plan
+from repro.engine import PlanCache, XORBackend, simulate_trace
 from repro.sim.kernel import Environment
 
 
@@ -95,6 +98,96 @@ def test_policy_request_throughput(benchmark, policy):
         return cache.stats.requests
 
     assert benchmark(run) == 5000
+
+
+def _tracesim_workload():
+    """The pre-refactor baseline configuration (tip p=7, 40 errors,
+    fbf policy, 64 blocks over 8 SOR workers, warm plan memo)."""
+    layout = make_code("tip", 7)
+    backend = XORBackend(layout, "fbf")
+    errors = backend.generate_events(40, seed=42)
+    plans = PlanCache(backend)
+    for e in errors:  # warm: replay cost, not planning cost
+        plans.get(e)
+    return layout, backend, errors, plans
+
+
+def _legacy_replay(layout, errors, memo):
+    """The pre-unification ``simulate_cache_trace`` inner loop, inlined.
+
+    Kept as the perf reference for the unified engine: same plan memo
+    semantics (plan + PriorityDictionary per error shape), same SOR
+    round-robin, same per-request priority lookup.
+    """
+    workers = 8
+    policies = [make_policy("fbf", 64 // workers) for _ in range(workers)]
+    for i, error in enumerate(sorted(errors)):
+        cache = policies[i % workers]
+        hit = memo.get(error.shape)
+        if hit is None:
+            plan = generate_plan(layout, error.cells(layout), "fbf")
+            hit = memo[error.shape] = (plan, PriorityDictionary(plan))
+        plan, priorities = hit
+        stripe = error.stripe
+        lookup = priorities.lookup
+        for cell in plan.request_sequence:
+            cache.request((stripe, cell), priority=lookup(cell))
+    return sum(p.stats.hits for p in policies), sum(p.stats.misses for p in policies)
+
+
+@pytest.mark.benchmark(group="micro-tracesim")
+def test_unified_replay_throughput(benchmark):
+    """The unified engine replay on the pre-refactor baseline workload."""
+    _, backend, errors, plans = _tracesim_workload()
+
+    def run():
+        return simulate_trace(
+            backend, errors, policy="fbf", capacity_blocks=64, workers=8,
+            plan_cache=plans,
+        )
+
+    res = benchmark(run)
+    assert res.requests == res.hits + res.disk_reads and res.requests > 0
+
+
+@pytest.mark.benchmark(group="micro-tracesim")
+def test_unified_replay_vs_legacy(benchmark):
+    """Refactor perf gate: unified replay within 5% of the old loop.
+
+    Both paths run min-of-N wall timings in one process (min is the
+    stable estimator for a sub-millisecond loop); the benchmark row
+    records the legacy reference so the two group rows stay comparable.
+    """
+    layout, backend, errors, plans = _tracesim_workload()
+    legacy_memo = {}
+    _legacy_replay(layout, errors, legacy_memo)  # warm the legacy memo
+
+    legacy_counts = benchmark(_legacy_replay, layout, errors, legacy_memo)
+    res = simulate_trace(
+        backend, errors, policy="fbf", capacity_blocks=64, workers=8,
+        plan_cache=plans,
+    )
+    assert (res.hits, res.disk_reads) == legacy_counts  # same decisions
+
+    def best_of(fn, rounds=50):
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    unified_s = best_of(
+        lambda: simulate_trace(
+            backend, errors, policy="fbf", capacity_blocks=64, workers=8,
+            plan_cache=plans,
+        )
+    )
+    legacy_s = best_of(lambda: _legacy_replay(layout, errors, legacy_memo))
+    assert unified_s <= legacy_s * 1.05, (
+        f"unified replay {unified_s * 1e3:.3f} ms vs legacy "
+        f"{legacy_s * 1e3:.3f} ms (> 5% regression)"
+    )
 
 
 @pytest.mark.benchmark(group="micro-planner")

@@ -11,13 +11,13 @@ Run:  python examples/lrc_recovery.py
 
 import numpy as np
 
+from repro.engine import LRCBackend, simulate_trace
 from repro.lrc import (
     LRCCode,
     LRCWorkloadConfig,
     execute_plan,
     generate_lrc_failures,
     plan_lrc_recovery,
-    simulate_lrc_trace,
 )
 
 
@@ -64,9 +64,10 @@ def main() -> None:
     events = generate_lrc_failures(code, cfg)
     print(f"{len(events)} failure batches "
           f"(multi-failure heavy), 4 workers, 4 cache blocks each:")
+    backend = LRCBackend(code)
     for pol in ("lru", "arc", "fbf"):
-        res = simulate_lrc_trace(code, events, policy=pol,
-                                 capacity_blocks=16, workers=4)
+        res = simulate_trace(backend, events, policy=pol,
+                             capacity_blocks=16, workers=4)
         print(f"  {pol:4s} hit ratio {res.hit_ratio:6.2%}  "
               f"disk reads {res.disk_reads}")
 

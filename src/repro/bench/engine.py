@@ -11,8 +11,9 @@ serial one, row for row.
 
 Three layers keep repeated runs cheap:
 
-* **per-group prepare** — layout construction, error-trace generation and
-  the :class:`~repro.sim.tracesim.PlanCache` are shared by every point of
+* **per-group prepare** — backend construction (via the unified
+  :mod:`repro.engine` registry), failure-trace generation and the
+  :class:`~repro.engine.tracesim.PlanCache` are shared by every point of
   a ``(code, p, n_errors, seed[, scheme])`` group.  Each worker process
   memoises them, so a group costs one setup per process instead of one
   per point (the serial path shares a single memo, matching the old
@@ -216,50 +217,50 @@ class EngineResult:
 # Module-level memos keyed by value tuples: in a pool worker they amortise
 # the per-(code, p) setup across every point that process executes; in
 # the serial fallback they reproduce the old nested-loop sharing (one
-# layout/error-trace/PlanCache per sweep group).  All cached objects are
+# backend/event-trace/PlanCache per sweep group).  All cached objects are
 # deterministic functions of their keys, so sharing never changes results.
 
-_LAYOUTS: dict = {}
-_ERRORS: dict = {}
+_BACKENDS: dict = {}
+_EVENTS: dict = {}
 _PLANS: dict = {}
 
 
 def _reset_worker_state() -> None:
     """Drop the per-process memos (test isolation / leak control)."""
-    _LAYOUTS.clear()
-    _ERRORS.clear()
+    _BACKENDS.clear()
+    _EVENTS.clear()
     _PLANS.clear()
 
 
-def _layout_for(code: str, p: int):
-    from ..codes.registry import make_code
+def _backend_for(code: str, p: int, scheme_mode: str):
+    from ..engine.registry import make_backend
 
-    key = (code, p)
-    layout = _LAYOUTS.get(key)
-    if layout is None:
-        layout = _LAYOUTS[key] = make_code(code, p)
-    return layout
+    key = (code, p, scheme_mode)
+    backend = _BACKENDS.get(key)
+    if backend is None:
+        backend = _BACKENDS[key] = make_backend(code, p, scheme_mode=scheme_mode)
+    return backend
 
 
-def _errors_for(code: str, p: int, n_errors: int, seed: int):
-    from ..workloads.errors import ErrorTraceConfig, generate_errors
-
+def _events_for(code: str, p: int, n_errors: int, seed: int):
+    # Failure traces depend only on the code, never on the scheme mode,
+    # so the memo key omits it (any scheme's backend generates them).
     key = (code, p, n_errors, seed)
-    errors = _ERRORS.get(key)
-    if errors is None:
-        errors = _ERRORS[key] = generate_errors(
-            _layout_for(code, p), ErrorTraceConfig(n_errors=n_errors, seed=seed)
+    events = _EVENTS.get(key)
+    if events is None:
+        events = _EVENTS[key] = _backend_for(code, p, "fbf").generate_events(
+            n_errors, seed
         )
-    return errors
+    return events
 
 
 def _plans_for(code: str, p: int, scheme_mode: str):
-    from ..sim.tracesim import PlanCache
+    from ..engine.tracesim import PlanCache
 
     key = (code, p, scheme_mode)
     plans = _PLANS.get(key)
     if plans is None:
-        plans = _PLANS[key] = PlanCache(_layout_for(code, p), scheme_mode)
+        plans = _PLANS[key] = PlanCache(_backend_for(code, p, scheme_mode))
     return plans
 
 
@@ -273,24 +274,23 @@ def compute_point(point: GridPoint) -> "SweepPoint":
     """Run one grid cell; pure function of ``point`` (spawn-safe)."""
     from .experiments import SweepPoint
 
-    layout = _layout_for(point.code, point.p)
-    errors = _errors_for(point.code, point.p, point.n_errors, point.seed)
+    backend = _backend_for(point.code, point.p, point.scheme_mode)
+    events = _events_for(point.code, point.p, point.n_errors, point.seed)
 
     if point.kind == "trace":
-        from ..sim.tracesim import simulate_cache_trace
+        from ..engine.tracesim import simulate_trace
 
-        res = simulate_cache_trace(
-            layout,
-            errors,
+        res = simulate_trace(
+            backend,
+            events,
             policy=point.policy,
             capacity_blocks=_blocks_for(point.cache_mb, point.chunk_size),
-            scheme_mode=point.scheme_mode,
             workers=point.sor_workers,
             plan_cache=_plans_for(point.code, point.p, point.scheme_mode),
         )
         return SweepPoint(
             experiment=point.experiment,
-            code=layout.name,
+            code=res.code,
             p=point.p,
             policy=point.policy,
             cache_mb=point.cache_mb,
@@ -301,12 +301,12 @@ def compute_point(point: GridPoint) -> "SweepPoint":
 
     if point.kind == "demotion":
         from ..core.fbf_cache import FBFCache
-        from ..sim.tracesim import simulate_cache_trace
+        from ..engine.tracesim import simulate_trace
 
         demote = bool(point.demote_on_hit)
-        res = simulate_cache_trace(
-            layout,
-            errors,
+        res = simulate_trace(
+            backend,
+            events,
             capacity_blocks=_blocks_for(point.cache_mb, point.chunk_size),
             workers=point.sor_workers,
             plan_cache=_plans_for(point.code, point.p, point.scheme_mode),
@@ -314,7 +314,7 @@ def compute_point(point: GridPoint) -> "SweepPoint":
         )
         return SweepPoint(
             experiment=point.experiment,
-            code=layout.name,
+            code=res.code,
             p=point.p,
             policy=point.policy,
             cache_mb=point.cache_mb,
@@ -323,7 +323,8 @@ def compute_point(point: GridPoint) -> "SweepPoint":
         )
 
     # kind == "des": the full event-driven simulation (timing metrics).
-    from ..sim.reconstruction import SimConfig, run_reconstruction
+    from ..engine.timed import run_timed_replay
+    from ..sim.reconstruction import SimConfig
 
     config = SimConfig(
         policy=point.policy,
@@ -332,10 +333,10 @@ def compute_point(point: GridPoint) -> "SweepPoint":
         scheme_mode=point.scheme_mode,
         workers=point.sor_workers,
     )
-    rep = run_reconstruction(layout, errors, config)
+    rep = run_timed_replay(backend, events, config)
     return SweepPoint(
         experiment=point.experiment,
-        code=layout.name,
+        code=rep.code,
         p=point.p,
         policy=point.policy,
         cache_mb=point.cache_mb,

@@ -43,6 +43,7 @@ __all__ = [
     "table5_max_improvement",
     "ablation_scheme",
     "ablation_demotion",
+    "lrc_hit_ratio",
     "experiment_grid",
     "rows_equivalent",
     "EXPERIMENT_NAMES",
@@ -234,6 +235,19 @@ def ablation_scheme_grid(
     ]
 
 
+def lrc_grid(scale: Scale = QUICK) -> list[GridPoint]:
+    """LRC extension sweep (DESIGN.md §9): hit ratio vs cache blocks.
+
+    The same unified trace replay as fig8, but through the
+    :class:`~repro.engine.backends.LRCBackend` — one engine, another
+    code.  Cache sizes are small (8–64 blocks at 32 KB chunks) because an
+    LRC(12,2,2) stripe only has 16 blocks, and SOR width 4 matches the
+    CLI's ``lrc`` demo so the partitions stay non-degenerate.
+    """
+    small = replace(scale, cache_mbs=(0.25, 0.5, 1.0, 2.0), workers=4)
+    return _sweep_grid("trace", "lrc", ("lrc(12,2,2)",), (0,), small)
+
+
 def ablation_demotion_grid(
     scale: Scale = QUICK, code: str = "tip", p: int = 7
 ) -> list[GridPoint]:
@@ -265,6 +279,7 @@ EXPERIMENT_GRIDS = {
     "table4": table4_grid,
     "ablation-scheme": ablation_scheme_grid,
     "ablation-demotion": ablation_demotion_grid,
+    "lrc": lrc_grid,
 }
 
 EXPERIMENT_NAMES: tuple[str, ...] = tuple(EXPERIMENT_GRIDS)
@@ -412,3 +427,10 @@ def ablation_demotion(
 ) -> list[SweepPoint]:
     """Demote-on-hit (paper) vs sticky priorities, FBF policy."""
     return _points(ablation_demotion_grid(scale, code, p), engine)
+
+
+def lrc_hit_ratio(
+    scale: Scale = QUICK, engine: EngineConfig | None = None
+) -> list[SweepPoint]:
+    """LRC extension: hit ratio / disk reads vs cache size (DESIGN.md §9)."""
+    return _points(lrc_grid(scale), engine)

@@ -22,6 +22,7 @@ from .experiments import (
     fig9_read_ops,
     fig10_response_time,
     fig11_reconstruction_time,
+    lrc_hit_ratio,
     table4_overhead,
     table5_max_improvement,
 )
@@ -89,6 +90,12 @@ def write_full_report(
     save(
         "ablation_demotion",
         figure_report(abl_d, "hit_ratio", "Ablation: demotion on hit (hit ratio)"),
+    )
+
+    lrc = timed("lrc", lrc_hit_ratio, scale, engine=engine)
+    save(
+        "lrc_hit_ratio",
+        figure_report(lrc, "hit_ratio", "LRC extension: cache hit ratio (DESIGN.md §9)"),
     )
 
     index_lines = [

@@ -36,6 +36,10 @@ POL002     every ``CachePolicy`` subclass implements the ``base.py``
 GF2001     GF(2)/XOR purity in ``repro/codes``: no true division and no
            float dtypes in parity paths (XOR algebra is exact; floats
            would silently corrupt parity)
+ENG001     no imports of the pre-unification replay modules
+           (``repro.lrc.tracesim``) or their deleted entry points
+           (``simulate_lrc_trace``/``LRCTraceResult``) — every replay goes
+           through :mod:`repro.engine`
 =========  ==================================================================
 """
 
@@ -49,7 +53,8 @@ from .framework import Rule, Violation
 
 __all__ = ["ALL_RULES", "default_rules", "rules_by_id"]
 
-_SIM_SCOPES = ("repro/sim", "repro/core", "repro/cache", "repro/codes")
+_SIM_SCOPES = ("repro/sim", "repro/core", "repro/cache", "repro/codes",
+               "repro/engine", "repro/lrc")
 
 
 def _import_map(tree: ast.Module) -> dict[str, str]:
@@ -392,9 +397,15 @@ class CpuCountLeakRule(Rule):
         "Scale",
         "GridPoint",
         "ErrorTraceConfig",
+        "LRCWorkloadConfig",
         "simulate_cache_trace",
+        "simulate_trace",
         "run_reconstruction",
+        "run_timed_replay",
+        "make_backend",
         "generate_errors",
+        "generate_events",
+        "generate_lrc_failures",
     }
 
     def _is_cpu_call(self, node: ast.expr, imports: dict[str, str]) -> bool:
@@ -470,7 +481,7 @@ class UnorderedStateRule(Rule):
 
     rule_id = "DET003"
     summary = "cache/kernel instance state must be insertion-ordered, not a set"
-    scopes = ("repro/cache/", "repro/core/", "repro/sim/kernel.py")
+    scopes = ("repro/cache/", "repro/core/", "repro/sim/kernel.py", "repro/engine/")
     excludes = ("repro/cache/base.py",)
 
     def check(self, tree: ast.Module, path: str) -> Iterator[Violation]:
@@ -494,7 +505,7 @@ class MutableClassStateRule(Rule):
 
     rule_id = "POL001"
     summary = "no mutable class-level defaults (list/dict/set) in policy modules"
-    scopes = ("repro/cache/", "repro/core/")
+    scopes = ("repro/cache/", "repro/core/", "repro/engine/")
 
     _MUTABLE_CALLS = {"list", "dict", "set", "OrderedDict", "defaultdict", "deque"}
 
@@ -543,7 +554,7 @@ class PolicyInterfaceRule(Rule):
 
     rule_id = "POL002"
     summary = "CachePolicy subclasses must match the base.py interface exactly"
-    scopes = ("repro/cache/", "repro/core/")
+    scopes = ("repro/cache/", "repro/core/", "repro/engine/")
     excludes = ("repro/cache/base.py",)
 
     _REQUIRED = {
@@ -676,6 +687,78 @@ class GF2PurityRule(Rule):
                     )
 
 
+class LegacyReplayImportRule(Rule):
+    """ENG001: the pre-unification replay world must stay deleted.
+
+    ``repro.lrc.tracesim`` duplicated the trace replay and was removed
+    when the unified engine landed; any import of it (absolute or
+    relative) — or of its deleted entry points through ``repro.lrc`` —
+    resurrects a second replay implementation and silently forks the
+    numbers.  ``repro.sim.tracesim`` survives only as a thin adapter over
+    :func:`repro.engine.simulate_trace`, so importing it stays legal.
+    """
+
+    rule_id = "ENG001"
+    summary = "no imports of repro.lrc.tracesim or its deleted entry points"
+
+    _DELETED_MODULE = "lrc.tracesim"
+    _DELETED_NAMES = {"simulate_lrc_trace", "LRCTraceResult"}
+
+    def _module_is_deleted(self, module: str | None, level: int) -> bool:
+        if module is None:
+            return False
+        if level == 0:
+            return module == f"repro.{self._DELETED_MODULE}"
+        # relative: "from .tracesim import ..." inside repro/lrc, or
+        # "from .lrc.tracesim import ..." / "from ..lrc.tracesim import ..."
+        return module == self._DELETED_MODULE or module.endswith(
+            f".{self._DELETED_MODULE}"
+        )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Violation]:
+        inside_lrc = "repro/lrc/" in Path(path).as_posix()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == f"repro.{self._DELETED_MODULE}":
+                        yield self.violation(
+                            node,
+                            path,
+                            f"import of deleted module {alias.name}; use "
+                            f"repro.engine.simulate_trace with an LRCBackend",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module
+                if self._module_is_deleted(module, node.level) or (
+                    inside_lrc and node.level == 1 and module == "tracesim"
+                ):
+                    yield self.violation(
+                        node,
+                        path,
+                        f"import from deleted module "
+                        f"{'.' * node.level}{module}; use repro.engine."
+                        f"simulate_trace with an LRCBackend",
+                    )
+                    continue
+                # deleted entry points re-exported nowhere: catch stale
+                # "from repro.lrc import simulate_lrc_trace" too.
+                from_lrc_pkg = (
+                    module in ("repro.lrc", "lrc")
+                    or (module is not None and module.endswith(".lrc"))
+                    or (inside_lrc and node.level > 0 and module is None)
+                )
+                if from_lrc_pkg:
+                    for alias in node.names:
+                        if alias.name in self._DELETED_NAMES:
+                            yield self.violation(
+                                node,
+                                path,
+                                f"{alias.name} was deleted with "
+                                f"repro.lrc.tracesim; use repro.engine."
+                                f"simulate_trace with an LRCBackend",
+                            )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
     YieldNonEventRule(),
@@ -686,6 +769,7 @@ ALL_RULES: tuple[Rule, ...] = (
     MutableClassStateRule(),
     PolicyInterfaceRule(),
     GF2PurityRule(),
+    LegacyReplayImportRule(),
 )
 
 

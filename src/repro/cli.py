@@ -395,18 +395,20 @@ def main(argv: list[str] | None = None) -> int:
 
     if cmd == "replay":
         from .cache.registry import available_policies
-        from .sim import simulate_cache_trace
+        from .engine import PlanCache, make_backend, simulate_trace
         from .workloads import read_trace
 
-        layout = make_code(args.code, args.p)
+        backend = make_backend(args.code, args.p)
         errors = read_trace(args.trace)
-        print(f"{len(errors)} errors from {args.trace}; {layout.name} p={args.p}, "
-              f"{args.blocks} blocks over {args.workers} workers")
+        plans = PlanCache(backend)
+        print(f"{len(errors)} errors from {args.trace}; {backend.code_label} "
+              f"p={args.p}, {args.blocks} blocks over {args.workers} workers")
         print(f"{'policy':>8} {'hit ratio':>10} {'disk reads':>11}")
         for policy in sorted(available_policies()):
-            res = simulate_cache_trace(
-                layout, errors, policy=policy,
+            res = simulate_trace(
+                backend, errors, policy=policy,
                 capacity_blocks=args.blocks, workers=args.workers,
+                plan_cache=plans,
             )
             print(f"{policy:>8} {res.hit_ratio:>10.4f} {res.disk_reads:>11d}")
         return 0
@@ -425,25 +427,21 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if cmd == "lrc":
-        from .lrc import LRCCode, LRCWorkloadConfig, generate_lrc_failures, simulate_lrc_trace
+        from .engine import PlanCache, make_backend, simulate_trace
 
-        code = LRCCode(args.k, args.l, args.g)
-        events = generate_lrc_failures(
-            code,
-            LRCWorkloadConfig(
-                n_events=args.events, seed=args.seed,
-                batch_size_weights=(0.3, 0.3, 0.25, 0.15),
-            ),
-        )
+        backend = make_backend(f"lrc({args.k},{args.l},{args.g})")
+        events = backend.generate_events(args.events, args.seed)
+        plans = PlanCache(backend)
         blocks_list = [int(x) for x in args.blocks.split(",") if x.strip()]
         policies = ("fifo", "lru", "lfu", "arc", "fbf")
-        print(f"{code.name}: {len(events)} failure batches, 4 workers")
+        print(f"{backend.code_label}: {len(events)} failure batches, 4 workers")
         print(f"{'blocks':>7} " + " ".join(f"{p:>8}" for p in policies))
         for blocks in blocks_list:
             row = [f"{blocks:>7}"]
             for policy in policies:
-                res = simulate_lrc_trace(
-                    code, events, policy=policy, capacity_blocks=blocks, workers=4
+                res = simulate_trace(
+                    backend, events, policy=policy, capacity_blocks=blocks,
+                    workers=4, plan_cache=plans,
                 )
                 row.append(f"{res.hit_ratio:>8.4f}")
             print(" ".join(row))

@@ -17,8 +17,6 @@ fast enough; profiling showed bit-packing is unnecessary at these sizes.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 __all__ = [
@@ -87,7 +85,7 @@ def gf2_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return (a.astype(np.uint32) @ b.astype(np.uint32) % 2).astype(np.uint8)
 
 
-def gf2_solve(a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
+def gf2_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
     """Solve ``a @ x == b`` over GF(2).
 
     ``b`` may be a vector or a matrix of stacked right-hand sides (one per

@@ -1,0 +1,99 @@
+"""Name-based registry of recovery-engine code backends.
+
+One namespace over both worlds: the four XOR 3DFT codes (which need the
+prime ``p``) and ``lrc`` / ``lrc(k,l,g)`` specs.  The sweep engine, the
+CLI and the bench grids resolve backends exclusively through
+:func:`make_backend`, so registering a factory here is all a new code
+needs to join every experiment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from ..codes.registry import CODES as _XOR_CODES
+from ..codes.registry import make_code
+from .backend import CodeBackend
+from .backends import LRCBackend, XORBackend
+
+__all__ = ["BACKENDS", "available_backends", "make_backend", "register_backend"]
+
+#: factory(spec, p, scheme_mode) -> CodeBackend.  ``spec`` is the full
+#: (normalised) name as given, so one factory can serve a parameterised
+#: family like ``lrc(12,2,2)``.
+BackendFactory = Callable[[str, "int | None", str], CodeBackend]
+
+
+def _xor_factory(code_name: str) -> BackendFactory:
+    def build(spec: str, p: int | None, scheme_mode: str) -> CodeBackend:
+        if p is None:
+            raise ValueError(f"backend {spec!r} requires the prime parameter p")
+        return XORBackend(make_code(code_name, p), scheme_mode)
+
+    return build
+
+
+_LRC_SPEC = re.compile(r"^lrc(?:\((\d+),(\d+),(\d+)\))?$")
+
+
+def _lrc_factory(spec: str, p: int | None, scheme_mode: str) -> CodeBackend:
+    match = _LRC_SPEC.match(spec)
+    if match is None:
+        raise ValueError(f"bad LRC spec {spec!r}; expected 'lrc' or 'lrc(k,l,g)'")
+    if match.group(1) is None:
+        return LRCBackend()
+    from ..lrc.code import LRCCode
+
+    params = tuple(int(x) for x in match.groups())
+    return LRCBackend(LRCCode(*params))
+
+
+BACKENDS: dict[str, BackendFactory] = {
+    **{name: _xor_factory(name) for name in _XOR_CODES},
+    "lrc": _lrc_factory,
+}
+
+_ALIASES = {
+    "triplestar": "triple-star",
+    "triple_star": "triple-star",
+    "tip-code": "tip",
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names (parameterised specs under their stem)."""
+    return tuple(BACKENDS)
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Add (or replace) a backend factory under ``name``."""
+    BACKENDS[name.strip().lower()] = factory
+
+
+def _normalise(name: str) -> tuple[str, str]:
+    """(registry stem, full spec) for a backend name."""
+    spec = name.strip().lower()
+    spec = _ALIASES.get(spec, spec)
+    stem = spec.split("(", 1)[0]
+    return _ALIASES.get(stem, stem), spec
+
+
+def make_backend(
+    name: str, p: int | None = None, scheme_mode: str = "fbf"
+) -> CodeBackend:
+    """Construct a code backend by name.
+
+    XOR codes take the prime via ``p`` (``make_backend("tip", 7)``); LRC
+    specs carry their parameters inline (``make_backend("lrc(12,2,2)")``).
+    ``scheme_mode`` selects the XOR chain-selection strategy and is
+    ignored by codes with a single planner.
+    """
+    stem, spec = _normalise(name)
+    try:
+        factory = BACKENDS[stem]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(sorted(BACKENDS))}"
+        ) from None
+    return factory(spec, p, scheme_mode)

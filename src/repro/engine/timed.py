@@ -1,0 +1,143 @@
+"""The unified timed replay over the event kernel, one per repo.
+
+Generalizes the serial/SOR batch reconstruction of
+:mod:`repro.sim.reconstruction` to any
+:class:`~repro.engine.backend.CodeBackend`: the backend supplies the
+array geometry (XOR codes map cells onto a ``rows x disks`` grid, LRC
+blocks onto a flat one-block-per-disk layout), the recovery plans and
+the optional verifying datapath; the event kernel, disks, timed buffer
+cache and controller are shared.
+
+``repro.sim.run_reconstruction`` is now a thin layout-flavoured wrapper
+over :func:`run_timed_replay`.
+
+The :mod:`repro.sim` imports are deferred into the function body:
+``repro.sim.reconstruction`` imports this module, so module-level
+imports would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from ..cache.base import CachePolicy
+from .backend import CodeBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.reconstruction import ReconstructionReport, SimConfig
+
+__all__ = ["run_timed_replay"]
+
+
+def run_timed_replay(
+    backend: CodeBackend,
+    events: Sequence[Any],
+    config: "SimConfig | None" = None,
+    policy_factory: Callable[[int], CachePolicy] | None = None,
+) -> "ReconstructionReport":
+    """Simulate timed recovery of ``events`` under ``config`` via ``backend``.
+
+    ``policy_factory`` overrides the registry lookup (useful for custom
+    policies); it receives the per-worker capacity in blocks.  The
+    backend's scheme label wins over ``config.scheme_mode`` (the config
+    field parameterises the XOR convenience wrapper, which builds the
+    backend from it).
+    """
+    from ..cache.registry import make_policy
+    from ..sim.cache_sim import TimedBufferCache
+    from ..sim.controller import RAIDController
+    from ..sim.kernel import Environment
+    from ..sim.reconstruction import (
+        ReconstructionReport,
+        SimConfig,
+        _worker,
+        build_array,
+    )
+
+    if config is None:
+        config = SimConfig()
+    if not events:
+        raise ValueError("no events to recover")
+    events = sorted(events)
+    if config.sanitize:
+        # Imported here: repro.checks imports the kernel, which would
+        # cycle at module import time.
+        from ..checks.sanitizer import SanitizedEnvironment
+
+        env: Environment = SanitizedEnvironment()
+    else:
+        env = Environment()
+    geometry = backend.make_geometry(
+        chunk_size=config.chunk_bytes, stripes=config.array_stripes
+    )
+    array = build_array(env, geometry, config)
+    datapath = None
+    if config.verify_payloads:
+        datapath = backend.make_datapath(
+            payload_size=config.payload_size, seed=config.payload_seed
+        )
+    controller = RAIDController(
+        env,
+        array,
+        xor_time_per_chunk=config.xor_time_per_chunk,
+        parallel_chain_reads=config.parallel_chain_reads,
+        datapath=datapath,
+        backend=backend,
+    )
+
+    per_worker_blocks = config.cache_blocks_per_worker
+    caches: list[TimedBufferCache] = []
+    procs = []
+    workers = min(config.workers, len(events))
+    for w in range(workers):
+        if policy_factory is not None:
+            policy = policy_factory(per_worker_blocks)
+        else:
+            policy = make_policy(config.policy, per_worker_blocks, **config.policy_kwargs)
+        cache = TimedBufferCache(
+            env, policy, array, hit_time=config.hit_time, sanitize=config.sanitize
+        )
+        caches.append(cache)
+        mine = events[w::workers]  # SOR round-robin stripe assignment
+        procs.append(
+            env.process(
+                _worker(env, controller, cache, mine, config.respect_arrival_times),
+                name=f"sor-worker-{w}",
+            )
+        )
+    env.run(env.all_of(procs))
+    recon_time = env.now
+    if config.respect_arrival_times:
+        recon_time -= min(e.time for e in events)
+
+    hits = sum(c.policy.stats.hits for c in caches)
+    misses = sum(c.policy.stats.misses for c in caches)
+    return ReconstructionReport(
+        policy=config.policy if policy_factory is None else getattr(
+            caches[0].policy, "name", "custom"
+        ),
+        scheme_mode=backend.scheme_label,
+        code=backend.code_label,
+        p=backend.p,
+        n_errors=len(events),
+        chunks_recovered=controller.chunks_recovered,
+        reconstruction_time=recon_time,
+        avg_response_time=(
+            sum(c.log.total for c in caches) / max(1, sum(c.log.count for c in caches))
+        ),
+        max_response_time=max(c.log.max for c in caches),
+        total_requests=sum(c.log.count for c in caches),
+        cache_hits=hits,
+        cache_misses=misses,
+        disk_reads=sum(c.log.disk_reads for c in caches),
+        disk_writes=array.total_writes,
+        overhead_mean_s=controller.overhead.mean,
+        overhead_total_s=controller.overhead.total,
+        plan_cache_hits=controller.overhead.plan_cache_hits,
+        payload_chunks_verified=datapath.chunks_verified if datapath else 0,
+        payload_mismatches=datapath.mismatches if datapath else 0,
+        disk_stats=tuple(
+            (d.stats.busy_time, d.stats.queue_wait, d.stats.accesses)
+            for d in array.disks
+        ),
+    )

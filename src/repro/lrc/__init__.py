@@ -6,12 +6,15 @@
 * :mod:`repro.lrc.scheme` — FBF-style recovery planning over local and
   global parity chains, producing the same request-stream + priority
   interface the XOR codes feed into the cache simulators.
+
+Replay lives in the unified engine: wrap the code in an
+:class:`repro.engine.LRCBackend` and call
+:func:`repro.engine.simulate_trace` / :func:`repro.engine.run_timed_replay`.
 """
 
 from .code import Block, LRCChain, LRCCode
 from .rs import RSCode
 from .scheme import LRCRecoveryPlan, execute_plan, plan_lrc_recovery
-from .tracesim import LRCTraceResult, simulate_lrc_trace
 from .update import LRCUpdateComplexity, lrc_parities_touched, lrc_update_complexity
 from .workload import LRCFailureEvent, LRCWorkloadConfig, generate_lrc_failures
 
@@ -23,8 +26,6 @@ __all__ = [
     "LRCRecoveryPlan",
     "execute_plan",
     "plan_lrc_recovery",
-    "LRCTraceResult",
-    "simulate_lrc_trace",
     "LRCFailureEvent",
     "LRCWorkloadConfig",
     "generate_lrc_failures",

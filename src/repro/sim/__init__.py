@@ -8,7 +8,7 @@
 * :mod:`repro.sim.tracesim` — fast untimed cache-trace replay.
 """
 
-from .array import ArrayGeometry, DiskArray
+from .array import ArrayGeometry, DiskArray, FlatGeometry
 from .cache_sim import ResponseLog, TimedBufferCache
 from .controller import OverheadLog, RAIDController
 from .disk import (
@@ -51,6 +51,7 @@ from .tracesim import PlanCache, TraceSimResult, simulate_cache_trace
 __all__ = [
     "ArrayGeometry",
     "DiskArray",
+    "FlatGeometry",
     "ResponseLog",
     "TimedBufferCache",
     "OverheadLog",

@@ -11,13 +11,14 @@ partial errors are repaired in place, not by disk replacement).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator
+from functools import cached_property
+from typing import Callable, Generator, Hashable
 
 from ..codes.layout import Cell, CodeLayout
 from .disk import Disk, ServiceTimeModel
 from .kernel import Environment
 
-__all__ = ["ArrayGeometry", "DiskArray"]
+__all__ = ["ArrayGeometry", "FlatGeometry", "DiskArray"]
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,10 @@ class ArrayGeometry:
         if not 0 <= col < self.num_disks:
             raise ValueError(f"column {col} outside [0, {self.num_disks})")
 
+    def disk_index(self, cell: Cell) -> int:
+        """Which disk holds a cell — its column."""
+        return cell[1]
+
     def lba(self, stripe: int, cell: Cell) -> int:
         """Byte address of a chunk in its disk's data region."""
         self.check(stripe, cell)
@@ -63,13 +68,70 @@ class ArrayGeometry:
         return data_end + self.lba(stripe, cell)
 
 
+@dataclass(frozen=True)
+class FlatGeometry:
+    """One-unit-per-disk placement for codes without a grid layout.
+
+    LRC stripes are flat tuples of blocks; distributed placement puts
+    block ``i`` of every stripe on disk ``i``, one chunk per stripe per
+    disk.  ``units`` is the ordered tuple of block identifiers — any
+    hashables — defining the disk assignment.
+    """
+
+    units: tuple[Hashable, ...]
+    chunk_size: int = 32 * 1024
+    stripes: int = 100_000
+
+    def __post_init__(self) -> None:
+        if not self.units:
+            raise ValueError("units must be non-empty")
+        if len(set(self.units)) != len(self.units):
+            raise ValueError("units must be distinct")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.stripes < 1:
+            raise ValueError(f"stripes must be >= 1, got {self.stripes}")
+
+    @cached_property
+    def _index(self) -> dict[Hashable, int]:
+        return {u: i for i, u in enumerate(self.units)}
+
+    @property
+    def num_disks(self) -> int:
+        return len(self.units)
+
+    @property
+    def chunks_per_disk(self) -> int:
+        return self.stripes
+
+    def check(self, stripe: int, unit: Hashable) -> None:
+        if not 0 <= stripe < self.stripes:
+            raise ValueError(f"stripe {stripe} outside [0, {self.stripes})")
+        if unit not in self._index:
+            raise KeyError(f"unknown unit {unit!r}")
+
+    def disk_index(self, unit: Hashable) -> int:
+        """Which disk holds a unit — its position in ``units``."""
+        return self._index[unit]
+
+    def lba(self, stripe: int, unit: Hashable) -> int:
+        """Byte address of a unit's chunk in its disk's data region."""
+        self.check(stripe, unit)
+        return stripe * self.chunk_size
+
+    def spare_lba(self, stripe: int, unit: Hashable) -> int:
+        """Byte address of the chunk's spare slot (after the data region)."""
+        data_end = self.chunks_per_disk * self.chunk_size
+        return data_end + self.lba(stripe, unit)
+
+
 class DiskArray:
     """The bank of simulated disks plus chunk-level read/write helpers."""
 
     def __init__(
         self,
         env: Environment,
-        geometry: ArrayGeometry,
+        geometry: ArrayGeometry | FlatGeometry,
         disk_model_factory: Callable[[int], ServiceTimeModel] | None = None,
         disk_factory: Callable[[Environment, int], object] | None = None,
     ):
@@ -88,8 +150,8 @@ class DiskArray:
                 Disk(env, i, disk_model_factory(i)) for i in range(geometry.num_disks)
             ]
 
-    def disk_of(self, cell: Cell) -> Disk:
-        return self.disks[cell[1]]
+    def disk_of(self, cell: Hashable) -> Disk:
+        return self.disks[self.geometry.disk_index(cell)]
 
     def read_chunk(self, stripe: int, cell: Cell) -> Generator:
         """Process generator: one chunk read from the data region."""

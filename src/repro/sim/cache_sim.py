@@ -10,7 +10,7 @@ queueing delay).  Per-request response times are recorded for the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator
 
 from ..cache.base import CachePolicy
 from ..codes.layout import Cell
@@ -73,7 +73,7 @@ class TimedBufferCache:
         self.log = ResponseLog()
 
     def get_chunk(
-        self, stripe: int, cell: Cell, priority: Optional[int] = None
+        self, stripe: int, cell: Cell, priority: int | None = None
     ) -> Generator:
         """Process generator: obtain one chunk through the cache."""
         start = self.env.now

@@ -1,29 +1,33 @@
-"""The RAID controller: turns partial stripe errors into recovery I/O.
+"""The RAID controller: turns failure events into recovery I/O.
 
-For each error the controller (paper Figure 4):
+For each event the controller (paper Figure 4):
 
-1. runs the *Recovery Method Generator* — :func:`repro.core.generate_plan`
-   — and derives the :class:`~repro.core.PriorityDictionary` (the wall
-   clock spent here is FBF's *temporal overhead*, Table IV);
-2. fetches every surviving member of each selected chain through the
-   buffer cache (in parallel across disks, or serially);
-3. charges XOR computation time and writes the recovered chunk to the
-   failed disk's spare area.
+1. runs the *Recovery Method Generator* — the code backend's
+   :meth:`~repro.engine.backend.CodeBackend.build_plan` — and derives the
+   priorities (the wall clock spent here is FBF's *temporal overhead*,
+   Table IV);
+2. fetches every surviving read of each recovery step through the buffer
+   cache (in parallel across disks, or serially);
+3. charges XOR/decode computation time and writes the recovered chunk to
+   the failed disk's spare area.
 
-Recovery plans are memoized by error *shape* — the paper notes priorities
-"can be enumerated once a same format of partial stripe error is detected
-again, and no more calculation is required".
+Recovery plans are memoized by the backend's plan key — the paper notes
+priorities "can be enumerated once a same format of partial stripe error
+is detected again, and no more calculation is required".  Constructed
+without an explicit backend, the controller builds an
+:class:`~repro.engine.backends.XORBackend` from the array's layout — the
+original XOR-world behaviour.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Generator
+from typing import Any, Generator, Hashable
 
-from ..core.priorities import PriorityDictionary
-from ..core.scheme import RecoveryPlan, SchemeMode, generate_plan
-from ..workloads.errors import PartialStripeError
+from ..core.scheme import SchemeMode
+from ..engine.backend import CodeBackend, EnginePlan
+from ..engine.backends import XORBackend
 from .array import DiskArray
 from .cache_sim import TimedBufferCache
 from .datapath import VerifyingDataPath
@@ -49,7 +53,7 @@ class OverheadLog:
 
 
 class RAIDController:
-    """Drives partial stripe recovery through a buffer cache."""
+    """Drives failure recovery through a buffer cache."""
 
     def __init__(
         self,
@@ -59,61 +63,61 @@ class RAIDController:
         xor_time_per_chunk: float = 1e-5,
         parallel_chain_reads: bool = True,
         datapath: VerifyingDataPath | None = None,
+        backend: CodeBackend | None = None,
     ):
         if xor_time_per_chunk < 0:
             raise ValueError(f"xor_time_per_chunk must be >= 0, got {xor_time_per_chunk}")
+        if backend is None:
+            backend = XORBackend(array.geometry.layout, scheme_mode)
         self.env = env
         self.array = array
-        self.scheme_mode: SchemeMode = scheme_mode
+        self.backend = backend
+        self.scheme_mode: str = backend.scheme_label
         self.xor_time_per_chunk = xor_time_per_chunk
         self.parallel_chain_reads = parallel_chain_reads
         self.datapath = datapath
         self.overhead = OverheadLog()
-        self._plan_cache: dict[tuple[int, int, int], tuple[RecoveryPlan, PriorityDictionary]] = {}
+        self._plan_cache: dict[Hashable, EnginePlan] = {}
         self.errors_recovered = 0
         self.chunks_recovered = 0
 
-    def plan_for(
-        self, error: PartialStripeError
-    ) -> tuple[RecoveryPlan, PriorityDictionary]:
-        """Plan + priorities for an error, memoized by shape; timed."""
-        key = error.shape
+    def plan_for(self, error: Any) -> EnginePlan:
+        """The recovery plan for an event, memoized by plan key; timed."""
+        key = self.backend.plan_key(error)
         cached = self._plan_cache.get(key)
         if cached is not None:
             self.overhead.plan_cache_hits += 1
             return cached
-        layout = self.array.geometry.layout
         t0 = time.perf_counter()
-        plan = generate_plan(layout, error.cells(layout), self.scheme_mode)
-        priorities = PriorityDictionary(plan)
+        plan = self.backend.build_plan(error)
+        plan.priorities  # materialise inside the timed region (Table IV)
         self.overhead.samples.append(time.perf_counter() - t0)
-        self._plan_cache[key] = (plan, priorities)
-        return plan, priorities
+        self._plan_cache[key] = plan
+        return plan
 
-    def recover_error(
-        self, error: PartialStripeError, cache: TimedBufferCache
-    ) -> Generator:
-        """Process generator: fully repair one partial stripe error."""
-        plan, priorities = self.plan_for(error)
+    def recover_error(self, error: Any, cache: TimedBufferCache) -> Generator:
+        """Process generator: fully repair one failure event."""
+        plan = self.plan_for(error)
+        priority = plan.priority_of
         stripe = error.stripe
-        for assignment in plan.assignments:
-            reads = assignment.reads
+        for step in plan.steps:
+            reads = step.reads
             if self.parallel_chain_reads:
                 fetches = [
                     self.env.process(
-                        cache.get_chunk(stripe, cell, priorities.lookup(cell))
+                        cache.get_chunk(stripe, unit, priority(unit))
                     )
-                    for cell in reads
+                    for unit in reads
                 ]
                 yield self.env.all_of(fetches)
             else:
-                for cell in reads:
-                    yield from cache.get_chunk(stripe, cell, priorities.lookup(cell))
-            # XOR of the fetched chain members to rebuild the lost chunk.
+                for unit in reads:
+                    yield from cache.get_chunk(stripe, unit, priority(unit))
+            # XOR/decode of the fetched chain members rebuilds the chunk.
             yield self.env.timeout(self.xor_time_per_chunk * len(reads))
             if self.datapath is not None:
-                self.datapath.rebuild(stripe, assignment)
+                self.datapath.rebuild(stripe, step.detail)
             # Write the recovered chunk to the failed disk's spare area.
-            yield from self.array.write_spare_chunk(stripe, assignment.failed_cell)
+            yield from self.array.write_spare_chunk(stripe, step.target)
             self.chunks_recovered += 1
         self.errors_recovered += 1

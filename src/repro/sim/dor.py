@@ -70,19 +70,19 @@ def run_reconstruction_dor(
     read_queues: list[list[tuple[int, tuple, int, Event]]] = [
         [] for _ in range(layout.num_disks)
     ]
-    assignments: list[tuple[int, object, list[Event]]] = []
+    steps: list[tuple[int, object, list[Event]]] = []
     chunks_total = 0
     for error in errors:
-        plan, priorities = controller.plan_for(error)
-        for assignment in plan.assignments:
+        plan = controller.plan_for(error)
+        for step in plan.steps:
             done_events: list[Event] = []
-            for cell in assignment.reads:
+            for cell in step.reads:
                 done = env.event()
-                read_queues[cell[1]].append(
-                    (error.stripe, cell, priorities.lookup(cell), done)
+                read_queues[geometry.disk_index(cell)].append(
+                    (error.stripe, cell, plan.priority_of(cell), done)
                 )
                 done_events.append(done)
-            assignments.append((error.stripe, assignment, done_events))
+            steps.append((error.stripe, step, done_events))
             chunks_total += 1
 
     # ---- processes ----------------------------------------------------------
@@ -91,13 +91,13 @@ def run_reconstruction_dor(
             yield from cache.get_chunk(stripe, cell, priority)
             done.succeed()
 
-    def rebuilder(stripe, assignment, done_events):
+    def rebuilder(stripe, step, done_events):
         if done_events:
             yield env.all_of(done_events)
-        yield env.timeout(config.xor_time_per_chunk * len(assignment.reads))
+        yield env.timeout(config.xor_time_per_chunk * len(step.reads))
         if datapath is not None:
-            datapath.rebuild(stripe, assignment)
-        yield from array.write_spare_chunk(stripe, assignment.failed_cell)
+            datapath.rebuild(stripe, step.detail)
+        yield from array.write_spare_chunk(stripe, step.target)
 
     procs = [
         env.process(reader(queue), name=f"dor-reader-{d}")
@@ -105,8 +105,8 @@ def run_reconstruction_dor(
         if queue
     ]
     procs.extend(
-        env.process(rebuilder(stripe, a, evs), name="dor-rebuild")
-        for stripe, a, evs in assignments
+        env.process(rebuilder(stripe, s, evs), name="dor-rebuild")
+        for stripe, s, evs in steps
     )
     env.run(env.all_of(procs))
 

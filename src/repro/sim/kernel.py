@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable
 
 __all__ = [
     "Environment",
@@ -68,7 +68,7 @@ class Event:
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.callbacks: list[Callable[["Event"], None]] | None = []
         self._value: Any = None
         self._ok: bool = True
         self.triggered = False
@@ -146,7 +146,7 @@ class Process(Event):
             raise TypeError(f"process requires a generator, got {gen!r}")
         super().__init__(env)
         self._gen = gen
-        self._target: Optional[Event] = None
+        self._target: Event | None = None
         self.name = name or getattr(gen, "__name__", "process")
         # Bootstrap: resume the generator as soon as the simulation runs.
         init = Event(env)
@@ -408,7 +408,7 @@ class Environment:
         """Time of the next event, or ``inf`` if the queue is empty."""
         return self._heap[0][0] if self._heap else float("inf")
 
-    def run(self, until: Optional[float | Event] = None) -> Any:
+    def run(self, until: float | Event | None = None) -> Any:
         """Run until the queue drains, a deadline passes, or an event fires.
 
         * ``until=None`` — run to quiescence.
@@ -462,7 +462,7 @@ class Environment:
         self.now = deadline
         return None
 
-    def _run_stepwise(self, until: Optional[float | Event] = None) -> Any:
+    def _run_stepwise(self, until: float | Event | None = None) -> Any:
         """:meth:`run` via ``self.step()`` — honours overridden dispatch."""
         if isinstance(until, Event):
             target = until

@@ -18,16 +18,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Generator, Sequence
 
 from ..cache.base import CachePolicy
-from ..cache.registry import make_policy
 from ..codes.layout import CodeLayout
 from ..core.scheme import SchemeMode
 from ..utils import parse_size
 from ..workloads.errors import PartialStripeError
-from .array import ArrayGeometry, DiskArray
+from .array import ArrayGeometry, DiskArray, FlatGeometry
 from .cache_sim import TimedBufferCache
 from .controller import RAIDController
-from .datapath import PayloadOracle, VerifyingDataPath
-from .disk import FixedLatencyModel, ServiceTimeModel
+from .disk import FixedLatencyModel
 from .kernel import Environment
 
 __all__ = ["SimConfig", "ReconstructionReport", "run_reconstruction"]
@@ -151,7 +149,9 @@ class ReconstructionReport:
         return 100.0 * self.overhead_mean_s / per_error_recon
 
 
-def build_array(env: Environment, geometry: ArrayGeometry, config: SimConfig) -> DiskArray:
+def build_array(
+    env: Environment, geometry: ArrayGeometry | FlatGeometry, config: SimConfig
+) -> DiskArray:
     """Assemble the disk bank described by ``config``."""
     if config.disk_model == "fixed" and config.disk_scheduler == "fcfs":
         return DiskArray(
@@ -195,94 +195,14 @@ def run_reconstruction(
 ) -> ReconstructionReport:
     """Simulate recovery of ``errors`` on ``layout`` under ``config``.
 
+    XOR-world convenience wrapper: builds an :class:`~repro.engine.
+    backends.XORBackend` from ``(layout, config.scheme_mode)`` and runs
+    the unified :func:`repro.engine.timed.run_timed_replay`.
     ``policy_factory`` overrides the registry lookup (useful for custom
     policies); it receives the per-worker capacity in blocks.
     """
-    if not errors:
-        raise ValueError("no errors to recover")
-    errors = sorted(errors)
-    if config.sanitize:
-        # Imported here: repro.checks imports this package's kernel, which
-        # would cycle at module import time.
-        from ..checks.sanitizer import SanitizedEnvironment
+    from ..engine.backends import XORBackend
+    from ..engine.timed import run_timed_replay
 
-        env: Environment = SanitizedEnvironment()
-    else:
-        env = Environment()
-    geometry = ArrayGeometry(
-        layout=layout,
-        chunk_size=config.chunk_bytes,
-        stripes=config.array_stripes,
-    )
-    array = build_array(env, geometry, config)
-    datapath = None
-    if config.verify_payloads:
-        datapath = VerifyingDataPath(
-            PayloadOracle(layout, payload_size=config.payload_size,
-                          seed=config.payload_seed)
-        )
-    controller = RAIDController(
-        env,
-        array,
-        scheme_mode=config.scheme_mode,
-        xor_time_per_chunk=config.xor_time_per_chunk,
-        parallel_chain_reads=config.parallel_chain_reads,
-        datapath=datapath,
-    )
-
-    per_worker_blocks = config.cache_blocks_per_worker
-    caches: list[TimedBufferCache] = []
-    procs = []
-    workers = min(config.workers, len(errors))
-    for w in range(workers):
-        if policy_factory is not None:
-            policy = policy_factory(per_worker_blocks)
-        else:
-            policy = make_policy(config.policy, per_worker_blocks, **config.policy_kwargs)
-        cache = TimedBufferCache(
-            env, policy, array, hit_time=config.hit_time, sanitize=config.sanitize
-        )
-        caches.append(cache)
-        mine = errors[w::workers]  # SOR round-robin stripe assignment
-        procs.append(
-            env.process(
-                _worker(env, controller, cache, mine, config.respect_arrival_times),
-                name=f"sor-worker-{w}",
-            )
-        )
-    env.run(env.all_of(procs))
-    recon_time = env.now
-    if config.respect_arrival_times:
-        recon_time -= min(e.time for e in errors)
-
-    hits = sum(c.policy.stats.hits for c in caches)
-    misses = sum(c.policy.stats.misses for c in caches)
-    return ReconstructionReport(
-        policy=config.policy if policy_factory is None else getattr(
-            caches[0].policy, "name", "custom"
-        ),
-        scheme_mode=config.scheme_mode,
-        code=layout.name,
-        p=layout.p,
-        n_errors=len(errors),
-        chunks_recovered=controller.chunks_recovered,
-        reconstruction_time=recon_time,
-        avg_response_time=(
-            sum(c.log.total for c in caches) / max(1, sum(c.log.count for c in caches))
-        ),
-        max_response_time=max(c.log.max for c in caches),
-        total_requests=sum(c.log.count for c in caches),
-        cache_hits=hits,
-        cache_misses=misses,
-        disk_reads=sum(c.log.disk_reads for c in caches),
-        disk_writes=array.total_writes,
-        overhead_mean_s=controller.overhead.mean,
-        overhead_total_s=controller.overhead.total,
-        plan_cache_hits=controller.overhead.plan_cache_hits,
-        payload_chunks_verified=datapath.chunks_verified if datapath else 0,
-        payload_mismatches=datapath.mismatches if datapath else 0,
-        disk_stats=tuple(
-            (d.stats.busy_time, d.stats.queue_wait, d.stats.accesses)
-            for d in array.disks
-        ),
-    )
+    backend = XORBackend(layout, config.scheme_mode)
+    return run_timed_replay(backend, errors, config, policy_factory)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from .disk import AccessKind, DiskStats, ServiceTimeModel, FixedLatencyModel
 from .kernel import Environment, Event
@@ -54,7 +54,7 @@ class FCFSScheduler:
     def push(self, req: PendingRequest) -> None:
         self._queue.append(req)
 
-    def pop(self, head_lba: int) -> Optional[PendingRequest]:
+    def pop(self, head_lba: int) -> PendingRequest | None:
         return self._queue.popleft() if self._queue else None
 
     def __len__(self) -> int:
@@ -72,7 +72,7 @@ class SSTFScheduler:
     def push(self, req: PendingRequest) -> None:
         self._queue.append(req)
 
-    def pop(self, head_lba: int) -> Optional[PendingRequest]:
+    def pop(self, head_lba: int) -> PendingRequest | None:
         if not self._queue:
             return None
         # stable nearest: ties resolved by arrival (list order)
@@ -98,7 +98,7 @@ class ScanScheduler:
     def push(self, req: PendingRequest) -> None:
         self._queue.append(req)
 
-    def pop(self, head_lba: int) -> Optional[PendingRequest]:
+    def pop(self, head_lba: int) -> PendingRequest | None:
         if not self._queue:
             return None
         ahead = [r for r in self._queue if (r.lba - head_lba) * self._direction >= 0]
@@ -154,7 +154,7 @@ class ScheduledDisk:
         self.stats = DiskStats()
         self._head_lba = 0
         self._busy = False
-        self._server: Optional[Any] = None
+        self._server: Any | None = None
 
     @property
     def queue_length(self) -> int:

@@ -1,26 +1,23 @@
-"""Fast trace-driven cache simulation (no event clock).
+"""Layout-flavoured adapter over the unified trace replay.
 
-Hit ratio and disk-read counts (paper Figures 8 and 9) depend only on the
-request *sequence*, not on timing, so this module replays recovery
-request streams directly against a replacement policy — orders of
-magnitude faster than the full event simulation, which is reserved for
-the timing metrics (Figures 10 and 11).
-
-Worker partitioning matches the paper's SOR extension: errors are dealt
-round-robin to ``workers`` policies, each sized ``capacity // workers``.
+The actual replay implementation lives in :mod:`repro.engine.tracesim`
+(one implementation for every code backend); this module keeps the
+original XOR-world signatures — ``simulate_cache_trace(layout, errors,
+...)`` and the ``(plan, priorities)``-returning :class:`PlanCache` —
+delegating everything to an :class:`~repro.engine.backends.XORBackend`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..cache.base import CachePolicy
-from ..cache.registry import make_policy
 from ..codes.layout import CodeLayout
 from ..core.priorities import PriorityDictionary
-from ..core.scheme import RecoveryPlan, SchemeMode, generate_plan
-
+from ..core.scheme import RecoveryPlan, SchemeMode
+from ..engine.backends import XORBackend
+from ..engine.tracesim import PlanCache as EnginePlanCache
+from ..engine.tracesim import TraceSimResult, simulate_trace
 from ..workloads.errors import PartialStripeError
 
 __all__ = ["TraceSimResult", "simulate_cache_trace", "PlanCache"]
@@ -29,13 +26,10 @@ __all__ = ["TraceSimResult", "simulate_cache_trace", "PlanCache"]
 class PlanCache:
     """Shape-keyed memo of recovery plans + priorities (shared by runs).
 
-    One instance per ``(layout, scheme_mode)`` is meant to be *shared*
-    across every run that uses that pair — all cache sizes and policies
-    of a sweep group, and all trace replays of one engine worker — since
-    plans are deterministic functions of the error shape.  ``max_entries``
-    bounds the memo (FIFO eviction of the oldest shape) for long-lived
-    sharing; the distinct-shape count is ``O(disks x rows^2)``, so the
-    default is unbounded.
+    Compatibility wrapper over :class:`repro.engine.tracesim.PlanCache`
+    keeping the XOR-world :meth:`get` contract — a ``(RecoveryPlan,
+    PriorityDictionary)`` pair per error shape.  See the engine class for
+    sharing and eviction semantics.
     """
 
     def __init__(
@@ -44,61 +38,26 @@ class PlanCache:
         scheme_mode: SchemeMode,
         max_entries: int | None = None,
     ):
-        if max_entries is not None and max_entries < 1:
-            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.layout = layout
         self.scheme_mode: SchemeMode = scheme_mode
         self.max_entries = max_entries
-        self._memo: dict[tuple[int, int, int], tuple[RecoveryPlan, PriorityDictionary]] = {}
-        self._hits = 0
-        self._misses = 0
+        self._engine = EnginePlanCache(
+            XORBackend(layout, scheme_mode), max_entries=max_entries
+        )
 
     def __len__(self) -> int:
-        return len(self._memo)
+        return len(self._engine)
 
     def get(
         self, error: PartialStripeError
     ) -> tuple[RecoveryPlan, PriorityDictionary]:
-        key = error.shape
-        hit = self._memo.get(key)
-        if hit is None:
-            self._misses += 1
-            plan = generate_plan(
-                self.layout, error.cells(self.layout), self.scheme_mode
-            )
-            hit = (plan, PriorityDictionary(plan))
-            if self.max_entries is not None and len(self._memo) >= self.max_entries:
-                # FIFO: drop the oldest shape (dict preserves insertion
-                # order, so eviction is deterministic).
-                del self._memo[next(iter(self._memo))]
-            self._memo[key] = hit
-        else:
-            self._hits += 1
-        return hit
+        # The backend stores the native (plan, priorities) pair as the
+        # engine plan's source, so repeated gets return the same objects.
+        return self._engine.get(error).source
 
     def stats(self) -> dict[str, int]:
         """Lifetime counters: plan-memo hits/misses and live entries."""
-        return {"hits": self._hits, "misses": self._misses, "entries": len(self._memo)}
-
-
-@dataclass
-class TraceSimResult:
-    """Counters from one trace replay."""
-
-    policy: str
-    scheme_mode: str
-    code: str
-    p: int
-    capacity_blocks: int
-    workers: int
-    n_errors: int
-    requests: int
-    hits: int
-    disk_reads: int
-
-    @property
-    def hit_ratio(self) -> float:
-        return self.hits / self.requests if self.requests else 0.0
+        return self._engine.stats()
 
 
 def simulate_cache_trace(
@@ -114,65 +73,25 @@ def simulate_cache_trace(
     hint: str = "priority",
     sanitize: bool = False,
 ) -> TraceSimResult:
-    """Replay the recovery request stream of ``errors`` through a cache.
-
-    ``capacity_blocks`` is the *total* cache in chunks; with ``workers > 1``
-    it is partitioned evenly (integer division, like the paper's per-process
-    cache slices).  ``hint`` selects what accompanies each request:
-    ``"priority"`` (the paper's 1..3 value) or ``"share"`` (the raw chain
-    share count, for many-queue FBF variants).  ``sanitize`` wraps every
-    policy in :class:`repro.checks.SimSanitizer`, which raises
-    :class:`repro.checks.InvariantViolation` the moment a cache invariant
-    (FBF single-residency, demotion order, capacity accounting) breaks.
-    """
-    if hint not in ("priority", "share"):
-        raise ValueError(f"hint must be 'priority' or 'share', got {hint!r}")
-    if capacity_blocks < 0:
-        raise ValueError(f"capacity_blocks must be >= 0, got {capacity_blocks}")
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    """Replay ``errors`` on an XOR layout; see :func:`repro.engine.
+    tracesim.simulate_trace` for the parameter semantics."""
     if plan_cache is None:
-        plan_cache = PlanCache(layout, scheme_mode)
+        engine_cache = None
+        backend = XORBackend(layout, scheme_mode)
     elif plan_cache.layout is not layout or plan_cache.scheme_mode != scheme_mode:
         raise ValueError("plan_cache was built for a different layout/scheme")
-
-    errors = sorted(errors)
-    workers = min(workers, len(errors)) or 1
-    per_worker = capacity_blocks // workers
-    kwargs = policy_kwargs or {}
-    if policy_factory is not None:
-        policies = [policy_factory(per_worker) for _ in range(workers)]
     else:
-        policies = [make_policy(policy, per_worker, **kwargs) for _ in range(workers)]
-    if sanitize:
-        # Imported here: repro.checks imports the kernel, which would cycle
-        # through repro.sim at module import time.
-        from ..checks.sanitizer import SimSanitizer
-
-        policies = [SimSanitizer(p) for p in policies]
-
-    for i, error in enumerate(errors):
-        cache = policies[i % workers]
-        plan, priorities = plan_cache.get(error)
-        stripe = error.stripe
-        if hint == "priority":
-            lookup = priorities.lookup
-        else:
-            lookup = lambda cell: max(priorities.share_count(cell), 1)
-        for cell in plan.request_sequence:
-            cache.request((stripe, cell), priority=lookup(cell))
-
-    hits = sum(p.stats.hits for p in policies)
-    misses = sum(p.stats.misses for p in policies)
-    return TraceSimResult(
-        policy=policy if policy_factory is None else getattr(policies[0], "name", "custom"),
-        scheme_mode=scheme_mode,
-        code=layout.name,
-        p=layout.p,
+        engine_cache = plan_cache._engine
+        backend = engine_cache.backend
+    return simulate_trace(
+        backend,
+        errors,
+        policy=policy,
         capacity_blocks=capacity_blocks,
         workers=workers,
-        n_errors=len(errors),
-        requests=hits + misses,
-        hits=hits,
-        disk_reads=misses,
+        policy_factory=policy_factory,
+        plan_cache=engine_cache,
+        policy_kwargs=policy_kwargs,
+        hint=hint,
+        sanitize=sanitize,
     )

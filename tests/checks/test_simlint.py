@@ -398,6 +398,128 @@ class TestCpuCountLeak:
         assert violations == []
 
 
+class TestEngineScopes:
+    """The unified-engine modules joined the simulator rule scopes."""
+
+    def test_wall_clock_in_engine_flagged(self):
+        violations = lint_snippet(
+            "import time\n\ndef replay():\n    return time.time()\n",
+            "src/repro/engine/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["SIM001"]
+
+    def test_wall_clock_in_lrc_flagged(self):
+        violations = lint_snippet(
+            "import time\n\ndef plan():\n    return time.time()\n",
+            "src/repro/lrc/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["SIM001"]
+
+    def test_cpu_count_in_engine_flagged(self):
+        violations = lint_snippet(
+            "import os\n\ndef workers():\n    return os.cpu_count()\n",
+            "src/repro/engine/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["DET004"]
+
+    def test_cpu_count_into_engine_entry_points_flagged(self):
+        for call in (
+            "simulate_trace(b, e, workers=os.cpu_count())",
+            "run_timed_replay(b, e, cfg, os.cpu_count())",
+            "make_backend('tip', os.cpu_count())",
+            "b.generate_events(os.cpu_count(), 42)",
+        ):
+            violations = lint_snippet(
+                f"import os\n\ndef f(b, e, cfg):\n    return {call}\n",
+                "src/repro/bench/broken.py",
+            )
+            assert [v.rule_id for v in violations] == ["DET004"], call
+
+    def test_mutable_class_state_in_engine_flagged(self):
+        violations = lint_snippet(
+            "class Backend:\n    plans = {}\n",
+            "src/repro/engine/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["POL001"]
+
+    def test_set_state_in_engine_flagged(self):
+        violations = lint_snippet(
+            "class PlanCache:\n    def __init__(self):\n"
+            "        self.keys: set[int] = set()\n",
+            "src/repro/engine/broken.py",
+        )
+        assert "DET003" in [v.rule_id for v in violations]
+
+    def test_policy_conformance_in_engine_scope(self):
+        violations = lint_snippet(
+            "from repro.cache.base import CachePolicy\n\n"
+            "class Rogue(CachePolicy):\n    name = 'rogue'\n",
+            "src/repro/engine/broken.py",
+        )
+        assert all(v.rule_id == "POL002" for v in violations)
+        assert violations  # missing required methods
+
+
+class TestLegacyReplayImport:
+    """ENG001: the deleted repro.lrc.tracesim world must stay deleted."""
+
+    def test_absolute_module_import_flagged(self):
+        violations = lint_snippet(
+            "import repro.lrc.tracesim\n", "src/repro/bench/broken.py"
+        )
+        assert [v.rule_id for v in violations] == ["ENG001"]
+
+    def test_from_module_import_flagged(self):
+        violations = lint_snippet(
+            "from repro.lrc.tracesim import simulate_lrc_trace\n",
+            "src/repro/bench/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["ENG001"]
+
+    def test_relative_module_import_flagged(self):
+        violations = lint_snippet(
+            "from ..lrc.tracesim import simulate_lrc_trace\n",
+            "src/repro/bench/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["ENG001"]
+
+    def test_relative_import_inside_lrc_flagged(self):
+        violations = lint_snippet(
+            "from .tracesim import LRCTraceResult\n",
+            "src/repro/lrc/__init__.py",
+        )
+        assert [v.rule_id for v in violations] == ["ENG001"]
+
+    def test_deleted_name_via_package_flagged(self):
+        violations = lint_snippet(
+            "from repro.lrc import LRCCode, simulate_lrc_trace\n",
+            "src/repro/cli.py",
+        )
+        assert [v.rule_id for v in violations] == ["ENG001"]
+
+    def test_surviving_lrc_imports_allowed(self):
+        violations = lint_snippet(
+            "from repro.lrc import LRCCode, generate_lrc_failures\n",
+            "src/repro/cli.py",
+        )
+        assert violations == []
+
+    def test_sim_tracesim_adapter_allowed(self):
+        """repro.sim.tracesim survives as a thin engine adapter."""
+        violations = lint_snippet(
+            "from repro.sim.tracesim import simulate_cache_trace\n",
+            "src/repro/bench/broken.py",
+        )
+        assert violations == []
+
+    def test_engine_imports_allowed(self):
+        violations = lint_snippet(
+            "from repro.engine import LRCBackend, simulate_trace\n",
+            "src/repro/bench/broken.py",
+        )
+        assert violations == []
+
+
 class TestSuppression:
     def test_blanket_ignore(self):
         source = "import time\n\ndef f():\n    return time.time()  # simlint: ignore\n"

@@ -1,0 +1,115 @@
+"""Property tests: any backend x policy replay is sane and deterministic.
+
+Hypothesis samples a registered :class:`~repro.engine.backend.CodeBackend`,
+a replacement policy, and replay parameters; every replay runs under the
+strict :class:`~repro.checks.SimSanitizer` (``sanitize=True``), so any
+FBF invariant violation — single residency, demotion order, capacity
+accounting — raises inside the engine and fails the test.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.registry import available_policies
+from repro.engine import PlanCache, make_backend, simulate_trace
+
+# Small p keeps XOR plan construction fast; the LRC spec rides along in
+# the same namespace — the point of the unified registry.
+BACKEND_SPECS = (
+    ("tip", 5),
+    ("hdd1", 5),
+    ("triple-star", 5),
+    ("star", 5),
+    ("lrc(12,2,2)", 0),
+    ("lrc(6,2,2)", 0),
+)
+
+backends = st.sampled_from(BACKEND_SPECS)
+policies = st.sampled_from(sorted(available_policies()))
+hints = st.sampled_from(("priority", "share"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    spec=backends,
+    policy=policies,
+    hint=hints,
+    n_events=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**16),
+    capacity=st.integers(min_value=0, max_value=48),
+    workers=st.integers(min_value=1, max_value=8),
+)
+def test_replay_satisfies_invariants(
+    spec, policy, hint, n_events, seed, capacity, workers
+):
+    name, p = spec
+    backend = make_backend(name, p)
+    events = backend.generate_events(n_events, seed)
+    res = simulate_trace(
+        backend,
+        events,
+        policy=policy,
+        capacity_blocks=capacity,
+        workers=workers,
+        hint=hint,
+        sanitize=True,  # strict: raises on any cache invariant violation
+    )
+    # accounting: every request either hit the cache or read a disk
+    assert res.requests == res.hits + res.disk_reads
+    assert res.n_errors == n_events
+    assert res.code == backend.code_label
+    # the effective SOR width never exceeds the batch
+    assert res.workers == min(workers, n_events)
+    if capacity // res.workers == 0:
+        assert res.hits == 0  # zero per-worker capacity cannot hit
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    spec=backends,
+    policy=policies,
+    n_events=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**16),
+    capacity=st.integers(min_value=1, max_value=48),
+)
+def test_replay_is_deterministic(spec, policy, n_events, seed, capacity):
+    """Same inputs, same row — with or without a shared plan cache."""
+    name, p = spec
+    backend = make_backend(name, p)
+    events = backend.generate_events(n_events, seed)
+    first = simulate_trace(
+        backend, events, policy=policy, capacity_blocks=capacity, workers=4
+    )
+    again = simulate_trace(
+        backend,
+        events,
+        policy=policy,
+        capacity_blocks=capacity,
+        workers=4,
+        plan_cache=PlanCache(backend),
+    )
+    assert first == again
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    spec=backends,
+    n_events=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_request_stream_is_policy_independent(spec, n_events, seed):
+    """The plan-driven request count is a property of the workload alone."""
+    name, p = spec
+    backend = make_backend(name, p)
+    events = backend.generate_events(n_events, seed)
+    plans = PlanCache(backend)
+    counts = {
+        simulate_trace(
+            backend, events, policy=pol, capacity_blocks=16, workers=2,
+            plan_cache=plans,
+        ).requests
+        for pol in available_policies()
+    }
+    assert len(counts) == 1

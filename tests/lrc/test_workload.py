@@ -2,13 +2,18 @@
 
 import pytest
 
+from repro.engine import LRCBackend, simulate_trace
 from repro.lrc import (
     LRCCode,
     LRCFailureEvent,
     LRCWorkloadConfig,
     generate_lrc_failures,
-    simulate_lrc_trace,
 )
+
+
+def simulate_lrc_trace(code, events, **kwargs):
+    """The old per-world entry point, now a one-liner over the engine."""
+    return simulate_trace(LRCBackend(code), events, **kwargs)
 
 
 @pytest.fixture
