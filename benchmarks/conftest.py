@@ -19,10 +19,13 @@ from repro.bench import FULL, QUICK, Scale
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+# Smallest size must give each of the 32 SOR workers a non-zero cache
+# slice (0.5 MB = 16 blocks of 32 KB would not; simulate_trace rejects
+# workers > capacity_blocks instead of truncating silently).
 BENCH_SCALE = Scale(
     n_errors=60,
     workers=32,
-    cache_mbs=(0.5, 1, 2, 4, 8, 16),
+    cache_mbs=(1, 2, 4, 8, 16, 32),
     seed=42,
 )
 

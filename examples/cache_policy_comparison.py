@@ -16,7 +16,9 @@ from repro.cache import available_policies
 from repro.sim import PlanCache, simulate_cache_trace
 from repro.workloads import ErrorTraceConfig, generate_errors
 
-CACHE_BLOCKS = (4, 8, 16, 32, 64, 128)
+# smallest size = WORKERS: a cache smaller than the SOR worker count
+# cannot be split evenly and the engine rejects the partition
+CACHE_BLOCKS = (8, 16, 32, 64, 128, 256)
 WORKERS = 8
 
 

@@ -22,6 +22,13 @@ Three layers keep repeated runs cheap:
   SHA-256 key of the point's full parameter vector plus a code-version
   salt (:data:`ENGINE_CACHE_VERSION`); re-running a sweep only computes
   points whose parameters (or the salt) changed;
+* **single-pass group dispatch** — hit-ratio cells (``trace`` and
+  ``demotion`` kinds) sharing one ``(code, p, scheme, trace)`` group are
+  replayed together through :func:`~repro.engine.stream.
+  simulate_grid_pass`: the request stream is decoded and interned once
+  and every (policy x capacity) cell steps over it, bit-for-bit equal to
+  the per-point rows (``EngineConfig.batch=False`` — the CLI's
+  ``--no-batch`` — restores the per-point golden path);
 * **process-pool fan-out** — ``workers="auto"`` uses ``os.cpu_count()``,
   ``workers=0`` is an in-process serial fallback for debugging.  The
   worker count only schedules work; it never parameterises a simulation
@@ -100,7 +107,9 @@ class EngineConfig:
 
     ``workers=0`` runs in-process (serial debugging fallback); ``"auto"``
     resolves to ``os.cpu_count()``.  ``cache_dir=None`` disables the
-    persistent cache.
+    persistent cache.  ``batch=False`` (the CLI's ``--no-batch``)
+    disables single-pass group dispatch and computes every cell through
+    the per-point golden path.
     """
 
     workers: int | str = 0
@@ -109,6 +118,9 @@ class EngineConfig:
     #: None = platform default.  The worker is a top-level function, so
     #: every method is safe.
     start_method: str | None = None
+    #: replay hit-ratio cells of one (code, p, scheme, trace) group in a
+    #: single interned-stream pass (bit-for-bit equal to per-point rows).
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if isinstance(self.workers, str):
@@ -223,6 +235,7 @@ class EngineResult:
 _BACKENDS: dict = {}
 _EVENTS: dict = {}
 _PLANS: dict = {}
+_STREAMS: dict = {}
 
 
 def _reset_worker_state() -> None:
@@ -230,6 +243,7 @@ def _reset_worker_state() -> None:
     _BACKENDS.clear()
     _EVENTS.clear()
     _PLANS.clear()
+    _STREAMS.clear()
 
 
 def _backend_for(code: str, p: int, scheme_mode: str):
@@ -262,6 +276,20 @@ def _plans_for(code: str, p: int, scheme_mode: str):
     if plans is None:
         plans = _PLANS[key] = PlanCache(_backend_for(code, p, scheme_mode))
     return plans
+
+
+def _stream_for(code: str, p: int, scheme_mode: str, n_errors: int, seed: int):
+    from ..engine.stream import intern_stream
+
+    key = (code, p, scheme_mode, n_errors, seed)
+    stream = _STREAMS.get(key)
+    if stream is None:
+        stream = _STREAMS[key] = intern_stream(
+            _backend_for(code, p, scheme_mode),
+            _events_for(code, p, n_errors, seed),
+            plan_cache=_plans_for(code, p, scheme_mode),
+        )
+    return stream
 
 
 def _blocks_for(cache_mb: float, chunk_size: str) -> int:
@@ -357,6 +385,103 @@ def _timed_point(point: GridPoint) -> "tuple[SweepPoint, float]":
     return row, time.perf_counter() - t0
 
 
+def _group_key(point: GridPoint) -> tuple:
+    """Points with equal keys replay the same decoded request stream."""
+    return (point.code, point.p, point.scheme_mode, point.n_errors, point.seed)
+
+
+def compute_group(points: "Sequence[GridPoint]") -> "list[SweepPoint]":
+    """Run a same-stream group of hit-ratio cells in one interned pass.
+
+    Every point must be ``kind="trace"`` or ``kind="demotion"`` and share
+    :func:`_group_key`.  Rows are returned in ``points`` order and are
+    bit-for-bit identical to :func:`compute_point` on each cell — the
+    equivalence the grid-pass property tests pin down.
+    """
+    from ..engine.stream import ReplayConfig, simulate_grid_pass
+    from .experiments import SweepPoint
+
+    first = points[0]
+    configs = []
+    for point in points:
+        capacity = _blocks_for(point.cache_mb, point.chunk_size)
+        if point.kind == "demotion":
+            from ..core.fbf_cache import FBFCache
+
+            demote = bool(point.demote_on_hit)
+            configs.append(
+                ReplayConfig(
+                    capacity_blocks=capacity,
+                    workers=point.sor_workers,
+                    policy_factory=lambda cap, d=demote: FBFCache(
+                        cap, demote_on_hit=d
+                    ),
+                )
+            )
+        else:
+            configs.append(
+                ReplayConfig(
+                    policy=point.policy,
+                    capacity_blocks=capacity,
+                    workers=point.sor_workers,
+                )
+            )
+    results = simulate_grid_pass(
+        _backend_for(first.code, first.p, first.scheme_mode),
+        _events_for(first.code, first.p, first.n_errors, first.seed),
+        configs,
+        plan_cache=_plans_for(first.code, first.p, first.scheme_mode),
+        stream=_stream_for(
+            first.code, first.p, first.scheme_mode, first.n_errors, first.seed
+        ),
+    )
+    rows = []
+    for point, res in zip(points, results):
+        if point.kind == "demotion":
+            rows.append(
+                SweepPoint(
+                    experiment=point.experiment,
+                    code=res.code,
+                    p=point.p,
+                    policy=point.policy,
+                    cache_mb=point.cache_mb,
+                    hit_ratio=res.hit_ratio,
+                    disk_reads=res.disk_reads,
+                )
+            )
+        else:
+            rows.append(
+                SweepPoint(
+                    experiment=point.experiment,
+                    code=res.code,
+                    p=point.p,
+                    policy=point.policy,
+                    cache_mb=point.cache_mb,
+                    hit_ratio=res.hit_ratio,
+                    disk_reads=res.disk_reads,
+                    scheme_mode=point.scheme_mode,
+                )
+            )
+    return rows
+
+
+def _timed_task(
+    points: "tuple[GridPoint, ...]",
+) -> "list[tuple[SweepPoint, float]]":
+    """Pool entry point for a task: a same-stream group or a singleton.
+
+    Singletons go through the per-point golden path; larger groups take
+    the single-pass replay.  Group compute time is split evenly across
+    the group's cells so per-point timings stay additive.
+    """
+    if len(points) == 1:
+        return [_timed_point(points[0])]
+    t0 = time.perf_counter()
+    rows = compute_group(points)
+    per_point = (time.perf_counter() - t0) / len(points)
+    return [(row, per_point) for row in rows]
+
+
 # -- driver side --------------------------------------------------------------
 
 def run_grid(
@@ -410,29 +535,52 @@ def run_grid(
         misses = list(range(total))
     hits = total - len(misses)
 
-    n_workers = config.resolved_workers()
-    if n_workers == 0 or len(misses) <= 1:
+    # A task is a list of point indices computed together: hit-ratio
+    # cells sharing one decoded stream become a single-pass group when
+    # batching is on; everything else (and every cell with batch=False)
+    # is a singleton on the per-point golden path.
+    tasks: list[list[int]] = []
+    if config.batch:
+        groups: dict[tuple, list[int]] = {}
         for i in misses:
-            row, seconds = _timed_point(points[i])
+            point = points[i]
+            if point.kind in ("trace", "demotion"):
+                group = groups.get(_group_key(point))
+                if group is None:
+                    groups[_group_key(point)] = group = []
+                    tasks.append(group)
+                group.append(i)
+            else:
+                tasks.append([i])
+    else:
+        tasks = [[i] for i in misses]
+
+    def record_task(indices: "list[int]", results) -> None:
+        for i, (row, seconds) in zip(indices, results):
             if cache is not None:
                 cache.put(points[i], row)
             record(i, row, seconds, cached=False)
+
+    n_workers = config.resolved_workers()
+    if n_workers == 0 or len(tasks) <= 1:
+        for indices in tasks:
+            record_task(indices, _timed_task(tuple(points[i] for i in indices)))
     else:
         import multiprocessing
 
-        n_workers = min(n_workers, len(misses))
+        n_workers = min(n_workers, len(tasks))
         context = (
             multiprocessing.get_context(config.start_method)
             if config.start_method
             else None
         )
-        chunksize = max(1, len(misses) // (n_workers * 4))
+        chunksize = max(1, len(tasks) // (n_workers * 4))
         with ProcessPoolExecutor(max_workers=n_workers, mp_context=context) as pool:
-            todo = [points[i] for i in misses]
-            for i, (row, seconds) in zip(misses, pool.map(_timed_point, todo, chunksize=chunksize)):
-                if cache is not None:
-                    cache.put(points[i], row)
-                record(i, row, seconds, cached=False)
+            todo = [tuple(points[i] for i in indices) for indices in tasks]
+            for indices, results in zip(
+                tasks, pool.map(_timed_task, todo, chunksize=chunksize)
+            ):
+                record_task(indices, results)
 
     return EngineResult(
         points=rows,

@@ -1,0 +1,319 @@
+"""The grid-replay microbench: batched single pass vs. per-point replay.
+
+Times the Figure 8 hit-ratio grid (the paper's policies over the FULL
+cache-size axis) through :func:`~repro.engine.stream.simulate_grid_pass`
+and through per-point :func:`~repro.engine.simulate_trace`, on one core,
+for every code family.  The resulting ``BENCH_replay.json`` is committed
+as the perf baseline; CI re-runs the bench and fails when
+
+* the measured speedup falls more than 10% below the committed baseline
+  (the ratio of two single-core timings on the same machine, so the
+  check is machine-independent), or
+* any row differs between the two paths — the equivalence contract.
+
+A separate identity sweep covers *every* registry policy (including the
+stepped-only ones) and both states of the LRU stack-distance lever, at a
+smaller scale, so exactness is re-proven where the timed grid does not
+reach.
+
+Run directly: ``python -m repro.bench.replay_bench --out BENCH_replay.json``
+or ``--check benchmarks/BENCH_replay.json`` for the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..cache.registry import available_policies
+from ..engine import PlanCache, make_backend, simulate_grid_pass, simulate_trace
+from ..engine.stream import ReplayConfig
+from .engine import _git_rev
+from ..cache.registry import PAPER_BASELINES
+from .experiments import FULL
+
+__all__ = [
+    "DEFAULT_CODES",
+    "ReplayGroupResult",
+    "run_replay_bench",
+    "compare_to_baseline",
+]
+
+#: One representative geometry per code family (Figure 8's five codes).
+DEFAULT_CODES = (
+    ("tip", 7),
+    ("hdd1", 11),
+    ("star", 13),
+    ("triple-star", 11),
+    ("lrc(12,2,2)", 0),
+)
+
+_CHUNK = 32 * 1024  # the paper's 32 KB chunk size
+
+
+def _full_capacities() -> tuple[int, ...]:
+    """FULL-scale Figure 8 cache axis in blocks (8 MB .. 2048 MB)."""
+    return tuple(int(mb * 1024 * 1024) // _CHUNK for mb in FULL.cache_mbs)
+
+
+@dataclass(frozen=True)
+class ReplayGroupResult:
+    """One (code, p) group: timings + the row-equality verdict."""
+
+    code: str
+    p: int
+    n_configs: int
+    batched_s: float
+    per_point_s: float
+    rows_identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.per_point_s / self.batched_s if self.batched_s > 0 else 0.0
+
+
+def _best_of(fn, rounds: int) -> float:
+    """Min-of-N wall time: the stable estimator for short loops."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_group(
+    code: str,
+    p: int,
+    policies: Sequence[str],
+    capacities: Sequence[int],
+    workers: int,
+    n_errors: int,
+    seed: int,
+    rounds: int,
+) -> ReplayGroupResult:
+    backend = make_backend(code, p)
+    events = backend.generate_events(n_errors, seed)
+    plans = PlanCache(backend)
+    for event in sorted(events):  # warm: measure replay, not planning
+        plans.get(event)
+    configs = [
+        ReplayConfig(policy=policy, capacity_blocks=cap, workers=workers)
+        for policy in policies
+        for cap in capacities
+    ]
+
+    def batched():
+        # no pre-interned stream: the batched timing pays for interning
+        return simulate_grid_pass(backend, events, configs, plan_cache=plans)
+
+    def per_point():
+        return [
+            simulate_trace(
+                backend,
+                events,
+                policy=c.policy,
+                capacity_blocks=c.capacity_blocks,
+                workers=c.workers,
+                plan_cache=plans,
+            )
+            for c in configs
+        ]
+
+    identical = batched() == per_point()
+    return ReplayGroupResult(
+        code=backend.code_label,
+        p=p,
+        n_configs=len(configs),
+        batched_s=_best_of(batched, rounds),
+        per_point_s=_best_of(per_point, rounds),
+        rows_identical=identical,
+    )
+
+
+def _verify_identity(
+    codes: Sequence[tuple[str, int]],
+    workers: int = 32,
+    n_errors: int = 24,
+    seed: int = 7,
+    capacities: Sequence[int] = (32, 64, 512),
+) -> dict:
+    """Exactness sweep: every registry policy, both fast-path states."""
+    policies = sorted(available_policies())
+    all_identical = True
+    lru_fast_identical = True
+    for code, p in codes:
+        backend = make_backend(code, p)
+        events = backend.generate_events(n_errors, seed)
+        configs = [
+            ReplayConfig(policy=policy, capacity_blocks=cap, workers=workers)
+            for policy in policies
+            for cap in capacities
+        ]
+        fast = simulate_grid_pass(backend, events, configs)
+        stepped = simulate_grid_pass(backend, events, configs, lru_fast_path=False)
+        expected = [
+            simulate_trace(
+                backend,
+                events,
+                policy=c.policy,
+                capacity_blocks=c.capacity_blocks,
+                workers=c.workers,
+            )
+            for c in configs
+        ]
+        all_identical = all_identical and fast == expected
+        lru_fast_identical = lru_fast_identical and fast == stepped
+    return {
+        "codes": [code for code, _ in codes],
+        "policies": policies,
+        "workers": workers,
+        "n_errors": n_errors,
+        "capacities_blocks": list(capacities),
+        "rows_identical": all_identical,
+        "lru_fast_path_identical": lru_fast_identical,
+    }
+
+
+def run_replay_bench(
+    codes: Sequence[tuple[str, int]] = DEFAULT_CODES,
+    policies: Sequence[str] = PAPER_BASELINES + ("fbf",),
+    capacities: Sequence[int] | None = None,
+    workers: int = 128,
+    n_errors: int = 400,
+    seed: int = 42,
+    rounds: int = 2,
+    verify_all_policies: bool = True,
+) -> dict:
+    """Run the replay microbench and return the BENCH_replay payload."""
+    if capacities is None:
+        capacities = _full_capacities()
+    groups = [
+        _bench_group(
+            code, p, policies, capacities, workers, n_errors, seed, rounds
+        )
+        for code, p in codes
+    ]
+    batched_s = sum(g.batched_s for g in groups)
+    per_point_s = sum(g.per_point_s for g in groups)
+    payload: dict = {
+        "schema": 1,
+        "kind": "replay-microbench",
+        "git_rev": _git_rev(),
+        "workers": workers,
+        "n_errors": n_errors,
+        "seed": seed,
+        "rounds": rounds,
+        "policies": list(policies),
+        "capacities_blocks": list(capacities),
+        "groups": [
+            {**asdict(g), "speedup": g.speedup} for g in groups
+        ],
+        "aggregate": {
+            "batched_s": batched_s,
+            "per_point_s": per_point_s,
+            "speedup": per_point_s / batched_s if batched_s > 0 else 0.0,
+        },
+    }
+    if verify_all_policies:
+        payload["identity"] = _verify_identity(codes)
+    return payload
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, tolerance: float = 0.10
+) -> tuple[bool, str]:
+    """CI gate: speedup within ``tolerance`` of the committed baseline.
+
+    Speedups are ratios of two timings from the *same* machine and run,
+    so comparing them across machines is sound where raw seconds are not.
+    """
+    problems: list[str] = []
+    for group in current["groups"]:
+        if not group["rows_identical"]:
+            problems.append(
+                f"{group['code']}: batched rows differ from per-point rows"
+            )
+    identity = current.get("identity")
+    if identity is not None:
+        if not identity["rows_identical"]:
+            problems.append("identity sweep: grid pass diverged from per-point")
+        if not identity["lru_fast_path_identical"]:
+            problems.append("identity sweep: LRU stack-distance path diverged")
+    current_speedup = current["aggregate"]["speedup"]
+    baseline_speedup = baseline["aggregate"]["speedup"]
+    floor = baseline_speedup * (1.0 - tolerance)
+    if current_speedup < floor:
+        problems.append(
+            f"aggregate speedup {current_speedup:.2f}x fell below "
+            f"{floor:.2f}x (baseline {baseline_speedup:.2f}x - {tolerance:.0%})"
+        )
+    if problems:
+        return False, "; ".join(problems)
+    return True, (
+        f"speedup {current_speedup:.2f}x vs baseline "
+        f"{baseline_speedup:.2f}x (tolerance {tolerance:.0%})"
+    )
+
+
+def _format_summary(payload: dict) -> str:
+    lines = [
+        f"{'group':>16} {'configs':>7} {'batched':>9} {'per-point':>9} {'speedup':>8}"
+    ]
+    for g in payload["groups"]:
+        lines.append(
+            f"{g['code'] + ' p=' + str(g['p']):>16} {g['n_configs']:>7} "
+            f"{g['batched_s']:>8.2f}s {g['per_point_s']:>8.2f}s "
+            f"{g['speedup']:>7.2f}x"
+            + ("" if g["rows_identical"] else "  ROWS DIVERGED")
+        )
+    agg = payload["aggregate"]
+    lines.append(
+        f"{'aggregate':>16} {'':>7} {agg['batched_s']:>8.2f}s "
+        f"{agg['per_point_s']:>8.2f}s {agg['speedup']:>7.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-replay-bench", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--out", help="write the BENCH_replay.json payload here")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a committed BENCH_replay.json; exit 1 on "
+        "row divergence or >10%% speedup regression",
+    )
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed fractional speedup regression for --check (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_replay_bench(rounds=args.rounds)
+    print(_format_summary(payload))
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text(encoding="utf-8"))
+        ok, message = compare_to_baseline(
+            payload, baseline, tolerance=args.tolerance
+        )
+        print(("PASS: " if ok else "FAIL: ") + message)
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

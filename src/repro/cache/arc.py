@@ -10,6 +10,7 @@ takes hits.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Iterable, Sequence
 
 from .base import CachePolicy, Key
 
@@ -18,6 +19,8 @@ __all__ = ["ARCCache"]
 
 class ARCCache(CachePolicy):
     """The full ARC algorithm (Figure 4 of the paper)."""
+
+    __slots__ = ("_t1", "_t2", "_b1", "_b2", "_p")
 
     name = "arc"
 
@@ -110,3 +113,89 @@ class ARCCache(CachePolicy):
         self._t1[key] = None
         self.stats.misses += 1
         return False
+
+    def request_many(
+        self, keys: Sequence[Key], priorities: Iterable[int] | None = None
+    ) -> None:
+        # request()/_replace inlined with the four lists and ``p`` in
+        # locals (grid replay hot path).  Same case order and the same
+        # adaptation arithmetic as request(), so decisions match the
+        # per-request path exactly.
+        stats = self.stats
+        if self.capacity == 0:
+            stats.misses += len(keys)
+            return
+        c = self.capacity
+        t1, t2, b1, b2 = self._t1, self._t2, self._b1, self._b2
+        p = self._p
+        hits = misses = evictions = 0
+        for key in keys:
+            if key in t1:
+                del t1[key]
+                t2[key] = None
+                hits += 1
+                continue
+            if key in t2:
+                t2.move_to_end(key)
+                hits += 1
+                continue
+            if key in b1:
+                p = min(float(c), p + max(len(b2) / len(b1), 1.0))
+                t1_len = len(t1)  # _replace(in_b2=False)
+                if t1_len >= 1 and t1_len > p:
+                    victim, _ = t1.popitem(last=False)
+                    b1[victim] = None
+                else:
+                    victim, _ = t2.popitem(last=False)
+                    b2[victim] = None
+                evictions += 1
+                del b1[key]
+                t2[key] = None
+                misses += 1
+                continue
+            if key in b2:
+                p = max(0.0, p - max(len(b1) / len(b2), 1.0))
+                t1_len = len(t1)  # _replace(in_b2=True)
+                if t1_len >= 1 and t1_len >= p:
+                    victim, _ = t1.popitem(last=False)
+                    b1[victim] = None
+                else:
+                    victim, _ = t2.popitem(last=False)
+                    b2[victim] = None
+                evictions += 1
+                del b2[key]
+                t2[key] = None
+                misses += 1
+                continue
+            l1 = len(t1) + len(b1)
+            l2 = len(t2) + len(b2)
+            if l1 == c:
+                if len(t1) < c:
+                    b1.popitem(last=False)
+                    t1_len = len(t1)  # _replace(in_b2=False)
+                    if t1_len >= 1 and t1_len > p:
+                        victim, _ = t1.popitem(last=False)
+                        b1[victim] = None
+                    else:
+                        victim, _ = t2.popitem(last=False)
+                        b2[victim] = None
+                else:
+                    t1.popitem(last=False)
+                evictions += 1
+            elif l1 < c and l1 + l2 >= c:
+                if l1 + l2 == 2 * c:
+                    b2.popitem(last=False)
+                t1_len = len(t1)  # _replace(in_b2=False)
+                if t1_len >= 1 and t1_len > p:
+                    victim, _ = t1.popitem(last=False)
+                    b1[victim] = None
+                else:
+                    victim, _ = t2.popitem(last=False)
+                    b2[victim] = None
+                evictions += 1
+            t1[key] = None
+            misses += 1
+        self._p = p
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions

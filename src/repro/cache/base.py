@@ -18,14 +18,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Hashable, Iterable, Sequence
 
 __all__ = ["CacheStats", "CachePolicy", "SimpleCachePolicy"]
 
 Key = Hashable
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/eviction counters for one policy instance."""
 
@@ -50,6 +50,8 @@ class CacheStats:
 class CachePolicy(ABC):
     """Abstract replacement policy over ``capacity`` block slots."""
 
+    __slots__ = ("capacity", "stats")
+
     #: registry name; subclasses override.
     name: str = "abstract"
 
@@ -63,6 +65,25 @@ class CachePolicy(ABC):
     def request(self, key: Key, priority: int | None = None) -> bool:
         """Access ``key``; return True on hit.  On miss the block is
         fetched and installed (evicting if the cache is full)."""
+
+    def request_many(
+        self, keys: Sequence[Key], priorities: Iterable[int] | None = None
+    ) -> None:
+        """Replay a batch of requests; only the stats are observable after.
+
+        The grid replay's hot path.  This generic version just loops
+        :meth:`request`; the policies on the paper's Figure 8 grid
+        override it with the same per-request logic inlined into one
+        tight loop (decision-for-decision identical — the grid-pass
+        property tests enforce it against the per-request path).
+        """
+        request = self.request
+        if priorities is None:
+            for key in keys:
+                request(key)
+        else:
+            for key, priority in zip(keys, priorities):
+                request(key, priority)
 
     @abstractmethod
     def __contains__(self, key: Key) -> bool: ...
@@ -89,6 +110,8 @@ class SimpleCachePolicy(CachePolicy):
     the request flow, capacity-zero handling, and stats accounting live
     here once.
     """
+
+    __slots__ = ()
 
     def request(self, key: Key, priority: int | None = None) -> bool:
         if key in self:

@@ -21,6 +21,8 @@ __all__ = ["FBRCache"]
 class FBRCache(SimpleCachePolicy):
     """FBR with configurable section fractions and count aging."""
 
+    __slots__ = ("new_size", "old_size", "a_max", "_stack", "_count")
+
     name = "fbr"
 
     def __init__(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Iterable, Sequence
 
 from .base import Key, SimpleCachePolicy
 
@@ -11,6 +12,8 @@ __all__ = ["FIFOCache"]
 
 class FIFOCache(SimpleCachePolicy):
     """Evicts the block that has been resident longest, ignoring accesses."""
+
+    __slots__ = ("_blocks",)
 
     name = "fifo"
 
@@ -36,3 +39,44 @@ class FIFOCache(SimpleCachePolicy):
     def _evict(self) -> Key:
         victim, _ = self._blocks.popitem(last=False)
         return victim
+
+    def request_many(
+        self, keys: Sequence[Key], priorities: Iterable[int] | None = None
+    ) -> None:
+        # Grid replay hot path, via admission indices instead of the
+        # OrderedDict: because hits never reorder a FIFO, the cache
+        # content is always the ``capacity`` most recent admissions, so
+        # residency is one integer compare against the admission counter.
+        # The OrderedDict is rebuilt at the end to keep request()/len()
+        # and introspection consistent afterwards.
+        blocks = self._blocks
+        capacity = self.capacity
+        stats = self.stats
+        if capacity == 0:
+            stats.misses += len(keys)
+            return
+        admitted: dict[Key, int] = {}
+        for idx, key in enumerate(blocks):  # oldest first = admission order
+            admitted[key] = idx
+        total = len(admitted)
+        floor = total - capacity
+        get = admitted.get
+        hits = misses = 0
+        for key in keys:
+            idx = get(key)
+            if idx is not None and idx >= floor:
+                hits += 1
+            else:
+                misses += 1
+                admitted[key] = total
+                total += 1
+                floor += 1
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += max(0, total - capacity)
+        blocks.clear()
+        resident = sorted(
+            (idx, key) for key, idx in admitted.items() if idx >= total - capacity
+        )
+        for _, key in resident:
+            blocks[key] = None

@@ -9,6 +9,7 @@ Frequency state is discarded on eviction (plain LFU, no persistence).
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Iterable, Sequence
 
 from .base import Key, SimpleCachePolicy
 
@@ -17,6 +18,8 @@ __all__ = ["LFUCache"]
 
 class LFUCache(SimpleCachePolicy):
     """Evicts the block with the fewest accesses (LRU among ties)."""
+
+    __slots__ = ("_freq_of", "_buckets", "_min_freq")
 
     name = "lfu"
 
@@ -64,3 +67,56 @@ class LFUCache(SimpleCachePolicy):
             # _min_freq is refreshed on the next admit (which sets it to 1).
         del self._freq_of[victim]
         return victim
+
+    def request_many(
+        self, keys: Sequence[Key], priorities: Iterable[int] | None = None
+    ) -> None:
+        # request()/_on_hit/_admit/_evict inlined with the bucket maps in
+        # locals (grid replay hot path); same frequency-bucket updates in
+        # the same order, so decisions match the per-request path.
+        freq_of = self._freq_of
+        buckets = self._buckets
+        capacity = self.capacity
+        stats = self.stats
+        if capacity == 0:
+            stats.misses += len(keys)
+            return
+        get_freq = freq_of.get
+        get_bucket = buckets.get
+        min_freq = self._min_freq  # mirrored in a local, written back below
+        hits = misses = evictions = 0
+        for key in keys:
+            freq = get_freq(key)
+            if freq is not None:
+                hits += 1
+                bucket = buckets[freq]
+                del bucket[key]
+                if not bucket:
+                    del buckets[freq]
+                    if min_freq == freq:
+                        min_freq = freq + 1
+                freq = freq + 1
+                freq_of[key] = freq
+                up = get_bucket(freq)
+                if up is None:
+                    up = buckets[freq] = OrderedDict()
+                up[key] = None
+            else:
+                misses += 1
+                if len(freq_of) >= capacity:
+                    bucket = buckets[min_freq]
+                    victim, _ = bucket.popitem(last=False)
+                    if not bucket:
+                        del buckets[min_freq]
+                    del freq_of[victim]
+                    evictions += 1
+                freq_of[key] = 1
+                ones = get_bucket(1)
+                if ones is None:
+                    ones = buckets[1] = OrderedDict()
+                ones[key] = None
+                min_freq = 1
+        self._min_freq = min_freq
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions

@@ -29,6 +29,8 @@ _HIR = "HIR"
 class LIRSCache(CachePolicy):
     """LIRS with the paper's recommended ~1% HIR allotment (min 1 slot)."""
 
+    __slots__ = ("l_hirs", "l_lirs", "history_limit", "_s", "_q", "_resident", "_lir_count")
+
     name = "lirs"
 
     def __init__(

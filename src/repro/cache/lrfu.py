@@ -23,6 +23,8 @@ __all__ = ["LRFUCache"]
 class LRFUCache(SimpleCachePolicy):
     """LRFU with weighing function F(x) = 0.5 ** (lam * x)."""
 
+    __slots__ = ("lam", "_clock", "_blocks")
+
     name = "lrfu"
 
     def __init__(self, capacity: int, lam: float = 0.1):

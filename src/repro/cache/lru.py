@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Iterable, Sequence
 
 from .base import Key, SimpleCachePolicy
 
@@ -11,6 +12,8 @@ __all__ = ["LRUCache"]
 
 class LRUCache(SimpleCachePolicy):
     """Evicts the block whose last access is oldest."""
+
+    __slots__ = ("_blocks",)
 
     name = "lru"
 
@@ -36,3 +39,31 @@ class LRUCache(SimpleCachePolicy):
     def _evict(self) -> Key:
         victim, _ = self._blocks.popitem(last=False)
         return victim
+
+    def request_many(
+        self, keys: Sequence[Key], priorities: Iterable[int] | None = None
+    ) -> None:
+        # The request() flow inlined with everything in locals (grid
+        # replay hot path); priorities are ignored, as in _admit.
+        blocks = self._blocks
+        capacity = self.capacity
+        stats = self.stats
+        if capacity == 0:
+            stats.misses += len(keys)
+            return
+        move = blocks.move_to_end
+        pop = blocks.popitem
+        hits = misses = evictions = 0
+        for key in keys:
+            if key in blocks:
+                hits += 1
+                move(key)
+            else:
+                misses += 1
+                if len(blocks) >= capacity:
+                    pop(last=False)
+                    evictions += 1
+                blocks[key] = None
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions

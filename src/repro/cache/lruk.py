@@ -22,6 +22,8 @@ _INF = float("inf")
 class LRUKCache(SimpleCachePolicy):
     """LRU-K with retained history (default K=2)."""
 
+    __slots__ = ("k", "retained", "_clock", "_hist", "_resident", "_ghost_hist")
+
     name = "lru2"
 
     def __init__(self, capacity: int, k: int = 2, retained: int | None = None):

@@ -29,6 +29,18 @@ __all__ = ["MQCache"]
 class MQCache(CachePolicy):
     """The MQ algorithm with the paper's queue/expiry/ghost structure."""
 
+    __slots__ = (
+        "n_queues",
+        "life_time",
+        "qout_capacity",
+        "_clock",
+        "_queues",
+        "_level",
+        "_freq",
+        "_expire",
+        "_qout",
+    )
+
     name = "mq"
 
     def __init__(

@@ -19,6 +19,8 @@ __all__ = ["TwoQCache"]
 class TwoQCache(CachePolicy):
     """Full 2Q with the paper's recommended Kin=C/4, Kout=C/2 defaults."""
 
+    __slots__ = ("kin", "kout", "_a1in", "_a1out", "_am")
+
     name = "2q"
 
     def __init__(

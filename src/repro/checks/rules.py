@@ -40,6 +40,10 @@ ENG001     no imports of the pre-unification replay modules
            (``repro.lrc.tracesim``) or their deleted entry points
            (``simulate_lrc_trace``/``LRCTraceResult``) — every replay goes
            through :mod:`repro.engine`
+PERF001    no ``backend.build_plan(...)`` call sites outside
+           :class:`~repro.engine.tracesim.PlanCache` — plans are built
+           once per plan key and shared; a direct call silently forfeits
+           the memo (and its Table IV hit accounting)
 =========  ==================================================================
 """
 
@@ -759,6 +763,37 @@ class LegacyReplayImportRule(Rule):
                             )
 
 
+class DirectPlanBuildRule(Rule):
+    """PERF001: plans are built through the PlanCache memo, nowhere else.
+
+    ``build_plan`` is deterministic per plan key, so every caller must go
+    through :class:`~repro.engine.tracesim.PlanCache` (one shared build
+    per key, with hit accounting feeding the Table IV overhead numbers).
+    A direct ``backend.build_plan(error)`` rebuilds the plan on every
+    event — the exact quadratic planning cost the paper's memoization
+    remark rules out — and bypasses the shared-stream interning that the
+    grid replay keys off the same memo.
+    """
+
+    rule_id = "PERF001"
+    summary = "backend.build_plan() may only be called inside PlanCache"
+    excludes = ("repro/engine/tracesim.py", "tests/")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "build_plan"
+            ):
+                yield self.violation(
+                    node,
+                    path,
+                    "direct build_plan() call bypasses the PlanCache memo; "
+                    "construct a PlanCache(backend) and call .get(event)",
+                )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
     YieldNonEventRule(),
@@ -770,6 +805,7 @@ ALL_RULES: tuple[Rule, ...] = (
     PolicyInterfaceRule(),
     GF2PurityRule(),
     LegacyReplayImportRule(),
+    DirectPlanBuildRule(),
 )
 
 

@@ -51,7 +51,12 @@ class SimSanitizer(CachePolicy):
     With ``strict=True`` (default) the first broken invariant raises
     :class:`InvariantViolation`; otherwise violations accumulate in
     :attr:`violations` for post-run inspection.
+
+    Inherits the base class's generic ``request_many`` loop, so batched
+    replays route every request through the checked path.
     """
+
+    __slots__ = ("policy", "strict", "violations", "checks_run", "_is_fbf")
 
     def __init__(self, policy: CachePolicy, strict: bool = True):
         super().__init__(policy.capacity)

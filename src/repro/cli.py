@@ -96,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the persistent result cache",
     )
     b.add_argument(
+        "--no-batch", action="store_true",
+        help="disable single-pass group replay; compute every hit-ratio "
+             "cell through the per-point golden path",
+    )
+    b.add_argument(
         "--out", default=".",
         help="directory for BENCH_<experiment>.json (default: .)",
     )
@@ -259,7 +264,9 @@ def _run_bench(args: argparse.Namespace) -> int:
     scale = _bench_scale(args)
     workers: int | str = args.workers if args.workers == "auto" else int(args.workers)
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
-    engine = EngineConfig(workers=workers, cache_dir=cache_dir)
+    engine = EngineConfig(
+        workers=workers, cache_dir=cache_dir, batch=not args.no_batch
+    )
     names = list(EXPERIMENT_NAMES) if args.experiment == "all" else [args.experiment]
 
     divergent: list[str] = []
@@ -268,7 +275,9 @@ def _run_bench(args: argparse.Namespace) -> int:
         result = run_grid(grid, engine)
         extra: dict[str, object] = {}
         if args.check_serial:
-            serial = run_grid(grid, EngineConfig(workers=0, cache_dir=None))
+            serial = run_grid(
+                grid, EngineConfig(workers=0, cache_dir=None, batch=False)
+            )
             # Simulated metrics must match bit for bit; the measured
             # overhead columns legitimately vary (see DESIGN §9).
             identical = rows_equivalent(serial.points, result.points)

@@ -22,6 +22,7 @@ handling of application I/O during reconstruction.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Iterable, Sequence
 
 from ..cache.base import CachePolicy, Key
 from .priorities import MAX_PRIORITY
@@ -41,6 +42,8 @@ class FBFCache(CachePolicy):
       themselves instead of saturating at Queue3.  Hints above
       ``n_queues`` are capped as priorities above 3 are in the paper.
     """
+
+    __slots__ = ("demote_on_hit", "n_queues", "_queues", "_queue_of")
 
     name = "fbf"
 
@@ -129,3 +132,56 @@ class FBFCache(CachePolicy):
             self._evict()
         self._attach(key, self._normalize_priority(priority))
         return False
+
+    def request_many(
+        self, keys: Sequence[Key], priorities: Iterable[int] | None = None
+    ) -> None:
+        # request()/_attach/_detach/_evict inlined with the queue maps in
+        # locals (grid replay hot path): same demote-on-hit, same
+        # Queue1-first eviction scan, same priority normalization — the
+        # grid-pass property tests pin it to the per-request path.
+        queue_of = self._queue_of
+        capacity = self.capacity
+        stats = self.stats
+        demote = self.demote_on_hit
+        n_queues = self.n_queues
+        get_queue = queue_of.get
+        # 1-based queue list: one dict hash per attach/demote/evict saved.
+        qlist = [None] + [self._queues[i] for i in range(1, n_queues + 1)]
+        scan = qlist[1:]
+        hits = misses = evictions = 0
+        if priorities is None:
+            priorities = (None,) * len(keys)
+        for key, priority in zip(keys, priorities):
+            queue = get_queue(key)
+            if queue is not None:
+                hits += 1
+                if demote and queue > 1:
+                    del qlist[queue][key]
+                    queue -= 1
+                    qlist[queue][key] = None
+                    queue_of[key] = queue
+                else:
+                    qlist[queue].move_to_end(key)
+                continue
+            misses += 1
+            if capacity == 0:
+                continue
+            if len(queue_of) >= capacity:
+                for q in scan:
+                    if q:
+                        victim, _ = q.popitem(last=False)
+                        del queue_of[victim]
+                        evictions += 1
+                        break
+            if priority is None:
+                queue = 1
+            elif priority.__class__ is int and 0 < priority:
+                queue = priority if priority < n_queues else n_queues
+            else:
+                queue = self._normalize_priority(priority)
+            qlist[queue][key] = None
+            queue_of[key] = queue
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions

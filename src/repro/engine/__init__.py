@@ -14,6 +14,10 @@ four XOR 3DFT codes plus the LRC code plug in as adapters.
   (``make_backend("tip", 7)``, ``make_backend("lrc(12,2,2)")``).
 * :mod:`repro.engine.tracesim` — the untimed replay:
   :func:`simulate_trace`, :class:`PlanCache`, :class:`TraceSimResult`.
+* :mod:`repro.engine.stream` — the single-pass grid replay (DESIGN.md
+  §11): :func:`intern_stream`, :func:`simulate_grid_pass`.
+* :mod:`repro.engine.stackdist` — Mattson reuse-distance profiling, the
+  LRU all-capacities fast path behind the grid replay.
 * :mod:`repro.engine.timed` — the timed replay:
   :func:`run_timed_replay`.
 """
@@ -31,8 +35,10 @@ from .backend import (
 )
 from .backends import LRCBackend, XORBackend
 from .registry import available_backends, make_backend, register_backend
+from .stackdist import StackDistanceProfile
+from .stream import InternedStream, ReplayConfig, intern_stream, simulate_grid_pass
 from .timed import run_timed_replay
-from .tracesim import PlanCache, TraceSimResult, simulate_trace
+from .tracesim import PlanCache, TraceSimResult, effective_partition, simulate_trace
 
 __all__ = [
     "MAX_PRIORITY",
@@ -53,4 +59,10 @@ __all__ = [
     "PlanCache",
     "TraceSimResult",
     "simulate_trace",
+    "effective_partition",
+    "InternedStream",
+    "ReplayConfig",
+    "intern_stream",
+    "simulate_grid_pass",
+    "StackDistanceProfile",
 ]

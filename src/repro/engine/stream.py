@@ -1,0 +1,372 @@
+"""Interned request streams and the single-pass grid replay.
+
+The hit-ratio grids (Figures 8/9, the ablations, the LRC footnote) sweep
+many (policy x capacity x workers) configurations over the *same*
+recovery request stream.  Per-point :func:`~repro.engine.tracesim.
+simulate_trace` decodes that stream from scratch every time: plan lookup
+per event, ``(stripe, unit)`` tuple build per request, nested-tuple
+hashing inside every policy dict.  This module decodes **once**:
+
+* :func:`intern_stream` materializes ``event -> plan -> (unit, hint)``
+  into an :class:`InternedStream` — block keys mapped to dense ints in
+  first-seen order, hints in a parallel array — reusing the shared
+  :class:`~repro.engine.tracesim.PlanCache`;
+* :func:`simulate_grid_pass` steps every configuration over the decoded
+  stream and returns the same :class:`~repro.engine.tracesim.
+  TraceSimResult` rows as the per-point loop, bit for bit;
+* plain-LRU configurations skip stepping entirely: a Mattson
+  reuse-distance profile (:mod:`repro.engine.stackdist`) yields the
+  exact LRU hit count at *every* capacity from one pass per worker
+  substream.
+
+Interning is exact, not approximate: every policy keys its bookkeeping
+dicts on the request key's identity and never iterates them in hash
+order (enforced by simlint's DET002/DET003), so a bijective key renaming
+cannot change a single hit/miss decision.  Likewise the SOR round-robin
+deal makes worker caches fully independent, so replaying each worker's
+substream contiguously is decision-for-decision identical to the
+interleaved order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..cache.base import CachePolicy
+from ..cache.registry import make_policy
+from .backend import CodeBackend, make_priority_model
+from .stackdist import StackDistanceProfile
+from .tracesim import PlanCache, TraceSimResult, effective_partition
+
+__all__ = ["InternedStream", "intern_stream", "ReplayConfig", "simulate_grid_pass"]
+
+#: Registry policies whose decisions ignore the priority hint entirely —
+#: their substream replay can drop the hint argument from the hot call.
+#: Only FBF (and arbitrary factories) consume hints.
+HINT_FREE_POLICIES = frozenset(
+    {"fifo", "lru", "lfu", "arc", "lru2", "2q", "lrfu", "fbr", "mq", "lirs"}
+)
+
+#: Policies that admit every missed key and never displace a resident
+#: block before the cache is full (verified per algorithm).  For these, a
+#: worker whose capacity covers its substream's whole working set never
+#: evicts, so its hit count is policy-independent: requests minus
+#: distinct blocks.  2Q/LIRS-style policies bound internal segments below
+#: total capacity and are excluded.
+SATURATION_SAFE_POLICIES = frozenset({"fifo", "lru", "lfu", "arc", "fbf"})
+
+
+class InternedStream:
+    """One decoded request stream: dense block ids + parallel hint array.
+
+    ``keys[bid]`` recovers the original ``(stripe, unit)`` key for block
+    id ``bid``; ``event_pairs[i]`` is event *i*'s request sequence as
+    ``(bid, hint)`` pairs in issue order.  :meth:`worker_substreams`
+    deals events round-robin into per-worker flat ``(bids, hints)``
+    parallel tuples — memoized per worker count, since a sweep group
+    replays the same deal for every policy and capacity.
+    """
+
+    __slots__ = ("backend", "hint", "keys", "event_pairs", "total_requests",
+                 "_worker_split")
+
+    def __init__(
+        self,
+        backend: CodeBackend,
+        hint: str,
+        keys: tuple[Any, ...],
+        event_pairs: tuple[tuple[tuple[int, int], ...], ...],
+    ):
+        self.backend = backend
+        self.hint = hint
+        self.keys = keys
+        self.event_pairs = event_pairs
+        self.total_requests = sum(len(pairs) for pairs in event_pairs)
+        self._worker_split: dict[int, list[tuple[tuple[int, ...], tuple[int, ...]]]] = {}
+
+    @property
+    def n_events(self) -> int:
+        return len(self.event_pairs)
+
+    @property
+    def n_blocks(self) -> int:
+        """Distinct blocks touched by the stream."""
+        return len(self.keys)
+
+    def worker_substreams(
+        self, workers: int
+    ) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Per-worker ``(block_ids, hints)`` parallel tuples (round-robin).
+
+        Event *i* goes to worker ``i % workers`` — the SOR deal of
+        :func:`~repro.engine.tracesim.simulate_trace`.  Worker caches are
+        independent, so each worker's contiguous substream replays to the
+        same decisions as the interleaved original.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        cached = self._worker_split.get(workers)
+        if cached is None:
+            split: list[tuple[list[int], list[int]]] = [
+                ([], []) for _ in range(workers)
+            ]
+            for i, pairs in enumerate(self.event_pairs):
+                bids, hints = split[i % workers]
+                for bid, hint_value in pairs:
+                    bids.append(bid)
+                    hints.append(hint_value)
+            cached = self._worker_split[workers] = [
+                (tuple(bids), tuple(hints)) for bids, hints in split
+            ]
+        return cached
+
+
+def intern_stream(
+    backend: CodeBackend,
+    events: Sequence[Any],
+    hint: str = "priority",
+    plan_cache: PlanCache | None = None,
+) -> InternedStream:
+    """Decode ``events`` once into an :class:`InternedStream`.
+
+    Events are sorted exactly as :func:`~repro.engine.tracesim.
+    simulate_trace` sorts them, plans come from the shared ``plan_cache``
+    memo, and block keys are interned to dense ints in first-seen order
+    (deterministic: a function of the sorted event stream alone).
+    """
+    model = make_priority_model(hint)
+    if plan_cache is None:
+        plan_cache = PlanCache(backend)
+    elif plan_cache.backend is not backend:
+        raise ValueError("plan_cache was built for a different backend")
+
+    index: dict[Any, int] = {}
+    event_pairs: list[tuple[tuple[int, int], ...]] = []
+    get_plan = plan_cache.get
+    sequence = model.sequence
+    for event in sorted(events):
+        stripe = event.stripe
+        pairs = []
+        append = pairs.append
+        for unit, hint_value in sequence(get_plan(event)):
+            key = (stripe, unit)
+            bid = index.get(key)
+            if bid is None:
+                bid = index[key] = len(index)
+            append((bid, hint_value))
+        event_pairs.append(tuple(pairs))
+    # dict preserves insertion order, so tuple(index) is keys-by-bid.
+    return InternedStream(backend, hint, tuple(index), tuple(event_pairs))
+
+
+@dataclass
+class ReplayConfig:
+    """One grid cell: the replay parameters of a ``simulate_trace`` call."""
+
+    policy: str = "fbf"
+    capacity_blocks: int = 64
+    workers: int = 1
+    policy_factory: Callable[[int], CachePolicy] | None = None
+    policy_kwargs: dict | None = None
+    hint: str = "priority"
+    sanitize: bool = False
+
+
+def _is_plain_lru(config: ReplayConfig) -> bool:
+    """Eligible for the stack-distance fast path: exactly registry LRU.
+
+    Anything that could perturb decisions or needs the stepped machinery
+    (a custom factory, constructor kwargs, the sanitizer wrapper) takes
+    the stepped path; FBF/ARC/LFU and friends lack LRU's inclusion
+    property and always step.
+    """
+    return (
+        config.policy == "lru"
+        and config.policy_factory is None
+        and not config.policy_kwargs
+        and not config.sanitize
+    )
+
+
+def _replay_stepped(
+    stream: InternedStream,
+    config: ReplayConfig,
+    worker_distincts: Sequence[int] | None = None,
+) -> TraceSimResult:
+    """Step one configuration over the decoded stream (any policy).
+
+    ``worker_distincts`` (per-worker working-set sizes, only passed for
+    :func:`_is_saturation_eligible` configs) lets individual workers skip
+    the replay when their outcome is forced: a worker whose slice covers
+    its whole working set never evicts, and one with zero reuse never
+    hits — both give exactly ``hits = requests - distinct``.
+    """
+    workers, per_worker = effective_partition(
+        config.capacity_blocks, config.workers, stream.n_events
+    )
+    kwargs = config.policy_kwargs or {}
+    if config.policy_factory is not None:
+        factory = config.policy_factory
+    else:
+        factory = lambda cap: make_policy(config.policy, cap, **kwargs)
+    if config.sanitize:
+        # Imported here for the same reason as simulate_trace: repro.checks
+        # imports the event kernel, which cycles through repro.sim.
+        from ..checks.sanitizer import SimSanitizer
+
+        base_factory = factory
+        factory = lambda cap: SimSanitizer(base_factory(cap))
+
+    hint_free = (
+        config.policy_factory is None
+        and not config.sanitize
+        and config.policy in HINT_FREE_POLICIES
+    )
+    hits = misses = 0
+    policies: list[CachePolicy] = []
+    for w, (bids, hints) in enumerate(stream.worker_substreams(workers)):
+        if worker_distincts is not None:
+            distinct = worker_distincts[w]
+            if (0 < per_worker and distinct <= per_worker) or distinct == len(bids):
+                hits += len(bids) - distinct
+                misses += distinct
+                continue
+        cache = factory(per_worker)
+        policies.append(cache)
+        # One batch call per worker: the policy's request_many replays
+        # its substream in a single inlined loop over the interned ids;
+        # hint-free policies skip the hint array entirely.
+        cache.request_many(bids, None if hint_free else hints)
+
+    if not policies:
+        # every worker was skipped; a probe instance supplies the label
+        policies.append(factory(per_worker))
+    hits += sum(p.stats.hits for p in policies)
+    misses += sum(p.stats.misses for p in policies)
+    return TraceSimResult(
+        policy=(
+            config.policy
+            if config.policy_factory is None
+            else getattr(policies[0], "name", "custom")
+        ),
+        scheme_mode=stream.backend.scheme_label,
+        code=stream.backend.code_label,
+        p=stream.backend.p,
+        capacity_blocks=config.capacity_blocks,
+        workers=workers,
+        per_worker_blocks=per_worker,
+        n_errors=stream.n_events,
+        requests=hits + misses,
+        hits=hits,
+        disk_reads=misses,
+    )
+
+
+def _replay_lru_fast(
+    stream: InternedStream,
+    config: ReplayConfig,
+    profiles: dict[int, list[StackDistanceProfile]],
+) -> TraceSimResult:
+    """LRU via reuse distances: exact hits at any capacity, no stepping."""
+    workers, per_worker = effective_partition(
+        config.capacity_blocks, config.workers, stream.n_events
+    )
+    per_worker_profiles = profiles.get(workers)
+    if per_worker_profiles is None:
+        per_worker_profiles = profiles[workers] = [
+            StackDistanceProfile(bids)
+            for bids, _ in stream.worker_substreams(workers)
+        ]
+    hits = sum(p.hits_at(per_worker) for p in per_worker_profiles)
+    requests = stream.total_requests
+    return TraceSimResult(
+        policy="lru",
+        scheme_mode=stream.backend.scheme_label,
+        code=stream.backend.code_label,
+        p=stream.backend.p,
+        capacity_blocks=config.capacity_blocks,
+        workers=workers,
+        per_worker_blocks=per_worker,
+        n_errors=stream.n_events,
+        requests=requests,
+        hits=hits,
+        disk_reads=requests - hits,
+    )
+
+
+def _is_saturation_eligible(config: ReplayConfig) -> bool:
+    """Known admit-all/evict-only-full registry policy, unwrapped."""
+    return (
+        config.policy in SATURATION_SAFE_POLICIES
+        and config.policy_factory is None
+        and not config.policy_kwargs
+        and not config.sanitize
+    )
+
+
+def simulate_grid_pass(
+    backend: CodeBackend,
+    events: Sequence[Any],
+    configs: Iterable[ReplayConfig],
+    plan_cache: PlanCache | None = None,
+    stream: InternedStream | None = None,
+    lru_fast_path: bool = True,
+) -> list[TraceSimResult]:
+    """Replay every configuration over one decoded stream, in one pass.
+
+    Returns one :class:`~repro.engine.tracesim.TraceSimResult` per
+    config, in config order, each bit-for-bit equal to the row the
+    per-point ``simulate_trace(backend, events, ...)`` call would
+    produce.  The stream is decoded once per distinct hint model (block
+    ids are hint-independent, so the LRU reuse-distance profiles and
+    per-worker working-set sizes are shared across hints); pass
+    ``stream`` to reuse an already-interned stream for its hint.
+
+    Two exact fast paths skip stepping (``lru_fast_path=False`` disables
+    both — the equivalence tests' lever):
+
+    * plain LRU at any capacity, via the Mattson reuse-distance profile;
+    * *saturated* cells of any :data:`SATURATION_SAFE_POLICIES` policy —
+      when every worker's capacity slice covers its substream's whole
+      working set, no policy ever evicts and the hit count is exactly
+      requests minus distinct blocks.
+    """
+    configs = list(configs)
+    streams: dict[str, InternedStream] = {}
+    if stream is not None:
+        if stream.backend is not backend:
+            raise ValueError("stream was interned for a different backend")
+        streams[stream.hint] = stream
+
+    def stream_for(hint: str) -> InternedStream:
+        cached = streams.get(hint)
+        if cached is None:
+            cached = streams[hint] = intern_stream(
+                backend, events, hint=hint, plan_cache=plan_cache
+            )
+        return cached
+
+    # workers -> per-worker-substream reuse-distance profiles, shared by
+    # every plain-LRU config in the group (ids are hint-independent).
+    lru_profiles: dict[int, list[StackDistanceProfile]] = {}
+    # workers -> per-worker distinct-block counts (the saturation check).
+    worker_distincts: dict[int, list[int]] = {}
+    results: list[TraceSimResult] = []
+    for config in configs:
+        st = stream_for(config.hint)
+        if lru_fast_path and _is_plain_lru(config):
+            results.append(_replay_lru_fast(st, config, lru_profiles))
+            continue
+        distincts = None
+        if lru_fast_path and _is_saturation_eligible(config):
+            workers, _ = effective_partition(
+                config.capacity_blocks, config.workers, st.n_events
+            )
+            distincts = worker_distincts.get(workers)
+            if distincts is None:
+                distincts = worker_distincts[workers] = [
+                    len(set(bids)) for bids, _ in st.worker_substreams(workers)
+                ]
+        results.append(_replay_stepped(st, config, worker_distincts=distincts))
+    return results

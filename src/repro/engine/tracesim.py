@@ -27,7 +27,12 @@ from ..cache.base import CachePolicy
 from ..cache.registry import make_policy
 from .backend import CodeBackend, EnginePlan, make_priority_model
 
-__all__ = ["TraceSimResult", "PlanCache", "simulate_trace"]
+__all__ = [
+    "TraceSimResult",
+    "PlanCache",
+    "simulate_trace",
+    "effective_partition",
+]
 
 
 @dataclass
@@ -40,6 +45,7 @@ class TraceSimResult:
     p: int
     capacity_blocks: int
     workers: int
+    per_worker_blocks: int
     n_errors: int
     requests: int
     hits: int
@@ -100,6 +106,31 @@ class PlanCache:
         return {"hits": self._hits, "misses": self._misses, "entries": len(self._memo)}
 
 
+def effective_partition(
+    capacity_blocks: int, workers: int, n_events: int
+) -> tuple[int, int]:
+    """Resolve the SOR partition: ``(effective workers, blocks per worker)``.
+
+    The effective worker count is capped at the event count (a worker
+    with no events contributes nothing and would skew the capacity
+    split).  A partition where every worker gets a zero-block slice of a
+    *non-zero* cache is a configuration error, not a degenerate cache —
+    it silently measures nothing — so it raises instead of truncating.
+    """
+    if capacity_blocks < 0:
+        raise ValueError(f"capacity_blocks must be >= 0, got {capacity_blocks}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    eff_workers = min(workers, n_events) or 1
+    if 0 < capacity_blocks < eff_workers:
+        raise ValueError(
+            f"workers={eff_workers} exceeds capacity_blocks={capacity_blocks}: "
+            "every SOR worker would get a zero-block cache slice; lower "
+            "workers or raise the cache size"
+        )
+    return eff_workers, capacity_blocks // eff_workers
+
+
 def simulate_trace(
     backend: CodeBackend,
     events: Sequence[Any],
@@ -116,7 +147,10 @@ def simulate_trace(
 
     ``capacity_blocks`` is the *total* cache in chunks; with ``workers > 1``
     it is partitioned evenly (integer division, like the paper's per-process
-    cache slices).  ``hint`` selects the :class:`~repro.engine.backend.
+    cache slices) by :func:`effective_partition`, which raises
+    :class:`ValueError` when the effective worker count exceeds a non-zero
+    capacity (every worker would silently get a zero-block cache).  The
+    resolved slice is recorded on ``TraceSimResult.per_worker_blocks``.  ``hint`` selects the :class:`~repro.engine.backend.
     PriorityModel` accompanying each request: ``"priority"`` (the paper's
     1..3 value) or ``"share"`` (the raw chain share count, for many-queue
     FBF variants).  ``sanitize`` wraps every policy in
@@ -125,18 +159,13 @@ def simulate_trace(
     (FBF single-residency, demotion order, capacity accounting) breaks.
     """
     model = make_priority_model(hint)
-    if capacity_blocks < 0:
-        raise ValueError(f"capacity_blocks must be >= 0, got {capacity_blocks}")
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
     if plan_cache is None:
         plan_cache = PlanCache(backend)
     elif plan_cache.backend is not backend:
         raise ValueError("plan_cache was built for a different backend")
 
     events = sorted(events)
-    workers = min(workers, len(events)) or 1
-    per_worker = capacity_blocks // workers
+    workers, per_worker = effective_partition(capacity_blocks, workers, len(events))
     kwargs = policy_kwargs or {}
     if policy_factory is not None:
         policies = [policy_factory(per_worker) for _ in range(workers)]
@@ -169,6 +198,7 @@ def simulate_trace(
         p=backend.p,
         capacity_blocks=capacity_blocks,
         workers=workers,
+        per_worker_blocks=per_worker,
         n_errors=len(events),
         requests=hits + misses,
         hits=hits,

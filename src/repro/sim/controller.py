@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Generator, Hashable
+from typing import Any, Generator
 
 from ..core.scheme import SchemeMode
 from ..engine.backend import CodeBackend, EnginePlan
 from ..engine.backends import XORBackend
+from ..engine.tracesim import PlanCache
 from .array import DiskArray
 from .cache_sim import TimedBufferCache
 from .datapath import VerifyingDataPath
@@ -77,22 +78,22 @@ class RAIDController:
         self.parallel_chain_reads = parallel_chain_reads
         self.datapath = datapath
         self.overhead = OverheadLog()
-        self._plan_cache: dict[Hashable, EnginePlan] = {}
+        self._plan_cache = PlanCache(backend)
         self.errors_recovered = 0
         self.chunks_recovered = 0
 
     def plan_for(self, error: Any) -> EnginePlan:
-        """The recovery plan for an event, memoized by plan key; timed."""
-        key = self.backend.plan_key(error)
-        cached = self._plan_cache.get(key)
-        if cached is not None:
-            self.overhead.plan_cache_hits += 1
-            return cached
+        """The recovery plan for an event, via the engine's shared
+        :class:`~repro.engine.tracesim.PlanCache`; misses are timed."""
+        plans = self._plan_cache
+        size_before = len(plans)
         t0 = time.perf_counter()
-        plan = self.backend.build_plan(error)
+        plan = plans.get(error)
+        if len(plans) == size_before:  # memoized: no plan was built
+            self.overhead.plan_cache_hits += 1
+            return plan
         plan.priorities  # materialise inside the timed region (Table IV)
         self.overhead.samples.append(time.perf_counter() - t0)
-        self._plan_cache[key] = plan
         return plan
 
     def recover_error(self, error: Any, cache: TimedBufferCache) -> Generator:

@@ -96,6 +96,55 @@ class TestParallelSerialEquivalence:
         assert pickle.loads(pickle.dumps(row)) == row
 
 
+class TestBatchedDispatch:
+    """batch=True groups hit-ratio cells into one interned-stream pass."""
+
+    @pytest.mark.parametrize(
+        "experiment", ["fig8", "fig9", "ablation-scheme", "ablation-demotion"]
+    )
+    def test_batched_rows_equal_golden(self, experiment):
+        grid = tiny_grid(experiment)
+        golden = run_grid(grid, EngineConfig(workers=0, batch=False))
+        batched = run_grid(grid, SERIAL)  # batch defaults to True
+        assert golden.points == batched.points
+
+    def test_parallel_batched_rows_equal_golden(self):
+        grid = tiny_grid("fig8")
+        golden = run_grid(grid, EngineConfig(workers=0, batch=False))
+        parallel = run_grid(grid, EngineConfig(workers=4))
+        assert golden.points == parallel.points
+
+    def test_des_points_stay_per_point(self):
+        # fig10 rows carry measured wall-clock columns; the event-driven
+        # simulation never joins a batch group but must still run.
+        grid = tiny_grid("fig10")
+        batched = run_grid(grid, SERIAL)
+        golden = run_grid(grid, EngineConfig(workers=0, batch=False))
+        assert rows_equivalent(batched.points, golden.points)
+
+    def test_batched_preserves_order_timings_and_progress(self):
+        grid = tiny_grid("fig8")
+        seen = []
+        result = run_grid(
+            grid, SERIAL, on_progress=lambda done, total: seen.append((done, total))
+        )
+        assert [(t.policy, t.cache_mb) for t in result.timings] == [
+            (g.policy, g.cache_mb) for g in grid
+        ]
+        assert seen == [(i + 1, len(grid)) for i in range(len(grid))]
+        assert all(t.seconds > 0 for t in result.timings)
+
+    def test_batched_populates_result_cache(self, tmp_path):
+        grid = tiny_grid("fig8")
+        cold = run_grid(grid, EngineConfig(workers=0, cache_dir=tmp_path))
+        assert cold.cache_misses == len(grid)
+        warm = run_grid(
+            grid, EngineConfig(workers=0, cache_dir=tmp_path, batch=False)
+        )
+        assert (warm.cache_hits, warm.cache_misses) == (len(grid), 0)
+        assert warm.points == cold.points
+
+
 class TestResultCache:
     def test_warm_run_recomputes_nothing(self, tmp_path):
         grid = tiny_grid("fig8")

@@ -520,6 +520,46 @@ class TestLegacyReplayImport:
         assert violations == []
 
 
+class TestDirectPlanBuild:
+    """PERF001: plans are built through the PlanCache memo only."""
+
+    def test_direct_call_flagged(self):
+        violations = lint_snippet(
+            "def plans(backend, events):\n"
+            "    return [backend.build_plan(e) for e in events]\n",
+            "src/repro/sim/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["PERF001"]
+        assert violations[0].line == 2
+
+    def test_self_backend_call_flagged(self):
+        violations = lint_snippet(
+            "class Controller:\n"
+            "    def plan_for(self, error):\n"
+            "        return self.backend.build_plan(error)\n",
+            "src/repro/bench/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["PERF001"]
+
+    def test_plan_cache_home_exempt(self):
+        """The one legal call site: PlanCache.get in engine/tracesim.py."""
+        violations = lint_snippet(
+            "class PlanCache:\n"
+            "    def get(self, event):\n"
+            "        return self.backend.build_plan(event)\n",
+            "src/repro/engine/tracesim.py",
+        )
+        assert violations == []
+
+    def test_plan_cache_get_allowed(self):
+        violations = lint_snippet(
+            "def plans(cache, events):\n"
+            "    return [cache.get(e) for e in events]\n",
+            "src/repro/sim/controller.py",
+        )
+        assert violations == []
+
+
 class TestSuppression:
     def test_blanket_ignore(self):
         source = "import time\n\ndef f():\n    return time.time()  # simlint: ignore\n"

@@ -9,7 +9,8 @@ accounting — raises inside the engine and fails the test.
 
 from __future__ import annotations
 
-from hypothesis import given, settings
+import pytest
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.cache.registry import available_policies
@@ -47,6 +48,20 @@ def test_replay_satisfies_invariants(
     name, p = spec
     backend = make_backend(name, p)
     events = backend.generate_events(n_events, seed)
+    eff_workers = min(workers, n_events)
+    if 0 < capacity < eff_workers:
+        # round-robin would hand some worker a zero-block cache slice:
+        # rejected loudly instead of silently simulating a cacheless array
+        with pytest.raises(ValueError, match="exceeds capacity_blocks"):
+            simulate_trace(
+                backend,
+                events,
+                policy=policy,
+                capacity_blocks=capacity,
+                workers=workers,
+                hint=hint,
+            )
+        return
     res = simulate_trace(
         backend,
         events,
@@ -61,9 +76,10 @@ def test_replay_satisfies_invariants(
     assert res.n_errors == n_events
     assert res.code == backend.code_label
     # the effective SOR width never exceeds the batch
-    assert res.workers == min(workers, n_events)
-    if capacity // res.workers == 0:
-        assert res.hits == 0  # zero per-worker capacity cannot hit
+    assert res.workers == eff_workers
+    assert res.per_worker_blocks == capacity // eff_workers
+    if capacity == 0:
+        assert res.hits == 0  # a cacheless array cannot hit
 
 
 @settings(max_examples=30, deadline=None)
@@ -76,6 +92,7 @@ def test_replay_satisfies_invariants(
 )
 def test_replay_is_deterministic(spec, policy, n_events, seed, capacity):
     """Same inputs, same row — with or without a shared plan cache."""
+    assume(capacity >= min(4, n_events))  # else the partition contract raises
     name, p = spec
     backend = make_backend(name, p)
     events = backend.generate_events(n_events, seed)

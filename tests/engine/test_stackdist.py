@@ -1,0 +1,109 @@
+"""Unit tests for the Mattson stack-distance machinery.
+
+The profile's one claim — ``hits_at(c)`` equals the hit count of a
+stepped c-block LRU replay, for every c — is checked against both a
+brute-force reuse-distance oracle and the real :class:`LRUCache`.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.lru import LRUCache
+from repro.engine.stackdist import (
+    FenwickTree,
+    StackDistanceProfile,
+    reuse_distances,
+)
+
+streams = st.lists(st.integers(min_value=0, max_value=12), max_size=120)
+
+
+def brute_force_distances(stream):
+    """O(n^2) oracle: distinct blocks strictly between same-key accesses."""
+    last: dict[int, int] = {}
+    out = []
+    for t, block in enumerate(stream):
+        prev = last.get(block)
+        if prev is None:
+            out.append(-1)
+        else:
+            out.append(len(set(stream[prev + 1 : t])))
+        last[block] = t
+    return out
+
+
+class TestFenwickTree:
+    def test_prefix_sums(self):
+        tree = FenwickTree(8)
+        for i, delta in ((1, 3), (4, 2), (8, 5)):
+            tree.add(i, delta)
+        assert [tree.prefix(i) for i in range(9)] == [0, 3, 3, 3, 5, 5, 5, 5, 10]
+
+    def test_prefix_clamps_past_the_end(self):
+        tree = FenwickTree(3)
+        tree.add(2, 7)
+        assert tree.prefix(100) == 7
+        assert tree.prefix(-5) == 0
+
+    def test_add_out_of_range_rejected(self):
+        tree = FenwickTree(3)
+        with pytest.raises(IndexError):
+            tree.add(0, 1)
+        with pytest.raises(IndexError):
+            tree.add(4, 1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+    def test_empty_tree(self):
+        assert FenwickTree(0).prefix(0) == 0
+
+
+class TestReuseDistances:
+    def test_known_stream(self):
+        # a b c a: 'a' sees b,c in between -> distance 2
+        assert list(reuse_distances([1, 2, 3, 1])) == [-1, -1, -1, 2]
+
+    def test_immediate_rereference_is_zero(self):
+        assert list(reuse_distances([5, 5])) == [-1, 0]
+
+    @settings(max_examples=80, deadline=None)
+    @given(stream=streams)
+    def test_matches_brute_force(self, stream):
+        assert list(reuse_distances(stream)) == brute_force_distances(stream)
+
+
+class TestStackDistanceProfile:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        stream=streams,
+        capacity=st.integers(min_value=0, max_value=16),
+    )
+    def test_matches_stepped_lru(self, stream, capacity):
+        cache = LRUCache(capacity)
+        for block in stream:
+            cache.request(block)
+        profile = StackDistanceProfile(stream)
+        assert profile.hits_at(capacity) == cache.stats.hits
+
+    def test_all_capacities_from_one_profile(self):
+        stream = [1, 2, 3, 1, 2, 3, 4, 1]
+        profile = StackDistanceProfile(stream)
+        for capacity in range(0, 10):
+            cache = LRUCache(capacity)
+            for block in stream:
+                cache.request(block)
+            assert profile.hits_at(capacity) == cache.stats.hits, capacity
+
+    def test_huge_capacity_clamps(self):
+        profile = StackDistanceProfile([1, 2, 1, 2])
+        assert profile.hits_at(10**9) == 2
+
+    def test_empty_stream(self):
+        profile = StackDistanceProfile([])
+        assert profile.requests == 0
+        assert profile.hits_at(4) == 0
