@@ -65,8 +65,24 @@ from .workloads import (
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name: str):
+    # repro.api (the stable facade) and repro.obs (observability) load
+    # lazily: importing the root package must not pay for them, and obs
+    # must stay import-light so instrumented modules can import it first.
+    if name in ("api", "obs"):
+        import importlib
+
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "__version__",
+    "api",
+    "obs",
     # codes
     "CodeLayout",
     "Direction",

@@ -1,0 +1,159 @@
+"""``repro.api`` — the stable public facade (DESIGN.md §12).
+
+Everything a downstream script needs, under one import, with one kwarg
+vocabulary.  The deep module paths (``repro.engine.tracesim``,
+``repro.bench.engine``, ...) remain importable but are internal: they
+may reorganize between releases, while the names re-exported here follow
+a deprecation policy (old spellings keep working for one release behind
+a :class:`DeprecationWarning` — e.g. ``run_grid(config=...)`` for
+``engine=``).
+
+The vocabulary:
+
+* ``workers=`` — always the *simulated* SOR worker count;
+* ``engine=`` / ``engine_workers=`` — how a grid is executed (process
+  pool, result cache, batching) — never affects simulated values;
+* ``batch=`` — single-pass group replay on/off;
+* ``sanitize=`` — wrap policies in the runtime invariant sanitizer.
+
+Typical use::
+
+    from repro import api
+
+    backend = api.make_backend("tip", 7)
+    events = backend.generate_events(100, seed=42)
+    row = api.simulate_trace(backend, events, policy="fbf",
+                             capacity_blocks=256, workers=32)
+
+    grid = api.experiment_grid("fig8", api.QUICK)
+    result = api.run_grid(grid, engine_workers="auto")
+    print(result.cache_hits, result.plan_cache_hits)
+
+    registry = api.obs.enable(fresh=True)
+    ...
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Sequence
+
+from . import obs
+from .bench.engine import (
+    ENGINE_CACHE_VERSION,
+    EngineConfig,
+    EngineResult,
+    GridPoint,
+    PointTiming,
+    ResultCache,
+    default_cache_dir,
+)
+from .bench.engine import run_grid as _run_grid
+from .bench.experiments import (
+    EXPERIMENT_NAMES,
+    FULL,
+    QUICK,
+    Scale,
+    SweepPoint,
+    experiment_grid,
+    rows_equivalent,
+)
+from .cache.registry import PAPER_BASELINES, available_policies, make_policy
+from .codes.registry import available_codes, make_code
+from .engine.backend import CodeBackend, EnginePlan, PriorityModel
+from .engine.registry import available_backends, make_backend, register_backend
+from .engine.stream import (
+    InternedStream,
+    ReplayConfig,
+    intern_stream,
+    simulate_grid_pass,
+)
+from .engine.tracesim import (
+    PlanCache,
+    TraceSimResult,
+    effective_partition,
+    simulate_trace,
+)
+
+__all__ = [
+    # replay engine
+    "simulate_trace",
+    "TraceSimResult",
+    "PlanCache",
+    "effective_partition",
+    "intern_stream",
+    "InternedStream",
+    "ReplayConfig",
+    "simulate_grid_pass",
+    # registries
+    "available_codes",
+    "make_code",
+    "available_policies",
+    "make_policy",
+    "PAPER_BASELINES",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+    "CodeBackend",
+    "EnginePlan",
+    "PriorityModel",
+    # sweep engine
+    "run_grid",
+    "GridPoint",
+    "EngineConfig",
+    "EngineResult",
+    "PointTiming",
+    "ResultCache",
+    "ENGINE_CACHE_VERSION",
+    "default_cache_dir",
+    "experiment_grid",
+    "rows_equivalent",
+    "EXPERIMENT_NAMES",
+    "Scale",
+    "QUICK",
+    "FULL",
+    "SweepPoint",
+    # observability
+    "obs",
+]
+
+
+def run_grid(
+    points: Sequence[GridPoint],
+    engine: EngineConfig | None = None,
+    on_progress: Callable[[int, int], None] | None = None,
+    *,
+    engine_workers: int | str | None = None,
+    cache_dir=None,
+    batch: bool | None = None,
+    config: EngineConfig | None = None,
+) -> EngineResult:
+    """Execute a grid of points; see :func:`repro.bench.engine.run_grid`.
+
+    Either pass a full ``engine=`` :class:`EngineConfig`, or use the
+    keyword conveniences (``engine_workers=``, ``cache_dir=``,
+    ``batch=``) and let the facade assemble one — mixing both is an
+    error.  ``config=`` is the deprecated spelling of ``engine=``.
+    """
+    if config is not None:
+        warnings.warn(
+            "run_grid(config=...) is deprecated; pass engine= instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if engine is None:
+            engine = config
+    conveniences = (engine_workers, cache_dir, batch)
+    if engine is not None:
+        if any(value is not None for value in conveniences):
+            raise TypeError(
+                "pass either engine= or the engine_workers/cache_dir/batch "
+                "conveniences, not both"
+            )
+    elif any(value is not None for value in conveniences):
+        engine = EngineConfig(
+            workers=engine_workers if engine_workers is not None else 0,
+            cache_dir=cache_dir,
+            batch=batch if batch is not None else True,
+        )
+    return _run_grid(points, engine, on_progress)

@@ -41,10 +41,13 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
+
+from ..obs import runtime as _obs
 
 __all__ = [
     "ENGINE_CACHE_VERSION",
@@ -200,7 +203,15 @@ class PointTiming:
 
 @dataclass
 class EngineResult:
-    """Rows in canonical grid order plus execution statistics."""
+    """Rows in canonical grid order plus execution statistics.
+
+    ``cache_hits``/``cache_misses`` count the persistent *result* cache;
+    ``plan_cache_hits``/``plan_cache_misses`` aggregate the in-memory
+    :class:`~repro.engine.tracesim.PlanCache` memo deltas reported back
+    by every compute task (summed across pool workers).  DES-kind points
+    build plans through the controller's private memo, so they contribute
+    zero here by construction.
+    """
 
     points: "list[SweepPoint]"
     wall_s: float
@@ -208,6 +219,8 @@ class EngineResult:
     cache_hits: int
     cache_misses: int
     timings: list[PointTiming] = field(default_factory=list)
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     @property
     def n_points(self) -> int:
@@ -465,41 +478,74 @@ def compute_group(points: "Sequence[GridPoint]") -> "list[SweepPoint]":
     return rows
 
 
+def _plan_totals() -> tuple[int, int]:
+    """Summed ``(hits, misses)`` over this process's PlanCache memos."""
+    hits = misses = 0
+    for plans in _PLANS.values():
+        h, m = plans.counts()
+        hits += h
+        misses += m
+    return hits, misses
+
+
 def _timed_task(
     points: "tuple[GridPoint, ...]",
-) -> "list[tuple[SweepPoint, float]]":
+) -> "tuple[list[tuple[SweepPoint, float]], tuple[int, int]]":
     """Pool entry point for a task: a same-stream group or a singleton.
 
     Singletons go through the per-point golden path; larger groups take
     the single-pass replay.  Group compute time is split evenly across
-    the group's cells so per-point timings stay additive.
+    the group's cells so per-point timings stay additive.  The second
+    element is this task's plan-cache ``(hits, misses)`` delta — additive
+    across tasks and across pool workers, so the driver can surface the
+    memo's effectiveness without sharing state between processes.
     """
+    before_hits, before_misses = _plan_totals()
     if len(points) == 1:
-        return [_timed_point(points[0])]
-    t0 = time.perf_counter()
-    rows = compute_group(points)
-    per_point = (time.perf_counter() - t0) / len(points)
-    return [(row, per_point) for row in rows]
+        results = [_timed_point(points[0])]
+    else:
+        t0 = time.perf_counter()
+        rows = compute_group(points)
+        per_point = (time.perf_counter() - t0) / len(points)
+        results = [(row, per_point) for row in rows]
+    after_hits, after_misses = _plan_totals()
+    return results, (after_hits - before_hits, after_misses - before_misses)
 
 
 # -- driver side --------------------------------------------------------------
 
 def run_grid(
     points: Sequence[GridPoint],
-    config: EngineConfig | None = None,
+    engine: EngineConfig | None = None,
     on_progress: Callable[[int, int], None] | None = None,
+    *,
+    config: EngineConfig | None = None,
 ) -> EngineResult:
     """Execute ``points`` and return rows in the same (canonical) order.
 
-    Output is independent of ``config``: the worker count and the cache
+    Output is independent of ``engine``: the worker count and the cache
     only affect *when and where* cells are computed, never their values.
     ``on_progress(done, total)`` is called after every completed point.
+    ``config=`` is the deprecated spelling of ``engine=`` (kept as a
+    warning shim for one release).
     """
-    config = config or EngineConfig()
+    if config is not None:
+        warnings.warn(
+            "run_grid(config=...) is deprecated; pass engine= instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if engine is None:
+            engine = config
+    engine = engine or EngineConfig()
+    obs_on = _obs.ENABLED
+    if obs_on:
+        grid_span = _obs.span("bench.run_grid", {"points": len(points)})
+        grid_span.__enter__()
     t_start = time.perf_counter()
     total = len(points)
     cache = (
-        ResultCache(config.cache_dir) if config.cache_dir is not None else None
+        ResultCache(engine.cache_dir) if engine.cache_dir is not None else None
     )
 
     rows: list = [None] * total
@@ -540,7 +586,7 @@ def run_grid(
     # batching is on; everything else (and every cell with batch=False)
     # is a singleton on the per-point golden path.
     tasks: list[list[int]] = []
-    if config.batch:
+    if engine.batch:
         groups: dict[tuple, list[int]] = {}
         for i in misses:
             point = points[i]
@@ -555,13 +601,19 @@ def run_grid(
     else:
         tasks = [[i] for i in misses]
 
-    def record_task(indices: "list[int]", results) -> None:
+    plan_hits = plan_misses = 0
+
+    def record_task(indices: "list[int]", task_result) -> None:
+        nonlocal plan_hits, plan_misses
+        results, (task_hits, task_misses) = task_result
+        plan_hits += task_hits
+        plan_misses += task_misses
         for i, (row, seconds) in zip(indices, results):
             if cache is not None:
                 cache.put(points[i], row)
             record(i, row, seconds, cached=False)
 
-    n_workers = config.resolved_workers()
+    n_workers = engine.resolved_workers()
     if n_workers == 0 or len(tasks) <= 1:
         for indices in tasks:
             record_task(indices, _timed_task(tuple(points[i] for i in indices)))
@@ -570,8 +622,8 @@ def run_grid(
 
         n_workers = min(n_workers, len(tasks))
         context = (
-            multiprocessing.get_context(config.start_method)
-            if config.start_method
+            multiprocessing.get_context(engine.start_method)
+            if engine.start_method
             else None
         )
         chunksize = max(1, len(tasks) // (n_workers * 4))
@@ -582,14 +634,35 @@ def run_grid(
             ):
                 record_task(indices, results)
 
-    return EngineResult(
+    result = EngineResult(
         points=rows,
         wall_s=time.perf_counter() - t_start,
-        workers=0 if config.resolved_workers() == 0 else n_workers,
+        workers=0 if engine.resolved_workers() == 0 else n_workers,
         cache_hits=hits,
         cache_misses=len(misses),
         timings=[t for t in timings if t is not None],
+        plan_cache_hits=plan_hits,
+        plan_cache_misses=plan_misses,
     )
+    if obs_on:
+        grid_span["result_cache_hits"] = hits
+        grid_span.__exit__(None, None, None)
+        _obs.counter("bench.grids").inc()
+        _obs.counter("bench.points").inc(total)
+        _obs.counter("bench.result_cache.hits").inc(hits)
+        _obs.counter("bench.result_cache.misses").inc(len(misses))
+        _obs.counter("bench.plan_cache.hits").inc(plan_hits)
+        _obs.counter("bench.plan_cache.misses").inc(plan_misses)
+        point_seconds = _obs.histogram("bench.point_seconds")
+        for t in result.timings:
+            if not t.cached:
+                point_seconds.observe(t.seconds)
+        _obs.gauge("bench.workers").set(result.workers)
+        if result.wall_s > 0:
+            _obs.gauge("bench.utilization").set(
+                result.compute_s / (result.wall_s * max(1, result.workers))
+            )
+    return result
 
 
 # -- BENCH report -------------------------------------------------------------
@@ -632,6 +705,8 @@ def bench_payload(
         "workers": result.workers,
         "cache_hits": result.cache_hits,
         "cache_misses": result.cache_misses,
+        "plan_cache_hits": result.plan_cache_hits,
+        "plan_cache_misses": result.plan_cache_misses,
         "per_point": [asdict(t) for t in result.timings],
     }
     if extra:

@@ -31,6 +31,7 @@ from typing import Sequence
 from ..cache.registry import available_policies
 from ..engine import PlanCache, make_backend, simulate_grid_pass, simulate_trace
 from ..engine.stream import ReplayConfig
+from ..obs import emit
 from .engine import _git_rev
 from ..cache.registry import PAPER_BASELINES
 from .experiments import FULL
@@ -224,12 +225,22 @@ def run_replay_bench(
 
 
 def compare_to_baseline(
-    current: dict, baseline: dict, tolerance: float = 0.10
+    current: dict,
+    baseline: dict,
+    tolerance: float = 0.10,
+    time_tolerance: float | None = None,
 ) -> tuple[bool, str]:
     """CI gate: speedup within ``tolerance`` of the committed baseline.
 
     Speedups are ratios of two timings from the *same* machine and run,
     so comparing them across machines is sound where raw seconds are not.
+
+    ``time_tolerance`` additionally gates the *aggregate wall time*
+    (batched + per-point seconds) against the baseline's — the obs
+    overhead contract (instrumentation disabled must cost nothing).  Raw
+    seconds are machine-dependent, so this gate only makes sense when
+    baseline and current ran on comparable hardware; it is off by
+    default and opted into by CI with ``--time-tolerance``.
     """
     problems: list[str] = []
     for group in current["groups"]:
@@ -251,6 +262,17 @@ def compare_to_baseline(
             f"aggregate speedup {current_speedup:.2f}x fell below "
             f"{floor:.2f}x (baseline {baseline_speedup:.2f}x - {tolerance:.0%})"
         )
+    if time_tolerance is not None:
+        current_s = current["aggregate"]["batched_s"] + current["aggregate"]["per_point_s"]
+        baseline_s = (
+            baseline["aggregate"]["batched_s"] + baseline["aggregate"]["per_point_s"]
+        )
+        ceiling = baseline_s * (1.0 + time_tolerance)
+        if current_s > ceiling:
+            problems.append(
+                f"aggregate time {current_s:.2f}s exceeds {ceiling:.2f}s "
+                f"(baseline {baseline_s:.2f}s + {time_tolerance:.0%})"
+            )
     if problems:
         return False, "; ".join(problems)
     return True, (
@@ -296,21 +318,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--tolerance", type=float, default=0.10,
         help="allowed fractional speedup regression for --check (default 0.10)",
     )
+    parser.add_argument(
+        "--time-tolerance", type=float, default=None, metavar="FRACTION",
+        help="also gate aggregate wall time against the baseline's "
+        "(the obs zero-overhead contract; off by default because raw "
+        "seconds are machine-dependent)",
+    )
     args = parser.parse_args(argv)
 
     payload = run_replay_bench(rounds=args.rounds)
-    print(_format_summary(payload))
+    emit(_format_summary(payload))
     if args.out:
         out = Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-        print(f"wrote {out}")
+        emit(f"wrote {out}")
     if args.check:
         baseline = json.loads(Path(args.check).read_text(encoding="utf-8"))
         ok, message = compare_to_baseline(
-            payload, baseline, tolerance=args.tolerance
+            payload,
+            baseline,
+            tolerance=args.tolerance,
+            time_tolerance=args.time_tolerance,
         )
-        print(("PASS: " if ok else "FAIL: ") + message)
+        emit(("PASS: " if ok else "FAIL: ") + message)
         return 0 if ok else 1
     return 0
 

@@ -44,6 +44,9 @@ PERF001    no ``backend.build_plan(...)`` call sites outside
            :class:`~repro.engine.tracesim.PlanCache` — plans are built
            once per plan key and shared; a direct call silently forfeits
            the memo (and its Table IV hit accounting)
+OBS001     no bare ``print()`` in ``repro`` library code — route output
+           through :func:`repro.obs.emit` (or an explicit stream write)
+           so reporting stays testable and obs-aware
 =========  ==================================================================
 """
 
@@ -794,6 +797,36 @@ class DirectPlanBuildRule(Rule):
                 )
 
 
+class BarePrintRule(Rule):
+    """OBS001: library code never prints; output goes through repro.obs.
+
+    A bare ``print()`` buried in library code cannot be captured,
+    redirected, or silenced by callers, and it bypasses the obs
+    reporting layer entirely.  :func:`repro.obs.emit` (or an explicit
+    ``stream.write``) keeps every line routable — the ``repro-fbf``
+    subcommands all report through it.
+    """
+
+    rule_id = "OBS001"
+    summary = "no bare print() in repro library code; use repro.obs.emit"
+    scopes = ("repro/",)
+    excludes = ("repro/obs/console.py",)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.violation(
+                    node,
+                    path,
+                    "bare print() in library code; route output through "
+                    "repro.obs.emit (or write to an explicit stream)",
+                )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
     YieldNonEventRule(),
@@ -806,6 +839,7 @@ ALL_RULES: tuple[Rule, ...] = (
     GF2PurityRule(),
     LegacyReplayImportRule(),
     DirectPlanBuildRule(),
+    BarePrintRule(),
 )
 
 

@@ -1,10 +1,21 @@
-"""Command-line entry point: ``repro-fbf <experiment> [options]``.
+"""Command-line entry point: ``repro-fbf <command> [options]``.
+
+Every subcommand draws from one shared flag vocabulary (built by the
+``_add_*_flags`` helpers, so the spellings cannot drift):
+
+* ``--scale {quick,full}`` — grid size (``--quick`` is a deprecated
+  alias that still works, with a :class:`DeprecationWarning`);
+* ``--workers`` — the *simulated* SOR worker count, everywhere
+  (``--sor-workers`` is a deprecated alias);
+* ``--engine-workers`` — process-pool fan-out: an int, ``0`` for
+  in-process serial, or ``auto`` for ``os.cpu_count()``;
+* ``--errors`` / ``--seed`` / ``--cache-mbs`` — workload overrides.
 
 Examples::
 
-    repro-fbf fig8 --quick
-    repro-fbf fig11 --errors 200 --workers 64
-    repro-fbf table5
+    repro-fbf fig8 --scale quick
+    repro-fbf bench all --scale quick --engine-workers auto
+    repro-fbf obs fig8 --scale full --jsonl obs.jsonl
     repro-fbf trace --code tip --p 7 --errors 100 --out trace.txt
     repro-fbf info --code star --p 5
 """
@@ -13,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from dataclasses import replace
 
 from .bench import (
@@ -33,6 +45,7 @@ from .bench import (
     table5_report,
 )
 from .codes.registry import available_codes, make_code
+from .obs import emit
 from .workloads import ErrorTraceConfig, generate_errors, write_trace
 
 __all__ = ["main", "build_parser"]
@@ -49,6 +62,61 @@ EXPERIMENTS = (
 )
 
 
+# -- shared flag vocabulary ----------------------------------------------------
+
+def _add_scale_flag(p: argparse.ArgumentParser, default: str = "full") -> None:
+    p.add_argument(
+        "--scale", choices=("quick", "full"), default=default,
+        help=f"grid size (default: {default})",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="deprecated alias of --scale quick",
+    )
+
+
+def _add_workload_flags(
+    p: argparse.ArgumentParser, legacy_pool_workers: bool = False
+) -> None:
+    p.add_argument("--errors", type=int, help="override: number of partial stripe errors")
+    p.add_argument("--seed", type=int, help="override: workload seed")
+    # bench's --workers historically named the process pool; it is parsed
+    # as a string there so the legacy "auto" spelling can be shimmed.
+    p.add_argument(
+        "--workers", type=(str if legacy_pool_workers else int), default=None,
+        help="override: simulated SOR worker count",
+    )
+    p.add_argument(
+        "--sor-workers", type=int, dest="sor_workers",
+        help="deprecated alias of --workers",
+    )
+    p.add_argument(
+        "--cache-mbs", type=str,
+        help="override: comma-separated cache sizes in MB (e.g. 8,16,32)",
+    )
+
+
+def _add_engine_flags(p: argparse.ArgumentParser, default_workers: str = "auto") -> None:
+    p.add_argument(
+        "--engine-workers", default=None, metavar="N",
+        help="process-pool size: an int, 0 = in-process serial, or 'auto' "
+             f"= os.cpu_count() (default: {default_workers})",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result cache directory",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache",
+    )
+    p.add_argument(
+        "--no-batch", action="store_true",
+        help="disable single-pass group replay; compute every hit-ratio "
+             "cell through the per-point golden path",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fbf",
@@ -58,15 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     for exp in EXPERIMENTS:
         p = sub.add_parser(exp, help=f"run the {exp} experiment")
-        p.add_argument("--quick", action="store_true", help="small, fast scale")
-        p.add_argument("--errors", type=int, help="number of partial stripe errors")
-        p.add_argument("--workers", type=int, help="SOR worker count")
-        p.add_argument("--seed", type=int, help="workload seed")
-        p.add_argument(
-            "--cache-mbs",
-            type=str,
-            help="comma-separated cache sizes in MB (e.g. 8,16,32)",
-        )
+        _add_scale_flag(p, default="full")
+        _add_workload_flags(p)
 
     b = sub.add_parser(
         "bench",
@@ -77,29 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(*EXPERIMENT_NAMES, "all"),
         help="which sweep to run ('all' = every experiment)",
     )
-    b.add_argument(
-        "--scale", choices=("quick", "full"), default="quick",
-        help="grid size (default: quick)",
-    )
-    b.add_argument(
-        "--workers", default="auto",
-        help="process-pool size: an int, 0 = in-process serial, "
-             "or 'auto' = os.cpu_count() (default)",
-    )
-    b.add_argument(
-        "--cache-dir", default=None,
-        help="persistent result cache directory "
-             "(default: $XDG_CACHE_HOME/repro-fbf or ~/.cache/repro-fbf)",
-    )
-    b.add_argument(
-        "--no-cache", action="store_true",
-        help="disable the persistent result cache",
-    )
-    b.add_argument(
-        "--no-batch", action="store_true",
-        help="disable single-pass group replay; compute every hit-ratio "
-             "cell through the per-point golden path",
-    )
+    _add_scale_flag(b, default="quick")
+    _add_workload_flags(b, legacy_pool_workers=True)
+    _add_engine_flags(b, default_workers="auto")
     b.add_argument(
         "--out", default=".",
         help="directory for BENCH_<experiment>.json (default: .)",
@@ -112,13 +153,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--show", action="store_true",
         help="print the experiment's figure/table report, not just timings",
     )
-    b.add_argument("--errors", type=int, help="override: number of errors")
-    b.add_argument("--seed", type=int, help="override: workload seed")
-    b.add_argument("--sor-workers", type=int,
-                   help="override: simulated SOR worker count")
-    b.add_argument(
-        "--cache-mbs", type=str,
-        help="override: comma-separated cache sizes in MB (e.g. 8,16,32)",
+
+    o = sub.add_parser(
+        "obs",
+        help="run one experiment with observability on and summarize "
+             "kernel/engine/bench metrics",
+    )
+    o.add_argument(
+        "experiment", nargs="?", default="fig8", choices=EXPERIMENT_NAMES,
+        help="which sweep to observe (default: fig8)",
+    )
+    _add_scale_flag(o, default="quick")
+    _add_workload_flags(o)
+    _add_engine_flags(o, default_workers="0")
+    o.add_argument(
+        "--jsonl", metavar="PATH",
+        help="also write the metrics as a JSON-lines artifact",
+    )
+    o.add_argument(
+        "--prometheus", metavar="PATH",
+        help="also write the metrics in Prometheus text format",
+    )
+    o.add_argument(
+        "--no-kernel-probe", action="store_true",
+        help="skip the small DES probe that feeds kernel-layer metrics "
+             "when the chosen grid has no event-simulation points",
     )
 
     t = sub.add_parser("trace", help="generate a partial-stripe-error trace file")
@@ -137,7 +196,8 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--code", default="tip", choices=available_codes())
     r.add_argument("--p", type=int, default=7)
     r.add_argument("--blocks", type=int, default=64, help="total cache blocks")
-    r.add_argument("--workers", type=int, default=8)
+    r.add_argument("--workers", type=int, default=8,
+                   help="simulated SOR worker count")
 
     m = sub.add_parser(
         "mttdl", help="reliability impact of a reconstruction-time improvement"
@@ -168,24 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
     rb.add_argument("--code", default="tip", choices=available_codes())
     rb.add_argument("--p", type=int, default=11)
     rb.add_argument("--stripes", type=int, default=20)
-    rb.add_argument("--workers", type=int, default=8)
+    rb.add_argument("--workers", type=int, default=8,
+                    help="simulated SOR worker count")
 
     rep = sub.add_parser("report", help="regenerate every figure/table into a directory")
     rep.add_argument("--out", default="fbf-report", help="output directory")
-    rep.add_argument("--quick", action="store_true")
-    rep.add_argument("--errors", type=int)
-    rep.add_argument("--workers", type=int)
-    rep.add_argument("--seed", type=int)
-    rep.add_argument("--cache-mbs", type=str)
-    rep.add_argument(
-        "--engine-workers", default="0",
-        help="process-pool size for the sweeps: int, 0 = serial (default), "
-             "or 'auto'",
-    )
-    rep.add_argument(
-        "--cache-dir", default=None,
-        help="persistent result cache directory (default: off)",
-    )
+    _add_scale_flag(rep, default="full")
+    _add_workload_flags(rep)
+    _add_engine_flags(rep, default_workers="0")
 
     c = sub.add_parser(
         "check",
@@ -206,36 +256,92 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _scale_from(args: argparse.Namespace) -> Scale:
-    scale = QUICK if args.quick else FULL
-    overrides = {}
+# -- deprecation shims + flag resolution ---------------------------------------
+
+def _resolve_sor_workers(args: argparse.Namespace) -> tuple[int | None, str | None]:
+    """Resolve ``--workers``/``--sor-workers`` into (SOR count, legacy pool).
+
+    ``--sor-workers`` is the deprecated alias of ``--workers``.  On
+    ``bench``, the historical ``--workers auto`` spelling named the
+    *process pool*; it is routed to the engine-worker setting (second
+    element) with a warning instead of being misread as a SOR count.
+    """
+    workers = getattr(args, "workers", None)
+    sor = getattr(args, "sor_workers", None)
+    if sor is not None:
+        warnings.warn(
+            "--sor-workers is deprecated; use --workers",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if workers is None:
+            workers = sor
+    if isinstance(workers, str):
+        # bench only: the historical pool spellings. "auto" and 0 are
+        # never valid SOR counts, so both route to the engine setting.
+        if workers == "auto" or int(workers) == 0:
+            warnings.warn(
+                f"--workers {workers} is deprecated: --workers now names "
+                "the simulated SOR worker count on every subcommand; use "
+                f"--engine-workers {workers} for the process pool",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return None, workers
+        workers = int(workers)
+    return workers, None
+
+
+def _resolve_scale(args: argparse.Namespace) -> tuple[str, Scale, str | None]:
+    """(scale name, Scale with workload overrides, legacy pool override)."""
+    if getattr(args, "quick", False):
+        warnings.warn(
+            "--quick is deprecated; use --scale quick",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        name = "quick"
+    else:
+        name = args.scale
+    scale = QUICK if name == "quick" else FULL
+    sor_workers, legacy_pool = _resolve_sor_workers(args)
+    overrides: dict = {}
     if args.errors is not None:
         overrides["n_errors"] = args.errors
-    if args.workers is not None:
-        overrides["workers"] = args.workers
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if sor_workers is not None:
+        overrides["workers"] = sor_workers
     if args.cache_mbs:
         overrides["cache_mbs"] = tuple(
             float(x) for x in args.cache_mbs.split(",") if x.strip()
         )
-    return replace(scale, **overrides) if overrides else scale
+    return name, replace(scale, **overrides) if overrides else scale, legacy_pool
 
 
-def _bench_scale(args: argparse.Namespace) -> Scale:
-    scale = QUICK if args.scale == "quick" else FULL
-    overrides = {}
-    if args.errors is not None:
-        overrides["n_errors"] = args.errors
-    if args.seed is not None:
-        overrides["seed"] = args.seed
-    if args.sor_workers is not None:
-        overrides["workers"] = args.sor_workers
-    if args.cache_mbs:
-        overrides["cache_mbs"] = tuple(
-            float(x) for x in args.cache_mbs.split(",") if x.strip()
-        )
-    return replace(scale, **overrides) if overrides else scale
+def _engine_config(
+    args: argparse.Namespace,
+    legacy_pool: str | None = None,
+    default_workers: int | str = "auto",
+    default_cache: bool = False,
+):
+    """Build the EngineConfig shared by bench/report/obs from their flags."""
+    from .bench import EngineConfig, default_cache_dir
+
+    workers: int | str | None = args.engine_workers
+    if workers is None:
+        workers = legacy_pool if legacy_pool is not None else default_workers
+    if workers != "auto":
+        workers = int(workers)
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = default_cache_dir() if default_cache else None
+    return EngineConfig(
+        workers=workers, cache_dir=cache_dir, batch=not args.no_batch
+    )
 
 
 _BENCH_METRICS = {
@@ -254,18 +360,15 @@ def _run_bench(args: argparse.Namespace) -> int:
     from .bench import (
         EngineConfig,
         bench_summary,
-        default_cache_dir,
         experiment_grid,
         rows_equivalent,
         run_grid,
         write_bench_json,
     )
 
-    scale = _bench_scale(args)
-    workers: int | str = args.workers if args.workers == "auto" else int(args.workers)
-    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
-    engine = EngineConfig(
-        workers=workers, cache_dir=cache_dir, batch=not args.no_batch
+    scale_name, scale, legacy_pool = _resolve_scale(args)
+    engine = _engine_config(
+        args, legacy_pool, default_workers="auto", default_cache=True
     )
     names = list(EXPERIMENT_NAMES) if args.experiment == "all" else [args.experiment]
 
@@ -285,30 +388,82 @@ def _run_bench(args: argparse.Namespace) -> int:
             extra["serial_wall_s"] = serial.wall_s
             if not identical:
                 divergent.append(name)
-        print(bench_summary(name, args.scale, result))
+        emit(bench_summary(name, scale_name, result))
         if args.check_serial:
             status = "DIVERGED" if name in divergent else "identical"
-            print(f"{'serial check':>14} {status} "
-                  f"(serial wall {extra['serial_wall_s']:.2f} s)")
+            emit(f"{'serial check':>14} {status} "
+                 f"(serial wall {extra['serial_wall_s']:.2f} s)")
         if args.show and name in _BENCH_METRICS:
             metric, title, spec = _BENCH_METRICS[name]
-            print()
-            print(figure_report(result.points, metric, title, spec))
+            emit()
+            emit(figure_report(result.points, metric, title, spec))
         elif args.show and name == "table4":
-            print()
-            print(table4_report(result.points))
+            emit()
+            emit(table4_report(result.points))
         path = write_bench_json(
             Path(args.out) / f"BENCH_{name.replace('-', '_')}.json",
             name,
-            args.scale,
+            scale_name,
             result,
             extra,
         )
-        print(f"{'bench json':>14} {path}")
-        print()
+        emit(f"{'bench json':>14} {path}")
+        emit()
     if divergent:
-        print(f"parallel/serial outputs DIVERGED for: {', '.join(divergent)}")
+        emit(f"parallel/serial outputs DIVERGED for: {', '.join(divergent)}")
         return 1
+    return 0
+
+
+def _kernel_probe(scale: Scale) -> None:
+    """A small DES run so kernel-layer metrics are populated.
+
+    The hit-ratio grids never enter the event kernel; ``repro-fbf obs``
+    runs this probe (unless ``--no-kernel-probe``) so the summary's
+    kernel section reflects a real dispatch loop rather than ``(no
+    data)``.  The probe is tiny and fixed-shape; only the workload seed
+    follows the selected scale.
+    """
+    from .engine import make_backend
+    from .engine.timed import run_timed_replay
+    from .sim import SimConfig
+
+    backend = make_backend("tip", 7)
+    events = backend.generate_events(8, scale.seed)
+    run_timed_replay(backend, events, SimConfig(workers=4))
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    from . import obs
+    from .bench import bench_summary, experiment_grid, run_grid
+
+    scale_name, scale, legacy_pool = _resolve_scale(args)
+    engine = _engine_config(
+        args, legacy_pool, default_workers=0, default_cache=False
+    )
+    if engine.resolved_workers() > 0:
+        emit(
+            "note: obs state is process-local; pooled workers only feed "
+            "the bench layer. Use --engine-workers 0 for full coverage."
+        )
+    grid = experiment_grid(args.experiment, scale)
+    # Observe a cold, self-contained run: warm per-process memos (shared
+    # backends/streams/plan caches) would hide the engine layer's work.
+    from .bench.engine import _reset_worker_state
+
+    _reset_worker_state()
+    registry = obs.enable(fresh=True)
+    result = run_grid(grid, engine)
+    if not args.no_kernel_probe and not any(p.kind == "des" for p in grid):
+        _kernel_probe(scale)
+    obs.disable()
+    emit(bench_summary(args.experiment, scale_name, result))
+    emit()
+    emit(obs.render_summary(registry.snapshot()))
+    if args.jsonl:
+        emit(f"wrote {obs.write_jsonl(registry, args.jsonl)}")
+    if args.prometheus:
+        emit(f"wrote {obs.write_prometheus(registry, args.prometheus)}")
     return 0
 
 
@@ -318,14 +473,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if cmd == "info":
         layout = make_code(args.code, args.p)
-        print(layout.description or layout.name)
-        print(
+        emit(layout.description or layout.name)
+        emit(
             f"{layout.num_disks} disks, {layout.rows} rows, "
             f"{len(layout.data_cells)} data cells, "
             f"{len(layout.parity_cells)} parity cells, "
             f"{len(layout.chains)} chains"
         )
-        print(layout.ascii_grid())
+        emit(layout.ascii_grid())
         return 0
 
     if cmd == "check":
@@ -339,11 +494,14 @@ def main(argv: list[str] | None = None) -> int:
     if cmd == "bench":
         return _run_bench(args)
 
+    if cmd == "obs":
+        return _run_obs(args)
+
     if cmd == "verify":
         from .sim import SimConfig, run_reconstruction
 
         failures = 0
-        print(f"{'code':>12} {'p':>3} {'scheme':>8} {'chunks':>7} {'mismatch':>9}")
+        emit(f"{'code':>12} {'p':>3} {'scheme':>8} {'chunks':>7} {'mismatch':>9}")
         for code in available_codes():
             for p in (5, 7):
                 layout = make_code(code, p)
@@ -358,48 +516,45 @@ def main(argv: list[str] | None = None) -> int:
                     )
                     ok = rep.payload_mismatches == 0
                     failures += not ok
-                    print(f"{layout.name:>12} {p:>3} {scheme:>8} "
-                          f"{rep.payload_chunks_verified:>7d} "
-                          f"{rep.payload_mismatches:>9d}")
-        print("\nall recoveries bit-exact ✓" if failures == 0
-              else f"\n{failures} configurations FAILED verification")
+                    emit(f"{layout.name:>12} {p:>3} {scheme:>8} "
+                         f"{rep.payload_chunks_verified:>7d} "
+                         f"{rep.payload_mismatches:>9d}")
+        emit("\nall recoveries bit-exact ✓" if failures == 0
+             else f"\n{failures} configurations FAILED verification")
         return 0 if failures == 0 else 1
 
     if cmd == "rebuild":
         from .sim import SimConfig, rebuild_read_savings, run_disk_rebuild
 
         layout = make_code(args.code, args.p)
-        print(f"{layout.name} p={args.p}: per-stripe unique reads to rebuild each disk")
-        print(f"{'disk':>5} {'typical':>8} {'greedy':>8} {'saved':>7}")
+        emit(f"{layout.name} p={args.p}: per-stripe unique reads to rebuild each disk")
+        emit(f"{'disk':>5} {'typical':>8} {'greedy':>8} {'saved':>7}")
         for disk in range(layout.num_disks):
             s = rebuild_read_savings(layout, disk, "greedy")
-            print(f"{disk:>5} {s.typical_unique_reads:>8} "
-                  f"{s.scheme_unique_reads:>8} {s.read_reduction:>7.1%}")
-        print(f"\ntimed rebuild of disk 0 ({args.stripes} stripes, "
-              f"{args.workers} workers, FBF cache):")
+            emit(f"{disk:>5} {s.typical_unique_reads:>8} "
+                 f"{s.scheme_unique_reads:>8} {s.read_reduction:>7.1%}")
+        emit(f"\ntimed rebuild of disk 0 ({args.stripes} stripes, "
+             f"{args.workers} workers, FBF cache):")
         for scheme in ("typical", "greedy"):
             rep = run_disk_rebuild(
                 layout, 0, args.stripes,
                 SimConfig(workers=args.workers, scheme_mode=scheme),
             )
-            print(f"  {scheme:8s} reads={rep.disk_reads:6d} "
-                  f"time={rep.reconstruction_time:.3f}s")
+            emit(f"  {scheme:8s} reads={rep.disk_reads:6d} "
+                 f"time={rep.reconstruction_time:.3f}s")
         return 0
 
     if cmd == "report":
-        from .bench import EngineConfig, write_full_report
+        from .bench import write_full_report
 
-        scale = _scale_from(args)
-        workers: int | str = (
-            args.engine_workers
-            if args.engine_workers == "auto"
-            else int(args.engine_workers)
+        _, scale, legacy_pool = _resolve_scale(args)
+        engine = _engine_config(
+            args, legacy_pool, default_workers=0, default_cache=False
         )
-        engine = EngineConfig(workers=workers, cache_dir=args.cache_dir)
         paths = write_full_report(scale, args.out, engine)
-        print(f"wrote {len(paths)} reports to {args.out}/")
+        emit(f"wrote {len(paths)} reports to {args.out}/")
         for path in paths:
-            print(f"  {path.name}")
+            emit(f"  {path.name}")
         return 0
 
     if cmd == "replay":
@@ -410,16 +565,16 @@ def main(argv: list[str] | None = None) -> int:
         backend = make_backend(args.code, args.p)
         errors = read_trace(args.trace)
         plans = PlanCache(backend)
-        print(f"{len(errors)} errors from {args.trace}; {backend.code_label} "
-              f"p={args.p}, {args.blocks} blocks over {args.workers} workers")
-        print(f"{'policy':>8} {'hit ratio':>10} {'disk reads':>11}")
+        emit(f"{len(errors)} errors from {args.trace}; {backend.code_label} "
+             f"p={args.p}, {args.blocks} blocks over {args.workers} workers")
+        emit(f"{'policy':>8} {'hit ratio':>10} {'disk reads':>11}")
         for policy in sorted(available_policies()):
             res = simulate_trace(
                 backend, errors, policy=policy,
                 capacity_blocks=args.blocks, workers=args.workers,
                 plan_cache=plans,
             )
-            print(f"{policy:>8} {res.hit_ratio:>10.4f} {res.disk_reads:>11d}")
+            emit(f"{policy:>8} {res.hit_ratio:>10.4f} {res.disk_reads:>11d}")
         return 0
 
     if cmd == "mttdl":
@@ -428,11 +583,11 @@ def main(argv: list[str] | None = None) -> int:
         cmp = wov_improvement(
             args.disks, args.mtbf_hours, args.baseline_hours, args.improved_hours
         )
-        print(f"window of vulnerability: {args.baseline_hours:.3f}h -> "
-              f"{args.improved_hours:.3f}h ({cmp.wov_reduction_percent:.1f}% smaller)")
-        print(f"MTTDL: {cmp.baseline_mttdl_hours:.3e}h -> "
-              f"{cmp.improved_mttdl_hours:.3e}h "
-              f"({cmp.mttdl_gain_factor:.2f}x)")
+        emit(f"window of vulnerability: {args.baseline_hours:.3f}h -> "
+             f"{args.improved_hours:.3f}h ({cmp.wov_reduction_percent:.1f}% smaller)")
+        emit(f"MTTDL: {cmp.baseline_mttdl_hours:.3e}h -> "
+             f"{cmp.improved_mttdl_hours:.3e}h "
+             f"({cmp.mttdl_gain_factor:.2f}x)")
         return 0
 
     if cmd == "lrc":
@@ -443,8 +598,8 @@ def main(argv: list[str] | None = None) -> int:
         plans = PlanCache(backend)
         blocks_list = [int(x) for x in args.blocks.split(",") if x.strip()]
         policies = ("fifo", "lru", "lfu", "arc", "fbf")
-        print(f"{backend.code_label}: {len(events)} failure batches, 4 workers")
-        print(f"{'blocks':>7} " + " ".join(f"{p:>8}" for p in policies))
+        emit(f"{backend.code_label}: {len(events)} failure batches, 4 workers")
+        emit(f"{'blocks':>7} " + " ".join(f"{p:>8}" for p in policies))
         for blocks in blocks_list:
             row = [f"{blocks:>7}"]
             for policy in policies:
@@ -453,7 +608,7 @@ def main(argv: list[str] | None = None) -> int:
                     workers=4, plan_cache=plans,
                 )
                 row.append(f"{res.hit_ratio:>8.4f}")
-            print(" ".join(row))
+            emit(" ".join(row))
         return 0
 
     if cmd == "trace":
@@ -466,32 +621,32 @@ def main(argv: list[str] | None = None) -> int:
             write_trace(sys.stdout, errors, metadata=meta)
         else:
             write_trace(args.out, errors, metadata=meta)
-            print(f"wrote {len(errors)} errors to {args.out}")
+            emit(f"wrote {len(errors)} errors to {args.out}")
         return 0
 
-    scale = _scale_from(args)
+    _, scale, _ = _resolve_scale(args)
     if cmd == "fig8":
-        print(figure_report(fig8_hit_ratio(scale), "hit_ratio",
-                            "Figure 8: cache hit ratio during reconstruction"))
+        emit(figure_report(fig8_hit_ratio(scale), "hit_ratio",
+                           "Figure 8: cache hit ratio during reconstruction"))
     elif cmd == "fig9":
-        print(figure_report(fig9_read_ops(scale), "disk_reads",
-                            "Figure 9: disk reads during reconstruction (TIP)", "d"))
+        emit(figure_report(fig9_read_ops(scale), "disk_reads",
+                           "Figure 9: disk reads during reconstruction (TIP)", "d"))
     elif cmd == "fig10":
-        print(figure_report(fig10_response_time(scale), "avg_response_time",
-                            "Figure 10: average response time (s)", ".5f"))
+        emit(figure_report(fig10_response_time(scale), "avg_response_time",
+                           "Figure 10: average response time (s)", ".5f"))
     elif cmd == "fig11":
-        print(figure_report(fig11_reconstruction_time(scale), "reconstruction_time",
-                            "Figure 11: reconstruction time (s, TIP)", ".3f"))
+        emit(figure_report(fig11_reconstruction_time(scale), "reconstruction_time",
+                           "Figure 11: reconstruction time (s, TIP)", ".3f"))
     elif cmd == "table4":
-        print(table4_report(table4_overhead(scale)))
+        emit(table4_report(table4_overhead(scale)))
     elif cmd == "table5":
-        print(table5_report(table5_max_improvement(scale)))
+        emit(table5_report(table5_max_improvement(scale)))
     elif cmd == "ablation-scheme":
-        print(figure_report(ablation_scheme(scale), "hit_ratio",
-                            "Ablation: recovery scheme selection (hit ratio)"))
+        emit(figure_report(ablation_scheme(scale), "hit_ratio",
+                           "Ablation: recovery scheme selection (hit ratio)"))
     elif cmd == "ablation-demotion":
-        print(figure_report(ablation_demotion(scale), "hit_ratio",
-                            "Ablation: demote-on-hit vs sticky (hit ratio)"))
+        emit(figure_report(ablation_demotion(scale), "hit_ratio",
+                           "Ablation: demote-on-hit vs sticky (hit ratio)"))
     else:  # pragma: no cover - argparse guards this
         raise SystemExit(f"unknown command {cmd}")
     return 0

@@ -35,6 +35,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..cache.base import CachePolicy
 from ..cache.registry import make_policy
+from ..obs import runtime as _obs
 from .backend import CodeBackend, make_priority_model
 from .stackdist import StackDistanceProfile
 from .tracesim import PlanCache, TraceSimResult, effective_partition
@@ -141,6 +142,14 @@ def intern_stream(
     elif plan_cache.backend is not backend:
         raise ValueError("plan_cache was built for a different backend")
 
+    obs_on = _obs.ENABLED
+    if obs_on:
+        before_hits, before_misses = plan_cache.counts()
+        decode_span = _obs.span(
+            "engine.intern_stream", {"code": backend.code_label, "hint": hint}
+        )
+        decode_span.__enter__()
+
     index: dict[Any, int] = {}
     event_pairs: list[tuple[tuple[int, int], ...]] = []
     get_plan = plan_cache.get
@@ -157,7 +166,19 @@ def intern_stream(
             append((bid, hint_value))
         event_pairs.append(tuple(pairs))
     # dict preserves insertion order, so tuple(index) is keys-by-bid.
-    return InternedStream(backend, hint, tuple(index), tuple(event_pairs))
+    stream = InternedStream(backend, hint, tuple(index), tuple(event_pairs))
+    if obs_on:
+        decode_span["events"] = stream.n_events
+        decode_span["blocks"] = stream.n_blocks
+        decode_span.__exit__(None, None, None)
+        after_hits, after_misses = plan_cache.counts()
+        _obs.counter("engine.streams_interned").inc()
+        _obs.counter("engine.stream.events").inc(stream.n_events)
+        _obs.counter("engine.stream.requests").inc(stream.total_requests)
+        _obs.counter("engine.plan_cache.hits").inc(after_hits - before_hits)
+        _obs.counter("engine.plan_cache.misses").inc(after_misses - before_misses)
+        _obs.gauge("engine.plan_cache.entries").set(len(plan_cache))
+    return stream
 
 
 @dataclass
@@ -333,6 +354,14 @@ def simulate_grid_pass(
       requests minus distinct blocks.
     """
     configs = list(configs)
+    obs_on = _obs.ENABLED
+    if obs_on:
+        pass_span = _obs.span(
+            "engine.grid_pass",
+            {"code": backend.code_label, "n_configs": len(configs)},
+        )
+        pass_span.__enter__()
+        n_lru_fast = n_stepped = 0
     streams: dict[str, InternedStream] = {}
     if stream is not None:
         if stream.backend is not backend:
@@ -357,6 +386,8 @@ def simulate_grid_pass(
         st = stream_for(config.hint)
         if lru_fast_path and _is_plain_lru(config):
             results.append(_replay_lru_fast(st, config, lru_profiles))
+            if obs_on:
+                n_lru_fast += 1
             continue
         distincts = None
         if lru_fast_path and _is_saturation_eligible(config):
@@ -369,4 +400,14 @@ def simulate_grid_pass(
                     len(set(bids)) for bids, _ in st.worker_substreams(workers)
                 ]
         results.append(_replay_stepped(st, config, worker_distincts=distincts))
+        if obs_on:
+            n_stepped += 1
+    if obs_on:
+        pass_span["lru_fast_rows"] = n_lru_fast
+        pass_span["stepped_rows"] = n_stepped
+        pass_span.__exit__(None, None, None)
+        _obs.counter("engine.grid.passes").inc()
+        _obs.counter("engine.grid.configs").inc(len(configs))
+        _obs.counter("engine.grid.lru_fast_rows").inc(n_lru_fast)
+        _obs.counter("engine.grid.stepped_rows").inc(n_stepped)
     return results

@@ -25,6 +25,7 @@ from typing import Any, Callable, Hashable, Sequence
 
 from ..cache.base import CachePolicy
 from ..cache.registry import make_policy
+from ..obs import runtime as _obs
 from .backend import CodeBackend, EnginePlan, make_priority_model
 
 __all__ = [
@@ -105,6 +106,10 @@ class PlanCache:
         """Lifetime counters: plan-memo hits/misses and live entries."""
         return {"hits": self._hits, "misses": self._misses, "entries": len(self._memo)}
 
+    def counts(self) -> tuple[int, int]:
+        """``(hits, misses)`` — the cheap snapshot obs deltas are made of."""
+        return self._hits, self._misses
+
 
 def effective_partition(
     capacity_blocks: int, workers: int, n_events: int
@@ -157,7 +162,72 @@ def simulate_trace(
     :class:`repro.checks.SimSanitizer`, which raises
     :class:`repro.checks.InvariantViolation` the moment a cache invariant
     (FBF single-residency, demotion order, capacity accounting) breaks.
+
+    With :mod:`repro.obs` enabled the call is wrapped in an
+    ``engine.simulate_trace`` span and publishes replay/request counters
+    plus the plan-cache hit/miss delta; disabled, the only added cost is
+    this one flag test.
     """
+    if _obs.ENABLED:
+        if plan_cache is None:
+            plan_cache = PlanCache(backend)
+        before_hits, before_misses = plan_cache.counts()
+        with _obs.span(
+            "engine.simulate_trace",
+            {
+                "code": backend.code_label,
+                "policy": policy if policy_factory is None else "custom",
+                "capacity_blocks": capacity_blocks,
+                "workers": workers,
+            },
+        ):
+            result = _simulate_trace_impl(
+                backend,
+                events,
+                policy=policy,
+                capacity_blocks=capacity_blocks,
+                workers=workers,
+                policy_factory=policy_factory,
+                plan_cache=plan_cache,
+                policy_kwargs=policy_kwargs,
+                hint=hint,
+                sanitize=sanitize,
+            )
+        after_hits, after_misses = plan_cache.counts()
+        _obs.counter("engine.replays").inc()
+        _obs.counter("engine.requests").inc(result.requests)
+        _obs.counter("engine.cache_hits").inc(result.hits)
+        _obs.counter("engine.plan_cache.hits").inc(after_hits - before_hits)
+        _obs.counter("engine.plan_cache.misses").inc(after_misses - before_misses)
+        _obs.gauge("engine.plan_cache.entries").set(len(plan_cache))
+        return result
+    return _simulate_trace_impl(
+        backend,
+        events,
+        policy=policy,
+        capacity_blocks=capacity_blocks,
+        workers=workers,
+        policy_factory=policy_factory,
+        plan_cache=plan_cache,
+        policy_kwargs=policy_kwargs,
+        hint=hint,
+        sanitize=sanitize,
+    )
+
+
+def _simulate_trace_impl(
+    backend: CodeBackend,
+    events: Sequence[Any],
+    policy: str = "fbf",
+    capacity_blocks: int = 64,
+    workers: int = 1,
+    policy_factory: Callable[[int], CachePolicy] | None = None,
+    plan_cache: PlanCache | None = None,
+    policy_kwargs: dict | None = None,
+    hint: str = "priority",
+    sanitize: bool = False,
+) -> TraceSimResult:
+    """The replay body — identical with obs on or off (row equality)."""
     model = make_priority_model(hint)
     if plan_cache is None:
         plan_cache = PlanCache(backend)

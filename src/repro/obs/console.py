@@ -1,0 +1,26 @@
+"""The one sanctioned console funnel for library/CLI text output.
+
+simlint's OBS001 rule forbids bare ``print()`` anywhere under
+``src/repro``: scattered prints cannot be captured, redirected or
+silenced coherently, and they bypass the observability layer entirely.
+Everything user-facing routes through :func:`emit` instead — one
+choke point that tests can point at a buffer and future exporters can
+tee.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+__all__ = ["emit"]
+
+
+def emit(text: str = "", stream: TextIO | None = None) -> None:
+    """Write one line of user-facing output (defaults to stdout).
+
+    ``sys.stdout`` is resolved per call, not at import, so pytest's
+    capture and ``contextlib.redirect_stdout`` both keep working.
+    """
+    out = stream if stream is not None else sys.stdout
+    out.write(f"{text}\n")

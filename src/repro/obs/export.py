@@ -1,0 +1,124 @@
+"""Exporters: JSON-lines (machine artifact) and Prometheus text format.
+
+Both read a :class:`~repro.obs.metrics.MetricRegistry` snapshot, so they
+can run after :func:`repro.obs.disable` — the CLI records a run, stops
+the clock, then exports.
+
+JSONL layout (one JSON object per line, ``type`` discriminates):
+
+* ``meta`` — schema version and export wall time;
+* ``counter`` / ``gauge`` / ``histogram`` — one per metric;
+* ``span_summary`` — per-name aggregate (count / total_s / max_s);
+* ``span`` — each raw span (bounded; ``meta.spans_dropped`` counts the
+  overflow).
+
+The Prometheus exporter emits the standard text exposition format with
+metric names mangled ``repro_<name with [.-] -> _>``; histograms expand
+to ``_bucket{le=...}`` / ``_sum`` / ``_count`` series.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from .metrics import MetricRegistry
+
+__all__ = ["write_jsonl", "to_prometheus", "write_prometheus"]
+
+JSONL_SCHEMA = 1
+
+
+def _finite(value: float) -> float | None:
+    """JSON-safe float: inf/nan (empty-histogram min/max) become null."""
+    return value if value == value and abs(value) != float("inf") else None
+
+
+def jsonl_records(registry: MetricRegistry) -> list[dict[str, Any]]:
+    """The JSONL document as a list of records (tests consume this)."""
+    snap = registry.snapshot()
+    records: list[dict[str, Any]] = [
+        {
+            "type": "meta",
+            "schema": JSONL_SCHEMA,
+            "exported_at": time.time(),
+            "spans_dropped": snap["spans_dropped"],
+        }
+    ]
+    for name, value in snap["counters"].items():
+        records.append({"type": "counter", "name": name, "value": value})
+    for name, value in snap["gauges"].items():
+        records.append({"type": "gauge", "name": name, "value": value})
+    for name, hist in snap["histograms"].items():
+        records.append({"type": "histogram", "name": name, **hist})
+    for name, agg in snap["spans"].items():
+        records.append({"type": "span_summary", "name": name, **agg})
+    for span in registry.spans:
+        records.append(
+            {
+                "type": "span",
+                "name": span.name,
+                "start_s": span.start_s,
+                "duration_s": span.duration_s,
+                "attrs": span.attrs,
+            }
+        )
+    return records
+
+
+def write_jsonl(registry: MetricRegistry, path: str | Path) -> Path:
+    """Write the registry as a JSON-lines artifact; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(record, sort_keys=True, default=_finite)
+        for record in jsonl_records(registry)
+    ]
+    out.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return out
+
+
+def _prom_name(name: str) -> str:
+    mangled = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{mangled}"
+
+
+def to_prometheus(registry: MetricRegistry) -> str:
+    """Render every metric in the Prometheus text exposition format."""
+    snap = registry.snapshot()
+    lines: list[str] = []
+    for name, value in snap["counters"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value}")
+    for name, value in snap["gauges"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value}")
+    for name, hist in snap["histograms"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{prom}_bucket{{le="{bound}"}} {cumulative}')
+        cumulative += hist["counts"][-1]
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{prom}_sum {hist['sum']}")
+        lines.append(f"{prom}_count {hist['count']}")
+    # Span aggregates surface as synthetic counters so scrapers see them.
+    for name, agg in snap["spans"].items():
+        prom = _prom_name(f"span.{name}")
+        lines.append(f"# TYPE {prom}_seconds_total counter")
+        lines.append(f"{prom}_seconds_total {agg['total_s']}")
+        lines.append(f"{prom}_count {agg['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricRegistry, path: str | Path) -> Path:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(to_prometheus(registry), encoding="utf-8")
+    return out

@@ -1,0 +1,104 @@
+"""The obs on/off switch and the module-level no-op fast path.
+
+Instrumented modules import this module once and guard every update
+behind the module global :data:`ENABLED`::
+
+    from ..obs import runtime as _obs
+    ...
+    if _obs.ENABLED:
+        _obs.counter("kernel.events_dispatched").inc(n)
+
+With observability off (the default) that guard is one module-attribute
+load and a falsy branch — no allocation, no dict lookup, no call — which
+is what keeps the replay hot loops within the ≤2% overhead contract
+(DESIGN.md §12).  Handle accessors (:func:`counter` & friends) return
+the shared :data:`~repro.obs.metrics.NULL_METRIC` while disabled, so
+even unguarded call sites degrade to cheap no-ops rather than breaking.
+
+State is process-local by design: a ``ProcessPoolExecutor`` worker has
+its own (disabled) copy, so pooled sweeps only observe driver-side
+metrics.  The ``repro-fbf obs`` subcommand therefore runs in-process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .metrics import NULL_METRIC, MetricRegistry, NullMetric, Span
+
+__all__ = [
+    "ENABLED",
+    "enabled",
+    "enable",
+    "disable",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+]
+
+#: The fast-path flag.  Read directly (``_obs.ENABLED``) from hot code;
+#: mutate only through :func:`enable` / :func:`disable`.
+ENABLED: bool = False
+
+_REGISTRY: MetricRegistry | None = None
+
+
+def enabled() -> bool:
+    """Is instrumentation currently recording?"""
+    return ENABLED
+
+
+def enable(fresh: bool = False, max_spans: int = 4096) -> MetricRegistry:
+    """Turn instrumentation on; returns the active registry.
+
+    ``fresh=True`` discards any previously collected metrics (the CLI
+    does this so one ``repro-fbf obs`` invocation summarizes exactly one
+    run); the default resumes the existing registry, letting callers
+    accumulate across several simulations.
+    """
+    global ENABLED, _REGISTRY
+    if fresh or _REGISTRY is None:
+        _REGISTRY = MetricRegistry(max_spans=max_spans)
+    ENABLED = True
+    return _REGISTRY
+
+
+def disable() -> None:
+    """Stop recording.  The registry survives for export/summary."""
+    global ENABLED
+    ENABLED = False
+
+
+def registry() -> MetricRegistry | None:
+    """The active registry, or None if :func:`enable` was never called."""
+    return _REGISTRY
+
+
+def counter(name: str):
+    """Counter handle — :data:`NULL_METRIC` while disabled."""
+    if not ENABLED or _REGISTRY is None:
+        return NULL_METRIC
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str):
+    """Gauge handle — :data:`NULL_METRIC` while disabled."""
+    if not ENABLED or _REGISTRY is None:
+        return NULL_METRIC
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str):
+    """Histogram handle — :data:`NULL_METRIC` while disabled."""
+    if not ENABLED or _REGISTRY is None:
+        return NULL_METRIC
+    return _REGISTRY.histogram(name)
+
+
+def span(name: str, attrs: Mapping[str, Any] | None = None) -> Span | NullMetric:
+    """A context-manager trace span — a shared no-op while disabled."""
+    if not ENABLED or _REGISTRY is None:
+        return NULL_METRIC
+    return _REGISTRY.span(name, attrs)

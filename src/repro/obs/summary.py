@@ -1,0 +1,68 @@
+"""Human-readable rendering of an obs registry — ``repro-fbf obs``.
+
+Metrics are grouped by their leading dotted segment into the layer
+sections the acceptance contract names — kernel, engine, bench — with
+any other prefix appended after.  A section with no data still prints
+(with a ``(no data)`` marker) so the summary's shape is stable and a
+missing instrumentation layer is visible, not silent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["render_summary", "LAYER_ORDER"]
+
+#: Section order; prefixes not listed here render afterwards, sorted.
+LAYER_ORDER: tuple[str, ...] = ("kernel", "engine", "bench")
+
+
+def _layer(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_summary(snapshot: Mapping[str, Any]) -> str:
+    """Render one registry snapshot as the layered text summary."""
+    sections: dict[str, list[str]] = {}
+
+    def add(name: str, text: str) -> None:
+        sections.setdefault(_layer(name), []).append(text)
+
+    for name, value in snapshot.get("counters", {}).items():
+        add(name, f"  {name:<44} {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        add(name, f"  {name:<44} {_fmt(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        mean = hist.get("mean", 0.0)
+        peak = hist.get("max")
+        add(
+            name,
+            f"  {name:<44} n={hist['count']} mean={_fmt(mean)}"
+            + (f" max={_fmt(peak)}" if peak is not None else ""),
+        )
+    for name, agg in snapshot.get("spans", {}).items():
+        add(
+            name,
+            f"  {name:<44} spans={agg['count']} "
+            f"total={_fmt(agg['total_s'])}s max={_fmt(agg['max_s'])}s",
+        )
+
+    ordered = list(LAYER_ORDER) + sorted(set(sections) - set(LAYER_ORDER))
+    lines = ["== observability summary =="]
+    for layer in ordered:
+        rows = sections.get(layer)
+        lines.append(f"[{layer}]")
+        if rows:
+            lines.extend(sorted(rows))
+        else:
+            lines.append("  (no data)")
+    dropped = snapshot.get("spans_dropped", 0)
+    if dropped:
+        lines.append(f"({dropped} raw spans dropped beyond the retention cap)")
+    return "\n".join(lines)

@@ -28,6 +28,8 @@ from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable
 
+from ..obs import runtime as _obs
+
 __all__ = [
     "Environment",
     "Event",
@@ -204,11 +206,13 @@ class Process(Event):
 class Request(Event):
     """A pending claim on a :class:`Resource`; fires when granted."""
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "queued_at")
 
     def __init__(self, env: "Environment", resource: "Resource"):
         super().__init__(env)
         self.resource = resource
+        #: virtual time the request entered the wait queue (obs only).
+        self.queued_at: float | None = None
 
     def __enter__(self) -> "Request":
         return self
@@ -248,8 +252,13 @@ class Resource:
         if len(self._holders) < self.capacity:
             self._holders[req] = None
             req.succeed(req)
+            if _obs.ENABLED:
+                _obs.counter("kernel.resource.granted_immediate").inc()
         else:
             self._queue.append(req)
+            if _obs.ENABLED:
+                _obs.counter("kernel.resource.queued").inc()
+                req.queued_at = self.env.now
         return req
 
     def release(self, req: Request) -> None:
@@ -266,6 +275,10 @@ class Resource:
             nxt = self._queue.popleft()
             self._holders[nxt] = None
             nxt.succeed(nxt)
+            if _obs.ENABLED and nxt.queued_at is not None:
+                _obs.histogram("kernel.resource.wait_vtime").observe(
+                    self.env.now - nxt.queued_at
+                )
 
 
 class Store:
@@ -427,8 +440,15 @@ class Environment:
         the common timeout path never re-wraps or re-examines them.
         Subclasses that override :meth:`step` (e.g. the checks module's
         ``SanitizedEnvironment``) keep the stepwise dispatch so their
-        per-event hooks still run.
+        per-event hooks still run.  With observability enabled
+        (:mod:`repro.obs`), dispatch goes through :meth:`_run_observed`
+        — a stepwise loop wrapped in a ``kernel.run`` span that counts
+        dispatched events; the obs check itself is a single module-flag
+        test per ``run()`` call, so the disabled path stays on the
+        inlined loop untouched.
         """
+        if _obs.ENABLED:
+            return self._run_observed(until)
         if type(self).step is not Environment.step:
             return self._run_stepwise(until)
         heap = self._heap
@@ -461,6 +481,51 @@ class Environment:
             event._process()
         self.now = deadline
         return None
+
+    def _run_observed(self, until: float | Event | None = None) -> Any:
+        """:meth:`run` with obs recording — same semantics, stepwise dispatch.
+
+        Dispatch stays ``self.step()`` so sanitizer/subclass hooks keep
+        running; the count is kept in a local and published once, after
+        the loop, together with the ``kernel.run`` span and the final
+        virtual clock.
+        """
+        dispatched = 0
+        with _obs.span("kernel.run") as sp:
+            try:
+                if isinstance(until, Event):
+                    target = until
+                    while not target.processed:
+                        if not self._heap:
+                            raise SimulationError(
+                                "event queue drained before target event fired "
+                                "(deadlock?)"
+                            )
+                        self.step()
+                        dispatched += 1
+                    if not target.ok:
+                        raise target.value
+                    return target.value
+                if until is None:
+                    while self._heap:
+                        self.step()
+                        dispatched += 1
+                    return None
+                deadline = float(until)
+                if deadline < self.now:
+                    raise ValueError(
+                        f"deadline {deadline} is in the past (now={self.now})"
+                    )
+                while self._heap and self._heap[0][0] <= deadline:
+                    self.step()
+                    dispatched += 1
+                self.now = deadline
+                return None
+            finally:
+                sp["events"] = dispatched
+                _obs.counter("kernel.runs").inc()
+                _obs.counter("kernel.events_dispatched").inc(dispatched)
+                _obs.gauge("kernel.virtual_time").set(self.now)
 
     def _run_stepwise(self, until: float | Event | None = None) -> Any:
         """:meth:`run` via ``self.step()`` — honours overridden dispatch."""

@@ -198,6 +198,38 @@ class TestEngineResult:
         assert seen == [(1, 3), (2, 3), (3, 3)]
 
 
+class TestPlanCacheSurfacing:
+    def test_serial_run_reports_plan_activity(self):
+        from repro.bench.engine import _reset_worker_state
+
+        _reset_worker_state()
+        result = run_grid(tiny_grid("fig8"), SERIAL)
+        assert result.plan_cache_misses > 0
+        # Second run in the same process hits the warm memo: no new
+        # misses, and the delta honestly reports zero plan work.
+        warm = run_grid(tiny_grid("fig8"), SERIAL)
+        assert warm.plan_cache_misses == 0
+        assert warm.points == result.points
+
+    def test_payload_carries_plan_counts(self):
+        from repro.bench.engine import _reset_worker_state
+
+        _reset_worker_state()
+        result = run_grid(tiny_grid("fig8"), SERIAL)
+        payload = bench_payload("fig8", "quick", result)
+        assert payload["plan_cache_misses"] == result.plan_cache_misses
+        assert payload["plan_cache_hits"] == result.plan_cache_hits
+
+
+class TestDeprecatedConfigKwarg:
+    def test_config_warns_and_matches_engine(self):
+        grid = tiny_grid("fig9")[:2]
+        new = run_grid(grid, SERIAL)
+        with pytest.warns(DeprecationWarning, match="engine="):
+            old = run_grid(grid, config=SERIAL)
+        assert old.points == new.points
+
+
 class TestBenchJson:
     def test_payload_schema(self, tmp_path):
         grid = tiny_grid("fig9")[:2]

@@ -46,7 +46,7 @@ def test_cli_report_command(tmp_path, capsys):
 
     out = tmp_path / "cli-report"
     rc = main([
-        "report", "--out", str(out), "--quick",
+        "report", "--out", str(out), "--scale", "quick",
         "--errors", "6", "--workers", "2", "--cache-mbs", "0.25,1",
     ])
     assert rc == 0

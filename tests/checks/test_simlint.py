@@ -560,6 +560,48 @@ class TestDirectPlanBuild:
         assert violations == []
 
 
+class TestBarePrint:
+    """OBS001: library code reports through repro.obs.emit, never print()."""
+
+    def test_print_in_library_flagged(self):
+        violations = lint_snippet(
+            "def report(rows):\n"
+            "    for row in rows:\n"
+            "        print(row)\n",
+            "src/repro/bench/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["OBS001"]
+        assert violations[0].line == 3
+
+    def test_emit_allowed(self):
+        violations = lint_snippet(
+            "from repro.obs import emit\n\ndef report(row):\n    emit(row)\n",
+            "src/repro/bench/reporting.py",
+        )
+        assert violations == []
+
+    def test_console_module_exempt(self):
+        violations = lint_snippet(
+            "def emit(text):\n    print(text)\n",
+            "src/repro/obs/console.py",
+        )
+        assert violations == []
+
+    def test_out_of_scope_not_flagged(self):
+        violations = lint_snippet(
+            "print('hello')\n",
+            "scripts/tool.py",
+        )
+        assert violations == []
+
+    def test_docstring_mention_not_flagged(self):
+        violations = lint_snippet(
+            '"""Example::\n\n    print(result)\n"""\n',
+            "src/repro/bench/docs.py",
+        )
+        assert violations == []
+
+
 class TestSuppression:
     def test_blanket_ignore(self):
         source = "import time\n\ndef f():\n    return time.time()  # simlint: ignore\n"

@@ -1,0 +1,13 @@
+"""Obs tests must never leak an enabled registry into other tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled_after():
+    yield
+    runtime.disable()

@@ -1,0 +1,60 @@
+"""Exporter tests: JSONL schema and Prometheus text format."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import MetricRegistry, to_prometheus, write_jsonl
+from repro.obs.export import jsonl_records
+
+
+def _populated_registry() -> MetricRegistry:
+    reg = MetricRegistry()
+    reg.counter("engine.replays").inc(3)
+    reg.gauge("bench.workers").set(2)
+    hist = reg.histogram("bench.point_seconds")
+    hist.observe(0.002)
+    hist.observe(0.2)
+    with reg.span("engine.simulate_trace", {"code": "TIP"}):
+        pass
+    return reg
+
+
+class TestJsonl:
+    def test_records_cover_every_kind(self):
+        records = jsonl_records(_populated_registry())
+        kinds = {record["type"] for record in records}
+        assert kinds == {"meta", "counter", "gauge", "histogram",
+                         "span_summary", "span"}
+
+    def test_file_is_valid_jsonl(self, tmp_path):
+        path = write_jsonl(_populated_registry(), tmp_path / "obs.jsonl")
+        lines = path.read_text().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["type"] == "meta"
+        counter = next(r for r in parsed if r["type"] == "counter")
+        assert counter == {"type": "counter", "name": "engine.replays", "value": 3}
+        span = next(r for r in parsed if r["type"] == "span")
+        assert span["attrs"] == {"code": "TIP"}
+
+
+class TestPrometheus:
+    def test_names_are_mangled_with_prefix(self):
+        text = to_prometheus(_populated_registry())
+        assert "repro_engine_replays 3" in text
+        assert "repro_bench_workers 2" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_prometheus(_populated_registry())
+        lines = [l for l in text.splitlines()
+                 if l.startswith("repro_bench_point_seconds_bucket")]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)
+        assert lines[-1].startswith('repro_bench_point_seconds_bucket{le="+Inf"}')
+        assert counts[-1] == 2
+        assert "repro_bench_point_seconds_count 2" in text
+
+    def test_span_aggregates_exported(self):
+        text = to_prometheus(_populated_registry())
+        assert "repro_span_engine_simulate_trace_seconds_total" in text
+        assert "repro_span_engine_simulate_trace_count 1" in text

@@ -1,0 +1,90 @@
+"""The ``repro.api`` facade: exports, conveniences, deprecation shims."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+import repro
+from repro import api
+
+
+_SMALL = None
+
+
+def _small_grid():
+    global _SMALL
+    if _SMALL is None:
+        scale = replace(api.QUICK, n_errors=6, workers=2, cache_mbs=(0.25, 1.0))
+        _SMALL = api.experiment_grid("fig8", scale)
+    return _SMALL
+
+
+class TestSurface:
+    def test_every_declared_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_lazy_package_attributes(self):
+        assert repro.api is api
+        assert repro.obs is api.obs
+        assert "api" in repro.__all__ and "obs" in repro.__all__
+
+    def test_registries_reachable(self):
+        assert "tip" in api.available_backends()
+        assert "fbf" in api.available_policies()
+        assert "star" in api.available_codes()
+
+
+class TestRunGridFacade:
+    def test_engine_config_passthrough(self):
+        engine = api.EngineConfig(workers=0, cache_dir=None)
+        result = api.run_grid(_small_grid(), engine)
+        assert result.n_points == len(_small_grid())
+
+    def test_conveniences_assemble_a_config(self):
+        base = api.run_grid(_small_grid())
+        conv = api.run_grid(_small_grid(), engine_workers=0, batch=False)
+        assert conv.points == base.points
+
+    def test_mixing_engine_and_conveniences_raises(self):
+        with pytest.raises(TypeError, match="not both"):
+            api.run_grid(_small_grid(), api.EngineConfig(), engine_workers=0)
+
+    def test_config_kwarg_warns_but_matches(self):
+        engine = api.EngineConfig(workers=0, cache_dir=None)
+        new = api.run_grid(_small_grid(), engine=engine)
+        with pytest.warns(DeprecationWarning, match="engine="):
+            old = api.run_grid(_small_grid(), config=engine)
+        assert old.points == new.points
+
+    def test_bench_run_grid_config_shim(self):
+        from repro.bench.engine import run_grid
+
+        engine = api.EngineConfig(workers=0, cache_dir=None)
+        new = run_grid(_small_grid(), engine)
+        with pytest.warns(DeprecationWarning, match="engine="):
+            old = run_grid(_small_grid(), config=engine)
+        assert old.points == new.points
+
+
+class TestSimulationNames:
+    def test_simulate_trace_via_facade(self):
+        backend = api.make_backend("tip", 7)
+        events = backend.generate_events(8, 11)
+        row = api.simulate_trace(
+            backend, events, policy="fbf", capacity_blocks=64, workers=4
+        )
+        assert isinstance(row, api.TraceSimResult)
+        assert 0.0 <= row.hit_ratio <= 1.0
+
+    def test_grid_pass_via_facade(self):
+        backend = api.make_backend("tip", 7)
+        events = backend.generate_events(8, 11)
+        configs = [
+            api.ReplayConfig(policy="lru", capacity_blocks=c, workers=2)
+            for c in (16, 64)
+        ]
+        rows = api.simulate_grid_pass(backend, events, configs)
+        assert len(rows) == 2

@@ -44,7 +44,7 @@ class TestTrace:
 class TestExperiments:
     def _run(self, capsys, cmd, extra=()):
         rc = main(
-            [cmd, "--quick", "--errors", "6", "--workers", "2",
+            [cmd, "--scale", "quick", "--errors", "6", "--workers", "2",
              "--cache-mbs", "0.25,1", *extra]
         )
         assert rc == 0
@@ -68,13 +68,16 @@ class TestExperiments:
 
 
 class TestBench:
-    _ARGS = ["--scale", "quick", "--errors", "6", "--sor-workers", "2",
+    _ARGS = ["--scale", "quick", "--errors", "6", "--workers", "2",
              "--cache-mbs", "0.25,1"]
 
     def test_writes_bench_json(self, capsys, tmp_path):
         import json
 
-        rc = main(["bench", "fig9", *self._ARGS, "--workers", "0",
+        from repro.bench.engine import _reset_worker_state
+
+        _reset_worker_state()  # warm memos would zero the plan-cache delta
+        rc = main(["bench", "fig9", *self._ARGS, "--engine-workers", "0",
                    "--no-cache", "--out", str(tmp_path)])
         assert rc == 0
         out = capsys.readouterr().out
@@ -83,9 +86,10 @@ class TestBench:
         assert payload["experiment"] == "fig9"
         assert payload["workers"] == 0
         assert payload["n_points"] == len(payload["per_point"]) > 0
+        assert payload["plan_cache_misses"] > 0
 
     def test_check_serial_reports_identical(self, capsys, tmp_path):
-        rc = main(["bench", "fig8", *self._ARGS, "--workers", "2",
+        rc = main(["bench", "fig8", *self._ARGS, "--engine-workers", "2",
                    "--no-cache", "--check-serial", "--out", str(tmp_path)])
         assert rc == 0
         assert "identical" in capsys.readouterr().out
@@ -94,7 +98,7 @@ class TestBench:
         import json
 
         cache = tmp_path / "cache"
-        args = ["bench", "fig9", *self._ARGS, "--workers", "0",
+        args = ["bench", "fig9", *self._ARGS, "--engine-workers", "0",
                 "--cache-dir", str(cache), "--out", str(tmp_path)]
         assert main(args) == 0
         capsys.readouterr()
@@ -104,14 +108,98 @@ class TestBench:
         assert payload["cache_hits"] == payload["n_points"]
 
     def test_show_prints_report(self, capsys, tmp_path):
-        rc = main(["bench", "ablation-scheme", *self._ARGS, "--workers", "0",
-                   "--no-cache", "--show", "--out", str(tmp_path)])
+        rc = main(["bench", "ablation-scheme", *self._ARGS,
+                   "--engine-workers", "0", "--no-cache", "--show",
+                   "--out", str(tmp_path)])
         assert rc == 0
         assert "typical" in capsys.readouterr().out
 
     def test_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "fig99"])
+
+
+class TestDeprecatedFlags:
+    """Old flag spellings keep working, warn, and match the new spelling."""
+
+    def test_sor_workers_alias(self, capsys, tmp_path):
+        new = ["bench", "fig9", "--scale", "quick", "--errors", "6",
+               "--workers", "2", "--cache-mbs", "0.25,1",
+               "--engine-workers", "0", "--no-cache", "--out", str(tmp_path)]
+        old = ["bench", "fig9", "--scale", "quick", "--errors", "6",
+               "--sor-workers", "2", "--cache-mbs", "0.25,1",
+               "--engine-workers", "0", "--no-cache", "--out", str(tmp_path)]
+        assert main(new) == 0
+        new_out = (tmp_path / "BENCH_fig9.json").read_text()
+        capsys.readouterr()
+        with pytest.warns(DeprecationWarning, match="--sor-workers"):
+            assert main(old) == 0
+        assert _strip_timings(new_out) == _strip_timings(
+            (tmp_path / "BENCH_fig9.json").read_text()
+        )
+
+    def test_bench_legacy_pool_workers(self, capsys, tmp_path):
+        args = ["bench", "fig9", "--scale", "quick", "--errors", "6",
+                "--cache-mbs", "0.25,1", "--no-cache", "--out", str(tmp_path)]
+        with pytest.warns(DeprecationWarning, match="--engine-workers 0"):
+            assert main([*args, "--workers", "0"]) == 0
+        import json
+
+        payload = json.loads((tmp_path / "BENCH_fig9.json").read_text())
+        assert payload["workers"] == 0  # routed to the pool, not SOR
+
+    def test_quick_alias(self, capsys):
+        with pytest.warns(DeprecationWarning, match="--scale quick"):
+            assert main(["fig8", "--quick", "--errors", "6", "--workers", "2",
+                         "--cache-mbs", "0.25,1"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+
+def _strip_timings(payload_text):
+    """BENCH payload minus the run-dependent timing fields."""
+    import json
+
+    payload = json.loads(payload_text)
+    for key in ("wall_s", "compute_s", "speedup_estimate", "git_rev"):
+        payload.pop(key, None)
+    for timing in payload.get("per_point", []):
+        timing.pop("seconds", None)
+    return payload
+
+
+class TestObsCommand:
+    def test_summary_covers_layers(self, capsys, tmp_path):
+        rc = main(["obs", "fig8", "--scale", "quick", "--errors", "6",
+                   "--workers", "2", "--cache-mbs", "0.25,1",
+                   "--jsonl", str(tmp_path / "obs.jsonl"),
+                   "--prometheus", str(tmp_path / "obs.prom")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "observability summary" in out
+        for layer in ("[kernel]", "[engine]", "[bench]"):
+            assert layer in out
+        assert "(no data)" not in out
+        assert "engine.plan_cache" in out
+        jsonl = (tmp_path / "obs.jsonl").read_text().splitlines()
+        assert len(jsonl) > 3
+        prom = (tmp_path / "obs.prom").read_text()
+        assert "repro_bench_points" in prom
+
+    def test_no_kernel_probe(self, capsys):
+        rc = main(["obs", "fig8", "--scale", "quick", "--errors", "6",
+                   "--workers", "2", "--cache-mbs", "0.25,1",
+                   "--no-kernel-probe"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(no data)" in out  # kernel section stays empty but visible
+
+    def test_obs_left_disabled_after_run(self, capsys):
+        from repro.obs import runtime
+
+        assert main(["obs", "fig8", "--scale", "quick", "--errors", "6",
+                     "--workers", "2", "--cache-mbs", "0.25,1",
+                     "--no-kernel-probe"]) == 0
+        assert runtime.ENABLED is False
 
 
 class TestReplay:
