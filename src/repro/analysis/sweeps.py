@@ -10,9 +10,10 @@ assertions and EXPERIMENTS.md can cite exact numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from ..bench.experiments import SweepPoint
+if TYPE_CHECKING:  # annotation-only: keeps analysis below bench in the layer DAG
+    from ..bench.experiments import SweepPoint
 
 __all__ = [
     "NUMERIC_METRICS",

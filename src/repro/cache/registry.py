@@ -25,8 +25,6 @@ __all__ = ["POLICIES", "PAPER_BASELINES", "make_policy", "available_policies"]
 
 
 def _make_fbf(capacity: int, **kwargs) -> CachePolicy:
-    # Imported lazily: repro.core imports repro.cache.base, so a module-level
-    # import here would be circular.
     from ..core.fbf_cache import FBFCache
 
     return FBFCache(capacity, **kwargs)

@@ -8,32 +8,71 @@ invariant-preserving so the paper's comparisons stay trustworthy:
   static pass with domain rules — kernel wall-clock hygiene, seeded
   randomness, no observable set ordering, cache-policy interface
   conformance, GF(2) purity.  Run it as ``repro-fbf check [paths]``.
+* **whole-program simlint** (:mod:`~repro.checks.graph`,
+  :mod:`~repro.checks.flow`, :mod:`~repro.checks.program_rules`,
+  :mod:`~repro.checks.engine`, :mod:`~repro.checks.baseline`): a
+  project-wide module/import graph with seed-provenance dataflow and
+  obs-guard reachability, cross-module rules (layer DAG, dead defs,
+  seed flow, guard discipline, API manifest), inline suppressions with
+  unused detection, a committed baseline, per-file result caching with
+  parallel analysis, and text/json/sarif output.
 * **runtime sanitizer** (:mod:`~repro.checks.sanitizer`): wrappers that
   assert FBF's Algorithm 1 invariants (single residency, demotion order,
   capacity accounting) and the kernel's event-order stability during a
   live simulation; enabled with ``sanitize=True`` on the simulators.
 """
 
-from .framework import LintResult, Rule, Violation, lint_paths, lint_source
-from .report import render_rule_list, render_summary, render_violations
+from .framework import (
+    FileAnalysis,
+    LintResult,
+    Rule,
+    Violation,
+    analyze_source,
+    lint_paths,
+    lint_source,
+)
+from .baseline import apply_baseline, load_baseline, render_baseline
+from .engine import CheckOutcome, CheckSettings, run_engine
+from .graph import ModuleSummary, ProjectGraph, summarize_source
+from .program_rules import ALL_PROGRAM_RULES, ProgramRule
+from .report import (
+    render_rule_list,
+    render_sarif,
+    render_summary,
+    render_violations,
+)
 from .rules import ALL_RULES, default_rules, rules_by_id
 from .sanitizer import InvariantViolation, SanitizedEnvironment, SimSanitizer
 from .cli import run_check
 
 __all__ = [
+    "ALL_PROGRAM_RULES",
     "ALL_RULES",
+    "CheckOutcome",
+    "CheckSettings",
+    "FileAnalysis",
     "InvariantViolation",
     "LintResult",
+    "ModuleSummary",
+    "ProgramRule",
+    "ProjectGraph",
     "Rule",
     "SanitizedEnvironment",
     "SimSanitizer",
     "Violation",
+    "analyze_source",
+    "apply_baseline",
     "default_rules",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "render_baseline",
     "render_rule_list",
+    "render_sarif",
     "render_summary",
     "render_violations",
     "rules_by_id",
     "run_check",
+    "run_engine",
+    "summarize_source",
 ]

@@ -1,0 +1,103 @@
+"""Baseline file: accepted findings, for gradual adoption of new rules.
+
+A baseline entry identifies one finding by its stable fingerprint —
+``(rule id, path, key)`` where ``key`` is the violation's semantic
+identity (an import edge, a def name, an export name; see
+:meth:`~repro.checks.framework.Violation.fingerprint`) — plus a
+free-text tracking comment explaining *why* the finding is accepted.
+Line format, one finding per line::
+
+    ARCH001|src/repro/sim/controller.py|repro.sim.controller->repro.engine.backend|legacy sim-world adapter (PR 3)
+
+Fields are ``|``-separated because FLOW002 keys legitimately contain
+``#``.  Lines starting with ``#`` are file comments.  Paths are
+normalized to begin at ``src/`` so the baseline is location-independent.
+
+``repro-fbf check --update-baseline`` rewrites the file from the current
+findings: entries that still match keep their comment, new findings get
+a placeholder comment to fill in, and stale entries disappear.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from .framework import Violation
+
+__all__ = [
+    "load_baseline",
+    "render_baseline",
+    "apply_baseline",
+    "default_baseline_path",
+]
+
+Fingerprint = tuple[str, str, str]
+
+_HEADER = """\
+# simlint baseline — accepted findings, one per line:
+#   RULE|path|key|tracking comment (why this finding is exempt)
+# Regenerate with: repro-fbf check --update-baseline
+"""
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).parent / "simlint_baseline.txt"
+
+
+def load_baseline(path: str | Path) -> dict[Fingerprint, str]:
+    """Fingerprint -> tracking comment; {} when the file doesn't exist."""
+    p = Path(path)
+    if not p.is_file():
+        return {}
+    entries: dict[Fingerprint, str] = {}
+    for raw in p.read_text(encoding="utf-8").splitlines():
+        text = raw.strip()
+        if not text or text.startswith("#"):
+            continue
+        fields = text.split("|", 3)
+        if len(fields) < 3:
+            continue  # malformed line; ignore rather than crash CI
+        rule_id, vpath, key = fields[0], fields[1], fields[2]
+        comment = fields[3].strip() if len(fields) > 3 else ""
+        entries[(rule_id, vpath, key)] = comment
+    return entries
+
+
+def render_baseline(
+    violations: Iterable[Violation],
+    previous: Mapping[Fingerprint, str] | None = None,
+) -> str:
+    """Baseline text accepting ``violations``, preserving old comments."""
+    previous = previous or {}
+    lines = [_HEADER.rstrip()]
+    seen: set[Fingerprint] = set()
+    for violation in sorted(
+        violations, key=lambda v: (v.rule_id, v.path, v.key, v.line)
+    ):
+        fp = violation.fingerprint()
+        if fp in seen:
+            continue
+        seen.add(fp)
+        comment = previous.get(fp, "TODO: justify or fix")
+        lines.append("|".join((*fp, comment)))
+    return "\n".join(lines) + "\n"
+
+
+def apply_baseline(
+    violations: Iterable[Violation],
+    baseline: Mapping[Fingerprint, str],
+) -> tuple[list[Violation], list[Violation], list[Fingerprint]]:
+    """Split into (surviving, baselined, unused-baseline-entries)."""
+    surviving: list[Violation] = []
+    baselined: list[Violation] = []
+    matched: set[Fingerprint] = set()
+    for violation in violations:
+        fp = violation.fingerprint()
+        if fp in baseline:
+            baselined.append(violation)
+            matched.add(fp)
+        else:
+            surviving.append(violation)
+    unused = sorted(set(baseline) - matched)
+    return surviving, baselined, unused

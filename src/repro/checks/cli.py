@@ -1,8 +1,19 @@
 """``repro-fbf check`` — run simlint from the command line.
 
-Exit status is the CI contract: 0 when the tree is clean, 1 when any
-violation is found (diagnostics on stdout, one per line), 2 for usage
+Exit status is the CI contract: 0 when the tree has no unbaselined
+errors (warnings never gate), 1 when any error survives, 2 for usage
 errors such as an unknown rule id.
+
+Beyond linting, two maintenance verbs rewrite committed state:
+
+* ``--update-baseline`` regenerates the accepted-findings file from the
+  current tree, preserving tracking comments for entries that still
+  match;
+* ``--update-api-manifest`` regenerates the ``repro.api`` surface
+  manifest that API001 checks against.
+
+Both re-run the (cache-warm) analysis afterwards so the reported
+outcome reflects the refreshed files.
 """
 
 from __future__ import annotations
@@ -11,11 +22,36 @@ import sys
 from pathlib import Path
 from typing import Sequence, TextIO
 
-from .framework import lint_paths
-from .report import render_rule_list, write_report
+from .baseline import default_baseline_path, render_baseline, load_baseline
+from .engine import (
+    CheckSettings,
+    UnusedSuppressionRule,
+    default_cache_path,
+    discover_usage_roots,
+    run_engine,
+)
+from .program_rules import (
+    ALL_PROGRAM_RULES,
+    ProgramRule,
+    default_manifest_path,
+    render_manifest,
+)
+from .report import render_rule_list, write_outcome
 from .rules import ALL_RULES, rules_by_id
 
-__all__ = ["run_check"]
+__all__ = ["run_check", "active_rules"]
+
+FORMATS = ("text", "json", "sarif")
+
+
+def active_rules(select: Sequence[str] | None):
+    """(per-file rules, program rules) for a ``--select`` list (None = all)."""
+    if select is None:
+        return ALL_RULES, ALL_PROGRAM_RULES
+    wanted = set(select)
+    per_file = tuple(r for r in ALL_RULES if r.rule_id in wanted)
+    program = tuple(r for r in ALL_PROGRAM_RULES if r.rule_id in wanted)
+    return per_file, program
 
 
 def run_check(
@@ -23,13 +59,24 @@ def run_check(
     select: Sequence[str] | None = None,
     list_rules: bool = False,
     stream: TextIO | None = None,
+    *,
+    fmt: str = "text",
+    no_cache: bool = False,
+    cache_dir: str | None = None,
+    jobs: int = 0,
+    baseline: str | None = None,
+    no_baseline: bool = False,
+    update_baseline: bool = False,
+    update_api_manifest: bool = False,
 ) -> int:
     """Lint ``paths`` (files or directories); returns the exit status."""
     out = stream if stream is not None else sys.stdout
     if list_rules:
         out.write(render_rule_list() + "\n")
         return 0
-    rules = ALL_RULES
+    if fmt not in FORMATS:
+        out.write(f"unknown format {fmt!r}; known: {', '.join(FORMATS)}\n")
+        return 2
     if select:
         known = rules_by_id()
         unknown = [rule_id for rule_id in select if rule_id not in known]
@@ -39,12 +86,57 @@ def run_check(
                 f"known: {', '.join(known)}\n"
             )
             return 2
-        rules = tuple(known[rule_id] for rule_id in select)
     targets = list(paths) or ["src"]
     missing = [p for p in targets if not Path(p).exists()]
     if missing:
         out.write(f"no such file or directory: {', '.join(missing)}\n")
         return 2
-    result = lint_paths(targets, rules)
-    write_report(result, out)
-    return 0 if result.ok else 1
+
+    per_file, program = active_rules(select)
+    report_unused = select is None or UnusedSuppressionRule.rule_id in select
+    baseline_path = None
+    if not no_baseline:
+        baseline_path = Path(baseline) if baseline else default_baseline_path()
+    cache_path = None
+    if not no_cache:
+        cache_path = (
+            Path(cache_dir) / "simlint_cache.json"
+            if cache_dir
+            else default_cache_path()
+        )
+        if cache_path.parent and not cache_path.parent.exists():
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+    settings = CheckSettings(
+        paths=targets,
+        rules=per_file,
+        program_rules=program,
+        report_unused_suppressions=report_unused,
+        baseline_path=baseline_path,
+        cache_path=cache_path,
+        jobs=jobs,
+        usage_roots=discover_usage_roots(targets),
+    )
+    outcome = run_engine(settings)
+
+    refreshed = False
+    if update_api_manifest:
+        manifest = default_manifest_path()
+        manifest.write_text(render_manifest(outcome.graph), encoding="utf-8")
+        out.write(f"wrote API manifest: {manifest}\n")
+        refreshed = True
+    if update_baseline:
+        target = baseline_path if baseline_path is not None else default_baseline_path()
+        previous = load_baseline(target)
+        target.write_text(
+            render_baseline(outcome.prebaseline, previous), encoding="utf-8"
+        )
+        out.write(
+            f"wrote baseline: {target} "
+            f"({len(outcome.prebaseline)} accepted findings)\n"
+        )
+        refreshed = True
+    if refreshed:
+        outcome = run_engine(settings)  # warm cache: only re-applies rules
+
+    write_outcome(outcome, out, fmt)
+    return 0 if outcome.ok else 1

@@ -1,0 +1,431 @@
+"""The simlint engine: caching, parallelism, and whole-program assembly.
+
+One ``repro-fbf check`` run is a pipeline:
+
+1. **Collect** the target files (linted and summarized) and the usage
+   roots (tests/benchmarks — summarized only, so dead-code analysis
+   sees their references).
+2. **Analyze** each file once — parse, run the per-file rules with
+   suppression tracking, and build its
+   :class:`~repro.checks.graph.ModuleSummary` — behind a per-file cache
+   keyed by mtime+size with an sha256 fallback (a ``touch`` re-hashes
+   but does not re-analyze).  Files missing from the cache fan out over
+   a process pool when there are enough of them to pay for the workers.
+3. **Assemble** the :class:`~repro.checks.graph.ProjectGraph` from the
+   summaries and run the whole-program rules (ARCH/FLOW/API).
+4. **Filter**: inline suppressions absorb program-rule findings too;
+   suppression comments that absorbed nothing become SUP001 warnings;
+   the committed baseline absorbs accepted findings last.
+
+``files_analyzed`` counts real re-analyses, so a warm-cache re-run over
+an unchanged tree reports 0 — the property the microbenchmark and CI
+gate check.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from .baseline import Fingerprint, apply_baseline, default_baseline_path, load_baseline
+from .framework import (
+    FileAnalysis,
+    Rule,
+    SuppressionComment,
+    Violation,
+    analyze_source,
+    iter_python_files,
+    suppression_spec,
+)
+from .graph import ModuleSummary, ProjectGraph, module_name_for, summarize_module
+from .program_rules import ProgramRule
+
+__all__ = [
+    "ENGINE_VERSION",
+    "CheckSettings",
+    "CheckOutcome",
+    "UnusedSuppressionRule",
+    "run_engine",
+    "default_cache_path",
+    "discover_usage_roots",
+]
+
+#: Bump to invalidate every cached per-file record (analysis format change).
+ENGINE_VERSION = 1
+
+
+class UnusedSuppressionRule(Rule):
+    """SUP001: a suppression comment that no longer absorbs any finding.
+
+    The finding itself is produced by the engine after both the per-file
+    and whole-program passes (only then is "unused" known); this class
+    exists so the rule has a stable id, a ``--list-rules`` entry, and a
+    ``--select`` handle like every other rule.
+    """
+
+    rule_id = "SUP001"
+    summary = "unused suppression comment: nothing on this line to suppress"
+    default_severity = "warning"
+
+    def check(self, tree, path):  # engine-driven; nothing per-AST
+        return iter(())
+
+
+@dataclass
+class CheckSettings:
+    """One engine run's configuration."""
+
+    paths: Sequence[str | Path]
+    rules: Sequence[Rule] = ()
+    program_rules: Sequence[ProgramRule] = ()
+    #: emit SUP001 for suppression comments that absorbed nothing
+    report_unused_suppressions: bool = True
+    #: None disables the baseline entirely
+    baseline_path: Path | None = None
+    #: None disables the cache
+    cache_path: Path | None = None
+    #: 0 = auto (parallel only when enough files need analysis)
+    jobs: int = 0
+    #: directories summarized for usage only (tests, benchmarks)
+    usage_roots: Sequence[Path] = ()
+
+
+@dataclass
+class CheckOutcome:
+    """Aggregate result of one engine run."""
+
+    files_checked: int  #: target files linted
+    files_analyzed: int  #: files actually (re-)parsed — 0 on a warm cache
+    violations: list[Violation]  #: surviving findings, errors and warnings
+    suppressed: int  #: findings absorbed by inline suppressions
+    baselined: int  #: findings absorbed by the baseline file
+    unused_baseline: list[Fingerprint] = field(default_factory=list)
+    graph: ProjectGraph | None = None  #: for --update-api-manifest etc.
+    #: every finding before the baseline was applied (for --update-baseline)
+    prebaseline: list[Violation] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Violation]:
+        return [v for v in self.violations if v.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Violation]:
+        return [v for v in self.violations if v.severity != "error"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def default_cache_path() -> Path:
+    return Path(".simlint_cache.json")
+
+
+def discover_usage_roots(targets: Sequence[str | Path]) -> list[Path]:
+    """Conventional usage-only roots near the targets: tests/, benchmarks/.
+
+    Looks beside each target directory and in the current directory, and
+    drops candidates already inside a target (no double analysis).
+    """
+    target_dirs = [Path(t).resolve() for t in targets]
+    candidates: list[Path] = []
+    bases = {Path.cwd()}
+    bases.update(t.parent for t in target_dirs)
+    for base in sorted(bases):
+        for name in ("tests", "benchmarks"):
+            candidate = (base / name).resolve()
+            if not candidate.is_dir():
+                continue
+            inside_target = any(
+                candidate == t or t in candidate.parents for t in target_dirs
+            )
+            if not inside_target and candidate not in candidates:
+                candidates.append(candidate)
+    return candidates
+
+
+# -- per-file analysis (cacheable unit) ----------------------------------------
+
+
+def _violation_to_dict(v: Violation) -> dict:
+    return {
+        "rule_id": v.rule_id,
+        "path": v.path,
+        "line": v.line,
+        "col": v.col,
+        "message": v.message,
+        "severity": v.severity,
+        "key": v.key,
+    }
+
+
+def _violation_from_dict(d: Mapping) -> Violation:
+    return Violation(**d)
+
+
+def _analyze_file(path_str: str, rule_ids: tuple[str, ...], lint: bool) -> dict:
+    """Analyze one file into a JSON-ready record.  Top-level: pool-safe."""
+    from .rules import ALL_RULES  # local: workers import lazily
+
+    rules = [r for r in ALL_RULES if r.rule_id in rule_ids] if lint else []
+    source = Path(path_str).read_text(encoding="utf-8")
+    posix = Path(path_str).as_posix()
+    module = module_name_for(posix)
+    try:
+        tree: ast.Module | None = ast.parse(source, filename=posix)
+    except SyntaxError:
+        tree = None
+    if tree is not None:
+        summary = summarize_module(tree, posix, module)
+    else:
+        summary = ModuleSummary(module=module, path=posix)
+    analysis = analyze_source(source, posix, rules, tree=tree)
+    return {
+        "summary": summary.to_dict(),
+        "linted": lint,
+        "violations": [_violation_to_dict(v) for v in analysis.violations],
+        "suppressed": len(analysis.suppressed),
+        "suppressions": [[c.line, list(c.rules)] for c in analysis.suppressions],
+        "used_lines": sorted(analysis.used_suppression_lines),
+    }
+
+
+def _record_to_analysis(record: Mapping) -> tuple[ModuleSummary, FileAnalysis]:
+    summary = ModuleSummary.from_dict(record["summary"])
+    analysis = FileAnalysis(
+        path=summary.path,
+        violations=[_violation_from_dict(d) for d in record["violations"]],
+        suppressed=[],
+        suppressions=tuple(
+            SuppressionComment(line=line, rules=tuple(rules))
+            for line, rules in record["suppressions"]
+        ),
+        used_suppression_lines=set(record["used_lines"]),
+    )
+    # Suppressed violations are not replayed from cache (only the count
+    # matters downstream); stash the count on the analysis via a list of
+    # placeholders with the right length.
+    analysis.suppressed = [None] * record["suppressed"]  # type: ignore[list-item]
+    return summary, analysis
+
+
+# -- the cache -----------------------------------------------------------------
+
+
+def _file_fingerprint(path: Path) -> tuple[float, int]:
+    stat = path.stat()
+    return (stat.st_mtime, stat.st_size)
+
+
+def _sha256(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _rule_signature(
+    rules: Sequence[Rule], program_rules: Sequence[ProgramRule]
+) -> str:
+    ids = sorted(r.rule_id for r in rules)
+    pids = sorted(r.rule_id for r in program_rules)
+    blob = json.dumps([ENGINE_VERSION, ids, pids])
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class _FileCache:
+    """mtime+size keyed per-file records with an sha256 second chance."""
+
+    def __init__(self, path: Path | None, rule_sig: str) -> None:
+        self.path = path
+        self.rule_sig = rule_sig
+        self.entries: dict[str, dict] = {}
+        self.dirty = False
+        if path is not None and path.is_file():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, OSError):
+                data = {}
+            if data.get("rule_sig") == rule_sig:
+                self.entries = data.get("files", {})
+
+    def lookup(self, path: Path, need_lint: bool) -> dict | None:
+        """The cached record for ``path`` if still valid, else None."""
+        if self.path is None:
+            return None
+        entry = self.entries.get(str(path))
+        if entry is None:
+            return None
+        record = entry["record"]
+        if need_lint and not record["linted"]:
+            return None
+        mtime, size = _file_fingerprint(path)
+        if entry["mtime"] == mtime and entry["size"] == size:
+            return record
+        if entry["size"] == size and entry["sha256"] == _sha256(path):
+            # touched but unchanged: refresh the stamp, keep the record
+            entry["mtime"] = mtime
+            self.dirty = True
+            return record
+        return None
+
+    def store(self, path: Path, record: dict) -> None:
+        if self.path is None:
+            return
+        mtime, size = _file_fingerprint(path)
+        self.entries[str(path)] = {
+            "mtime": mtime,
+            "size": size,
+            "sha256": _sha256(path),
+            "record": record,
+        }
+        self.dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self.dirty:
+            return
+        payload = json.dumps(
+            {"rule_sig": self.rule_sig, "files": self.entries}
+        )
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_text(payload, encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            pass  # a read-only tree degrades to cold runs, not failures
+
+
+# -- orchestration -------------------------------------------------------------
+
+
+def _worker_count(jobs: int, n_files: int) -> int:
+    if jobs > 1:
+        return min(jobs, n_files)
+    if jobs == 1:
+        return 1
+    # auto: a pool only pays off when there is real work to spread
+    cpus = os.process_cpu_count() if hasattr(os, "process_cpu_count") else os.cpu_count()
+    if n_files < 16 or not cpus or cpus <= 2:
+        return 1
+    return min(cpus - 1, 8, n_files)
+
+
+def run_engine(settings: CheckSettings) -> CheckOutcome:
+    targets = list(
+        dict.fromkeys(p.resolve() for p in iter_python_files(list(settings.paths)))
+    )
+    target_set = set(targets)
+    root_files = [
+        p.resolve()
+        for root in settings.usage_roots
+        for p in iter_python_files([root])
+        if p.resolve() not in target_set
+    ]
+    rule_ids = tuple(r.rule_id for r in settings.rules)
+    cache = _FileCache(
+        settings.cache_path, _rule_signature(settings.rules, settings.program_rules)
+    )
+
+    work: list[tuple[Path, bool]] = [(p, True) for p in targets]
+    work += [(p, False) for p in root_files]
+    records: dict[Path, dict] = {}
+    to_analyze: list[tuple[Path, bool]] = []
+    for path, lint in work:
+        cached = cache.lookup(path, need_lint=lint)
+        if cached is not None:
+            records[path] = cached
+        else:
+            to_analyze.append((path, lint))
+
+    workers = _worker_count(settings.jobs, len(to_analyze))
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                path: pool.submit(_analyze_file, str(path), rule_ids, lint)
+                for path, lint in to_analyze
+            }
+            for path, fut in futures.items():
+                records[path] = fut.result()
+    else:
+        for path, lint in to_analyze:
+            records[path] = _analyze_file(str(path), rule_ids, lint)
+    for path, _ in to_analyze:
+        cache.store(path, records[path])
+    cache.save()
+
+    summaries: list[ModuleSummary] = []
+    analyses: dict[str, FileAnalysis] = {}
+    violations: list[Violation] = []
+    suppressed = 0
+    for path in [*targets, *root_files]:
+        summary, analysis = _record_to_analysis(records[path])
+        summaries.append(summary)
+        if path in target_set:
+            analyses[summary.path] = analysis
+            violations.extend(analysis.violations)
+            suppressed += len(analysis.suppressed)
+
+    graph = ProjectGraph(summaries)
+    used_lines: dict[str, set[int]] = {
+        path: set(analysis.used_suppression_lines)
+        for path, analysis in analyses.items()
+    }
+    for rule in settings.program_rules:
+        for violation in rule.check(graph):
+            analysis = analyses.get(Path(violation.path).as_posix())
+            if analysis is not None:
+                comment = suppression_spec(analysis.suppressions, violation.line)
+                if comment is not None and comment.covers(violation.rule_id):
+                    suppressed += 1
+                    used_lines[analysis.path].add(comment.line)
+                    continue
+            violations.append(violation)
+
+    if settings.report_unused_suppressions:
+        sup_rule = UnusedSuppressionRule()
+        for path, analysis in sorted(analyses.items()):
+            for comment in analysis.suppressions:
+                if comment.line not in used_lines[path]:
+                    spec = (
+                        f"[{', '.join(comment.rules)}]" if comment.rules else ""
+                    )
+                    violations.append(
+                        Violation(
+                            rule_id=sup_rule.rule_id,
+                            path=path,
+                            line=comment.line,
+                            col=0,
+                            message=(
+                                f"suppression{spec} matches no finding on "
+                                "this line; remove it"
+                            ),
+                            severity=sup_rule.default_severity,
+                            key=f"unused{spec}",
+                        )
+                    )
+
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    prebaseline = list(violations)
+    baselined = 0
+    unused_baseline: list[Fingerprint] = []
+    if settings.baseline_path is not None:
+        baseline = load_baseline(settings.baseline_path)
+        if baseline:
+            violations, absorbed, unused_baseline = apply_baseline(
+                violations, baseline
+            )
+            baselined = len(absorbed)
+
+    return CheckOutcome(
+        files_checked=len(targets),
+        files_analyzed=len(to_analyze),
+        violations=violations,
+        suppressed=suppressed,
+        baselined=baselined,
+        unused_baseline=unused_baseline,
+        graph=graph,
+        prebaseline=prebaseline,
+    )

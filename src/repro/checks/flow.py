@@ -1,0 +1,191 @@
+"""Intraprocedural dataflow for simlint's whole-program rules.
+
+Two small, deliberately simple analyses over one function body:
+
+* :class:`TaintTracker` — forward may-taint propagation: a pluggable
+  ``is_source`` predicate marks expressions as taint sources (for
+  FLOW001: seed-like parameters and ``.seed``-like attribute loads), and
+  assignments/loops/withs propagate the label to local names.  Any
+  expression *containing* a tainted subexpression is tainted, so
+  ``default_rng(seed + stripe)`` and ``make_rng(hash((seed, i)))`` stay
+  recognised as seed-derived.
+* :class:`GuardAnalysis` — lexical guard containment: is a node inside
+  the true branch of an ``if`` whose test references a guard attribute
+  (for FLOW002: ``_obs.ENABLED``, or a local alias assigned from it)?
+
+Both are *may* analyses run to a two-pass quasi-fixpoint (enough for
+straight-line code, loops, and the alias idioms this codebase uses) and
+are intentionally conservative in opposite directions: taint
+over-approximates (fewer false FLOW001 positives), guards
+under-approximate (an unproven guard is reported, never assumed).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator
+
+__all__ = ["TaintTracker", "GuardAnalysis", "iter_assign_targets"]
+
+
+def iter_assign_targets(node: ast.AST) -> Iterator[ast.expr]:
+    """Flatten assignment targets (tuples/lists/starred) into leaf exprs."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            yield from iter_assign_targets(element)
+    elif isinstance(node, ast.Starred):
+        yield from iter_assign_targets(node.value)
+    else:
+        yield node
+
+
+class TaintTracker:
+    """Forward may-taint over one function (or module) body.
+
+    ``is_source(expr)`` returns a short label (e.g. ``"param seed"``)
+    when ``expr`` is itself a taint source, else ``None``.  After
+    :meth:`analyze`, :meth:`label_of` classifies any expression from the
+    same body.
+    """
+
+    def __init__(self, is_source: Callable[[ast.expr], str | None]) -> None:
+        self._is_source = is_source
+        self._tainted: dict[str, str] = {}
+
+    # -- propagation ----------------------------------------------------------
+
+    def analyze(self, body: list[ast.stmt]) -> dict[str, str]:
+        """Two forward passes so loop-carried flows converge."""
+        for _ in range(2):
+            for stmt in body:
+                self._visit_stmt(stmt)
+        return dict(self._tainted)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt.targets, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign([stmt.target], stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            # x += tainted taints x; x stays tainted if it already was.
+            label = self.label_of(stmt.value) or self.label_of(stmt.target)
+            if label is not None:
+                self._mark(stmt.target, label)
+        elif isinstance(stmt, ast.For):
+            label = self.label_of(stmt.iter)
+            if label is not None:
+                self._mark(stmt.target, label)
+            self._visit_block(stmt.body)
+            self._visit_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._visit_block(stmt.body)
+            self._visit_block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._visit_block(stmt.body)
+            self._visit_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    label = self.label_of(item.context_expr)
+                    if label is not None:
+                        self._mark(item.optional_vars, label)
+            self._visit_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._visit_block(stmt.body)
+            for handler in stmt.handlers:
+                self._visit_block(handler.body)
+            self._visit_block(stmt.orelse)
+            self._visit_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.NamedExpr):
+            label = self.label_of(stmt.value.value)
+            if label is not None:
+                self._mark(stmt.value.target, label)
+        # Nested defs get their own tracker; do not descend.
+
+    def _visit_block(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _assign(self, targets: list[ast.expr], value: ast.expr) -> None:
+        label = self.label_of(value)
+        if label is None:
+            return
+        for target in targets:
+            self._mark(target, label)
+
+    def _mark(self, target: ast.expr, label: str) -> None:
+        for leaf in iter_assign_targets(target):
+            if isinstance(leaf, ast.Name):
+                self._tainted.setdefault(leaf.id, label)
+
+    # -- queries --------------------------------------------------------------
+
+    def label_of(self, expr: ast.expr) -> str | None:
+        """Taint label of ``expr``, or None.
+
+        Walks the whole expression: a tainted subterm taints the term
+        (may-analysis), including walrus targets inside the expression.
+        """
+        for node in ast.walk(expr):
+            if isinstance(node, ast.expr):
+                label = self._is_source(node)
+                if label is not None:
+                    return label
+            if isinstance(node, ast.Name) and node.id in self._tainted:
+                return self._tainted[node.id]
+            if isinstance(node, ast.NamedExpr):
+                label = self.label_of(node.value)
+                if label is not None:
+                    self._tainted.setdefault(node.target.id, label)
+        return None
+
+
+class GuardAnalysis:
+    """Is a node lexically inside an ``if`` guarded by a flag attribute?
+
+    ``is_guard_expr(expr)`` recognises the canonical guard (for obs:
+    an ``ENABLED`` attribute on the runtime module).  Local aliases
+    assigned *directly* from a guard expression (``obs_on =
+    _obs.ENABLED``) also count, matching the hot-loop idiom where the
+    module attribute is read once into a local.
+    """
+
+    def __init__(
+        self, root: ast.AST, is_guard_expr: Callable[[ast.expr], bool]
+    ) -> None:
+        self._is_guard_expr = is_guard_expr
+        self._aliases: set[str] = set()
+        self._collect_aliases(root)
+        # Guarded spans: every node inside the body of a guarded `if`.
+        self._guarded_ids: set[int] = set()
+        self._collect_guarded(root)
+
+    def _collect_aliases(self, root: ast.AST) -> None:
+        # Two passes: an alias of an alias (rare) still resolves.
+        for _ in range(2):
+            for node in ast.walk(root):
+                if isinstance(node, ast.Assign) and self._test_references_guard(
+                    node.value
+                ):
+                    for target in node.targets:
+                        for leaf in iter_assign_targets(target):
+                            if isinstance(leaf, ast.Name):
+                                self._aliases.add(leaf.id)
+
+    def _test_references_guard(self, test: ast.expr) -> bool:
+        for node in ast.walk(test):
+            if isinstance(node, ast.expr) and self._is_guard_expr(node):
+                return True
+            if isinstance(node, ast.Name) and node.id in self._aliases:
+                return True
+        return False
+
+    def _collect_guarded(self, root: ast.AST) -> None:
+        for node in ast.walk(root):
+            if isinstance(node, ast.If) and self._test_references_guard(node.test):
+                for child in node.body:
+                    for sub in ast.walk(child):
+                        self._guarded_ids.add(id(sub))
+
+    def is_guarded(self, node: ast.AST) -> bool:
+        return id(node) in self._guarded_ids

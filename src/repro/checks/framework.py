@@ -14,8 +14,15 @@ Vocabulary:
 * rules declare *scopes* — path fragments such as ``repro/sim`` — so a
   kernel-hygiene rule does not fire on reporting code;
 * a violating line can be suppressed with ``# simlint: ignore`` (any
-  rule) or ``# simlint: ignore[rule-id,...]`` (specific rules), which is
-  the reviewed escape hatch for false positives.
+  rule), ``# simlint: ignore[rule-id,...]`` or the equivalent
+  ``# simlint: disable=rule-id,...`` (specific rules) — the reviewed
+  escape hatch for false positives.  Suppressions that never match a
+  violation are themselves flagged (SUP001) by the engine, so stale
+  escape hatches do not accumulate.
+
+Violations carry a ``severity`` (``"error"`` gates CI; ``"warning"``
+informs) and a stable ``key`` used by the baseline file to identify a
+finding across unrelated line-number churn.
 
 The module is dependency-free and import-light so the CLI stays fast.
 """
@@ -24,6 +31,7 @@ from __future__ import annotations
 
 import ast
 import re
+import tokenize
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
@@ -33,27 +41,60 @@ __all__ = [
     "Violation",
     "Rule",
     "LintResult",
+    "FileAnalysis",
+    "SuppressionComment",
     "lint_source",
+    "analyze_source",
     "lint_file",
     "lint_paths",
     "iter_python_files",
+    "scan_suppressions",
+    "suppression_spec",
 ]
 
-_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([A-Za-z0-9_,\s-]+)\])?")
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*(?:ignore(?:\[([A-Za-z0-9_,\s-]+)\])?"
+    r"|disable=([A-Za-z0-9_,\s-]+))"
+)
 
 
 @dataclass(frozen=True)
 class Violation:
-    """One diagnostic: where, which rule, and what went wrong."""
+    """One diagnostic: where, which rule, and what went wrong.
+
+    ``severity`` is ``"error"`` (gates the exit code) or ``"warning"``.
+    ``key`` is an optional stable fingerprint — e.g. an import edge
+    ``"repro.sim.rebuild->repro.workloads.errors"`` — used by the
+    baseline so a finding keeps its identity when line numbers move;
+    empty means "identify by line".
+    """
 
     rule_id: str
     path: str
     line: int
     col: int
     message: str
+    severity: str = "error"
+    key: str = ""
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
+        tag = "" if self.severity == "error" else f" {self.severity}:"
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}:{tag}"
+            f" {self.rule_id} {self.message}"
+        )
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Baseline identity: (rule, normalized path, key-or-line)."""
+        return (self.rule_id, _normalize_path(self.path),
+                self.key or f"L{self.line}")
+
+
+def _normalize_path(path: str) -> str:
+    """Path identity for baselines: posix, trimmed to start at ``src/``."""
+    posix = Path(path).as_posix()
+    marker = posix.rfind("src/")
+    return posix[marker:] if marker >= 0 else posix
 
 
 class Rule(ABC):
@@ -67,6 +108,8 @@ class Rule(ABC):
 
     rule_id: str = ""
     summary: str = ""
+    #: severity of this rule's violations: "error" or "warning".
+    default_severity: str = "error"
     #: posix path fragments; the rule runs only on files containing one.
     scopes: tuple[str, ...] | None = None
     #: posix path fragments exempt even when in scope.
@@ -84,13 +127,17 @@ class Rule(ABC):
     def check(self, tree: ast.Module, path: str) -> Iterator[Violation]:
         """Yield violations found in ``tree`` (parsed from ``path``)."""
 
-    def violation(self, node: ast.AST, path: str, message: str) -> Violation:
+    def violation(
+        self, node: ast.AST, path: str, message: str, key: str = ""
+    ) -> Violation:
         return Violation(
             rule_id=self.rule_id,
             path=path,
             line=getattr(node, "lineno", 0),
             col=getattr(node, "col_offset", 0),
             message=message,
+            severity=self.default_severity,
+            key=key,
         )
 
 
@@ -107,30 +154,99 @@ class LintResult:
         return not self.violations
 
 
-def _suppressed_rules(source_lines: Sequence[str], line: int) -> tuple[str, ...] | None:
-    """Suppression spec on ``line`` (1-based): () = all rules, or rule ids."""
-    if not 1 <= line <= len(source_lines):
-        return None
-    match = _SUPPRESS_RE.search(source_lines[line - 1])
-    if match is None:
-        return None
-    spec = match.group(1)
-    if spec is None:
-        return ()
-    return tuple(part.strip() for part in spec.split(",") if part.strip())
+@dataclass(frozen=True)
+class SuppressionComment:
+    """One inline suppression comment: its line and the rules it names."""
+
+    line: int
+    rules: tuple[str, ...]  #: () = suppresses every rule on that line
+
+    def covers(self, rule_id: str) -> bool:
+        return not self.rules or rule_id in self.rules
 
 
-def lint_source(
+def scan_suppressions(source_lines: Sequence[str]) -> tuple[SuppressionComment, ...]:
+    """Every suppression comment in a file, in line order.
+
+    Scans real ``#`` comment tokens, not raw lines, so a docstring that
+    *mentions* the suppression syntax neither suppresses anything nor
+    trips SUP001.  Falls back to a per-line regex when the file does not
+    tokenize (it then also fails to parse, and gets a parse-error
+    diagnostic anyway).
+    """
+    found: list[SuppressionComment] = []
+
+    def add(line: int, text: str) -> None:
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            return
+        spec = match.group(1) or match.group(2)
+        rules = (
+            tuple(part.strip() for part in spec.split(",") if part.strip())
+            if spec
+            else ()
+        )
+        found.append(SuppressionComment(line=line, rules=rules))
+
+    try:
+        # tokenize's readline contract wants "\n"-terminated lines.
+        feed = iter([line + "\n" for line in source_lines] + [""])
+        tokens = tokenize.generate_tokens(feed.__next__)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                add(tok.start[0], tok.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        found.clear()
+        for i, text in enumerate(source_lines, start=1):
+            add(i, text)
+    return tuple(found)
+
+
+def suppression_spec(
+    suppressions: Sequence[SuppressionComment], line: int
+) -> SuppressionComment | None:
+    for comment in suppressions:
+        if comment.line == line:
+            return comment
+    return None
+
+
+@dataclass
+class FileAnalysis:
+    """Full per-file lint outcome, including suppression bookkeeping.
+
+    ``violations`` are the survivors; ``suppressed`` the ones an inline
+    comment absorbed; ``used_suppression_lines`` records which comments
+    did the absorbing (the engine extends this set when program-level
+    rules hit suppressed lines, then flags the rest as SUP001).
+    """
+
+    path: str
+    violations: list[Violation]
+    suppressed: list[Violation]
+    suppressions: tuple[SuppressionComment, ...]
+    used_suppression_lines: set[int]
+
+
+def analyze_source(
     source: str,
     path: str,
     rules: Iterable[Rule],
-) -> tuple[list[Violation], int]:
-    """Lint one module's source text; returns (violations, n_suppressed)."""
+    tree: ast.Module | None = None,
+) -> FileAnalysis:
+    """Run per-file rules over one module with suppression tracking.
+
+    Pass ``tree`` when the caller already parsed the file (the engine
+    parses once for both linting and graph summarization).
+    """
+    suppressions = scan_suppressions(source.splitlines())
     try:
-        tree = ast.parse(source, filename=path)
+        if tree is None:
+            tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return (
-            [
+        return FileAnalysis(
+            path=path,
+            violations=[
                 Violation(
                     rule_id="parse-error",
                     path=path,
@@ -139,22 +255,41 @@ def lint_source(
                     message=f"could not parse file: {exc.msg}",
                 )
             ],
-            0,
+            suppressed=[],
+            suppressions=suppressions,
+            used_suppression_lines=set(),
         )
-    source_lines = source.splitlines()
     violations: list[Violation] = []
-    suppressed = 0
+    suppressed: list[Violation] = []
+    used: set[int] = set()
     for rule in rules:
         if not rule.applies_to(path):
             continue
         for violation in rule.check(tree, path):
-            spec = _suppressed_rules(source_lines, violation.line)
-            if spec is not None and (not spec or violation.rule_id in spec):
-                suppressed += 1
+            comment = suppression_spec(suppressions, violation.line)
+            if comment is not None and comment.covers(violation.rule_id):
+                suppressed.append(violation)
+                used.add(comment.line)
                 continue
             violations.append(violation)
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
-    return violations, suppressed
+    return FileAnalysis(
+        path=path,
+        violations=violations,
+        suppressed=suppressed,
+        suppressions=suppressions,
+        used_suppression_lines=used,
+    )
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Iterable[Rule],
+) -> tuple[list[Violation], int]:
+    """Lint one module's source text; returns (violations, n_suppressed)."""
+    analysis = analyze_source(source, path, rules)
+    return analysis.violations, len(analysis.suppressed)
 
 
 def lint_file(path: str | Path, rules: Iterable[Rule]) -> tuple[list[Violation], int]:

@@ -1,0 +1,852 @@
+"""Project-wide module/import graph with symbol resolution for simlint.
+
+Per-file AST rules (:mod:`repro.checks.rules`) cannot witness global
+properties — a layering inversion, an import cycle, a symbol nothing
+reachable ever uses, a seed forged three calls away from its
+``GridPoint``.  This module builds the whole-program model those rules
+need, in two stages:
+
+1. :func:`summarize_module` reduces one parsed module to a
+   :class:`ModuleSummary` — imports (with resolved absolute targets),
+   module-level definitions and the symbols each references, ``__all__``,
+   RNG-construction sites with their seed-provenance verdict (via
+   :mod:`repro.checks.flow`), obs metric call sites with their guard
+   verdict, the intra-module call graph, and the file's suppression
+   comments.  Summaries are plain data (JSON round-trippable), so the
+   lint engine caches them per file and whole-program analysis on a warm
+   cache re-parses nothing.
+2. :class:`ProjectGraph` assembles summaries into the program model:
+   module lookup, re-export chasing (``from .registry import x`` in a
+   package ``__init__`` resolves ``pkg:x`` to ``pkg.registry:x``),
+   import-cycle detection (iterative Tarjan SCC), and def-level
+   reference resolution for reachability analysis.
+
+Module naming is path-based: everything after the last ``src``
+component, else the longest chain of ``__init__.py`` packages, else the
+file stem — so fixture trees in tests resolve exactly like the real
+tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from .flow import GuardAnalysis, TaintTracker
+
+__all__ = [
+    "ImportEdge",
+    "DefInfo",
+    "RngSite",
+    "ObsSite",
+    "CallSite",
+    "FuncInfo",
+    "ModuleSummary",
+    "ProjectGraph",
+    "module_name_for",
+    "summarize_module",
+    "summarize_source",
+]
+
+
+# -- module naming -------------------------------------------------------------
+
+def module_name_for(path: str | Path) -> str:
+    """Dotted module name for ``path`` (see module docstring for rules)."""
+    p = Path(path)
+    parts = list(p.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "src" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("src")
+        tail = parts[idx + 1:]
+        if tail:
+            return ".".join(tail)
+    # Walk up through __init__.py packages.
+    pkg_parts = [parts[-1]] if parts else []
+    directory = p.parent
+    while (directory / "__init__.py").is_file():
+        pkg_parts.insert(0, directory.name)
+        directory = directory.parent
+    return ".".join(pkg_parts) if pkg_parts else p.stem
+
+
+# -- summary data model --------------------------------------------------------
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement's resolved target."""
+
+    target: str  #: absolute dotted module ("" when unresolvable)
+    names: tuple[str, ...]  #: from-imported names; () for plain ``import``
+    line: int
+    col: int
+    type_checking: bool = False  #: inside ``if TYPE_CHECKING:``
+    function_level: bool = False  #: inside a def (lazy import)
+
+
+@dataclass(frozen=True)
+class DefInfo:
+    """One module-level definition and the symbols its body references."""
+
+    name: str
+    kind: str  #: "function" | "class" | "assign"
+    line: int
+    col: int
+    decorated: bool = False
+    refs: tuple[str, ...] = ()  #: resolved reference keys ("module:name")
+
+
+@dataclass(frozen=True)
+class RngSite:
+    """One RNG construction with its seed-provenance verdict.
+
+    ``verdict`` grammar: ``ok:<label>`` (seed-derived), ``const``
+    (literal seed forged locally), ``missing`` (no seed argument — OS
+    entropy), ``param:<name>`` (flows from a parameter not named as a
+    seed), ``opaque:<expr>`` (provenance invisible to the dataflow).
+    """
+
+    line: int
+    col: int
+    call: str  #: resolved constructor, e.g. "numpy.random.default_rng"
+    verdict: str
+    func: str  #: enclosing function qualname ("" = module level)
+
+
+@dataclass(frozen=True)
+class ObsSite:
+    """One obs metric accessor call site in this module."""
+
+    line: int
+    col: int
+    accessor: str  #: counter | gauge | histogram | span
+    guarded: bool  #: lexically inside an ENABLED guard
+    func: str  #: enclosing function qualname ("" = module level)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """An intra-project call edge used by the guard-reachability fixpoint."""
+
+    callee: str  #: "qualname" (same module), "mod:name", or "self.method"
+    line: int
+    guarded: bool
+
+
+@dataclass(frozen=True)
+class FuncInfo:
+    """One function/method: its qualname and outgoing calls."""
+
+    qualname: str  #: "f" or "Class.f"
+    line: int
+    calls: tuple[CallSite, ...] = ()
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """Everything the whole-program rules need from one module."""
+
+    module: str
+    path: str
+    imports: tuple[ImportEdge, ...] = ()
+    defs: tuple[DefInfo, ...] = ()
+    module_refs: tuple[str, ...] = ()  #: refs from module-level code
+    all_names: tuple[str, ...] = ()  #: literal ``__all__`` entries
+    rng_sites: tuple[RngSite, ...] = ()
+    obs_sites: tuple[ObsSite, ...] = ()
+    funcs: tuple[FuncInfo, ...] = ()
+    has_main: bool = False  #: has an ``if __name__ == "__main__"`` block
+    #: from-import aliases: local name -> "module:name" (for re-exports)
+    aliases: tuple[tuple[str, str], ...] = ()
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "ModuleSummary":
+        return ModuleSummary(
+            module=data["module"],
+            path=data["path"],
+            imports=tuple(ImportEdge(**{**e, "names": tuple(e["names"])})
+                          for e in data["imports"]),
+            defs=tuple(DefInfo(**{**d, "refs": tuple(d["refs"])})
+                       for d in data["defs"]),
+            module_refs=tuple(data["module_refs"]),
+            all_names=tuple(data["all_names"]),
+            rng_sites=tuple(RngSite(**s) for s in data["rng_sites"]),
+            obs_sites=tuple(ObsSite(**s) for s in data["obs_sites"]),
+            funcs=tuple(
+                FuncInfo(
+                    qualname=f["qualname"],
+                    line=f["line"],
+                    calls=tuple(CallSite(**c) for c in f["calls"]),
+                )
+                for f in data["funcs"]
+            ),
+            has_main=data["has_main"],
+            aliases=tuple((a, b) for a, b in data["aliases"]),
+        )
+
+
+# -- extraction ----------------------------------------------------------------
+
+_RNG_CONSTRUCTORS = {
+    "random.Random": "random.Random",
+    "numpy.random.default_rng": "numpy.random.default_rng",
+    "repro.utils.make_rng": "repro.utils.make_rng",
+}
+
+_OBS_ACCESSORS = ("counter", "gauge", "histogram", "span")
+_OBS_MODULES = ("repro.obs.runtime", "repro.obs")
+
+
+def _seedlike(name: str) -> bool:
+    return (
+        name in ("seed", "rng")
+        or name.endswith("_seed")
+        or name.endswith("_rng")
+        or name.startswith("seed_")
+    )
+
+
+def _resolve_relative(module: str, is_package: bool, level: int,
+                      target: str | None) -> str:
+    """Absolute module for a ``from ...x import`` statement."""
+    parts = module.split(".") if module else []
+    base = parts if is_package else parts[:-1]
+    up = level - 1
+    if up > 0:
+        base = base[: max(len(base) - up, 0)]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base)
+
+
+class _Summarizer(ast.NodeVisitor):
+    """One pass over a module AST building its :class:`ModuleSummary`."""
+
+    def __init__(self, module: str, path: str, is_package: bool) -> None:
+        self.module = module
+        self.path = path
+        self.is_package = is_package
+        self.imports: list[ImportEdge] = []
+        self.defs: list[DefInfo] = []
+        self.module_refs: list[str] = []
+        self.all_names: list[str] = []
+        self.rng_sites: list[RngSite] = []
+        self.obs_sites: list[ObsSite] = []
+        self.funcs: list[FuncInfo] = []
+        self.has_main = False
+        #: local name -> absolute module (plain/submodule imports)
+        self.module_aliases: dict[str, str] = {}
+        #: local name -> ("module", "name") for from-imports of names
+        self.name_aliases: dict[str, tuple[str, str]] = {}
+        self._def_depth = 0
+        self._type_checking_depth = 0
+
+    # -- imports ---------------------------------------------------------------
+
+    def _add_import(self, target: str, names: tuple[str, ...],
+                    node: ast.stmt) -> None:
+        self.imports.append(
+            ImportEdge(
+                target=target,
+                names=names,
+                line=node.lineno,
+                col=node.col_offset,
+                type_checking=self._type_checking_depth > 0,
+                function_level=self._def_depth > 0,
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._add_import(alias.name, (), node)
+            local = alias.asname or alias.name.split(".")[0]
+            # `import a.b` binds `a`; `import a.b as c` binds c -> a.b.
+            self.module_aliases[local] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level > 0:
+            base = _resolve_relative(
+                self.module, self.is_package, node.level, node.module
+            )
+        else:
+            base = node.module or ""
+        names = tuple(a.name for a in node.names)
+        self._add_import(base, names, node)
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.name_aliases[local] = (base, alias.name)
+
+    # -- scopes / defs ---------------------------------------------------------
+
+    def _handle_def(self, node: ast.FunctionDef | ast.AsyncFunctionDef
+                    | ast.ClassDef, kind: str) -> None:
+        if self._def_depth == 0 and self._type_checking_depth == 0:
+            self.defs.append(
+                DefInfo(
+                    name=node.name,
+                    kind=kind,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    decorated=bool(node.decorator_list),
+                    refs=(),  # filled in by summarize_module's second pass
+                )
+            )
+        self._def_depth += 1
+        self.generic_visit(node)
+        self._def_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._handle_def(node, "function")
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._handle_def(node, "function")
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._handle_def(node, "class")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._def_depth == 0:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if target.id == "__all__":
+                        self._collect_all(node.value)
+                    elif not (target.id.startswith("__")
+                              and target.id.endswith("__")):
+                        self.defs.append(
+                            DefInfo(name=target.id, kind="assign",
+                                    line=node.lineno, col=node.col_offset)
+                        )
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._def_depth == 0 and isinstance(node.target, ast.Name):
+            name = node.target.id
+            if name != "__all__" and not (name.startswith("__")
+                                          and name.endswith("__")):
+                self.defs.append(
+                    DefInfo(name=name, kind="assign",
+                            line=node.lineno, col=node.col_offset)
+                )
+        self.generic_visit(node)
+
+    def _collect_all(self, value: ast.expr) -> None:
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    self.all_names.append(element.value)
+
+    def visit_If(self, node: ast.If) -> None:
+        if self._is_type_checking(node.test):
+            self._type_checking_depth += 1
+            for stmt in node.body:
+                self.visit(stmt)
+            self._type_checking_depth -= 1
+            for stmt in node.orelse:
+                self.visit(stmt)
+            return
+        if self._is_main_check(node.test):
+            self.has_main = True
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_type_checking(test: ast.expr) -> bool:
+        return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+
+    @staticmethod
+    def _is_main_check(test: ast.expr) -> bool:
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Name) and sub.id == "__name__":
+                return True
+        return False
+
+
+def _reference_keys(
+    node: ast.AST,
+    module_aliases: Mapping[str, str],
+    name_aliases: Mapping[str, tuple[str, str]],
+    skip_names: frozenset[str] = frozenset(),
+) -> Iterator[str]:
+    """Resolved reference keys (``"module:name"`` / ``":name"``) in a subtree.
+
+    ``":name"`` means a same-module reference, resolved when the graph
+    is assembled.  Attribute chains are resolved one level deep against
+    plain-module imports (``mod.attr`` -> ``mod:attr``).
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            root = sub
+            chain: list[str] = []
+            while isinstance(root, ast.Attribute):
+                chain.append(root.attr)
+                root = root.value
+            if isinstance(root, ast.Name):
+                base: str | None = None
+                if root.id in module_aliases:
+                    base = module_aliases[root.id]
+                elif root.id in name_aliases:
+                    # The from-imported name may itself be a module
+                    # (`from ..obs import runtime as _obs`), so keep the
+                    # attribute chain alive through it too.
+                    target_mod, target_name = name_aliases[root.id]
+                    yield f"{target_mod}:{target_name}"
+                    base = f"{target_mod}.{target_name}"
+                if base is not None:
+                    # `a.b.c.f` — which prefix is the module is unknown
+                    # statically; emit every split and let resolution
+                    # discard the ones that name nothing.
+                    chain.reverse()
+                    for i in range(len(chain)):
+                        mod = ".".join([base, *chain[:i]])
+                        yield f"{mod}:{chain[i]}"
+        elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+            if sub.id in skip_names:
+                continue
+            if sub.id in name_aliases:
+                target_mod, target_name = name_aliases[sub.id]
+                yield f"{target_mod}:{target_name}"
+            elif sub.id in module_aliases:
+                yield f"{module_aliases[sub.id]}:"
+            else:
+                yield f":{sub.id}"
+
+
+_BUILTIN_NAMES = frozenset(dir(builtins)) | frozenset(
+    ("self", "cls", "True", "False", "None")
+)
+
+
+def _qualname_parts(stack: Sequence[ast.AST]) -> str:
+    names = [getattr(n, "name", "") for n in stack]
+    return ".".join(n for n in names if n)
+
+
+def _function_param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = node.args
+    params = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+    if args.vararg:
+        params.append(args.vararg.arg)
+    if args.kwarg:
+        params.append(args.kwarg.arg)
+    return params
+
+
+def summarize_source(source: str, path: str,
+                     module: str | None = None) -> ModuleSummary:
+    tree = ast.parse(source, filename=str(path))
+    return summarize_module(tree, path, module)
+
+
+def summarize_module(tree: ast.Module, path: str,
+                     module: str | None = None) -> ModuleSummary:
+    """Build the :class:`ModuleSummary` for one parsed module."""
+    posix = Path(path).as_posix()
+    is_package = posix.endswith("__init__.py")
+    name = module if module is not None else module_name_for(path)
+    summ = _Summarizer(name, posix, is_package)
+    summ.visit(tree)
+
+    module_aliases = summ.module_aliases
+    name_aliases = summ.name_aliases
+
+    def is_obs_module_name(local: str) -> bool:
+        target = module_aliases.get(local)
+        if target in _OBS_MODULES:
+            return True
+        aliased = name_aliases.get(local)
+        return aliased is not None and (
+            ".".join(filter(None, aliased)) in _OBS_MODULES
+            or (aliased[0] in ("repro.obs",) and aliased[1] == "runtime")
+        )
+
+    def is_guard_expr(expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Attribute)
+            and expr.attr == "ENABLED"
+            and isinstance(expr.value, ast.Name)
+            and is_obs_module_name(expr.value.id)
+        )
+
+    def resolve_call(func: ast.expr) -> str | None:
+        """Dotted origin of a called Name/Attribute, or None."""
+        chain: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        chain.reverse()
+        if node.id in module_aliases:
+            return ".".join([module_aliases[node.id], *chain])
+        if node.id in name_aliases:
+            mod, nm = name_aliases[node.id]
+            return ".".join([mod, nm, *chain]) if mod else ".".join([nm, *chain])
+        return ".".join([node.id, *chain])
+
+    guard = GuardAnalysis(tree, is_guard_expr)
+
+    # -- per-function walk: refs for defs, rng/obs sites, call graph ----------
+    defs_by_name = {d.name: d for d in summ.defs}
+    updated_defs: dict[str, DefInfo] = dict(defs_by_name)
+    module_refs: list[str] = []
+    rng_sites: list[RngSite] = []
+    obs_sites: list[ObsSite] = []
+    funcs: list[FuncInfo] = []
+
+    def classify_rng(call: ast.Call, fn_stack: list[ast.AST]) -> str:
+        enclosing = None
+        for frame in reversed(fn_stack):
+            if isinstance(frame, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                enclosing = frame
+                break
+        params = _function_param_names(enclosing) if enclosing else []
+        seed_params = {p for p in params if _seedlike(p)}
+
+        def is_source(expr: ast.expr) -> str | None:
+            if isinstance(expr, ast.Name) and expr.id in seed_params:
+                return f"param {expr.id}"
+            if isinstance(expr, ast.Attribute) and _seedlike(expr.attr):
+                return f"attr .{expr.attr}"
+            return None
+
+        tracker = TaintTracker(is_source)
+        if enclosing is not None:
+            tracker.analyze(enclosing.body)
+        arg: ast.expr | None = None
+        if call.args:
+            arg = call.args[0]
+        for kw in call.keywords:
+            if kw.arg == "seed":
+                arg = kw.value
+        if arg is None or (isinstance(arg, ast.Constant) and arg.value is None):
+            return "missing"
+        label = tracker.label_of(arg)
+        if label is not None:
+            return f"ok:{label}"
+        if isinstance(arg, ast.Constant):
+            return "const"
+        if isinstance(arg, ast.Name) and arg.id in params:
+            return f"param:{arg.id}"
+        try:
+            text = ast.unparse(arg)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            text = "<expr>"
+        return f"opaque:{text[:40]}"
+
+    class _Walker(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.def_stack: list[ast.AST] = []
+            self.current_calls: dict[int, list[CallSite]] = {}
+
+        def _enclosing_func(self) -> str:
+            return _qualname_parts(self.def_stack)
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            self._walk_def(node)
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            self._walk_def(node)
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            self.def_stack.append(node)
+            self.generic_visit(node)
+            self.def_stack.pop()
+
+        def _walk_def(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+            self.def_stack.append(node)
+            self.current_calls[id(node)] = []
+            self.generic_visit(node)
+            qual = self._enclosing_func()
+            funcs.append(
+                FuncInfo(
+                    qualname=qual,
+                    line=node.lineno,
+                    calls=tuple(self.current_calls.pop(id(node))),
+                )
+            )
+            self.def_stack.pop()
+
+        def visit_Call(self, node: ast.Call) -> None:
+            dotted = resolve_call(node.func)
+            # RNG-construction sites.
+            if dotted is not None:
+                normalized = _RNG_CONSTRUCTORS.get(dotted)
+                if normalized is None and dotted.split(".")[-1] == "make_rng":
+                    normalized = "repro.utils.make_rng"
+                if normalized is not None:
+                    rng_sites.append(
+                        RngSite(
+                            line=node.lineno,
+                            col=node.col_offset,
+                            call=normalized,
+                            verdict=classify_rng(node, self.def_stack),
+                            func=self._enclosing_func(),
+                        )
+                    )
+            # Obs accessor sites.
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _OBS_ACCESSORS
+                and isinstance(node.func.value, ast.Name)
+                and is_obs_module_name(node.func.value.id)
+            ):
+                obs_sites.append(
+                    ObsSite(
+                        line=node.lineno,
+                        col=node.col_offset,
+                        accessor=node.func.attr,
+                        guarded=guard.is_guarded(node),
+                        func=self._enclosing_func(),
+                    )
+                )
+            # Intra-project call edges (for the FLOW002 fixpoint).
+            callee: str | None = None
+            if isinstance(node.func, ast.Name):
+                if node.func.id in name_aliases:
+                    mod, nm = name_aliases[node.func.id]
+                    callee = f"{mod}:{nm}"
+                elif node.func.id not in _BUILTIN_NAMES:
+                    callee = node.func.id
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in ("self", "cls")
+            ):
+                cls_name = ""
+                for frame in self.def_stack:
+                    if isinstance(frame, ast.ClassDef):
+                        cls_name = frame.name
+                callee = f"{cls_name}.{node.func.attr}" if cls_name else None
+            if callee is not None:
+                for frame in reversed(self.def_stack):
+                    if isinstance(frame, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self.current_calls[id(frame)].append(
+                            CallSite(
+                                callee=callee,
+                                line=node.lineno,
+                                guarded=guard.is_guarded(node),
+                            )
+                        )
+                        break
+            self.generic_visit(node)
+
+    _Walker().visit(tree)
+
+    # -- def-level references (module level vs per top-level def) -------------
+    top_level_defs = {
+        stmt.name: stmt
+        for stmt in tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    }
+    own_names = frozenset(defs_by_name)
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            continue
+        for key in _reference_keys(stmt, module_aliases, name_aliases,
+                                   _BUILTIN_NAMES - own_names):
+            module_refs.append(key)
+    for name_, node in top_level_defs.items():
+        if name_ not in updated_defs:
+            continue
+        refs = tuple(
+            dict.fromkeys(
+                _reference_keys(node, module_aliases, name_aliases,
+                                _BUILTIN_NAMES - own_names)
+            )
+        )
+        old = updated_defs[name_]
+        updated_defs[name_] = DefInfo(
+            name=old.name, kind=old.kind, line=old.line, col=old.col,
+            decorated=old.decorated, refs=refs,
+        )
+
+    return ModuleSummary(
+        module=name,
+        path=posix,
+        imports=tuple(summ.imports),
+        defs=tuple(updated_defs[d.name] for d in summ.defs),
+        module_refs=tuple(dict.fromkeys(module_refs)),
+        all_names=tuple(summ.all_names),
+        rng_sites=tuple(rng_sites),
+        obs_sites=tuple(obs_sites),
+        funcs=tuple(funcs),
+        has_main=summ.has_main,
+        aliases=tuple(sorted((k, f"{m}:{n}") for k, (m, n)
+                             in name_aliases.items())),
+    )
+
+
+# -- the assembled program model -----------------------------------------------
+
+class ProjectGraph:
+    """All module summaries plus resolution and cycle queries."""
+
+    def __init__(self, summaries: Sequence[ModuleSummary]) -> None:
+        self.modules: dict[str, ModuleSummary] = {}
+        for s in summaries:
+            # Same dotted name from two files (stem-named scripts outside
+            # any package): keep both under suffixed keys so neither
+            # module's references are lost to the dead-code analysis.
+            name = s.module
+            while name in self.modules and self.modules[name].path != s.path:
+                name += "+"
+            if name != s.module:
+                s = replace(s, module=name)
+            self.modules[name] = s
+        self._defs: dict[tuple[str, str], DefInfo] = {
+            (s.module, d.name): d for s in summaries for d in s.defs
+        }
+        self._aliases: dict[str, dict[str, tuple[str, str]]] = {
+            s.module: {
+                local: tuple(target.split(":", 1))  # type: ignore[misc]
+                for local, target in s.aliases
+            }
+            for s in summaries
+        }
+
+    def __contains__(self, module: str) -> bool:
+        return module in self.modules
+
+    def def_at(self, module: str, name: str) -> DefInfo | None:
+        return self._defs.get((module, name))
+
+    def resolve_symbol(
+        self, module: str, name: str, _depth: int = 0
+    ) -> tuple[str, str] | None:
+        """Chase re-exports to the module that actually defines ``name``.
+
+        Returns ``(module, name)`` of the defining module, or None when
+        the chain leaves the analyzed project.
+        """
+        if _depth > 16 or module not in self.modules:
+            return None
+        if (module, name) in self._defs:
+            return (module, name)
+        alias = self._aliases.get(module, {}).get(name)
+        if alias is not None:
+            target_mod, target_name = alias
+            # `from . import registry` style: the name IS a submodule.
+            if not target_name or target_name == name and (
+                f"{target_mod}.{name}" in self.modules
+            ):
+                sub = f"{target_mod}.{target_name or name}"
+                if sub in self.modules:
+                    return (sub, "")
+            return self.resolve_symbol(target_mod, target_name, _depth + 1)
+        # The name may itself be a submodule of a package.
+        if f"{module}.{name}" in self.modules:
+            return (f"{module}.{name}", "")
+        return None
+
+    # -- import graph ----------------------------------------------------------
+
+    def runtime_import_edges(self, module: str) -> Iterator[tuple[str, ImportEdge]]:
+        """(target module, edge) for every non-TYPE_CHECKING import.
+
+        ``from pkg import name`` targets ``pkg.name`` when that is an
+        analyzed module (a submodule import), else ``pkg``.
+        """
+        summary = self.modules.get(module)
+        if summary is None:
+            return
+        for edge in summary.imports:
+            if edge.type_checking:
+                continue
+            if not edge.names:
+                if edge.target:
+                    yield edge.target, edge
+                continue
+            for imported in edge.names:
+                sub = f"{edge.target}.{imported}"
+                if sub in self.modules:
+                    yield sub, edge
+                elif edge.target:
+                    yield edge.target, edge
+
+    def import_cycles(self) -> list[tuple[str, ...]]:
+        """Import-time cycles: SCCs of size > 1 over module-level imports.
+
+        Function-level (lazy) imports are excluded — they resolve at
+        call time and cannot deadlock module initialisation, and they
+        are the sanctioned way to break a would-be cycle.  Iterative
+        Tarjan with sorted edges, so the result is deterministic.
+        """
+        graph: dict[str, list[str]] = {}
+        for module in self.modules:
+            targets = sorted(
+                {
+                    target
+                    for target, edge in self.runtime_import_edges(module)
+                    if target in self.modules
+                    and target != module
+                    and not edge.function_level
+                }
+            )
+            graph[module] = targets
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: dict[str, None] = {}
+        stack: list[str] = []
+        counter = [0]
+        sccs: list[tuple[str, ...]] = []
+
+        for root in sorted(graph):
+            if root in index:
+                continue
+            work: list[tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_i = work[-1]
+                if child_i == 0:
+                    index[node] = lowlink[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack[node] = None
+                recurse = False
+                children = graph[node]
+                while child_i < len(children):
+                    child = children[child_i]
+                    child_i += 1
+                    if child not in index:
+                        work[-1] = (node, child_i)
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if recurse:
+                    continue
+                work[-1] = (node, child_i)
+                if lowlink[node] == index[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        del on_stack[member]
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        sccs.append(tuple(sorted(component)))
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        return sorted(sccs)

@@ -1,23 +1,64 @@
 """Diagnostic rendering for ``simlint`` (``repro-fbf check``).
 
-Keeps the output format in one place: ``path:line:col: RULE-ID message``,
-one violation per line, grouped by file, followed by a summary line.  The
-format is the common compiler shape so editors and CI annotators parse it
-for free.
+Three output formats, one source of truth:
+
+* **text** — ``path:line:col: RULE-ID message``, one violation per line,
+  then a summary.  The common compiler shape, so editors and CI
+  annotators parse it for free.
+* **json** — the full :class:`~repro.checks.engine.CheckOutcome` as a
+  machine-readable object (used by the microbenchmark and scripting).
+* **sarif** — SARIF 2.1.0, the format GitHub code scanning ingests to
+  annotate PR diffs inline.
+
+Paths are shown relative to the working directory when possible so CI
+annotations and editors resolve them against the repo root.
 """
 
 from __future__ import annotations
 
-from typing import TextIO
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, TextIO
 
 from .framework import LintResult, Violation
-from .rules import ALL_RULES
 
-__all__ = ["render_violations", "render_summary", "render_rule_list", "write_report"]
+if TYPE_CHECKING:
+    from .engine import CheckOutcome
+
+__all__ = [
+    "render_violations",
+    "render_summary",
+    "render_outcome_summary",
+    "render_rule_list",
+    "render_json",
+    "render_sarif",
+    "write_report",
+    "write_outcome",
+]
+
+
+def _display_path(path: str) -> str:
+    """Repo-relative when under the working directory, else unchanged."""
+    try:
+        return Path(path).resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path
 
 
 def render_violations(violations: list[Violation]) -> str:
-    return "\n".join(v.format() for v in violations)
+    shown = [
+        Violation(
+            rule_id=v.rule_id,
+            path=_display_path(v.path),
+            line=v.line,
+            col=v.col,
+            message=v.message,
+            severity=v.severity,
+            key=v.key,
+        )
+        for v in violations
+    ]
+    return "\n".join(v.format() for v in shown)
 
 
 def render_summary(result: LintResult) -> str:
@@ -38,16 +79,165 @@ def render_summary(result: LintResult) -> str:
     return " | ".join(parts)
 
 
+def render_outcome_summary(outcome: "CheckOutcome") -> str:
+    n_err = len(outcome.errors)
+    n_warn = len(outcome.warnings)
+    head = (
+        f"simlint: {outcome.files_checked} files checked "
+        f"({outcome.files_analyzed} analyzed, rest cached), "
+        f"{n_err} violation{'s' if n_err != 1 else ''}"
+    )
+    if n_warn:
+        head += f", {n_warn} warning{'s' if n_warn != 1 else ''}"
+    parts = [head]
+    if outcome.suppressed:
+        parts.append(f"{outcome.suppressed} suppressed")
+    if outcome.baselined:
+        parts.append(f"{outcome.baselined} baselined")
+    if outcome.unused_baseline:
+        parts.append(f"{len(outcome.unused_baseline)} stale baseline entries")
+    if outcome.violations:
+        by_rule: dict[str, int] = {}
+        for v in outcome.violations:
+            by_rule[v.rule_id] = by_rule.get(v.rule_id, 0) + 1
+        parts.append(
+            ", ".join(f"{rule}={count}" for rule, count in sorted(by_rule.items()))
+        )
+    return " | ".join(parts)
+
+
 def render_rule_list() -> str:
-    lines = ["simlint rules (suppress with `# simlint: ignore[ID]`):", ""]
-    for rule in ALL_RULES:
+    from .cli import active_rules  # late: cli imports this module too
+    from .engine import UnusedSuppressionRule
+
+    per_file, program = active_rules(None)
+    lines = [
+        "simlint rules (suppress with `# simlint: ignore[ID]` or "
+        "`# simlint: disable=ID`):",
+        "",
+        "per-file rules:",
+    ]
+    for rule in per_file:
         scope = ", ".join(rule.scopes) if rule.scopes else "all files"
         lines.append(f"  {rule.rule_id}  {rule.summary}")
         lines.append(f"          scope: {scope}")
+    lines.append("")
+    lines.append("whole-program rules:")
+    for prule in program:
+        lines.append(f"  {prule.rule_id}  {prule.summary}")
+    lines.append("")
+    lines.append("engine diagnostics:")
+    lines.append(
+        f"  {UnusedSuppressionRule.rule_id}  {UnusedSuppressionRule.summary}"
+    )
     return "\n".join(lines)
+
+
+def render_json(outcome: "CheckOutcome") -> str:
+    payload = {
+        "files_checked": outcome.files_checked,
+        "files_analyzed": outcome.files_analyzed,
+        "suppressed": outcome.suppressed,
+        "baselined": outcome.baselined,
+        "unused_baseline": [list(fp) for fp in outcome.unused_baseline],
+        "errors": len(outcome.errors),
+        "warnings": len(outcome.warnings),
+        "violations": [
+            {
+                "rule_id": v.rule_id,
+                "path": _display_path(v.path),
+                "line": v.line,
+                "col": v.col,
+                "severity": v.severity,
+                "message": v.message,
+                "key": v.key,
+            }
+            for v in outcome.violations
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def _sarif_rules(violations: Iterable[Violation]) -> list[dict]:
+    from .cli import active_rules
+
+    per_file, program = active_rules(None)
+    summaries = {r.rule_id: r.summary for r in (*per_file, *program)}
+    seen: dict[str, dict] = {}
+    for v in violations:
+        if v.rule_id not in seen:
+            seen[v.rule_id] = {
+                "id": v.rule_id,
+                "shortDescription": {
+                    "text": summaries.get(v.rule_id, v.rule_id)
+                },
+            }
+    return [seen[k] for k in sorted(seen)]
+
+
+def render_sarif(outcome: "CheckOutcome") -> str:
+    """SARIF 2.1.0 log for GitHub code-scanning upload."""
+    results = []
+    for v in outcome.violations:
+        results.append(
+            {
+                "ruleId": v.rule_id,
+                "level": "error" if v.severity == "error" else "warning",
+                "message": {"text": v.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": _display_path(v.path),
+                                "uriBaseId": "ROOT",
+                            },
+                            "region": {
+                                "startLine": max(v.line, 1),
+                                "startColumn": v.col + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "simlintKey": "|".join(v.fingerprint())
+                },
+            }
+        )
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": (
+                            "https://example.invalid/repro-fbf/simlint"
+                        ),
+                        "rules": _sarif_rules(outcome.violations),
+                    }
+                },
+                "originalUriBaseIds": {"ROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2) + "\n"
 
 
 def write_report(result: LintResult, stream: TextIO) -> None:
     if result.violations:
         stream.write(render_violations(result.violations) + "\n")
     stream.write(render_summary(result) + "\n")
+
+
+def write_outcome(outcome: "CheckOutcome", stream: TextIO, fmt: str = "text") -> None:
+    if fmt == "json":
+        stream.write(render_json(outcome))
+        return
+    if fmt == "sarif":
+        stream.write(render_sarif(outcome))
+        return
+    if outcome.violations:
+        stream.write(render_violations(outcome.violations) + "\n")
+    stream.write(render_outcome_summary(outcome) + "\n")

@@ -489,7 +489,7 @@ class UnorderedStateRule(Rule):
     rule_id = "DET003"
     summary = "cache/kernel instance state must be insertion-ordered, not a set"
     scopes = ("repro/cache/", "repro/core/", "repro/sim/kernel.py", "repro/engine/")
-    excludes = ("repro/cache/base.py",)
+    excludes = ("repro/cache/base.py", "repro/core/policy.py")
 
     def check(self, tree: ast.Module, path: str) -> Iterator[Violation]:
         for node in ast.walk(tree):
@@ -562,7 +562,7 @@ class PolicyInterfaceRule(Rule):
     rule_id = "POL002"
     summary = "CachePolicy subclasses must match the base.py interface exactly"
     scopes = ("repro/cache/", "repro/core/", "repro/engine/")
-    excludes = ("repro/cache/base.py",)
+    excludes = ("repro/cache/base.py", "repro/core/policy.py")
 
     _REQUIRED = {
         "CachePolicy": ("request", "__contains__", "__len__", "_clear"),
@@ -847,5 +847,20 @@ def default_rules() -> tuple[Rule, ...]:
     return ALL_RULES
 
 
-def rules_by_id() -> dict[str, Rule]:
-    return {rule.rule_id: rule for rule in ALL_RULES}
+def rules_by_id() -> dict[str, object]:
+    """Every selectable rule: per-file, whole-program, and SUP001.
+
+    Values are heterogeneous (:class:`Rule` or
+    :class:`~repro.checks.program_rules.ProgramRule`); the CLI splits
+    them by type.  Imported lazily so plain ``lint_source`` users do not
+    pay for the whole-program machinery.
+    """
+    from .engine import UnusedSuppressionRule
+    from .program_rules import ALL_PROGRAM_RULES
+
+    mapping: dict[str, object] = {rule.rule_id: rule for rule in ALL_RULES}
+    for program_rule in ALL_PROGRAM_RULES:
+        mapping[program_rule.rule_id] = program_rule
+    sup = UnusedSuppressionRule()
+    mapping[sup.rule_id] = sup
+    return mapping

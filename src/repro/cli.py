@@ -253,6 +253,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="describe every rule and exit",
     )
+    c.add_argument(
+        "--format", dest="fmt", choices=("text", "json", "sarif"),
+        default="text", help="diagnostic output format (default: text)",
+    )
+    c.add_argument(
+        "--jobs", "-j", type=int, default=0,
+        help="parallel analysis processes (0 = auto)",
+    )
+    c.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the per-file analysis cache",
+    )
+    c.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the analysis cache (default: ./.simlint_cache.json)",
+    )
+    c.add_argument(
+        "--baseline", default=None,
+        help="baseline file of accepted findings (default: the committed one)",
+    )
+    c.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, including baselined ones",
+    )
+    c.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and re-check",
+    )
+    c.add_argument(
+        "--update-api-manifest", action="store_true",
+        help="rewrite the repro.api surface manifest (API001) and re-check",
+    )
     return parser
 
 
@@ -489,7 +521,19 @@ def main(argv: list[str] | None = None) -> int:
         select = None
         if args.select:
             select = [part.strip() for part in args.select.split(",") if part.strip()]
-        return run_check(args.paths, select=select, list_rules=args.list_rules)
+        return run_check(
+            args.paths,
+            select=select,
+            list_rules=args.list_rules,
+            fmt=args.fmt,
+            jobs=args.jobs,
+            no_cache=args.no_cache,
+            cache_dir=args.cache_dir,
+            baseline=args.baseline,
+            no_baseline=args.no_baseline,
+            update_baseline=args.update_baseline,
+            update_api_manifest=args.update_api_manifest,
+        )
 
     if cmd == "bench":
         return _run_bench(args)

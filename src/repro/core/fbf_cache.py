@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Sequence
 
-from ..cache.base import CachePolicy, Key
+from .policy import CachePolicy, Key
 from .priorities import MAX_PRIORITY
 
 __all__ = ["FBFCache"]

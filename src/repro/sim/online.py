@@ -18,12 +18,14 @@ foreground churn.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Sequence
+from typing import TYPE_CHECKING, Generator, Sequence
+
+if TYPE_CHECKING:  # annotation-only: sim stays level with workloads' consumers
+    from ..workloads.app_io import AppRequest
+    from ..workloads.errors import PartialStripeError
 
 from ..cache.registry import make_policy
 from ..codes.layout import CodeLayout, Direction
-from ..workloads.app_io import AppRequest
-from ..workloads.errors import PartialStripeError
 from .array import ArrayGeometry
 from .cache_sim import TimedBufferCache
 from .controller import RAIDController

@@ -15,18 +15,20 @@ to completion, and returns a :class:`ReconstructionReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, Sequence
+from typing import TYPE_CHECKING, Callable, Generator, Sequence
 
 from ..cache.base import CachePolicy
 from ..codes.layout import CodeLayout
 from ..core.scheme import SchemeMode
 from ..utils import parse_size
-from ..workloads.errors import PartialStripeError
 from .array import ArrayGeometry, DiskArray, FlatGeometry
 from .cache_sim import TimedBufferCache
 from .controller import RAIDController
 from .disk import FixedLatencyModel
 from .kernel import Environment
+
+if TYPE_CHECKING:  # annotation-only: sim stays level with workloads' consumers
+    from ..workloads.errors import PartialStripeError
 
 __all__ = ["SimConfig", "ReconstructionReport", "run_reconstruction"]
 

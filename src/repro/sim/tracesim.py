@@ -9,7 +9,7 @@ delegating everything to an :class:`~repro.engine.backends.XORBackend`.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..cache.base import CachePolicy
 from ..codes.layout import CodeLayout
@@ -18,7 +18,9 @@ from ..core.scheme import RecoveryPlan, SchemeMode
 from ..engine.backends import XORBackend
 from ..engine.tracesim import PlanCache as EnginePlanCache
 from ..engine.tracesim import TraceSimResult, simulate_trace
-from ..workloads.errors import PartialStripeError
+
+if TYPE_CHECKING:  # annotation-only: sim stays level with workloads' consumers
+    from ..workloads.errors import PartialStripeError
 
 __all__ = ["TraceSimResult", "simulate_cache_trace", "PlanCache"]
 

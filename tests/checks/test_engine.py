@@ -1,0 +1,247 @@
+"""Tests for the check engine: caching, suppressions, baseline, output.
+
+The contract under test is the one CI relies on:
+
+* a warm-cache re-run over an unchanged tree analyzes **zero** files;
+* editing one file re-analyzes only that file;
+* inline suppressions absorb program-rule findings and unused ones
+  surface as SUP001;
+* the committed baseline absorbs accepted findings and reports stale
+  entries;
+* every output format round-trips through its parser.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import textwrap
+from pathlib import Path
+
+from repro.checks.baseline import apply_baseline, load_baseline, render_baseline
+from repro.checks.engine import CheckSettings, run_engine
+from repro.checks.framework import LintResult, lint_paths
+from repro.checks.program_rules import LayerRule
+from repro.checks.report import (
+    render_json,
+    render_sarif,
+    render_summary,
+    write_report,
+)
+from repro.checks.rules import ALL_RULES, default_rules
+
+
+def _write_tree(root: Path, files: dict[str, str]) -> None:
+    for rel, src in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src), encoding="utf-8")
+
+
+CLEAN_TREE = {
+    "src/pkg/core/low.py": "def base():\n    return 1\n",
+    "src/pkg/app/high.py": "from ..core.low import base\n\ndef helper():\n    return base()\n",
+}
+
+UPWARD_TREE = {
+    "src/pkg/core/low.py": "from ..app.high import helper\n",
+    "src/pkg/app/high.py": "def helper():\n    return 1\n",
+}
+
+
+def _settings(tmp_path: Path, **kwargs) -> CheckSettings:
+    defaults = dict(
+        paths=[tmp_path / "src"],
+        rules=ALL_RULES,
+        program_rules=(LayerRule(layers={"core": 0, "app": 1}, root="pkg"),),
+        cache_path=tmp_path / "cache.json",
+        baseline_path=None,
+    )
+    defaults.update(kwargs)
+    return CheckSettings(**defaults)
+
+
+class TestCache:
+    def test_warm_rerun_analyzes_nothing(self, tmp_path):
+        _write_tree(tmp_path, CLEAN_TREE)
+        settings = _settings(tmp_path)
+        cold = run_engine(settings)
+        assert cold.files_analyzed == cold.files_checked == 2
+        warm = run_engine(settings)
+        assert warm.files_analyzed == 0
+        assert warm.files_checked == 2
+        assert [v.key for v in warm.violations] == [v.key for v in cold.violations]
+
+    def test_edit_reanalyzes_only_that_file(self, tmp_path):
+        _write_tree(tmp_path, CLEAN_TREE)
+        settings = _settings(tmp_path)
+        run_engine(settings)
+        target = tmp_path / "src" / "pkg" / "core" / "low.py"
+        target.write_text("def base():\n    return 2  # changed\n", encoding="utf-8")
+        outcome = run_engine(settings)
+        assert outcome.files_analyzed == 1
+
+    def test_touch_without_change_stays_cached(self, tmp_path):
+        _write_tree(tmp_path, CLEAN_TREE)
+        settings = _settings(tmp_path)
+        run_engine(settings)
+        target = tmp_path / "src" / "pkg" / "core" / "low.py"
+        stat = target.stat()
+        os.utime(target, (stat.st_atime + 60, stat.st_mtime + 60))
+        outcome = run_engine(settings)
+        assert outcome.files_analyzed == 0
+
+    def test_no_cache_path_always_analyzes(self, tmp_path):
+        _write_tree(tmp_path, CLEAN_TREE)
+        settings = _settings(tmp_path, cache_path=None)
+        assert run_engine(settings).files_analyzed == 2
+        assert run_engine(settings).files_analyzed == 2
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path):
+        _write_tree(tmp_path, CLEAN_TREE)
+        settings = _settings(tmp_path)
+        run_engine(settings)
+        (tmp_path / "cache.json").write_text("{not json", encoding="utf-8")
+        assert run_engine(settings).files_analyzed == 2
+
+
+class TestProgramRuleFiltering:
+    def test_upward_import_reported(self, tmp_path):
+        _write_tree(tmp_path, UPWARD_TREE)
+        outcome = run_engine(_settings(tmp_path))
+        assert [v.rule_id for v in outcome.errors] == ["ARCH001"]
+        assert outcome.errors[0].key == "pkg.core.low->pkg.app.high"
+
+    def test_inline_suppression_absorbs_program_finding(self, tmp_path):
+        tree = dict(UPWARD_TREE)
+        tree["src/pkg/core/low.py"] = (
+            "from ..app.high import helper  # simlint: disable=ARCH001\n"
+        )
+        _write_tree(tmp_path, tree)
+        outcome = run_engine(_settings(tmp_path))
+        assert outcome.errors == []
+        assert outcome.suppressed == 1
+        # The comment absorbed a finding, so no SUP001 either.
+        assert [v.rule_id for v in outcome.warnings] == []
+
+    def test_unused_suppression_becomes_sup001(self, tmp_path):
+        tree = dict(CLEAN_TREE)
+        tree["src/pkg/core/low.py"] = (
+            "def base():\n    return 1  # simlint: ignore[ARCH001]\n"
+        )
+        _write_tree(tmp_path, tree)
+        outcome = run_engine(_settings(tmp_path))
+        assert [v.rule_id for v in outcome.warnings] == ["SUP001"]
+        assert outcome.errors == []
+
+    def test_docstring_mention_is_not_a_suppression(self, tmp_path):
+        tree = dict(CLEAN_TREE)
+        tree["src/pkg/core/low.py"] = (
+            '"""Suppress with ``# simlint: ignore[ARCH001]``."""\n'
+            "def base():\n    return 1\n"
+        )
+        _write_tree(tmp_path, tree)
+        outcome = run_engine(_settings(tmp_path))
+        assert outcome.violations == []
+
+
+class TestBaseline:
+    def test_round_trip_absorbs_findings(self, tmp_path):
+        _write_tree(tmp_path, UPWARD_TREE)
+        no_baseline = run_engine(_settings(tmp_path))
+        assert len(no_baseline.errors) == 1
+
+        baseline_path = tmp_path / "baseline.txt"
+        baseline_path.write_text(
+            render_baseline(no_baseline.prebaseline, {}), encoding="utf-8"
+        )
+        outcome = run_engine(_settings(tmp_path, baseline_path=baseline_path))
+        assert outcome.errors == []
+        assert outcome.baselined == 1
+        assert outcome.unused_baseline == []
+
+    def test_baseline_preserves_tracking_comments(self, tmp_path):
+        _write_tree(tmp_path, UPWARD_TREE)
+        outcome = run_engine(_settings(tmp_path))
+        baseline_path = tmp_path / "baseline.txt"
+        baseline_path.write_text(
+            render_baseline(outcome.prebaseline, {}), encoding="utf-8"
+        )
+        entries = load_baseline(baseline_path)
+        noted = {fp: "accepted: legacy edge" for fp in entries}
+        regenerated = render_baseline(outcome.prebaseline, noted)
+        assert "accepted: legacy edge" in regenerated
+
+    def test_stale_entry_reported_as_unused(self, tmp_path):
+        _write_tree(tmp_path, CLEAN_TREE)
+        baseline_path = tmp_path / "baseline.txt"
+        baseline_path.write_text(
+            "ARCH001|src/pkg/core/low.py|pkg.core.low->pkg.app.gone|stale\n",
+            encoding="utf-8",
+        )
+        outcome = run_engine(_settings(tmp_path, baseline_path=baseline_path))
+        assert outcome.violations == []
+        assert outcome.unused_baseline == [
+            ("ARCH001", "src/pkg/core/low.py", "pkg.core.low->pkg.app.gone")
+        ]
+
+    def test_apply_baseline_is_exact_fingerprint_match(self, tmp_path):
+        _write_tree(tmp_path, UPWARD_TREE)
+        outcome = run_engine(_settings(tmp_path))
+        wrong = {
+            ("ARCH001", "src/pkg/core/low.py", "pkg.core.low->pkg.other"): "x"
+        }
+        surviving, absorbed, unused = apply_baseline(outcome.prebaseline, wrong)
+        assert len(surviving) == 1 and absorbed == [] and len(unused) == 1
+
+
+class TestOutputFormats:
+    def _outcome(self, tmp_path):
+        _write_tree(tmp_path, UPWARD_TREE)
+        return run_engine(_settings(tmp_path))
+
+    def test_json_round_trips(self, tmp_path):
+        payload = json.loads(render_json(self._outcome(tmp_path)))
+        assert payload["errors"] == 1
+        assert payload["violations"][0]["rule_id"] == "ARCH001"
+
+    def test_sarif_is_valid_2_1_0(self, tmp_path):
+        log = json.loads(render_sarif(self._outcome(tmp_path)))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        result = run["results"][0]
+        assert result["ruleId"] == "ARCH001"
+        assert result["level"] == "error"
+        assert result["locations"][0]["physicalLocation"]["region"]["startLine"] >= 1
+        assert "simlintKey" in result["partialFingerprints"]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "ARCH001" in rule_ids
+
+    def test_sarif_warning_level(self, tmp_path):
+        tree = dict(CLEAN_TREE)
+        tree["src/pkg/core/low.py"] = (
+            "def base():\n    return 1  # simlint: ignore[ARCH001]\n"
+        )
+        _write_tree(tmp_path, tree)
+        log = json.loads(render_sarif(run_engine(_settings(tmp_path))))
+        assert log["runs"][0]["results"][0]["level"] == "warning"
+
+
+class TestLegacyInterface:
+    """The pre-engine entry points stay importable and correct."""
+
+    def test_lint_paths_with_default_rules(self, tmp_path):
+        _write_tree(tmp_path, CLEAN_TREE)
+        result = lint_paths([tmp_path / "src"], default_rules())
+        assert isinstance(result, LintResult)
+        assert result.files_checked == 2 and result.ok
+
+    def test_render_summary_and_write_report(self, tmp_path):
+        _write_tree(tmp_path, CLEAN_TREE)
+        result = lint_paths([tmp_path / "src"], default_rules())
+        assert "2 files checked" in render_summary(result)
+        stream = io.StringIO()
+        write_report(result, stream)
+        assert "0 violations" in stream.getvalue()

@@ -1,0 +1,170 @@
+"""Unit tests for the dataflow primitives behind FLOW001/FLOW002.
+
+:class:`TaintTracker` is the seed-provenance half: forward may-taint
+over one function body.  :class:`GuardAnalysis` is the obs-guard half:
+lexical containment in ``if <flag>:`` bodies, including the hot-loop
+alias idiom.  Both are tested directly on small ASTs here; their
+integration (real verdicts on real modules) is covered by
+``test_graph.py`` and ``test_program_rules.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.flow import GuardAnalysis, TaintTracker, iter_assign_targets
+
+
+def _analyzed(source: str, *sources: str) -> tuple[TaintTracker, ast.FunctionDef]:
+    """Tracker over the first function in ``source``; ``sources`` name params."""
+    tree = ast.parse(source)
+    fn = tree.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+
+    def is_source(expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Name) and expr.id in sources:
+            return f"param {expr.id}"
+        return None
+
+    tracker = TaintTracker(is_source)
+    tracker.analyze(fn.body)
+    return tracker, fn
+
+
+def _first_call_arg(fn: ast.FunctionDef, callee: str) -> ast.expr:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == callee
+        ):
+            return node.args[0]
+    raise AssertionError(f"no call to {callee} in fixture")
+
+
+class TestIterAssignTargets:
+    def test_flattens_nested_tuples_and_starred(self):
+        stmt = ast.parse("a, (b, *c) = value").body[0]
+        assert isinstance(stmt, ast.Assign)
+        names = [t.id for t in iter_assign_targets(stmt.targets[0])]
+        assert names == ["a", "b", "c"]
+
+
+class TestTaintTracker:
+    def test_direct_source_argument(self):
+        tracker, fn = _analyzed(
+            "def f(seed):\n    sink(seed)\n",
+            "seed",
+        )
+        assert tracker.label_of(_first_call_arg(fn, "sink")) == "param seed"
+
+    def test_propagates_through_assignment_chain(self):
+        tracker, fn = _analyzed(
+            "def f(seed):\n"
+            "    a = seed + 1\n"
+            "    b = a * 2\n"
+            "    sink(b)\n",
+            "seed",
+        )
+        assert tracker.label_of(_first_call_arg(fn, "sink")) == "param seed"
+
+    def test_untainted_expression_is_clean(self):
+        tracker, fn = _analyzed(
+            "def f(seed):\n"
+            "    n = 41 + 1\n"
+            "    sink(n)\n",
+            "seed",
+        )
+        assert tracker.label_of(_first_call_arg(fn, "sink")) is None
+
+    def test_loop_carried_flow_converges(self):
+        # `mixed` is read before the line that taints `state`; the second
+        # forward pass catches the loop-carried assignment.
+        tracker, fn = _analyzed(
+            "def f(seed, items):\n"
+            "    state = 0\n"
+            "    for item in items:\n"
+            "        mixed = state + item\n"
+            "        state = seed\n"
+            "    sink(mixed)\n",
+            "seed",
+        )
+        assert tracker.label_of(_first_call_arg(fn, "sink")) == "param seed"
+
+    def test_augmented_assignment_taints_target(self):
+        tracker, fn = _analyzed(
+            "def f(seed):\n"
+            "    acc = 0\n"
+            "    acc += seed\n"
+            "    sink(acc)\n",
+            "seed",
+        )
+        assert tracker.label_of(_first_call_arg(fn, "sink")) == "param seed"
+
+    def test_tainted_subterm_taints_whole_expression(self):
+        tracker, fn = _analyzed(
+            "def f(seed):\n    sink(1000 + seed * 3)\n",
+            "seed",
+        )
+        assert tracker.label_of(_first_call_arg(fn, "sink")) == "param seed"
+
+    def test_walrus_target_inside_expression(self):
+        tracker, fn = _analyzed(
+            "def f(seed):\n    sink((s := seed) and s)\n",
+            "seed",
+        )
+        assert tracker.label_of(_first_call_arg(fn, "sink")) == "param seed"
+
+
+def _guard_for(source: str) -> tuple[GuardAnalysis, ast.Module]:
+    tree = ast.parse(source)
+
+    def is_guard_expr(expr: ast.expr) -> bool:
+        return isinstance(expr, ast.Attribute) and expr.attr == "ENABLED"
+
+    return GuardAnalysis(tree, is_guard_expr), tree
+
+
+def _call_named(tree: ast.Module, callee: str) -> ast.Call:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == callee
+        ):
+            return node
+    raise AssertionError(f"no call to {callee} in fixture")
+
+
+class TestGuardAnalysis:
+    SOURCE = (
+        "import runtime as _obs\n"
+        "def hot():\n"
+        "    if _obs.ENABLED:\n"
+        "        guarded_call()\n"
+        "    bare_call()\n"
+        "def aliased():\n"
+        "    on = _obs.ENABLED\n"
+        "    if on:\n"
+        "        alias_call()\n"
+    )
+
+    def test_call_inside_guard_body(self):
+        guard, tree = _guard_for(self.SOURCE)
+        assert guard.is_guarded(_call_named(tree, "guarded_call"))
+
+    def test_call_outside_guard(self):
+        guard, tree = _guard_for(self.SOURCE)
+        assert not guard.is_guarded(_call_named(tree, "bare_call"))
+
+    def test_local_alias_of_guard_counts(self):
+        guard, tree = _guard_for(self.SOURCE)
+        assert guard.is_guarded(_call_named(tree, "alias_call"))
+
+    def test_unrelated_condition_is_not_a_guard(self):
+        guard, tree = _guard_for(
+            "def f(flag):\n"
+            "    if flag:\n"
+            "        bare_call()\n"
+        )
+        assert not guard.is_guarded(_call_named(tree, "bare_call"))

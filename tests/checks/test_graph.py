@@ -1,0 +1,185 @@
+"""Tests for the whole-program model: module summaries and the project graph.
+
+The summary layer (:func:`summarize_source`) is the cacheable per-file
+unit — everything the program rules need, JSON round-trippable.  The
+graph layer (:class:`ProjectGraph`) assembles summaries and answers the
+cross-module questions: symbol resolution through re-exports, runtime
+import edges, and import-time cycles.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.checks.graph import (
+    ModuleSummary,
+    ProjectGraph,
+    module_name_for,
+    summarize_source,
+)
+
+
+def _summarize(module: str, source: str) -> ModuleSummary:
+    parts = module.split(".")
+    tail = "__init__.py" if source.startswith("#package") else parts[-1] + ".py"
+    if tail == "__init__.py":
+        path = "src/" + "/".join(parts) + "/" + tail
+    else:
+        path = "src/" + "/".join(parts[:-1] + [tail])
+    return summarize_source(textwrap.dedent(source), path, module)
+
+
+def _graph(modules: dict[str, str]) -> ProjectGraph:
+    return ProjectGraph([_summarize(mod, src) for mod, src in modules.items()])
+
+
+class TestModuleName:
+    def test_path_after_src_becomes_dotted_module(self):
+        assert module_name_for("src/repro/cache/base.py") == "repro.cache.base"
+
+    def test_package_init_names_the_package(self):
+        assert module_name_for("src/repro/cache/__init__.py") == "repro.cache"
+
+    def test_walks_up_past_init_markers(self, tmp_path):
+        pkg = tmp_path / "pkg" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        mod = pkg / "leaf.py"
+        mod.write_text("", encoding="utf-8")
+        assert module_name_for(mod) == "pkg.sub.leaf"
+
+    def test_bare_file_falls_back_to_stem(self, tmp_path):
+        script = tmp_path / "tool.py"
+        script.write_text("", encoding="utf-8")
+        assert module_name_for(script) == "tool"
+
+
+class TestSummarize:
+    SOURCE = """\
+        import random
+        from .helper import thing as t
+
+        __all__ = ["api_fn"]
+
+        def api_fn(seed):
+            rng = random.Random(seed)
+            return t(rng)
+
+        def unused_fn():
+            return 0
+    """
+
+    def test_imports_resolved_to_absolute_targets(self):
+        summary = _summarize("pkg.mod", self.SOURCE)
+        targets = {edge.target for edge in summary.imports}
+        assert "random" in targets and "pkg.helper" in targets
+
+    def test_defs_all_names_and_aliases(self):
+        summary = _summarize("pkg.mod", self.SOURCE)
+        assert {d.name for d in summary.defs} >= {"api_fn", "unused_fn"}
+        assert summary.all_names == ("api_fn",)
+        assert ("t", "pkg.helper:thing") in summary.aliases
+
+    def test_rng_site_with_seed_param_is_ok(self):
+        summary = _summarize("pkg.mod", self.SOURCE)
+        assert len(summary.rng_sites) == 1
+        site = summary.rng_sites[0]
+        assert site.call == "random.Random"
+        assert site.verdict == "ok:param seed"
+        assert site.func == "api_fn"
+
+    def test_rng_site_without_seed_is_missing(self):
+        summary = _summarize(
+            "pkg.bad",
+            """\
+            import random
+
+            def roll():
+                return random.Random()
+            """,
+        )
+        assert summary.rng_sites[0].verdict == "missing"
+
+    def test_type_checking_imports_are_marked(self):
+        summary = _summarize(
+            "pkg.typed",
+            """\
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from .helper import Thing
+
+            def use(x: "Thing") -> "Thing":
+                return x
+            """,
+        )
+        edge = next(e for e in summary.imports if e.target == "pkg.helper")
+        assert edge.type_checking
+
+    def test_function_level_imports_are_marked(self):
+        summary = _summarize(
+            "pkg.lazy",
+            """\
+            def load():
+                from .helper import thing
+                return thing()
+            """,
+        )
+        edge = next(e for e in summary.imports if e.target == "pkg.helper")
+        assert edge.function_level
+
+    def test_round_trips_through_dict(self):
+        summary = _summarize("pkg.mod", self.SOURCE)
+        assert ModuleSummary.from_dict(summary.to_dict()) == summary
+
+
+class TestProjectGraph:
+    def test_resolve_symbol_chases_reexport(self):
+        graph = _graph(
+            {
+                "pkg": '#package\nfrom .impl import thing\n__all__ = ["thing"]\n',
+                "pkg.impl": "def thing():\n    return 1\n",
+            }
+        )
+        assert graph.resolve_symbol("pkg", "thing") == ("pkg.impl", "thing")
+
+    def test_resolve_symbol_finds_local_def(self):
+        graph = _graph({"pkg.impl": "def thing():\n    return 1\n"})
+        assert graph.resolve_symbol("pkg.impl", "thing") == ("pkg.impl", "thing")
+
+    def test_module_level_cycle_detected(self):
+        graph = _graph(
+            {
+                "pkg.a": "from .b import beta\n\ndef alpha():\n    return beta\n",
+                "pkg.b": "from .a import alpha\n\ndef beta():\n    return alpha\n",
+            }
+        )
+        assert graph.import_cycles() == [("pkg.a", "pkg.b")]
+
+    def test_lazy_import_breaks_the_cycle(self):
+        graph = _graph(
+            {
+                "pkg.a": "from .b import beta\n\ndef alpha():\n    return beta\n",
+                "pkg.b": (
+                    "def beta():\n"
+                    "    from .a import alpha\n"
+                    "    return alpha\n"
+                ),
+            }
+        )
+        assert graph.import_cycles() == []
+
+    def test_runtime_import_edges_skip_type_checking(self):
+        graph = _graph(
+            {
+                "pkg.typed": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from .helper import Thing\n"
+                ),
+                "pkg.helper": "class Thing:\n    pass\n",
+            }
+        )
+        targets = [t for t, _ in graph.runtime_import_edges("pkg.typed")]
+        assert "pkg.helper" not in targets

@@ -1,0 +1,306 @@
+"""Tests for the whole-program rules over synthetic fixture trees.
+
+Each test builds a tiny project as in-memory sources, summarizes it into
+a :class:`ProjectGraph`, and runs one rule with an explicit layer map /
+entry list / scope — so the assertions do not depend on the real tree's
+layout (which has its own coverage via ``repro-fbf check src`` in
+``test_engine.py``).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.checks.graph import ProjectGraph, summarize_source
+from repro.checks.program_rules import (
+    ApiManifestRule,
+    DeadDefRule,
+    LayerRule,
+    ObsGuardRule,
+    SeedProvenanceRule,
+    render_manifest,
+)
+
+
+def _graph(modules: dict[str, str]) -> ProjectGraph:
+    summaries = []
+    for mod, src in modules.items():
+        parts = mod.split(".")
+        # tests.* fixtures live outside src/ so DeadDefRule treats them as
+        # usage roots, exactly like the real tests/ directory.
+        prefix = "" if parts[0] == "tests" else "src/"
+        if src.startswith("#package"):
+            path = prefix + "/".join(parts) + "/__init__.py"
+        else:
+            path = prefix + "/".join(parts) + ".py"
+        summaries.append(summarize_source(textwrap.dedent(src), path, mod))
+    return ProjectGraph(summaries)
+
+
+LAYERS = {"core": 0, "app": 1}
+
+
+class TestLayerRule:
+    def _rule(self, **kwargs) -> LayerRule:
+        return LayerRule(layers=LAYERS, cross_cutting=(), root="pkg", **kwargs)
+
+    def test_upward_import_is_an_error(self):
+        graph = _graph(
+            {
+                "pkg.core.low": "from ..app.high import helper\n",
+                "pkg.app.high": "def helper():\n    return 1\n",
+            }
+        )
+        found = list(self._rule().check(graph))
+        assert [v.key for v in found] == ["pkg.core.low->pkg.app.high"]
+        assert found[0].severity == "error"
+
+    def test_downward_import_is_fine(self):
+        graph = _graph(
+            {
+                "pkg.app.high": "from ..core.low import base\n",
+                "pkg.core.low": "def base():\n    return 1\n",
+            }
+        )
+        assert list(self._rule().check(graph)) == []
+
+    def test_type_checking_import_is_exempt(self):
+        graph = _graph(
+            {
+                "pkg.core.low": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from ..app.high import Helper\n"
+                ),
+                "pkg.app.high": "class Helper:\n    pass\n",
+            }
+        )
+        assert list(self._rule().check(graph)) == []
+
+    def test_lazy_import_still_counts_for_layering(self):
+        graph = _graph(
+            {
+                "pkg.core.low": (
+                    "def load():\n"
+                    "    from ..app.high import helper\n"
+                    "    return helper()\n"
+                ),
+                "pkg.app.high": "def helper():\n    return 1\n",
+            }
+        )
+        assert [v.key for v in self._rule().check(graph)] == [
+            "pkg.core.low->pkg.app.high"
+        ]
+
+    def test_cross_cutting_allowlist(self):
+        graph = _graph(
+            {
+                "pkg.core.low": "from ..app.shared import helper\n",
+                "pkg.app.shared": "def helper():\n    return 1\n",
+            }
+        )
+        rule = LayerRule(
+            layers=LAYERS, cross_cutting=("pkg.app.shared",), root="pkg"
+        )
+        assert list(rule.check(graph)) == []
+
+    def test_import_cycle_is_an_error(self):
+        graph = _graph(
+            {
+                "pkg.app.a": "from .b import beta\n",
+                "pkg.app.b": "from .a import alpha\n",
+            }
+        )
+        found = list(self._rule().check(graph))
+        assert [v.key for v in found] == ["cycle:pkg.app.a+pkg.app.b"]
+
+    def test_modules_outside_root_are_not_layered(self):
+        graph = _graph(
+            {
+                "tests.core.test_low": "from pkg.app.high import helper\n",
+                "pkg.app.high": "def helper():\n    return 1\n",
+            }
+        )
+        assert list(self._rule().check(graph)) == []
+
+
+class TestDeadDefRule:
+    def _rule(self) -> DeadDefRule:
+        return DeadDefRule(entry_modules=("pkg.api",))
+
+    def test_unreferenced_def_is_flagged(self):
+        graph = _graph(
+            {
+                "pkg.api": (
+                    "from .lib import used\n"
+                    '__all__ = ["used"]\n'
+                    "def main():\n"
+                    "    return used()\n"
+                ),
+                "pkg.lib": (
+                    "def used():\n"
+                    "    return 1\n"
+                    "def dead():\n"
+                    "    return 2\n"
+                ),
+            }
+        )
+        found = list(self._rule().check(graph))
+        assert [v.key for v in found] == ["pkg.lib:dead"]
+        assert found[0].severity == "warning"
+
+    def test_transitive_reachability(self):
+        graph = _graph(
+            {
+                "pkg.api": "from .lib import top\n__all__ = [\"top\"]\n",
+                "pkg.lib": (
+                    "from .deep import leaf\n"
+                    "def top():\n"
+                    "    return leaf()\n"
+                ),
+                "pkg.deep": "def leaf():\n    return 1\n",
+            }
+        )
+        assert list(self._rule().check(graph)) == []
+
+    def test_test_reference_keeps_def_alive(self):
+        graph = _graph(
+            {
+                "pkg.api": "#package\n",
+                "pkg.lib": "def only_tested():\n    return 1\n",
+                "tests.test_lib": (
+                    "from pkg.lib import only_tested\n"
+                    "def test_it():\n"
+                    "    assert only_tested() == 1\n"
+                ),
+            }
+        )
+        assert list(self._rule().check(graph)) == []
+
+    def test_decorated_and_dunder_defs_exempt(self):
+        graph = _graph(
+            {
+                "pkg.api": "#package\n",
+                "pkg.lib": (
+                    "import functools\n"
+                    "@functools.cache\n"
+                    "def registered():\n"
+                    "    return 1\n"
+                    "def __getattr__(name):\n"
+                    "    raise AttributeError(name)\n"
+                ),
+            }
+        )
+        assert list(self._rule().check(graph)) == []
+
+
+class TestSeedProvenanceRule:
+    SOURCE = """\
+        import random
+
+        def good(seed):
+            return random.Random(seed)
+
+        def derived(base_seed):
+            mixed = base_seed * 2 + 1
+            return random.Random(mixed)
+
+        def bad_missing():
+            return random.Random()
+
+        def bad_const():
+            return random.Random(42)
+    """
+
+    def _check(self, module: str) -> list:
+        graph = _graph({module: self.SOURCE})
+        return list(SeedProvenanceRule(scopes=("pkg.sim",)).check(graph))
+
+    def test_flags_missing_and_const_only(self):
+        found = self._check("pkg.sim.engine")
+        assert sorted(v.key for v in found) == [
+            "pkg.sim.engine:bad_const:random.Random",
+            "pkg.sim.engine:bad_missing:random.Random",
+        ]
+
+    def test_out_of_scope_module_ignored(self):
+        assert self._check("pkg.analysis.engine") == []
+
+
+class TestObsGuardRule:
+    SOURCE = """\
+        from repro.obs import runtime as _obs
+
+        def hot():
+            _obs.counter("requests", 1)
+
+        def warm():
+            if _obs.ENABLED:
+                _obs.counter("requests", 1)
+
+        def helper():
+            _obs.gauge("depth", 2)
+
+        def outer():
+            if _obs.ENABLED:
+                helper()
+    """
+
+    def test_unguarded_site_flagged_guarded_chain_not(self):
+        graph = _graph({"pkg.sim.kernel": self.SOURCE})
+        found = list(ObsGuardRule(scopes=("pkg.sim",)).check(graph))
+        # `hot` is unguarded; `warm` guards lexically; `helper` is only
+        # ever called from inside a guard, so the fixpoint clears it.
+        assert [v.key for v in found] == ["pkg.sim.kernel:hot:counter#1"]
+
+    def test_unguarded_call_chain_propagates(self):
+        graph = _graph(
+            {
+                "pkg.sim.kernel": (
+                    "from repro.obs import runtime as _obs\n"
+                    "def helper():\n"
+                    '    _obs.gauge("depth", 2)\n'
+                    "def outer():\n"
+                    "    helper()\n"
+                )
+            }
+        )
+        found = list(ObsGuardRule(scopes=("pkg.sim",)).check(graph))
+        assert [v.key for v in found] == ["pkg.sim.kernel:helper:gauge#1"]
+
+
+class TestApiManifestRule:
+    MODULES = {
+        "pkg.api": 'from .lib import thing\n__all__ = ["thing"]\n',
+        "pkg.lib": "def thing():\n    return 1\n",
+    }
+
+    def test_matching_manifest_passes(self, tmp_path):
+        graph = _graph(self.MODULES)
+        manifest = tmp_path / "api_manifest.txt"
+        manifest.write_text(render_manifest(graph, "pkg.api"), encoding="utf-8")
+        rule = ApiManifestRule(manifest_path=manifest, api_module="pkg.api")
+        assert list(rule.check(graph)) == []
+
+    def test_missing_manifest_is_an_error(self, tmp_path):
+        graph = _graph(self.MODULES)
+        rule = ApiManifestRule(
+            manifest_path=tmp_path / "nope.txt", api_module="pkg.api"
+        )
+        assert [v.key for v in rule.check(graph)] == ["manifest:missing"]
+
+    def test_new_export_and_move_detected(self, tmp_path):
+        graph = _graph(self.MODULES)
+        manifest = tmp_path / "api_manifest.txt"
+        manifest.write_text(
+            "# header\nthing = pkg.other:thing\nremoved = pkg.lib:removed\n",
+            encoding="utf-8",
+        )
+        rule = ApiManifestRule(manifest_path=manifest, api_module="pkg.api")
+        keys = sorted(v.key for v in rule.check(graph))
+        # `removed` is in the manifest but gone; `thing` moved modules.
+        assert keys == ["export:removed", "export:thing"]
+
+    def test_render_manifest_lists_resolved_origin(self):
+        graph = _graph(self.MODULES)
+        assert "thing = pkg.lib:thing" in render_manifest(graph, "pkg.api")
