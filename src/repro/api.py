@@ -62,6 +62,7 @@ from .cache.registry import PAPER_BASELINES, available_policies, make_policy
 from .codes.registry import available_codes, make_code
 from .engine.backend import CodeBackend, EnginePlan, PriorityModel
 from .engine.registry import available_backends, make_backend, register_backend
+from .engine.stackdist import SampledStackDistanceProfile, StackDistanceProfile
 from .engine.stream import (
     InternedStream,
     ReplayConfig,
@@ -74,6 +75,12 @@ from .engine.tracesim import (
     effective_partition,
     simulate_trace,
 )
+from .engine.vector import (
+    NUMPY_AVAILABLE,
+    VECTOR_POLICIES,
+    VectorFleet,
+    VectorReplay,
+)
 
 __all__ = [
     # replay engine
@@ -85,6 +92,13 @@ __all__ = [
     "InternedStream",
     "ReplayConfig",
     "simulate_grid_pass",
+    # vector backend + stack-distance profiles
+    "NUMPY_AVAILABLE",
+    "VECTOR_POLICIES",
+    "VectorFleet",
+    "VectorReplay",
+    "StackDistanceProfile",
+    "SampledStackDistanceProfile",
     # registries
     "available_codes",
     "make_code",

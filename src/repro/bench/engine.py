@@ -124,6 +124,15 @@ class EngineConfig:
     #: replay hit-ratio cells of one (code, p, scheme, trace) group in a
     #: single interned-stream pass (bit-for-bit equal to per-point rows).
     batch: bool = True
+    #: grid-pass replay backend for batched hit-ratio groups: "python"
+    #: (golden per-request loop) or "numpy" (vector fleet, bit-identical
+    #: rows; the CLI's --replay-backend).
+    replay_backend: str = "python"
+    #: plain-LRU stack-distance profile flavor: "exact" (Fenwick) or
+    #: "sampled" (SHARDS at shards_rate — approximate rows, bounded
+    #: error, O(sample) memory; cached under a distinct salt).
+    stackdist: str = "exact"
+    shards_rate: float = 0.01
 
     def __post_init__(self) -> None:
         if isinstance(self.workers, str):
@@ -131,6 +140,30 @@ class EngineConfig:
                 raise ValueError(f"workers must be an int >= 0 or 'auto', got {self.workers!r}")
         elif self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.replay_backend not in ("python", "numpy"):
+            raise ValueError(
+                "replay_backend must be 'python' or 'numpy', "
+                f"got {self.replay_backend!r}"
+            )
+        if self.stackdist not in ("exact", "sampled"):
+            raise ValueError(
+                f"stackdist must be 'exact' or 'sampled', got {self.stackdist!r}"
+            )
+        if not 0.0 < self.shards_rate <= 1.0:
+            raise ValueError(
+                f"shards_rate must be in (0, 1], got {self.shards_rate}"
+            )
+
+    def replay_salt(self, base: str = ENGINE_CACHE_VERSION) -> str:
+        """Result-cache salt: sampled rows never share exact rows' keys.
+
+        The numpy backend is bit-identical, so it keeps the base salt;
+        SHARDS estimates are rate-dependent approximations and get their
+        own namespace.
+        """
+        if self.stackdist == "sampled":
+            return f"{base}+shards:{self.shards_rate!r}"
+        return base
 
     def resolved_workers(self) -> int:
         if self.workers == "auto":
@@ -403,7 +436,12 @@ def _group_key(point: GridPoint) -> tuple:
     return (point.code, point.p, point.scheme_mode, point.n_errors, point.seed)
 
 
-def compute_group(points: "Sequence[GridPoint]") -> "list[SweepPoint]":
+def compute_group(
+    points: "Sequence[GridPoint]",
+    replay_backend: str = "python",
+    stackdist: str = "exact",
+    shards_rate: float = 0.01,
+) -> "list[SweepPoint]":
     """Run a same-stream group of hit-ratio cells in one interned pass.
 
     Every point must be ``kind="trace"`` or ``kind="demotion"`` and share
@@ -447,6 +485,9 @@ def compute_group(points: "Sequence[GridPoint]") -> "list[SweepPoint]":
         stream=_stream_for(
             first.code, first.p, first.scheme_mode, first.n_errors, first.seed
         ),
+        replay_backend=replay_backend,
+        stackdist=stackdist,
+        shards_rate=shards_rate,
     )
     rows = []
     for point, res in zip(points, results):
@@ -490,6 +531,7 @@ def _plan_totals() -> tuple[int, int]:
 
 def _timed_task(
     points: "tuple[GridPoint, ...]",
+    replay: "tuple[str, str, float]" = ("python", "exact", 0.01),
 ) -> "tuple[list[tuple[SweepPoint, float]], tuple[int, int]]":
     """Pool entry point for a task: a same-stream group or a singleton.
 
@@ -505,7 +547,7 @@ def _timed_task(
         results = [_timed_point(points[0])]
     else:
         t0 = time.perf_counter()
-        rows = compute_group(points)
+        rows = compute_group(points, *replay)
         per_point = (time.perf_counter() - t0) / len(points)
         results = [(row, per_point) for row in rows]
     after_hits, after_misses = _plan_totals()
@@ -545,8 +587,11 @@ def run_grid(
     t_start = time.perf_counter()
     total = len(points)
     cache = (
-        ResultCache(engine.cache_dir) if engine.cache_dir is not None else None
+        ResultCache(engine.cache_dir, salt=engine.replay_salt())
+        if engine.cache_dir is not None
+        else None
     )
+    replay = (engine.replay_backend, engine.stackdist, engine.shards_rate)
 
     rows: list = [None] * total
     timings: list[PointTiming | None] = [None] * total
@@ -616,7 +661,10 @@ def run_grid(
     n_workers = engine.resolved_workers()
     if n_workers == 0 or len(tasks) <= 1:
         for indices in tasks:
-            record_task(indices, _timed_task(tuple(points[i] for i in indices)))
+            record_task(
+                indices,
+                _timed_task(tuple(points[i] for i in indices), replay),
+            )
     else:
         import multiprocessing
 
@@ -627,10 +675,14 @@ def run_grid(
             else None
         )
         chunksize = max(1, len(tasks) // (n_workers * 4))
+        from functools import partial
+
         with ProcessPoolExecutor(max_workers=n_workers, mp_context=context) as pool:
             todo = [tuple(points[i] for i in indices) for indices in tasks]
             for indices, results in zip(
-                tasks, pool.map(_timed_task, todo, chunksize=chunksize)
+                tasks,
+                pool.map(partial(_timed_task, replay=replay), todo,
+                         chunksize=chunksize),
             ):
                 record_task(indices, results)
 

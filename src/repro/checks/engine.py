@@ -57,7 +57,7 @@ __all__ = [
 ]
 
 #: Bump to invalidate every cached per-file record (analysis format change).
-ENGINE_VERSION = 1
+ENGINE_VERSION = 2
 
 
 class UnusedSuppressionRule(Rule):

@@ -199,8 +199,21 @@ class ModuleSummary:
 _RNG_CONSTRUCTORS = {
     "random.Random": "random.Random",
     "numpy.random.default_rng": "numpy.random.default_rng",
+    "numpy.random.Generator": "numpy.random.Generator",
+    "numpy.random.RandomState": "numpy.random.RandomState",
     "repro.utils.make_rng": "repro.utils.make_rng",
 }
+
+#: Seeded numpy bit-generator constructors: ``Generator(PCG64(seed))``
+#: carries its seed one call deeper, so the taint pass unwraps these
+#: before classifying the seed expression.
+_BIT_GENERATORS = frozenset({
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+})
 
 _OBS_ACCESSORS = ("counter", "gauge", "histogram", "span")
 _OBS_MODULES = ("repro.obs.runtime", "repro.obs")
@@ -535,6 +548,16 @@ def summarize_module(tree: ast.Module, path: str,
         for kw in call.keywords:
             if kw.arg == "seed":
                 arg = kw.value
+        # Generator(PCG64(seed)): the provenance sits one constructor
+        # deeper — unwrap known bit-generators before classifying.
+        while isinstance(arg, ast.Call):
+            if resolve_call(arg.func) not in _BIT_GENERATORS:
+                break
+            inner = arg.args[0] if arg.args else None
+            for kw in arg.keywords:
+                if kw.arg == "seed":
+                    inner = kw.value
+            arg = inner
         if arg is None or (isinstance(arg, ast.Constant) and arg.value is None):
             return "missing"
         label = tracker.label_of(arg)

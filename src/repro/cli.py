@@ -115,6 +115,23 @@ def _add_engine_flags(p: argparse.ArgumentParser, default_workers: str = "auto")
         help="disable single-pass group replay; compute every hit-ratio "
              "cell through the per-point golden path",
     )
+    p.add_argument(
+        "--replay-backend", choices=("python", "numpy"), default="python",
+        help="batched hit-ratio replay backend: the per-request python "
+             "loop (golden reference) or the vector fleet (bit-identical "
+             "rows; default: python)",
+    )
+    p.add_argument(
+        "--stackdist", choices=("exact", "sampled"), default="exact",
+        help="plain-LRU stack-distance profile: exact Fenwick or SHARDS "
+             "sampling at --shards-rate (approximate rows, O(sample) "
+             "memory; default: exact)",
+    )
+    p.add_argument(
+        "--shards-rate", type=float, default=0.01, metavar="R",
+        help="SHARDS spatial sampling rate in (0, 1] for "
+             "--stackdist sampled (default: 0.01)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -372,7 +389,12 @@ def _engine_config(
     else:
         cache_dir = default_cache_dir() if default_cache else None
     return EngineConfig(
-        workers=workers, cache_dir=cache_dir, batch=not args.no_batch
+        workers=workers,
+        cache_dir=cache_dir,
+        batch=not args.no_batch,
+        replay_backend=getattr(args, "replay_backend", "python"),
+        stackdist=getattr(args, "stackdist", "exact"),
+        shards_rate=getattr(args, "shards_rate", 0.01),
     )
 
 

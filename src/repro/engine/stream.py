@@ -30,6 +30,8 @@ interleaved order.
 
 from __future__ import annotations
 
+import weakref
+from array import array
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
@@ -37,10 +39,15 @@ from ..cache.base import CachePolicy
 from ..cache.registry import make_policy
 from ..obs import runtime as _obs
 from .backend import CodeBackend, make_priority_model
-from .stackdist import StackDistanceProfile
+from .stackdist import SampledStackDistanceProfile, StackDistanceProfile
 from .tracesim import PlanCache, TraceSimResult, effective_partition
 
 __all__ = ["InternedStream", "intern_stream", "ReplayConfig", "simulate_grid_pass"]
+
+try:  # numpy is optional: every caller falls back to the python path.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the env
+    _np = None
 
 #: Registry policies whose decisions ignore the priority hint entirely —
 #: their substream replay can drop the hint argument from the hot call.
@@ -61,44 +68,68 @@ SATURATION_SAFE_POLICIES = frozenset({"fifo", "lru", "lfu", "arc", "fbf"})
 class InternedStream:
     """One decoded request stream: dense block ids + parallel hint array.
 
-    ``keys[bid]`` recovers the original ``(stripe, unit)`` key for block
-    id ``bid``; ``event_pairs[i]`` is event *i*'s request sequence as
-    ``(bid, hint)`` pairs in issue order.  :meth:`worker_substreams`
+    Requests are stored flat as machine-int ``array('i')`` buffers
+    (``bids``/``hints``), roughly 4x smaller than the per-event tuples of
+    boxed ints they replaced, with ``offsets[i]:offsets[i+1]`` delimiting
+    event *i*'s slice.  ``keys[bid]`` recovers the original
+    ``(stripe, unit)`` key for block id ``bid``.  :meth:`worker_substreams`
     deals events round-robin into per-worker flat ``(bids, hints)``
-    parallel tuples — memoized per worker count, since a sweep group
-    replays the same deal for every policy and capacity.
+    parallel ``array('i')`` pairs — still the ``Sequence[int]`` the
+    policies' ``request_many`` consumes, and exactly the buffer
+    ``np.frombuffer`` views zero-copy for the vector backend — memoized
+    per worker count, since a sweep group replays the same deal for every
+    policy and capacity.
     """
 
-    __slots__ = ("backend", "hint", "keys", "event_pairs", "total_requests",
-                 "_worker_split")
+    __slots__ = ("backend", "hint", "keys", "bids", "hints", "offsets",
+                 "total_requests", "_worker_split")
 
     def __init__(
         self,
         backend: CodeBackend,
         hint: str,
         keys: tuple[Any, ...],
-        event_pairs: tuple[tuple[tuple[int, int], ...], ...],
+        bids: array,
+        hints: array,
+        offsets: array,
     ):
+        if len(bids) != len(hints):
+            raise ValueError("bids and hints must be parallel arrays")
+        if len(offsets) == 0 or offsets[-1] != len(bids):
+            raise ValueError("offsets must cover the request arrays")
         self.backend = backend
         self.hint = hint
         self.keys = keys
-        self.event_pairs = event_pairs
-        self.total_requests = sum(len(pairs) for pairs in event_pairs)
-        self._worker_split: dict[int, list[tuple[tuple[int, ...], tuple[int, ...]]]] = {}
+        self.bids = bids
+        self.hints = hints
+        self.offsets = offsets
+        self.total_requests = len(bids)
+        self._worker_split: dict[int, list[tuple[array, array]]] = {}
 
     @property
     def n_events(self) -> int:
-        return len(self.event_pairs)
+        return len(self.offsets) - 1
 
     @property
     def n_blocks(self) -> int:
         """Distinct blocks touched by the stream."""
         return len(self.keys)
 
-    def worker_substreams(
-        self, workers: int
-    ) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
-        """Per-worker ``(block_ids, hints)`` parallel tuples (round-robin).
+    @property
+    def event_pairs(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """Per-event ``(bid, hint)`` tuples (compat/introspection view).
+
+        Materialized on demand — the flat arrays are the storage format.
+        """
+        bids, hints, offsets = self.bids, self.hints, self.offsets
+        return tuple(
+            tuple(zip(bids[offsets[i] : offsets[i + 1]],
+                      hints[offsets[i] : offsets[i + 1]]))
+            for i in range(len(offsets) - 1)
+        )
+
+    def worker_substreams(self, workers: int) -> list[tuple[array, array]]:
+        """Per-worker ``(block_ids, hints)`` parallel arrays (round-robin).
 
         Event *i* goes to worker ``i % workers`` — the SOR deal of
         :func:`~repro.engine.tracesim.simulate_trace`.  Worker caches are
@@ -109,18 +140,134 @@ class InternedStream:
             raise ValueError(f"workers must be >= 1, got {workers}")
         cached = self._worker_split.get(workers)
         if cached is None:
-            split: list[tuple[list[int], list[int]]] = [
-                ([], []) for _ in range(workers)
-            ]
-            for i, pairs in enumerate(self.event_pairs):
-                bids, hints = split[i % workers]
-                for bid, hint_value in pairs:
-                    bids.append(bid)
-                    hints.append(hint_value)
-            cached = self._worker_split[workers] = [
-                (tuple(bids), tuple(hints)) for bids, hints in split
-            ]
+            all_bids, all_hints, offsets = self.bids, self.hints, self.offsets
+            n_events = len(offsets) - 1
+            cached = []
+            for w in range(workers):
+                bids = array("i")
+                hints = array("i")
+                for i in range(w, n_events, workers):
+                    start, stop = offsets[i], offsets[i + 1]
+                    bids += all_bids[start:stop]
+                    hints += all_hints[start:stop]
+                cached.append((bids, hints))
+            self._worker_split[workers] = cached
         return cached
+
+
+def _intern_python(
+    events_sorted: list, get_plan, sequence
+) -> tuple[tuple[Any, ...], array, array, array]:
+    """Reference interning loop: one dict probe per request."""
+    index: dict[Any, int] = {}
+    bids = array("i")
+    hints = array("i")
+    offsets = array("i", [0])
+    append_bid = bids.append
+    append_hint = hints.append
+    for event in events_sorted:
+        stripe = event.stripe
+        for unit, hint_value in sequence(get_plan(event)):
+            key = (stripe, unit)
+            bid = index.get(key)
+            if bid is None:
+                bid = index[key] = len(index)
+            append_bid(bid)
+            append_hint(hint_value)
+        offsets.append(len(bids))
+    # dict preserves insertion order, so tuple(index) is keys-by-bid.
+    return tuple(index), bids, hints, offsets
+
+
+#: Per-(PlanCache, hint) interning state — unit registry plus per-plan
+#: (uids, hints) arrays — reused across intern calls so that re-interning
+#: the same backend's events (grid benches, repeated experiments) skips
+#: the per-pair python loop entirely.  Keyed weakly: state dies with its
+#: PlanCache (which keeps every plan alive, making ``id(plan)`` stable).
+_INTERN_STATE: "weakref.WeakKeyDictionary[PlanCache, dict]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _intern_numpy(
+    events_sorted: list, get_plan, sequence, state: tuple | None = None
+) -> tuple[tuple[Any, ...], array, array, array]:
+    """Vectorized interning: identical output to :func:`_intern_python`.
+
+    The python loop runs per *plan* (memoized unit/hint arrays; plans are
+    shared PlanCache objects), not per request; the per-request work —
+    ``(stripe, unit) -> dense first-seen id`` — becomes one
+    ``np.unique`` over 64-bit pair codes plus an argsort of the first
+    occurrence indices, which recovers exactly the first-seen order the
+    dict-based loop assigns.  Internal unit ids only disambiguate pair
+    codes — any injective assignment yields the same output — so the
+    registry may be shared across calls via ``state``.
+    """
+    np = _np
+    if state is None:
+        state = ({}, [], {})
+    unit_ids, unit_list, plan_memo = state
+    uid_parts: list = []
+    hint_parts: list = []
+    stripes: list[int] = []
+    lens: list[int] = []
+    for event in events_sorted:
+        plan = get_plan(event)
+        memo = plan_memo.get(id(plan))
+        if memo is None:
+            pairs = list(sequence(plan))
+            uids = np.empty(len(pairs), dtype=np.int64)
+            hvals = np.empty(len(pairs), dtype=np.int32)
+            for j, (unit, hint_value) in enumerate(pairs):
+                uid = unit_ids.get(unit)
+                if uid is None:
+                    uid = unit_ids[unit] = len(unit_list)
+                    unit_list.append(unit)
+                uids[j] = uid
+                hvals[j] = hint_value
+            # the plan ref pins id(plan) for the memo's whole lifetime
+            memo = plan_memo[id(plan)] = (uids, hvals, plan)
+        uid_parts.append(memo[0])
+        hint_parts.append(memo[1])
+        stripes.append(event.stripe)
+        lens.append(len(memo[0]))
+
+    n_units = max(len(unit_list), 1)
+    if stripes and max(abs(s) for s in stripes) >= (1 << 62) // n_units:
+        # pair codes would overflow int64; take the reference loop.
+        return _intern_python(events_sorted, get_plan, sequence)
+    lens_np = np.asarray(lens, dtype=np.int64)
+    if uid_parts:
+        all_uids = np.concatenate(uid_parts)
+        all_hints = np.concatenate(hint_parts)
+    else:
+        all_uids = np.empty(0, dtype=np.int64)
+        all_hints = np.empty(0, dtype=np.int32)
+    codes = np.repeat(np.asarray(stripes, dtype=np.int64), lens_np) * n_units
+    codes += all_uids
+    uniq, first_idx, inverse = np.unique(
+        codes, return_index=True, return_inverse=True
+    )
+    # uniq is sorted by code value; rank first occurrences by stream
+    # position to recover the dict loop's first-seen id assignment.
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(uniq), dtype=np.int64)
+    rank[order] = np.arange(len(uniq), dtype=np.int64)
+    bids_np = rank[inverse].astype(np.int32)
+    first_seen = uniq[order]
+    strp = (first_seen // n_units).tolist()
+    uidx = (first_seen % n_units).tolist()
+    keys = tuple((s, unit_list[i]) for s, i in zip(strp, uidx))
+    bids = array("i")
+    bids.frombytes(bids_np.tobytes())
+    hints = array("i")
+    hints.frombytes(all_hints.astype(np.int32, copy=False).tobytes())
+    offsets = array("i")
+    offsets.frombytes(
+        np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(lens_np)]
+        ).astype(np.int32).tobytes()
+    )
+    return keys, bids, hints, offsets
 
 
 def intern_stream(
@@ -134,7 +281,8 @@ def intern_stream(
     Events are sorted exactly as :func:`~repro.engine.tracesim.
     simulate_trace` sorts them, plans come from the shared ``plan_cache``
     memo, and block keys are interned to dense ints in first-seen order
-    (deterministic: a function of the sorted event stream alone).
+    (deterministic: a function of the sorted event stream alone — the
+    vectorized and python interning paths produce identical streams).
     """
     model = make_priority_model(hint)
     if plan_cache is None:
@@ -150,23 +298,19 @@ def intern_stream(
         )
         decode_span.__enter__()
 
-    index: dict[Any, int] = {}
-    event_pairs: list[tuple[tuple[int, int], ...]] = []
-    get_plan = plan_cache.get
-    sequence = model.sequence
-    for event in sorted(events):
-        stripe = event.stripe
-        pairs = []
-        append = pairs.append
-        for unit, hint_value in sequence(get_plan(event)):
-            key = (stripe, unit)
-            bid = index.get(key)
-            if bid is None:
-                bid = index[key] = len(index)
-            append((bid, hint_value))
-        event_pairs.append(tuple(pairs))
-    # dict preserves insertion order, so tuple(index) is keys-by-bid.
-    stream = InternedStream(backend, hint, tuple(index), tuple(event_pairs))
+    if _np is None:
+        keys, bids, hints, offsets = _intern_python(
+            sorted(events), plan_cache.get, model.sequence
+        )
+    else:
+        per_hint = _INTERN_STATE.setdefault(plan_cache, {})
+        state = per_hint.get(hint)
+        if state is None:
+            state = per_hint[hint] = ({}, [], {})
+        keys, bids, hints, offsets = _intern_numpy(
+            sorted(events), plan_cache.get, model.sequence, state
+        )
+    stream = InternedStream(backend, hint, keys, bids, hints, offsets)
     if obs_on:
         decode_span["events"] = stream.n_events
         decode_span["blocks"] = stream.n_blocks
@@ -287,16 +431,23 @@ def _replay_stepped(
 def _replay_lru_fast(
     stream: InternedStream,
     config: ReplayConfig,
-    profiles: dict[int, list[StackDistanceProfile]],
+    profiles: dict[int, list],
+    profile_factory: Callable[[Sequence[int]], Any] = StackDistanceProfile,
 ) -> TraceSimResult:
-    """LRU via reuse distances: exact hits at any capacity, no stepping."""
+    """LRU via reuse distances: hits at any capacity, no stepping.
+
+    ``profile_factory`` selects the profile flavor: the exact Fenwick
+    :class:`~repro.engine.stackdist.StackDistanceProfile` (default) or a
+    SHARDS :class:`~repro.engine.stackdist.SampledStackDistanceProfile`
+    bound to a sampling rate — anything with ``hits_at(capacity)``.
+    """
     workers, per_worker = effective_partition(
         config.capacity_blocks, config.workers, stream.n_events
     )
     per_worker_profiles = profiles.get(workers)
     if per_worker_profiles is None:
         per_worker_profiles = profiles[workers] = [
-            StackDistanceProfile(bids)
+            profile_factory(bids)
             for bids, _ in stream.worker_substreams(workers)
         ]
     hits = sum(p.hits_at(per_worker) for p in per_worker_profiles)
@@ -326,6 +477,81 @@ def _is_saturation_eligible(config: ReplayConfig) -> bool:
     )
 
 
+def _is_vector_eligible(config: ReplayConfig) -> bool:
+    """Plain registry policy with a vector kernel, unwrapped."""
+    from .vector import VECTOR_POLICIES
+
+    return (
+        config.policy in VECTOR_POLICIES
+        and config.policy_factory is None
+        and not config.policy_kwargs
+        and not config.sanitize
+    )
+
+
+def _replay_vector_rows(
+    configs: Sequence[ReplayConfig],
+    stream_for: Callable[[str], InternedStream],
+    lru_fast_path: bool,
+) -> dict[int, TraceSimResult]:
+    """Solve every vector-eligible config in one fleet; rows by index.
+
+    Configs are grouped into one :class:`~repro.engine.vector.
+    VectorFleet` job per ``(hint, workers)`` pair, so the whole grid
+    costs one batched step loop per policy family.  Rows are
+    bit-identical to :func:`_replay_stepped` (property-tested).  The
+    caller decides who owns plain LRU via ``lru_fast_path``: True keeps
+    it on the reuse-distance profile path (the sampled-profile case),
+    False routes it through the fleet's rank-histogram kernel.
+    """
+    plan: dict[int, tuple[str, int, int, str]] = {}
+    groups: dict[tuple[str, int], set[int]] = {}
+    pols: set[str] = set()
+    for i, config in enumerate(configs):
+        if not _is_vector_eligible(config):
+            continue
+        if lru_fast_path and _is_plain_lru(config):
+            continue
+        st = stream_for(config.hint)
+        workers, per_worker = effective_partition(
+            config.capacity_blocks, config.workers, st.n_events
+        )
+        if per_worker < 1:  # degenerate zero-capacity cell: step it
+            continue
+        groups.setdefault((config.hint, workers), set()).add(per_worker)
+        pols.add(config.policy)
+        plan[i] = (config.hint, workers, per_worker, config.policy)
+    if not plan:
+        return {}
+    from .vector import VectorFleet
+
+    fleet = VectorFleet()
+    job_of = {
+        key: fleet.add(stream_for(key[0]), key[1], caps)
+        for key, caps in groups.items()
+    }
+    solved = fleet.solve(sorted(pols))
+    rows: dict[int, TraceSimResult] = {}
+    for i, (hint, workers, per_worker, policy) in plan.items():
+        st = stream_for(hint)
+        hits = solved[job_of[(hint, workers)]][policy][per_worker]
+        requests = st.total_requests
+        rows[i] = TraceSimResult(
+            policy=policy,
+            scheme_mode=st.backend.scheme_label,
+            code=st.backend.code_label,
+            p=st.backend.p,
+            capacity_blocks=configs[i].capacity_blocks,
+            workers=workers,
+            per_worker_blocks=per_worker,
+            n_errors=st.n_events,
+            requests=requests,
+            hits=hits,
+            disk_reads=requests - hits,
+        )
+    return rows
+
+
 def simulate_grid_pass(
     backend: CodeBackend,
     events: Sequence[Any],
@@ -333,6 +559,9 @@ def simulate_grid_pass(
     plan_cache: PlanCache | None = None,
     stream: InternedStream | None = None,
     lru_fast_path: bool = True,
+    replay_backend: str = "python",
+    stackdist: str = "exact",
+    shards_rate: float = 0.01,
 ) -> list[TraceSimResult]:
     """Replay every configuration over one decoded stream, in one pass.
 
@@ -352,16 +581,47 @@ def simulate_grid_pass(
       when every worker's capacity slice covers its substream's whole
       working set, no policy ever evicts and the hit count is exactly
       requests minus distinct blocks.
+
+    ``replay_backend="numpy"`` solves every vector-eligible cell (plain
+    FIFO/LRU/LFU/ARC/FBF) through one :class:`~repro.engine.vector.
+    VectorFleet` batch instead of per-request stepping — rows stay
+    bit-for-bit identical; ineligible cells (custom factories, kwargs,
+    the sanitizer) silently take the python path.  ``stackdist=
+    "sampled"`` swaps the plain-LRU fast path's exact Fenwick profile
+    for the SHARDS sampled one at ``shards_rate`` — the one knob that
+    trades row exactness (bounded hit-ratio error, O(sample) memory)
+    for scale.
     """
     configs = list(configs)
+    if replay_backend not in ("python", "numpy"):
+        raise ValueError(
+            f"replay_backend must be 'python' or 'numpy', got {replay_backend!r}"
+        )
+    if stackdist not in ("exact", "sampled"):
+        raise ValueError(
+            f"stackdist must be 'exact' or 'sampled', got {stackdist!r}"
+        )
+    if not 0.0 < shards_rate <= 1.0:
+        raise ValueError(f"shards_rate must be in (0, 1], got {shards_rate}")
+    if replay_backend == "numpy" and _np is None:
+        raise RuntimeError(
+            "replay_backend='numpy' requires numpy, which is not installed"
+        )
+    if stackdist == "sampled":
+        profile_factory = lambda bids: SampledStackDistanceProfile(
+            bids, rate=shards_rate
+        )
+    else:
+        profile_factory = StackDistanceProfile
     obs_on = _obs.ENABLED
     if obs_on:
         pass_span = _obs.span(
             "engine.grid_pass",
-            {"code": backend.code_label, "n_configs": len(configs)},
+            {"code": backend.code_label, "n_configs": len(configs),
+             "backend": replay_backend},
         )
         pass_span.__enter__()
-        n_lru_fast = n_stepped = 0
+        n_lru_fast = n_stepped = n_vector = 0
     streams: dict[str, InternedStream] = {}
     if stream is not None:
         if stream.backend is not backend:
@@ -381,11 +641,27 @@ def simulate_grid_pass(
     lru_profiles: dict[int, list[StackDistanceProfile]] = {}
     # workers -> per-worker distinct-block counts (the saturation check).
     worker_distincts: dict[int, list[int]] = {}
+    vector_rows: dict[int, TraceSimResult] = {}
+    if replay_backend == "numpy":
+        # The fleet's LRU rank-histogram kernel beats building per-worker
+        # Fenwick profiles, so plain LRU rides the fleet too — unless the
+        # caller explicitly asked for the SHARDS sampled profile.
+        vector_rows = _replay_vector_rows(
+            configs, stream_for, lru_fast_path and stackdist == "sampled"
+        )
     results: list[TraceSimResult] = []
-    for config in configs:
+    for i, config in enumerate(configs):
+        row = vector_rows.get(i)
+        if row is not None:
+            results.append(row)
+            if obs_on:
+                n_vector += 1
+            continue
         st = stream_for(config.hint)
         if lru_fast_path and _is_plain_lru(config):
-            results.append(_replay_lru_fast(st, config, lru_profiles))
+            results.append(
+                _replay_lru_fast(st, config, lru_profiles, profile_factory)
+            )
             if obs_on:
                 n_lru_fast += 1
             continue
@@ -405,9 +681,11 @@ def simulate_grid_pass(
     if obs_on:
         pass_span["lru_fast_rows"] = n_lru_fast
         pass_span["stepped_rows"] = n_stepped
+        pass_span["vector_rows"] = n_vector
         pass_span.__exit__(None, None, None)
         _obs.counter("engine.grid.passes").inc()
         _obs.counter("engine.grid.configs").inc(len(configs))
         _obs.counter("engine.grid.lru_fast_rows").inc(n_lru_fast)
         _obs.counter("engine.grid.stepped_rows").inc(n_stepped)
+        _obs.counter("engine.grid.vector_rows").inc(n_vector)
     return results

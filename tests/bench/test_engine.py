@@ -71,6 +71,39 @@ class TestEngineConfig:
             EngineConfig(workers="many")
 
 
+class TestReplayBackendConfig:
+    def test_rejects_bad_backend(self):
+        with pytest.raises(ValueError, match="replay_backend"):
+            EngineConfig(replay_backend="cuda")
+
+    def test_rejects_bad_stackdist(self):
+        with pytest.raises(ValueError, match="stackdist"):
+            EngineConfig(stackdist="guessed")
+
+    def test_rejects_bad_shards_rate(self):
+        with pytest.raises(ValueError, match="shards_rate"):
+            EngineConfig(stackdist="sampled", shards_rate=0.0)
+
+    def test_exact_keeps_base_salt(self):
+        assert EngineConfig().replay_salt() == ENGINE_CACHE_VERSION
+        assert (
+            EngineConfig(replay_backend="numpy").replay_salt()
+            == ENGINE_CACHE_VERSION
+        )
+
+    def test_sampled_salts_by_rate(self):
+        a = EngineConfig(stackdist="sampled", shards_rate=0.01)
+        b = EngineConfig(stackdist="sampled", shards_rate=0.05)
+        assert a.replay_salt() != ENGINE_CACHE_VERSION
+        assert a.replay_salt() != b.replay_salt()
+
+    def test_numpy_rows_equal_python_through_run_grid(self):
+        grid = tiny_grid("fig8")
+        reference = run_grid(grid, SERIAL)
+        rows = run_grid(grid, EngineConfig(workers=0, replay_backend="numpy"))
+        assert rows_equivalent(reference.points, rows.points)
+
+
 class TestParallelSerialEquivalence:
     """engine(workers=N) must reproduce engine(workers=0) row for row."""
 

@@ -183,3 +183,61 @@ class TestProjectGraph:
         )
         targets = [t for t, _ in graph.runtime_import_edges("pkg.typed")]
         assert "pkg.helper" not in targets
+
+
+class TestNumpyRngSites:
+    """FLOW001's numpy vocabulary: Generator/RandomState and seeded
+    bit-generators (``Generator(PCG64(seed))`` unwraps to the seed)."""
+
+    def test_generator_over_seeded_bit_generator_is_ok(self):
+        summary = _summarize(
+            "pkg.vec",
+            """\
+            import numpy as np
+
+            def make(seed):
+                return np.random.Generator(np.random.PCG64(seed))
+            """,
+        )
+        (site,) = summary.rng_sites
+        assert site.call == "numpy.random.Generator"
+        assert site.verdict == "ok:param seed"
+
+    def test_generator_over_unseeded_bit_generator_is_missing(self):
+        summary = _summarize(
+            "pkg.vec",
+            """\
+            from numpy.random import Generator, PCG64
+
+            def make():
+                return Generator(PCG64())
+            """,
+        )
+        assert summary.rng_sites[0].verdict == "missing"
+
+    def test_randomstate_with_literal_seed_is_const(self):
+        summary = _summarize(
+            "pkg.vec",
+            """\
+            import numpy as np
+
+            def make():
+                return np.random.RandomState(1234)
+            """,
+        )
+        (site,) = summary.rng_sites
+        assert site.call == "numpy.random.RandomState"
+        assert site.verdict == "const"
+
+    def test_default_rng_over_bit_generator_keyword_seed(self):
+        summary = _summarize(
+            "pkg.vec",
+            """\
+            import numpy as np
+
+            def make(trace_seed):
+                return np.random.default_rng(np.random.Philox(seed=trace_seed))
+            """,
+        )
+        (site,) = summary.rng_sites
+        assert site.verdict == "ok:param trace_seed"

@@ -16,6 +16,27 @@ class TestParser:
         )
         assert args.quick and args.errors == 10
 
+    def test_replay_backend_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "fig8", "--replay-backend", "numpy",
+             "--stackdist", "sampled", "--shards-rate", "0.05"]
+        )
+        assert args.replay_backend == "numpy"
+        assert args.stackdist == "sampled"
+        assert args.shards_rate == 0.05
+
+    def test_replay_backend_defaults_to_python(self):
+        from repro.cli import _engine_config
+
+        args = build_parser().parse_args(["bench", "fig8", "--no-cache"])
+        engine = _engine_config(args, default_cache=False)
+        assert engine.replay_backend == "python"
+        assert engine.stackdist == "exact"
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig8", "--replay-backend", "cuda"])
+
 
 class TestInfo:
     def test_prints_layout(self, capsys):
