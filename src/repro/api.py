@@ -5,8 +5,7 @@ vocabulary.  The deep module paths (``repro.engine.tracesim``,
 ``repro.bench.engine``, ...) remain importable but are internal: they
 may reorganize between releases, while the names re-exported here follow
 a deprecation policy (old spellings keep working for one release behind
-a :class:`DeprecationWarning` — e.g. ``run_grid(config=...)`` for
-``engine=``).
+a :class:`DeprecationWarning` before removal).
 
 The vocabulary:
 
@@ -35,7 +34,6 @@ Typical use::
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Sequence
 
 from . import obs
@@ -55,6 +53,7 @@ from .bench.experiments import (
     QUICK,
     Scale,
     SweepPoint,
+    cluster_grid,
     experiment_grid,
     rows_equivalent,
 )
@@ -81,6 +80,8 @@ from .engine.vector import (
     VectorFleet,
     VectorReplay,
 )
+from .sim.cluster import ClusterReport, ClusterSpec, run_cluster_recovery
+from .sim.topology import TopologySpec
 
 __all__ = [
     # replay engine
@@ -127,6 +128,12 @@ __all__ = [
     "QUICK",
     "FULL",
     "SweepPoint",
+    # rack-aware cluster scenario
+    "ClusterReport",
+    "ClusterSpec",
+    "TopologySpec",
+    "cluster_grid",
+    "run_cluster_recovery",
     # observability
     "obs",
 ]
@@ -140,23 +147,14 @@ def run_grid(
     engine_workers: int | str | None = None,
     cache_dir=None,
     batch: bool | None = None,
-    config: EngineConfig | None = None,
 ) -> EngineResult:
     """Execute a grid of points; see :func:`repro.bench.engine.run_grid`.
 
     Either pass a full ``engine=`` :class:`EngineConfig`, or use the
     keyword conveniences (``engine_workers=``, ``cache_dir=``,
     ``batch=``) and let the facade assemble one — mixing both is an
-    error.  ``config=`` is the deprecated spelling of ``engine=``.
+    error.
     """
-    if config is not None:
-        warnings.warn(
-            "run_grid(config=...) is deprecated; pass engine= instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if engine is None:
-            engine = config
     conveniences = (engine_workers, cache_dir, batch)
     if engine is not None:
         if any(value is not None for value in conveniences):

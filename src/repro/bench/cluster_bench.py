@@ -1,0 +1,206 @@
+"""The cluster-recovery bench: the rack-aware scenario as a CI gate.
+
+Runs the quick-scale ``cluster`` grid — EC decode (FBF/LRU/ARC) vs
+replication on a 3-rack cluster, healthy and with a limplocked node —
+plus the degenerate-topology equivalence check, and emits
+``BENCH_cluster.json``.  Every number in the payload is *virtual* time
+or traffic (no wall clocks), so the committed baseline is
+machine-independent and CI compares rows **bit-exactly**:
+
+* the one-node topology must reproduce the golden single-controller
+  rows identically (the refactor's safety contract, DESIGN §15);
+* EC recovery must move more cross-rack bytes than replication (the
+  Rashmi et al. traffic asymmetry the scenario exists to show);
+* the measured bottleneck must be a network link, not a disk;
+* the nic-counter detector must flag exactly the limplocked node;
+* every row must equal the committed baseline's row.
+
+Run directly: ``python -m repro.bench.cluster_bench --out BENCH_cluster.json``
+or ``--check benchmarks/BENCH_cluster.json`` for the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, replace
+from pathlib import Path
+from typing import Sequence
+
+from ..codes import make_code
+from ..obs import emit
+from ..sim import SimConfig, TopologySpec, run_reconstruction
+from ..sim.cluster import ClusterSpec, run_cluster_recovery
+from ..workloads import ErrorTraceConfig, generate_errors
+from .engine import _git_rev
+from .experiments import QUICK
+
+__all__ = ["run_cluster_bench", "compare_to_baseline"]
+
+#: The scenario axis: (redundancy, policy) per cluster state.
+SCENARIOS = (("ec", "fbf"), ("ec", "lru"), ("ec", "arc"), ("rep", "rep"))
+
+
+def _degenerate_identical(n_errors: int, seed: int) -> bool:
+    """One-node topology == golden single-controller rows, bit for bit."""
+    layout = make_code("tip", 7)
+    errors = generate_errors(
+        layout, ErrorTraceConfig(n_errors=n_errors, seed=seed)
+    )
+    config = SimConfig(workers=8)
+    base = run_reconstruction(layout, errors, config)
+    topo = run_reconstruction(
+        layout, errors, replace(config, topology=TopologySpec())
+    )
+    return (base.simulated_dict(exclude=("cluster",))
+            == topo.simulated_dict(exclude=("cluster",)))
+
+
+def run_cluster_bench(n_errors: int | None = None, seed: int | None = None) -> dict:
+    """Run the scenario grid + invariant checks; return the payload."""
+    n_errors = QUICK.n_errors if n_errors is None else n_errors
+    seed = QUICK.seed if seed is None else seed
+    rows = []
+    for limplock in (False, True):
+        for redundancy, policy in SCENARIOS:
+            spec = ClusterSpec(
+                redundancy=redundancy,
+                policy=policy if redundancy == "ec" else "fbf",
+                n_errors=n_errors,
+                seed=seed,
+                workers=min(QUICK.workers, 8),
+                limplock=limplock,
+            )
+            report = run_cluster_recovery(spec)
+            row = asdict(report)
+            row["cross_rack_mb"] = report.cross_rack_mb
+            row["limplock_suspects"] = list(report.limplock_suspects)
+            rows.append(row)
+
+    def _rows(redundancy, limplock):
+        return [r for r in rows
+                if r["redundancy"] == redundancy and r["limplock"] == limplock]
+
+    ec_cross = min(r["cross_rack_bytes"] for r in _rows("ec", False))
+    rep_cross = max(r["cross_rack_bytes"] for r in _rows("rep", False))
+    checks = {
+        "degenerate_identical": _degenerate_identical(n_errors, seed),
+        # the traffic asymmetry: decode reads k survivors where
+        # replication reads one replica
+        "ec_exceeds_rep_cross_rack": ec_cross > rep_cross,
+        "bottleneck_is_network": all(
+            "nic" in r["bottleneck"] or "uplink" in r["bottleneck"]
+            for r in rows
+        ),
+        "limplock_detected": all(
+            r["limplock_suspects"] == [1] if r["limplock"]
+            else r["limplock_suspects"] == []
+            for r in rows
+        ),
+    }
+    return {
+        "schema": 1,
+        "kind": "cluster-recovery",
+        "git_rev": _git_rev(),
+        "scale": "quick",
+        "n_errors": n_errors,
+        "seed": seed,
+        "rows": rows,
+        "checks": checks,
+        "aggregate": {
+            "ec_min_cross_rack_bytes": ec_cross,
+            "rep_max_cross_rack_bytes": rep_cross,
+            "traffic_ratio": ec_cross / rep_cross if rep_cross else None,
+        },
+    }
+
+
+def compare_to_baseline(current: dict, baseline: dict) -> tuple[bool, str]:
+    """CI gate: all invariants hold and every row matches bit-exactly.
+
+    The payload carries only virtual-time quantities, so unlike the
+    replay bench there is no tolerance: any row drift is a determinism
+    or behaviour regression.
+    """
+    problems = [
+        f"invariant {name} does not hold"
+        for name, ok in current["checks"].items() if not ok
+    ]
+    base_rows = {
+        (r["redundancy"], r["policy"], r["limplock"]): r
+        for r in baseline["rows"]
+    }
+    for row in current["rows"]:
+        key = (row["redundancy"], row["policy"], row["limplock"])
+        expected = base_rows.pop(key, None)
+        if expected is None:
+            problems.append(f"row {key} missing from the baseline")
+            continue
+        diff = [
+            field for field in expected
+            if field in row and row[field] != expected[field]
+        ]
+        if diff:
+            problems.append(f"row {key} diverged on {', '.join(diff)}")
+    for key in base_rows:
+        problems.append(f"baseline row {key} missing from the current run")
+    if problems:
+        return False, "; ".join(problems)
+    ratio = current["aggregate"]["traffic_ratio"]
+    return True, (
+        f"{len(current['rows'])} rows bit-identical; EC moves "
+        f"{ratio:.2f}x replication's cross-rack bytes"
+    )
+
+
+def _format_summary(payload: dict) -> str:
+    lines = [
+        f"{'state':>8} {'mode':>5} {'policy':>7} {'hit':>8} "
+        f"{'xrack(MB)':>10} {'recover(s)':>11} {'p99(s)':>8} {'bottleneck':>13}"
+    ]
+    for r in payload["rows"]:
+        state = "limplock" if r["limplock"] else "healthy"
+        lines.append(
+            f"{state:>8} {r['redundancy']:>5} {r['policy']:>7} "
+            f"{r['hit_ratio']:>8.4f} {r['cross_rack_mb']:>10.1f} "
+            f"{r['recovery_time']:>11.3f} {r['p99_response_time']:>8.4f} "
+            f"{r['bottleneck']:>13}"
+        )
+    for name, ok in payload["checks"].items():
+        lines.append(f"check {name}: {'ok' if ok else 'FAILED'}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster-bench", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--out", help="write the BENCH_cluster.json payload here")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a committed BENCH_cluster.json; exit 1 on "
+        "any invariant failure or row drift",
+    )
+    parser.add_argument("--errors", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    payload = run_cluster_bench(n_errors=args.errors, seed=args.seed)
+    emit(_format_summary(payload))
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        emit(f"wrote {out}")
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text(encoding="utf-8"))
+        ok, message = compare_to_baseline(payload, baseline)
+        emit(("PASS: " if ok else "FAIL: ") + message)
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

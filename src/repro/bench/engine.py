@@ -41,7 +41,6 @@ import hashlib
 import json
 import os
 import time
-import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -63,9 +62,9 @@ __all__ = [
 #: Version salt mixed into every cache key.  Bump it whenever a change to
 #: the simulator, the policies, the codes, or the workload generator can
 #: alter any SweepPoint value — stale rows must never be served.
-ENGINE_CACHE_VERSION = "1"
+ENGINE_CACHE_VERSION = "2"  # v2: GridPoint grew cluster fields (redundancy/limplock)
 
-_POINT_KINDS = ("trace", "des", "demotion")
+_POINT_KINDS = ("trace", "des", "demotion", "cluster")
 
 
 @dataclass(frozen=True)
@@ -89,12 +88,16 @@ class GridPoint:
     sor_workers: int = 32  #: the paper's SOR worker count (simulated!)
     chunk_size: str = "32KB"
     demote_on_hit: bool | None = None  #: only for kind="demotion"
+    redundancy: str | None = None  #: "ec"/"rep", only for kind="cluster"
+    limplock: bool = False  #: fail-slow node injection, kind="cluster"
 
     def __post_init__(self) -> None:
         if self.kind not in _POINT_KINDS:
             raise ValueError(f"kind must be one of {_POINT_KINDS}, got {self.kind!r}")
         if self.kind == "demotion" and self.demote_on_hit is None:
             raise ValueError("demotion points require demote_on_hit")
+        if self.kind == "cluster" and self.redundancy not in ("ec", "rep"):
+            raise ValueError("cluster points require redundancy 'ec' or 'rep'")
 
     def cache_key(self, salt: str = ENGINE_CACHE_VERSION) -> str:
         """Content address: SHA-256 over the canonical parameter vector."""
@@ -396,6 +399,41 @@ def compute_point(point: GridPoint) -> "SweepPoint":
             disk_reads=res.disk_reads,
         )
 
+    if point.kind == "cluster":
+        from ..sim.cluster import ClusterSpec, run_cluster_recovery
+
+        rep = run_cluster_recovery(
+            ClusterSpec(
+                redundancy=point.redundancy or "ec",
+                code=point.code,
+                p=point.p,
+                policy=point.policy,
+                cache_size=int(point.cache_mb * 1024 * 1024),
+                scheme_mode=point.scheme_mode,
+                n_errors=point.n_errors,
+                seed=point.seed,
+                workers=point.sor_workers,
+                chunk_size=point.chunk_size,
+                limplock=point.limplock,
+            )
+        )
+        return SweepPoint(
+            experiment=point.experiment,
+            code=rep.code,
+            p=point.p,
+            policy=point.policy,
+            cache_mb=point.cache_mb,
+            hit_ratio=rep.hit_ratio,
+            disk_reads=rep.disk_reads,
+            avg_response_time=rep.avg_response_time,
+            reconstruction_time=rep.recovery_time,
+            scheme_mode=point.scheme_mode,
+            redundancy=rep.redundancy,
+            limplock=rep.limplock,
+            cross_rack_mb=rep.cross_rack_mb,
+            p99_response_time=rep.p99_response_time,
+        )
+
     # kind == "des": the full event-driven simulation (timing metrics).
     from ..engine.timed import run_timed_replay
     from ..sim.reconstruction import SimConfig
@@ -560,25 +598,13 @@ def run_grid(
     points: Sequence[GridPoint],
     engine: EngineConfig | None = None,
     on_progress: Callable[[int, int], None] | None = None,
-    *,
-    config: EngineConfig | None = None,
 ) -> EngineResult:
     """Execute ``points`` and return rows in the same (canonical) order.
 
     Output is independent of ``engine``: the worker count and the cache
     only affect *when and where* cells are computed, never their values.
     ``on_progress(done, total)`` is called after every completed point.
-    ``config=`` is the deprecated spelling of ``engine=`` (kept as a
-    warning shim for one release).
     """
-    if config is not None:
-        warnings.warn(
-            "run_grid(config=...) is deprecated; pass engine= instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if engine is None:
-            engine = config
     engine = engine or EngineConfig()
     obs_on = _obs.ENABLED
     if obs_on:

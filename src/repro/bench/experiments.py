@@ -44,6 +44,8 @@ __all__ = [
     "ablation_scheme",
     "ablation_demotion",
     "lrc_hit_ratio",
+    "cluster_grid",
+    "cluster_recovery",
     "experiment_grid",
     "rows_equivalent",
     "EXPERIMENT_NAMES",
@@ -119,6 +121,11 @@ class SweepPoint:
     overhead_ms: float = float("nan")
     overhead_percent: float = float("nan")
     scheme_mode: str = "fbf"
+    #: cluster-grid columns ("" / False / NaN outside kind="cluster").
+    redundancy: str = ""
+    limplock: bool = False
+    cross_rack_mb: float = float("nan")
+    p99_response_time: float = float("nan")
 
     def _key(self, exclude: tuple[str, ...] = ()) -> tuple:
         # NaN normalised to None so eq and hash agree (hash(nan) is
@@ -270,6 +277,56 @@ def ablation_demotion_grid(
     ]
 
 
+def cluster_grid(scale: Scale = QUICK, code: str = "tip", p: int = 7) -> list[GridPoint]:
+    """Cross-rack recovery sweep: EC (FBF/LRU/ARC) vs replication.
+
+    Every point repairs the same partial-stripe failure trace on a
+    3-rack x 3-node cluster with 1 MB chunks and ~10:1 oversubscribed
+    uplinks (see :mod:`repro.sim.cluster`), healthy and with one
+    limplocked node.  The EC rows show cross-rack recovery traffic a
+    chain-length factor above replication's — link bandwidth, not the
+    disks, is the measured bottleneck — and what each cache policy buys
+    back.  Workers are capped at 8 (one controller node's cores).
+    """
+    cache_mb = 64.0
+    points = []
+    for limplock in (False, True):
+        for policy in ("fbf", "lru", "arc"):
+            points.append(
+                GridPoint(
+                    kind="cluster",
+                    experiment="cluster",
+                    code=code,
+                    p=p,
+                    policy=policy,
+                    cache_mb=cache_mb,
+                    n_errors=scale.n_errors,
+                    seed=scale.seed,
+                    sor_workers=min(scale.workers, 8),
+                    chunk_size="1MB",
+                    redundancy="ec",
+                    limplock=limplock,
+                )
+            )
+        points.append(
+            GridPoint(
+                kind="cluster",
+                experiment="cluster",
+                code=code,
+                p=p,
+                policy="rep",
+                cache_mb=cache_mb,
+                n_errors=scale.n_errors,
+                seed=scale.seed,
+                sor_workers=min(scale.workers, 8),
+                chunk_size="1MB",
+                redundancy="rep",
+                limplock=limplock,
+            )
+        )
+    return points
+
+
 #: grid builder per CLI experiment name (``repro-fbf bench`` menu).
 EXPERIMENT_GRIDS = {
     "fig8": fig8_grid,
@@ -280,6 +337,7 @@ EXPERIMENT_GRIDS = {
     "ablation-scheme": ablation_scheme_grid,
     "ablation-demotion": ablation_demotion_grid,
     "lrc": lrc_grid,
+    "cluster": cluster_grid,
 }
 
 EXPERIMENT_NAMES: tuple[str, ...] = tuple(EXPERIMENT_GRIDS)
@@ -434,3 +492,14 @@ def lrc_hit_ratio(
 ) -> list[SweepPoint]:
     """LRC extension: hit ratio / disk reads vs cache size (DESIGN.md §9)."""
     return _points(lrc_grid(scale), engine)
+
+
+def cluster_recovery(
+    scale: Scale = QUICK,
+    code: str = "tip",
+    p: int = 7,
+    engine: EngineConfig | None = None,
+) -> list[SweepPoint]:
+    """Cross-rack cluster recovery: EC vs replication, FBF vs LRU/ARC,
+    healthy and limplocked (DESIGN.md §15)."""
+    return _points(cluster_grid(scale, code, p), engine)

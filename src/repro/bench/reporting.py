@@ -14,6 +14,7 @@ from .experiments import POLICY_ORDER, SweepPoint
 __all__ = [
     "series_table",
     "figure_report",
+    "cluster_report",
     "table4_report",
     "table5_report",
     "bench_summary",
@@ -139,6 +140,38 @@ def figure_report(
             blocks.append(series_table(sub, metric, spec))
             blocks.append(series_sparklines(sub, metric))
     return "\n".join(blocks)
+
+
+def cluster_report(points: Sequence[SweepPoint]) -> str:
+    """The cluster sweep: EC decode vs replication, healthy then limplocked.
+
+    A different panel shape from the figure reports — the axis is
+    (redundancy, policy) under two cluster states, not cache size — so
+    the cluster grid gets its own renderer instead of
+    :func:`figure_report`.
+    """
+    order = {pol: i for i, pol in enumerate((*POLICY_ORDER, "rep"))}
+    lines = ["== Cluster: cross-rack recovery (EC decode vs replication) =="]
+    head = (f"{'mode':>5} {'policy':>7} {'hit':>8} {'xrack(MB)':>10} "
+            f"{'recover(s)':>11} {'p99(s)':>8}")
+    for limplock in (False, True):
+        sub = [p for p in points if p.limplock == limplock]
+        if not sub:
+            continue
+        state = "limplocked node" if limplock else "healthy"
+        lines.append(f"\n-- {state} --")
+        lines.append(head)
+        lines.append("-" * len(head))
+        for pt in sorted(sub, key=lambda x: (x.redundancy != "ec",
+                                             order.get(x.policy, 99))):
+            lines.append(
+                f"{pt.redundancy:>5} {pt.policy:>7} "
+                f"{_fmt(pt.hit_ratio, '.4f'):>8} "
+                f"{_fmt(pt.cross_rack_mb, '.1f'):>10} "
+                f"{_fmt(pt.reconstruction_time, '.3f'):>11} "
+                f"{_fmt(pt.p99_response_time, '.4f'):>8}"
+            )
+    return "\n".join(lines)
 
 
 def table4_report(points: Sequence[SweepPoint]) -> str:

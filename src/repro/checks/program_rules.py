@@ -52,6 +52,9 @@ __all__ = [
 ]
 
 #: First-level package name -> layer index (lower imports from lower only).
+#: A dotted two-level key (``"sim.cluster"``) overrides its package's
+#: layer for that submodule — used where one module of a package
+#: legitimately sits a layer above its siblings.
 #: ``utils``/``obs``/``checks.sanitizer`` are additionally cross-cutting —
 #: importable from any layer — because observability and shared helpers
 #: are deliberately dependency-free leaves (see DESIGN.md §13).
@@ -61,6 +64,10 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "codes": 1,
     "cache": 1,
     "sim": 1,
+    "sim.topology": 1,
+    # the cluster scenario drives the engine's timed replay, so it lives
+    # with the engine in the DAG even though it ships under sim/
+    "sim.cluster": 2,
     "lrc": 1,
     "engine": 2,
     "array": 2,
@@ -107,10 +114,19 @@ class ProgramRule(ABC):
 
 
 def _layer_of(module: str, layers: Mapping[str, int]) -> int | None:
-    """Layer of a dotted module; None = unconstrained, root package = top."""
+    """Layer of a dotted module; None = unconstrained, root package = top.
+
+    A two-level key (``"sim.cluster"``) takes precedence over the
+    package-level key (``"sim"``) for that submodule and anything under
+    it.
+    """
     parts = module.split(".")
     if len(parts) == 1:
         return max(layers.values(), default=0) + 1
+    if len(parts) >= 3:
+        sub = layers.get(parts[1] + "." + parts[2])
+        if sub is not None:
+            return sub
     return layers.get(parts[1])
 
 

@@ -3,10 +3,8 @@
 Every subcommand draws from one shared flag vocabulary (built by the
 ``_add_*_flags`` helpers, so the spellings cannot drift):
 
-* ``--scale {quick,full}`` — grid size (``--quick`` is a deprecated
-  alias that still works, with a :class:`DeprecationWarning`);
-* ``--workers`` — the *simulated* SOR worker count, everywhere
-  (``--sor-workers`` is a deprecated alias);
+* ``--scale {quick,full}`` — grid size;
+* ``--workers`` — the *simulated* SOR worker count, everywhere;
 * ``--engine-workers`` — process-pool fan-out: an int, ``0`` for
   in-process serial, or ``auto`` for ``os.cpu_count()``;
 * ``--errors`` / ``--seed`` / ``--cache-mbs`` — workload overrides.
@@ -15,6 +13,7 @@ Examples::
 
     repro-fbf fig8 --scale quick
     repro-fbf bench all --scale quick --engine-workers auto
+    repro-fbf cluster --scale quick
     repro-fbf obs fig8 --scale full --jsonl obs.jsonl
     repro-fbf trace --code tip --p 7 --errors 100 --out trace.txt
     repro-fbf info --code star --p 5
@@ -24,7 +23,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import warnings
 from dataclasses import replace
 
 from .bench import (
@@ -69,26 +67,14 @@ def _add_scale_flag(p: argparse.ArgumentParser, default: str = "full") -> None:
         "--scale", choices=("quick", "full"), default=default,
         help=f"grid size (default: {default})",
     )
-    p.add_argument(
-        "--quick", action="store_true",
-        help="deprecated alias of --scale quick",
-    )
 
 
-def _add_workload_flags(
-    p: argparse.ArgumentParser, legacy_pool_workers: bool = False
-) -> None:
+def _add_workload_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--errors", type=int, help="override: number of partial stripe errors")
     p.add_argument("--seed", type=int, help="override: workload seed")
-    # bench's --workers historically named the process pool; it is parsed
-    # as a string there so the legacy "auto" spelling can be shimmed.
     p.add_argument(
-        "--workers", type=(str if legacy_pool_workers else int), default=None,
+        "--workers", type=int, default=None,
         help="override: simulated SOR worker count",
-    )
-    p.add_argument(
-        "--sor-workers", type=int, dest="sor_workers",
-        help="deprecated alias of --workers",
     )
     p.add_argument(
         "--cache-mbs", type=str,
@@ -156,7 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="which sweep to run ('all' = every experiment)",
     )
     _add_scale_flag(b, default="quick")
-    _add_workload_flags(b, legacy_pool_workers=True)
+    _add_workload_flags(b)
     _add_engine_flags(b, default_workers="auto")
     b.add_argument(
         "--out", default=".",
@@ -241,6 +227,17 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--errors", type=int, default=10)
     v.add_argument("--seed", type=int, default=7)
 
+    cl = sub.add_parser(
+        "cluster",
+        help="rack-aware recovery scenario: EC decode vs replication, "
+             "healthy and with a limplocked node",
+    )
+    cl.add_argument("--code", default="tip", choices=available_codes())
+    cl.add_argument("--p", type=int, default=7)
+    _add_scale_flag(cl, default="quick")
+    cl.add_argument("--errors", type=int, help="override: number of partial stripe errors")
+    cl.add_argument("--seed", type=int, help="override: workload seed")
+
     rb = sub.add_parser("rebuild", help="whole-disk rebuild read savings (ref [22])")
     rb.add_argument("--code", default="tip", choices=available_codes())
     rb.add_argument("--p", type=int, default=11)
@@ -305,72 +302,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-# -- deprecation shims + flag resolution ---------------------------------------
+# -- flag resolution -----------------------------------------------------------
 
-def _resolve_sor_workers(args: argparse.Namespace) -> tuple[int | None, str | None]:
-    """Resolve ``--workers``/``--sor-workers`` into (SOR count, legacy pool).
-
-    ``--sor-workers`` is the deprecated alias of ``--workers``.  On
-    ``bench``, the historical ``--workers auto`` spelling named the
-    *process pool*; it is routed to the engine-worker setting (second
-    element) with a warning instead of being misread as a SOR count.
-    """
-    workers = getattr(args, "workers", None)
-    sor = getattr(args, "sor_workers", None)
-    if sor is not None:
-        warnings.warn(
-            "--sor-workers is deprecated; use --workers",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if workers is None:
-            workers = sor
-    if isinstance(workers, str):
-        # bench only: the historical pool spellings. "auto" and 0 are
-        # never valid SOR counts, so both route to the engine setting.
-        if workers == "auto" or int(workers) == 0:
-            warnings.warn(
-                f"--workers {workers} is deprecated: --workers now names "
-                "the simulated SOR worker count on every subcommand; use "
-                f"--engine-workers {workers} for the process pool",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            return None, workers
-        workers = int(workers)
-    return workers, None
-
-
-def _resolve_scale(args: argparse.Namespace) -> tuple[str, Scale, str | None]:
-    """(scale name, Scale with workload overrides, legacy pool override)."""
-    if getattr(args, "quick", False):
-        warnings.warn(
-            "--quick is deprecated; use --scale quick",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        name = "quick"
-    else:
-        name = args.scale
+def _resolve_scale(args: argparse.Namespace) -> tuple[str, Scale]:
+    """(scale name, Scale with workload overrides applied)."""
+    name = args.scale
     scale = QUICK if name == "quick" else FULL
-    sor_workers, legacy_pool = _resolve_sor_workers(args)
     overrides: dict = {}
     if args.errors is not None:
         overrides["n_errors"] = args.errors
     if args.seed is not None:
         overrides["seed"] = args.seed
-    if sor_workers is not None:
-        overrides["workers"] = sor_workers
+    if getattr(args, "workers", None) is not None:
+        overrides["workers"] = args.workers
     if args.cache_mbs:
         overrides["cache_mbs"] = tuple(
             float(x) for x in args.cache_mbs.split(",") if x.strip()
         )
-    return name, replace(scale, **overrides) if overrides else scale, legacy_pool
+    return name, replace(scale, **overrides) if overrides else scale
 
 
 def _engine_config(
     args: argparse.Namespace,
-    legacy_pool: str | None = None,
     default_workers: int | str = "auto",
     default_cache: bool = False,
 ):
@@ -379,7 +332,7 @@ def _engine_config(
 
     workers: int | str | None = args.engine_workers
     if workers is None:
-        workers = legacy_pool if legacy_pool is not None else default_workers
+        workers = default_workers
     if workers != "auto":
         workers = int(workers)
     if args.no_cache:
@@ -420,10 +373,8 @@ def _run_bench(args: argparse.Namespace) -> int:
         write_bench_json,
     )
 
-    scale_name, scale, legacy_pool = _resolve_scale(args)
-    engine = _engine_config(
-        args, legacy_pool, default_workers="auto", default_cache=True
-    )
+    scale_name, scale = _resolve_scale(args)
+    engine = _engine_config(args, default_workers="auto", default_cache=True)
     names = list(EXPERIMENT_NAMES) if args.experiment == "all" else [args.experiment]
 
     divergent: list[str] = []
@@ -454,6 +405,11 @@ def _run_bench(args: argparse.Namespace) -> int:
         elif args.show and name == "table4":
             emit()
             emit(table4_report(result.points))
+        elif args.show and name == "cluster":
+            from .bench import cluster_report
+
+            emit()
+            emit(cluster_report(result.points))
         path = write_bench_json(
             Path(args.out) / f"BENCH_{name.replace('-', '_')}.json",
             name,
@@ -466,6 +422,50 @@ def _run_bench(args: argparse.Namespace) -> int:
     if divergent:
         emit(f"parallel/serial outputs DIVERGED for: {', '.join(divergent)}")
         return 1
+    return 0
+
+
+def _run_cluster(args: argparse.Namespace) -> int:
+    """The rack-aware scenario with the full per-run detail (DESIGN §15).
+
+    The ``cluster`` bench grid reports the SweepPoint columns; this
+    subcommand additionally surfaces the measured bottleneck link, its
+    utilization, and the nodes the fail-slow detector flags.
+    """
+    from .sim.cluster import ClusterSpec, run_cluster_recovery
+
+    scale = QUICK if args.scale == "quick" else FULL
+    n_errors = args.errors if args.errors is not None else scale.n_errors
+    seed = args.seed if args.seed is not None else scale.seed
+    emit(f"cross-rack recovery on a 3x3 rack cluster, 1 MB chunks "
+         f"({args.code} p={args.p}, {n_errors} errors, seed {seed})")
+    head = (f"{'state':>8} {'mode':>5} {'policy':>7} {'hit':>8} "
+            f"{'xrack(MB)':>10} {'recover(s)':>11} {'p99(s)':>8} "
+            f"{'bottleneck':>13} {'util':>5}  suspects")
+    emit(head)
+    emit("-" * len(head))
+    for limplock in (False, True):
+        for redundancy, policy in (
+            ("ec", "fbf"), ("ec", "lru"), ("ec", "arc"), ("rep", "rep")
+        ):
+            spec = ClusterSpec(
+                redundancy=redundancy,
+                code=args.code,
+                p=args.p,
+                policy=policy if redundancy == "ec" else "fbf",
+                n_errors=n_errors,
+                seed=seed,
+                workers=min(scale.workers, 8),
+                limplock=limplock,
+            )
+            rep = run_cluster_recovery(spec)
+            state = "limplock" if limplock else "healthy"
+            suspects = ",".join(str(n) for n in rep.limplock_suspects) or "-"
+            emit(f"{state:>8} {rep.redundancy:>5} {rep.policy:>7} "
+                 f"{rep.hit_ratio:>8.4f} {rep.cross_rack_mb:>10.1f} "
+                 f"{rep.recovery_time:>11.3f} {rep.p99_response_time:>8.4f} "
+                 f"{rep.bottleneck:>13} {rep.bottleneck_utilization:>5.2f}  "
+                 f"{suspects}")
     return 0
 
 
@@ -491,10 +491,8 @@ def _run_obs(args: argparse.Namespace) -> int:
     from . import obs
     from .bench import bench_summary, experiment_grid, run_grid
 
-    scale_name, scale, legacy_pool = _resolve_scale(args)
-    engine = _engine_config(
-        args, legacy_pool, default_workers=0, default_cache=False
-    )
+    scale_name, scale = _resolve_scale(args)
+    engine = _engine_config(args, default_workers=0, default_cache=False)
     if engine.resolved_workers() > 0:
         emit(
             "note: obs state is process-local; pooled workers only feed "
@@ -563,6 +561,9 @@ def main(argv: list[str] | None = None) -> int:
     if cmd == "obs":
         return _run_obs(args)
 
+    if cmd == "cluster":
+        return _run_cluster(args)
+
     if cmd == "verify":
         from .sim import SimConfig, run_reconstruction
 
@@ -613,10 +614,8 @@ def main(argv: list[str] | None = None) -> int:
     if cmd == "report":
         from .bench import write_full_report
 
-        _, scale, legacy_pool = _resolve_scale(args)
-        engine = _engine_config(
-            args, legacy_pool, default_workers=0, default_cache=False
-        )
+        _, scale = _resolve_scale(args)
+        engine = _engine_config(args, default_workers=0, default_cache=False)
         paths = write_full_report(scale, args.out, engine)
         emit(f"wrote {len(paths)} reports to {args.out}/")
         for path in paths:
@@ -690,7 +689,7 @@ def main(argv: list[str] | None = None) -> int:
             emit(f"wrote {len(errors)} errors to {args.out}")
         return 0
 
-    _, scale, _ = _resolve_scale(args)
+    _, scale = _resolve_scale(args)
     if cmd == "fig8":
         emit(figure_report(fig8_hit_ratio(scale), "hit_ratio",
                            "Figure 8: cache hit ratio during reconstruction"))

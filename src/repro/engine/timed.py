@@ -48,11 +48,13 @@ def run_timed_replay(
     from ..sim.controller import RAIDController
     from ..sim.kernel import Environment
     from ..sim.reconstruction import (
+        ClusterStats,
         ReconstructionReport,
         SimConfig,
         _worker,
         build_array,
     )
+    from ..sim.topology import HeartbeatMonitor, build_topology
 
     if config is None:
         config = SimConfig()
@@ -70,7 +72,26 @@ def run_timed_replay(
     geometry = backend.make_geometry(
         chunk_size=config.chunk_bytes, stripes=config.array_stripes
     )
-    array = build_array(env, geometry, config)
+    topology = None
+    heartbeats = None
+    if config.topology is not None:
+        topology = build_topology(env, config.topology)
+        if config.topology.heartbeat_period > 0:
+            heartbeats = HeartbeatMonitor(
+                topology,
+                master=config.topology.controller_node,
+                period=config.topology.heartbeat_period,
+                miss_threshold=config.topology.heartbeat_miss_threshold,
+            )
+            heartbeats.start()
+    array = build_array(env, geometry, config, topology=topology)
+    response_histogram = None
+    if config.response_quantiles:
+        from ..obs.metrics import Histogram
+
+        # One histogram shared across all worker caches, so the report's
+        # p99 covers every chunk request of the run.
+        response_histogram = Histogram("sim.cache.response_time")
     datapath = None
     if config.verify_payloads:
         datapath = backend.make_datapath(
@@ -95,7 +116,8 @@ def run_timed_replay(
         else:
             policy = make_policy(config.policy, per_worker_blocks, **config.policy_kwargs)
         cache = TimedBufferCache(
-            env, policy, array, hit_time=config.hit_time, sanitize=config.sanitize
+            env, policy, array, hit_time=config.hit_time, sanitize=config.sanitize,
+            response_histogram=response_histogram,
         )
         caches.append(cache)
         mine = events[w::workers]  # SOR round-robin stripe assignment
@@ -112,6 +134,23 @@ def run_timed_replay(
 
     hits = sum(c.policy.stats.hits for c in caches)
     misses = sum(c.policy.stats.misses for c in caches)
+    cluster_stats = None
+    if topology is not None:
+        cluster_stats = ClusterStats(
+            racks=len(topology.racks),
+            nodes=len(topology.nodes),
+            transfers=topology.transfers,
+            cross_rack_bytes=topology.cross_rack_bytes,
+            intra_rack_bytes=topology.intra_rack_bytes,
+            link_utilization=topology.link_utilization(recon_time),
+            heartbeat_rtt_max=(
+                tuple(sorted(heartbeats.rtt_max.items())) if heartbeats else ()
+            ),
+            nodes_declared_dead=(
+                tuple(sorted(heartbeats.detected_at.items())) if heartbeats else ()
+            ),
+            limplock_suspects=topology.limplock_suspects(),
+        )
     return ReconstructionReport(
         policy=config.policy if policy_factory is None else getattr(
             caches[0].policy, "name", "custom"
@@ -140,4 +179,8 @@ def run_timed_replay(
             (d.stats.busy_time, d.stats.queue_wait, d.stats.accesses)
             for d in array.disks
         ),
+        p99_response_time=(
+            response_histogram.quantile(0.99) if response_histogram is not None else None
+        ),
+        cluster=cluster_stats,
     )

@@ -373,14 +373,18 @@ class _Lanes:
             workers = worker_of[si]
             n = workers.size
             if n:
-                kloc_u[: view.steps, col0:col0 + n] = view.req[:, workers]
+                # view.req spans the view's longest worker, which may be
+                # longer than `steps` when that worker's every cell is
+                # saturated; rows past `steps` belong to no active lane.
+                rows = min(view.steps, steps)
+                kloc_u[:rows, col0:col0 + n] = view.req[:rows, workers]
                 if spec.flavor == "lfu":
                     max_freq = max(max_freq, view.max_freq)
                 elif spec.flavor == "fbf" and admit_u is not None:
                     if view.hints.size and int(view.hints.min()) < 1:
                         raise ValueError("priority must be a positive int")
-                    admit_u[: view.steps, col0:col0 + n] = np.minimum(
-                        view.hints[:, workers], 3
+                    admit_u[:rows, col0:col0 + n] = np.minimum(
+                        view.hints[:rows, workers], 3
                     )
             col0 += n
         self.kloc = kloc_u[:, order] if L else kloc_u

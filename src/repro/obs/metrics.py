@@ -119,6 +119,35 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linear interpolation inside the target bucket; observations in
+        the overflow bucket resolve to the tracked exact maximum, and
+        the first bucket interpolates up from the tracked minimum.
+        Returns NaN while empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                if i == len(self.bounds):  # overflow bucket
+                    return self.max
+                lo = self.bounds[i - 1] if i > 0 else min(self.min, self.bounds[i])
+                hi = self.bounds[i]
+                frac = (rank - cumulative) / n
+                # clamp to the tracked extremes: bucket bounds can
+                # overshoot what was actually observed
+                return min(self.max, max(self.min, lo + (hi - lo) * frac))
+            cumulative += n
+        return self.max
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -126,6 +155,7 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "mean": self.mean,
+            "p99": self.quantile(0.99) if self.count else None,
             "bounds": list(self.bounds),
             "counts": list(self.counts),
         }

@@ -1,10 +1,11 @@
 """Human-readable rendering of an obs registry — ``repro-fbf obs``.
 
 Metrics are grouped by their leading dotted segment into the layer
-sections the acceptance contract names — kernel, engine, bench — with
-any other prefix appended after.  A section with no data still prints
-(with a ``(no data)`` marker) so the summary's shape is stable and a
-missing instrumentation layer is visible, not silent.
+sections the acceptance contract names — kernel, engine, bench, cluster
+— with any other prefix appended after.  The always-on layers (kernel,
+engine, bench) print even with no data (a ``(no data)`` marker keeps a
+missing instrumentation layer visible, not silent); ``cluster`` only
+exists for topology-backed runs, so it renders only when populated.
 """
 
 from __future__ import annotations
@@ -14,7 +15,10 @@ from typing import Any, Mapping
 __all__ = ["render_summary", "LAYER_ORDER"]
 
 #: Section order; prefixes not listed here render afterwards, sorted.
-LAYER_ORDER: tuple[str, ...] = ("kernel", "engine", "bench")
+LAYER_ORDER: tuple[str, ...] = ("kernel", "engine", "bench", "cluster")
+
+#: Layers that print a ``(no data)`` section rather than being omitted.
+_ALWAYS_ON: frozenset[str] = frozenset({"kernel", "engine", "bench"})
 
 
 def _layer(name: str) -> str:
@@ -41,9 +45,11 @@ def render_summary(snapshot: Mapping[str, Any]) -> str:
     for name, hist in snapshot.get("histograms", {}).items():
         mean = hist.get("mean", 0.0)
         peak = hist.get("max")
+        p99 = hist.get("p99")
         add(
             name,
             f"  {name:<44} n={hist['count']} mean={_fmt(mean)}"
+            + (f" p99={_fmt(p99)}" if p99 is not None else "")
             + (f" max={_fmt(peak)}" if peak is not None else ""),
         )
     for name, agg in snapshot.get("spans", {}).items():
@@ -57,6 +63,8 @@ def render_summary(snapshot: Mapping[str, Any]) -> str:
     lines = ["== observability summary =="]
     for layer in ordered:
         rows = sections.get(layer)
+        if not rows and layer not in _ALWAYS_ON:
+            continue
         lines.append(f"[{layer}]")
         if rows:
             lines.extend(sorted(rows))

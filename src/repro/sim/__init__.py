@@ -5,7 +5,13 @@
 * :mod:`repro.sim.cache_sim` — the timed buffer cache.
 * :mod:`repro.sim.controller` — the RAID controller's recovery logic.
 * :mod:`repro.sim.reconstruction` — serial/SOR batch reconstruction.
+* :mod:`repro.sim.topology` — racks, nodes, links: the cluster resource
+  model (the single-controller world is its degenerate one-node case).
 * :mod:`repro.sim.tracesim` — fast untimed cache-trace replay.
+
+The cross-rack recovery *scenario* lives one layer up in
+:mod:`repro.sim.cluster` (it drives the engine's timed replay, so it
+cannot live at this layer without an upward import).
 """
 
 from .array import ArrayGeometry, DiskArray, FlatGeometry
@@ -19,6 +25,7 @@ from .disk import (
 )
 from .kernel import (
     AllOf,
+    Container,
     Environment,
     Event,
     Interrupt,
@@ -38,13 +45,32 @@ from .rebuild import (
     rebuild_read_savings,
     run_disk_rebuild,
 )
-from .reconstruction import ReconstructionReport, SimConfig, build_array, run_reconstruction
+from .reconstruction import (
+    ClusterStats,
+    ReconstructionReport,
+    SimConfig,
+    build_array,
+    run_reconstruction,
+)
 from .scheduling import (
     FCFSScheduler,
     SSTFScheduler,
     ScanScheduler,
     ScheduledDisk,
     make_scheduler,
+)
+from .topology import (
+    ClusterTopology,
+    FaultInjector,
+    HeartbeatMonitor,
+    Link,
+    Node,
+    NodeFailure,
+    Rack,
+    Switch,
+    TopologySpec,
+    build_topology,
+    single_node_topology,
 )
 from .tracesim import PlanCache, TraceSimResult, simulate_cache_trace
 
@@ -61,6 +87,7 @@ __all__ = [
     "FixedLatencyModel",
     "SeekRotateTransferModel",
     "AllOf",
+    "Container",
     "Environment",
     "Event",
     "Interrupt",
@@ -70,10 +97,22 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "ClusterStats",
     "ReconstructionReport",
     "SimConfig",
     "build_array",
     "run_reconstruction",
+    "ClusterTopology",
+    "FaultInjector",
+    "HeartbeatMonitor",
+    "Link",
+    "Node",
+    "NodeFailure",
+    "Rack",
+    "Switch",
+    "TopologySpec",
+    "build_topology",
+    "single_node_topology",
     "run_reconstruction_dor",
     "OnlineReport",
     "run_online_recovery",

@@ -134,13 +134,25 @@ class DiskArray:
         geometry: ArrayGeometry | FlatGeometry,
         disk_model_factory: Callable[[int], ServiceTimeModel] | None = None,
         disk_factory: Callable[[Environment, int], object] | None = None,
+        topology=None,
+        placement: Callable[[int], int] | None = None,
+        home_node: int = 0,
     ):
         """``disk_factory`` builds each disk outright (e.g. a
         :class:`~repro.sim.scheduling.ScheduledDisk`); otherwise plain
         :class:`Disk` objects are built, optionally with per-disk service
-        models from ``disk_model_factory``."""
+        models from ``disk_model_factory``.
+
+        With a :class:`~repro.sim.topology.ClusterTopology`, disks attach
+        to nodes (``placement`` maps disk index → node id, default
+        round-robin) and every chunk read/write additionally charges the
+        links between the disk's node and ``home_node`` (the controller).
+        In the degenerate one-node topology every route is empty, so the
+        simulation is event-for-event identical to ``topology=None``."""
         self.env = env
         self.geometry = geometry
+        self.topology = topology
+        self.home_node = home_node
         if disk_factory is not None:
             self.disks = [disk_factory(env, i) for i in range(geometry.num_disks)]
         elif disk_model_factory is None:
@@ -149,19 +161,40 @@ class DiskArray:
             self.disks = [
                 Disk(env, i, disk_model_factory(i)) for i in range(geometry.num_disks)
             ]
+        if topology is not None:
+            n_nodes = len(topology.nodes)
+            place = placement if placement is not None else (lambda i: i % n_nodes)
+            for i, disk in enumerate(self.disks):
+                topology.nodes[place(i)].attach(disk)
 
     def disk_of(self, cell: Hashable) -> Disk:
         return self.disks[self.geometry.disk_index(cell)]
 
     def read_chunk(self, stripe: int, cell: Cell) -> Generator:
-        """Process generator: one chunk read from the data region."""
-        yield from self.disk_of(cell).access(
+        """Process generator: one chunk read from the data region.
+
+        Under a topology the chunk then travels disk-node → home node,
+        charging every link on the route."""
+        disk = self.disk_of(cell)
+        yield from disk.access(
             "read", self.geometry.lba(stripe, cell), self.geometry.chunk_size
         )
+        if self.topology is not None and disk.node_id is not None:
+            yield from self.topology.transfer(
+                disk.node_id, self.home_node, self.geometry.chunk_size
+            )
 
     def write_spare_chunk(self, stripe: int, cell: Cell) -> Generator:
-        """Process generator: write a recovered chunk to its spare slot."""
-        yield from self.disk_of(cell).access(
+        """Process generator: write a recovered chunk to its spare slot.
+
+        Under a topology the recovered bytes first travel home node →
+        disk node before the spare write is issued."""
+        disk = self.disk_of(cell)
+        if self.topology is not None and disk.node_id is not None:
+            yield from self.topology.transfer(
+                self.home_node, disk.node_id, self.geometry.chunk_size
+            )
+        yield from disk.access(
             "write", self.geometry.spare_lba(stripe, cell), self.geometry.chunk_size
         )
 

@@ -28,6 +28,9 @@ class ResponseLog:
     total: float = 0.0
     max: float = 0.0
     disk_reads: int = 0
+    #: optional :class:`repro.obs.metrics.Histogram` for quantiles
+    #: (p99 degraded-mode reporting); may be shared across workers.
+    histogram: object | None = None
 
     def record(self, elapsed: float, was_hit: bool) -> None:
         self.count += 1
@@ -36,6 +39,8 @@ class ResponseLog:
             self.max = elapsed
         if not was_hit:
             self.disk_reads += 1
+        if self.histogram is not None:
+            self.histogram.observe(elapsed)
 
     @property
     def mean(self) -> float:
@@ -57,6 +62,7 @@ class TimedBufferCache:
         array: DiskArray,
         hit_time: float = 0.0005,
         sanitize: bool = False,
+        response_histogram: object | None = None,
     ):
         if hit_time < 0:
             raise ValueError(f"hit_time must be >= 0, got {hit_time}")
@@ -70,7 +76,7 @@ class TimedBufferCache:
         self.policy = policy
         self.array = array
         self.hit_time = hit_time
-        self.log = ResponseLog()
+        self.log = ResponseLog(histogram=response_histogram)
 
     def get_chunk(
         self, stripe: int, cell: Cell, priority: int | None = None

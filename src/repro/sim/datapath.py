@@ -89,6 +89,9 @@ class VerifyingDataPath:
     chunks_verified: int = 0
     mismatches: int = 0
     mismatch_log: list[tuple[int, Cell]] = field(default_factory=list)
+    #: survivor reads per disk column — the payload path's side of the
+    #: traffic ledger, foldable onto cluster nodes via reads_per_node().
+    reads_per_disk: dict[int, int] = field(default_factory=dict)
     _corrupted: set[tuple[int, Cell]] = field(default_factory=set)
 
     def inject_corruption(self, stripe: int, cell: Cell) -> None:
@@ -101,9 +104,25 @@ class VerifyingDataPath:
     def fetch(self, stripe: int, cell: Cell) -> np.ndarray:
         """A chunk as the disk returns it (possibly silently corrupted)."""
         payload = self.oracle.chunk(stripe, cell)
+        _, disk = cell
+        self.reads_per_disk[disk] = self.reads_per_disk.get(disk, 0) + 1
         if (stripe, cell) in self._corrupted:
             payload ^= 0xFF
         return payload
+
+    def reads_per_node(self, placement) -> dict[int, int]:
+        """Fold the per-disk survivor reads through a disk->node placement.
+
+        With the same placement the topology-backed array uses (default
+        ``disk % num_nodes``), this attributes the verified data path's
+        read traffic to cluster nodes — the payload-level counterpart of
+        :class:`~repro.sim.topology.ClusterTopology` byte accounting.
+        """
+        out: dict[int, int] = {}
+        for disk, count in self.reads_per_disk.items():
+            node = placement(disk)
+            out[node] = out.get(node, 0) + count
+        return out
 
     def rebuild(self, stripe: int, assignment: ChainAssignment) -> np.ndarray:
         """XOR the chain's surviving chunks to rebuild the failed one,

@@ -133,6 +133,11 @@ class Disk:
         self.model = model if model is not None else FixedLatencyModel()
         self.queue = Resource(env, capacity=queue_depth)
         self.stats = DiskStats()
+        #: topology hooks: which node owns this disk (None = standalone),
+        #: and the fail-slow multiplier a limplocked node applies.  The
+        #: default 1.0 multiply is IEEE-exact, preserving bit-identity.
+        self.node_id: int | None = None
+        self.service_scale = 1.0
 
     def access(self, kind: AccessKind, lba: int, nbytes: int) -> Generator:
         """Process generator: queue, serve, account.  Yields until done."""
@@ -143,7 +148,7 @@ class Disk:
         yield req
         self.stats.queue_wait += self.env.now - arrived
         try:
-            service = self.model.service_time(lba, nbytes, kind)
+            service = self.model.service_time(lba, nbytes, kind) * self.service_scale
             yield self.env.timeout(service)
             self.stats.busy_time += service
             if kind == "read":

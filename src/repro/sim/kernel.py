@@ -15,6 +15,8 @@ kernel small enough to test exhaustively:
   the generator returns (value = the generator's return value).
 * :class:`Resource` — a counted FIFO resource (disk queue slots, worker
   tokens).
+* :class:`Container` — a capacity-bounded pool of continuous tokens
+  (link bandwidth, node memory) with strictly FIFO waiters.
 * :class:`AllOf` — barrier over several events (used for parallel reads).
 
 Determinism: events scheduled for the same timestamp fire in scheduling
@@ -37,6 +39,9 @@ __all__ = [
     "Process",
     "Resource",
     "Request",
+    "Container",
+    "ContainerGet",
+    "ContainerPut",
     "Store",
     "AllOf",
     "AnyOf",
@@ -279,6 +284,170 @@ class Resource:
                 _obs.histogram("kernel.resource.wait_vtime").observe(
                     self.env.now - nxt.queued_at
                 )
+
+
+class ContainerGet(Event):
+    """A pending withdrawal of ``amount`` tokens; fires when granted."""
+
+    __slots__ = ("container", "amount", "queued_at")
+
+    def __init__(self, env: "Environment", container: "Container", amount: float):
+        super().__init__(env)
+        self.container = container
+        self.amount = amount
+        #: virtual time the claim entered the wait queue (obs only).
+        self.queued_at: float | None = None
+
+    def cancel(self) -> None:
+        """Withdraw the claim: dequeue if waiting, refund if granted."""
+        self.container._cancel(self)
+
+
+class ContainerPut(Event):
+    """A pending deposit of ``amount`` tokens; fires when accepted."""
+
+    __slots__ = ("container", "amount", "queued_at")
+
+    def __init__(self, env: "Environment", container: "Container", amount: float):
+        super().__init__(env)
+        self.container = container
+        self.amount = amount
+        self.queued_at: float | None = None
+
+    def cancel(self) -> None:
+        """Withdraw the claim: dequeue if waiting, take back if accepted."""
+        self.container._cancel(self)
+
+
+class Container:
+    """A pool of continuous tokens bounded by ``capacity``.
+
+    Link bandwidth shares and node memory are modelled with this: a
+    transfer ``get``s its rate tokens for the transfer's duration and
+    ``put``s them back afterwards.  Both directions block when they
+    cannot be satisfied and wait in strictly FIFO order — the head
+    waiter is always served first, and a later, smaller claim never
+    overtakes it.  That no-overtake rule is the determinism contract
+    (DET003 spirit): the grant order is a pure function of the arrival
+    order, never of the claim sizes in flight.
+
+    All bookkeeping runs through ordinary :class:`Event` scheduling, so
+    the sanitizer's ``SanitizedEnvironment`` (which re-dispatches
+    stepwise and asserts order stability) observes and checks container
+    grants like any other event.
+
+    Interrupt safety: when a process waiting on a claim is interrupted,
+    the claim stays queued (the kernel only detaches the waiter).  Call
+    :meth:`ContainerGet.cancel` from the ``except Interrupt`` handler —
+    it dequeues an ungranted claim, or refunds an already-granted one,
+    so tokens are never leaked either way.
+    """
+
+    def __init__(self, env: "Environment", capacity: float, init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if not 0.0 <= init <= capacity:
+            raise ValueError(f"init must be in [0, {capacity}], got {init}")
+        self.env = env
+        self.capacity = float(capacity)
+        self._level = float(init)
+        self._getters: deque[ContainerGet] = deque()
+        self._putters: deque[ContainerPut] = deque()
+
+    @property
+    def level(self) -> float:
+        """Tokens currently available."""
+        return self._level
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._getters) + len(self._putters)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Claim ``amount`` tokens; the event fires once they are granted."""
+        if amount <= 0:
+            raise ValueError(f"get amount must be > 0, got {amount}")
+        if amount > self.capacity:
+            raise ValueError(
+                f"get of {amount} can never succeed (capacity {self.capacity})"
+            )
+        ev = ContainerGet(self.env, self, float(amount))
+        if not self._getters and amount <= self._level:
+            self._level -= amount
+            ev.succeed(ev)
+            self._drain()  # the freed headroom may unblock a putter
+            if _obs.ENABLED:
+                _obs.counter("kernel.container.granted_immediate").inc()
+        else:
+            self._getters.append(ev)
+            if _obs.ENABLED:
+                _obs.counter("kernel.container.queued").inc()
+                ev.queued_at = self.env.now
+        return ev
+
+    def put(self, amount: float) -> ContainerPut:
+        """Deposit ``amount`` tokens; blocks while it would overflow."""
+        if amount <= 0:
+            raise ValueError(f"put amount must be > 0, got {amount}")
+        if amount > self.capacity:
+            raise ValueError(
+                f"put of {amount} can never succeed (capacity {self.capacity})"
+            )
+        ev = ContainerPut(self.env, self, float(amount))
+        if not self._putters and self._level + amount <= self.capacity:
+            self._level += amount
+            ev.succeed(ev)
+            self._drain()
+        else:
+            self._putters.append(ev)
+            if _obs.ENABLED:
+                _obs.counter("kernel.container.queued").inc()
+                ev.queued_at = self.env.now
+        return ev
+
+    def _drain(self) -> None:
+        """Serve queue heads (strict FIFO, no overtaking) while they fit."""
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._getters and self._getters[0].amount <= self._level:
+                ev = self._getters.popleft()
+                self._level -= ev.amount
+                ev.succeed(ev)
+                progressed = True
+                if _obs.ENABLED and ev.queued_at is not None:
+                    _obs.histogram("kernel.container.wait_vtime").observe(
+                        self.env.now - ev.queued_at
+                    )
+            while (
+                self._putters
+                and self._level + self._putters[0].amount <= self.capacity
+            ):
+                ev = self._putters.popleft()
+                self._level += ev.amount
+                ev.succeed(ev)
+                progressed = True
+                if _obs.ENABLED and ev.queued_at is not None:
+                    _obs.histogram("kernel.container.wait_vtime").observe(
+                        self.env.now - ev.queued_at
+                    )
+
+    def _cancel(self, ev: "ContainerGet | ContainerPut") -> None:
+        if not ev.triggered:
+            queue: deque = (
+                self._getters if isinstance(ev, ContainerGet) else self._putters
+            )
+            try:
+                queue.remove(ev)
+            except ValueError:
+                raise SimulationError("cancel of a claim not queued here")
+            return
+        # Already granted: undo the token movement and re-balance.
+        if isinstance(ev, ContainerGet):
+            self._level += ev.amount
+        else:
+            self._level -= ev.amount
+        self._drain()
 
 
 class Store:

@@ -14,12 +14,13 @@ apply unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..codes.layout import CodeLayout
 from ..core.scheme import generate_plan
 from ..workloads.errors import PartialStripeError
 from .reconstruction import ReconstructionReport, SimConfig, run_reconstruction
+from .topology import TopologySpec
 
 __all__ = ["RebuildSavings", "rebuild_errors", "run_disk_rebuild", "rebuild_read_savings"]
 
@@ -47,8 +48,18 @@ def run_disk_rebuild(
     failed_disk: int,
     stripes: int,
     config: SimConfig = SimConfig(),
+    topology: TopologySpec | None = None,
 ) -> ReconstructionReport:
-    """Simulate rebuilding every stripe of ``failed_disk``."""
+    """Simulate rebuilding every stripe of ``failed_disk``.
+
+    ``topology`` rebuilds across a rack cluster instead of a single
+    controller: disks attach to nodes, every chain read crosses the
+    network to the controller node, and the report's ``cluster`` field
+    carries the traffic snapshot.  Omitted (or a one-node spec), the run
+    is the degenerate single-controller world.
+    """
+    if topology is not None:
+        config = replace(config, topology=topology)
     errors = rebuild_errors(layout, failed_disk, stripes)
     return run_reconstruction(layout, errors, config)
 

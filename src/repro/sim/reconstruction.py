@@ -29,8 +29,39 @@ from .kernel import Environment
 
 if TYPE_CHECKING:  # annotation-only: sim stays level with workloads' consumers
     from ..workloads.errors import PartialStripeError
+    from .topology import TopologySpec
 
-__all__ = ["SimConfig", "ReconstructionReport", "run_reconstruction"]
+__all__ = ["SimConfig", "ClusterStats", "ReconstructionReport", "run_reconstruction"]
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Traffic and health snapshot of one topology-backed run."""
+
+    racks: int
+    nodes: int
+    transfers: int
+    cross_rack_bytes: int
+    intra_rack_bytes: int
+    #: per-link ``(name, utilization)`` over the run, nics then uplinks.
+    link_utilization: tuple[tuple[str, float], ...] = ()
+    #: worst heartbeat RTT per node id (empty if the monitor was off).
+    #: RTT outliers alone cannot isolate a fail-slow node under link
+    #: congestion — the limplock detection gap; see ``limplock_suspects``.
+    heartbeat_rtt_max: tuple[tuple[int, float], ...] = ()
+    #: nodes the heartbeat monitor declared dead, with detection vtime.
+    nodes_declared_dead: tuple[tuple[int, float], ...] = ()
+    #: nodes whose nic counters show traffic served well below nominal
+    #: rate (:meth:`repro.sim.topology.ClusterTopology.limplock_suspects`).
+    limplock_suspects: tuple[int, ...] = ()
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the busiest link ('' when idle)."""
+        if not self.link_utilization:
+            return ""
+        name, util = max(self.link_utilization, key=lambda nu: nu[1])
+        return name if util > 0 else ""
 
 
 @dataclass(frozen=True)
@@ -70,6 +101,13 @@ class SimConfig:
     #: against FBF's Algorithm 1 (single residency, demotion order,
     #: capacity accounting) and the event kernel asserts order stability.
     sanitize: bool = False
+    #: place the array on a rack-aware cluster: disks attach to nodes and
+    #: chunk traffic charges link bandwidth.  None (and the degenerate
+    #: one-node spec) reproduces the single-controller rows bit-identically.
+    topology: "TopologySpec | None" = None
+    #: record per-request response times in a histogram so the report can
+    #: carry p99 (degraded-mode tail reporting); off by default.
+    response_quantiles: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -128,6 +166,27 @@ class ReconstructionReport:
     payload_mismatches: int = 0
     #: per-disk (busy seconds, queue-wait seconds, accesses).
     disk_stats: tuple[tuple[float, float, int], ...] = ()
+    #: 99th-percentile response time (None unless ``response_quantiles``).
+    #: None defaults keep `report_a == report_b` golden comparisons exact.
+    p99_response_time: float | None = None
+    #: cluster traffic snapshot (None unless a topology was configured).
+    cluster: "ClusterStats | None" = None
+
+    #: wall-clock measured columns (Table IV plan-computation overhead) —
+    #: excluded from simulated-identity comparisons, like the bench rows'
+    #: MEASURED_FIELDS (DESIGN.md §9 determinism contract).
+    MEASURED_FIELDS = ("overhead_mean_s", "overhead_total_s")
+
+    def simulated_dict(self, exclude: tuple[str, ...] = ()) -> dict:
+        """Simulated-only fields, for bit-identity checks across runs."""
+        from dataclasses import fields
+
+        skip = set(self.MEASURED_FIELDS) | set(exclude)
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in skip
+        }
 
     def disk_utilization(self) -> tuple[float, ...]:
         """Fraction of the run each disk spent servicing requests."""
@@ -152,13 +211,24 @@ class ReconstructionReport:
 
 
 def build_array(
-    env: Environment, geometry: ArrayGeometry | FlatGeometry, config: SimConfig
+    env: Environment,
+    geometry: ArrayGeometry | FlatGeometry,
+    config: SimConfig,
+    topology=None,
 ) -> DiskArray:
-    """Assemble the disk bank described by ``config``."""
+    """Assemble the disk bank described by ``config``.
+
+    ``topology`` (a built :class:`~repro.sim.topology.ClusterTopology`)
+    attaches the disks to cluster nodes and routes chunk traffic over
+    the links; the controller lives on the spec's home node."""
+    home = 0
+    if topology is not None and config.topology is not None:
+        home = config.topology.controller_node
     if config.disk_model == "fixed" and config.disk_scheduler == "fcfs":
         return DiskArray(
             env, geometry,
             disk_model_factory=lambda i: FixedLatencyModel(config.disk_latency),
+            topology=topology, home_node=home,
         )
     from .disk import SeekRotateTransferModel
     from .scheduling import ScheduledDisk, make_scheduler
@@ -173,6 +243,7 @@ def build_array(
         disk_factory=lambda e, i: ScheduledDisk(
             e, i, model(i), make_scheduler(config.disk_scheduler)
         ),
+        topology=topology, home_node=home,
     )
 
 

@@ -152,6 +152,9 @@ class ScheduledDisk:
         self.model = model if model is not None else FixedLatencyModel()
         self.scheduler = scheduler if scheduler is not None else FCFSScheduler()
         self.stats = DiskStats()
+        # topology hooks, mirroring Disk (limplock scales service times)
+        self.node_id: int | None = None
+        self.service_scale = 1.0
         self._head_lba = 0
         self._busy = False
         self._server: Any | None = None
@@ -181,7 +184,7 @@ class ScheduledDisk:
                 self._busy = False
                 return
             self.stats.queue_wait += self.env.now - req.arrived
-            service = self.model.service_time(req.lba, req.nbytes, req.kind)
+            service = self.model.service_time(req.lba, req.nbytes, req.kind) * self.service_scale
             yield self.env.timeout(service)
             self.stats.busy_time += service
             self._head_lba = req.lba

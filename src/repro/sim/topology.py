@@ -1,0 +1,513 @@
+"""Rack-aware cluster topology over the event kernel.
+
+The paper evaluates FBF inside one RAID controller, but its headline
+claim — faster partial-stripe recovery — matters most where recovery
+traffic is scarce: cross-rack bandwidth in a distributed array (Rashmi
+et al.'s Facebook-warehouse study).  This module supplies the resource
+model that lifts the simulator to that setting:
+
+* :class:`Node` — cpu/memory/nic as contended kernel resources
+  (:class:`~repro.sim.kernel.Resource` and
+  :class:`~repro.sim.kernel.Container`), with disks attached;
+* :class:`Link` — shared bandwidth modelled as a token
+  :class:`~repro.sim.kernel.Container`: a transfer claims one stream's
+  rate for its duration, so concurrent transfers beyond the stream
+  count queue FIFO;
+* :class:`Switch` / :class:`Rack` — rack uplinks hang off one core
+  switch; cross-rack routes traverse both racks' uplinks;
+* :class:`ClusterTopology` — node placement, deterministic routing and
+  the transfer generator that charges every hop;
+* :class:`HeartbeatMonitor` — periodic node→master pings over the same
+  links: crashed nodes are detected after ``miss_threshold`` silent
+  periods, while limplocked (fail-slow) nodes keep answering and only
+  show up as RTT outliers (the fail-slow detection gap);
+* :class:`FaultInjector` — scheduled limplock and failure-burst
+  injection.
+
+Determinism: every collection is insertion-ordered, routes are pure
+functions of ``(src, dst)``, and all waiting runs through the kernel's
+FIFO resource/container queues — a topology run is a pure function of
+its inputs.  The **degenerate one-node topology** routes every transfer
+over the empty path, scheduling zero extra events, which is how the
+single-controller world stays bit-identical (see DESIGN.md §15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Iterable
+
+from ..obs import runtime as _obs
+from .kernel import Container, Environment, Resource, SimulationError
+
+__all__ = [
+    "NodeFailure",
+    "LinkStats",
+    "Link",
+    "Node",
+    "Rack",
+    "Switch",
+    "ClusterTopology",
+    "TopologySpec",
+    "HeartbeatMonitor",
+    "FaultInjector",
+    "build_topology",
+    "single_node_topology",
+]
+
+
+class NodeFailure(SimulationError):
+    """A transfer or access touched a node that has crashed."""
+
+
+@dataclass
+class LinkStats:
+    """Per-link traffic accounting (the cluster report reads these)."""
+
+    transfers: int = 0
+    bytes_moved: int = 0
+    busy_time: float = 0.0
+    wait_time: float = 0.0
+
+
+class Link:
+    """A network hop with shared bandwidth and per-hop latency.
+
+    ``bandwidth`` bytes/second are split into ``streams`` equal shares
+    held in a :class:`~repro.sim.kernel.Container`: each transfer claims
+    one share for ``latency + nbytes/share`` seconds, so at most
+    ``streams`` transfers progress concurrently and the rest queue in
+    FIFO order.  :meth:`limplock` divides the *served* rate without
+    touching the token accounting, so a slow link serves the same
+    concurrency at a fraction of the speed — the fail-slow signature.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        bandwidth: float,
+        latency: float = 50e-6,
+        streams: int = 4,
+    ):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        if streams < 1:
+            raise ValueError(f"streams must be >= 1, got {streams}")
+        self.env = env
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.latency = latency
+        self.streams = streams
+        self._tokens = Container(env, capacity=bandwidth, init=bandwidth)
+        self._slowdown = 1.0
+        self.stats = LinkStats()
+
+    @property
+    def stream_rate(self) -> float:
+        """Bytes/second one transfer currently gets."""
+        return self.bandwidth / self.streams / self._slowdown
+
+    def limplock(self, factor: float) -> None:
+        """Serve every future transfer ``factor`` times slower."""
+        if factor < 1.0:
+            raise ValueError(f"limplock factor must be >= 1, got {factor}")
+        self._slowdown = factor
+
+    def transfer(self, nbytes: int) -> Generator:
+        """Process generator: move ``nbytes`` across this hop."""
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be > 0, got {nbytes}")
+        share = self.bandwidth / self.streams
+        arrived = self.env.now
+        yield self._tokens.get(share)
+        self.stats.wait_time += self.env.now - arrived
+        try:
+            duration = self.latency + nbytes / self.stream_rate
+            yield self.env.timeout(duration)
+            self.stats.transfers += 1
+            self.stats.bytes_moved += nbytes
+            self.stats.busy_time += duration
+        finally:
+            self._tokens.put(share)
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of ``streams * duration`` spent serving transfers."""
+        if duration <= 0:
+            return 0.0
+        return self.stats.busy_time / (self.streams * duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Link({self.name}, {self.bandwidth:.3g} B/s)"
+
+
+class Node:
+    """One cluster machine: cpu, memory and nic as contended resources."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        rack_id: int,
+        cores: int = 8,
+        memory_bytes: int = 4 << 30,
+        nic_bandwidth: float = 1.25e9,
+        link_latency: float = 50e-6,
+        streams: int = 4,
+    ):
+        self.env = env
+        self.node_id = node_id
+        self.rack_id = rack_id
+        self.cpu = Resource(env, capacity=cores)
+        self.memory = Container(env, capacity=memory_bytes, init=memory_bytes)
+        self.nic = Link(
+            env, f"node{node_id}.nic", nic_bandwidth,
+            latency=link_latency, streams=streams,
+        )
+        self.disks: list = []
+        self.failed = False
+        self.slow_factor = 1.0
+
+    def attach(self, disk) -> None:
+        """Attach a simulated disk; limplock then covers its service times."""
+        self.disks.append(disk)
+        disk.node_id = self.node_id
+        disk.service_scale = self.slow_factor
+
+    def limplock(self, factor: float) -> None:
+        """Fail-slow: nic and every attached disk run ``factor``× slower."""
+        if factor < 1.0:
+            raise ValueError(f"limplock factor must be >= 1, got {factor}")
+        self.slow_factor = factor
+        self.nic.limplock(factor)
+        for disk in self.disks:
+            disk.service_scale = factor
+
+    def fail(self) -> None:
+        """Crash the node: subsequent transfers raise :class:`NodeFailure`."""
+        self.failed = True
+
+    def check_alive(self) -> None:
+        if self.failed:
+            raise NodeFailure(f"node {self.node_id} has failed")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "failed" if self.failed else (
+            f"limplock x{self.slow_factor:g}" if self.slow_factor > 1 else "up"
+        )
+        return f"Node({self.node_id}, rack={self.rack_id}, {state})"
+
+
+@dataclass
+class Rack:
+    """A rack: its nodes plus the shared uplink to the core switch."""
+
+    rack_id: int
+    nodes: list[Node]
+    uplink: Link
+
+
+class Switch:
+    """The core switch: one shared uplink per rack hangs off it."""
+
+    def __init__(self, env: Environment, name: str = "core"):
+        self.env = env
+        self.name = name
+        self.uplinks: dict[int, Link] = {}
+
+    def connect(self, rack_id: int, uplink: Link) -> None:
+        self.uplinks[rack_id] = uplink
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative, hashable shape of a cluster (rides in ``SimConfig``).
+
+    The defaults model the Rashmi-et-al. setting: 10 GbE NICs behind a
+    ~10:1 oversubscribed rack uplink, so cross-rack bandwidth — not the
+    disks — is the scarce recovery resource.  ``racks=1, nodes_per_rack
+    =1`` is the degenerate single-controller world: every route is
+    empty and the simulation is event-for-event identical to running
+    with no topology at all.
+    """
+
+    racks: int = 1
+    nodes_per_rack: int = 1
+    controller_node: int = 0
+    nic_bandwidth: float = 1.25e9  # 10 GbE
+    uplink_bandwidth: float = 1.25e8  # ~10:1 oversubscription
+    link_latency: float = 50e-6
+    streams_per_link: int = 4
+    cores_per_node: int = 8
+    memory_per_node: int = 4 << 30
+    #: fail-slow injection applied at build time (None = healthy).
+    limplock_node: int | None = None
+    limplock_factor: float = 1.0
+    #: heartbeat period in simulated seconds (0 = monitor off).
+    heartbeat_period: float = 0.0
+    heartbeat_miss_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.racks < 1 or self.nodes_per_rack < 1:
+            raise ValueError("racks and nodes_per_rack must be >= 1")
+        if not 0 <= self.controller_node < self.num_nodes:
+            raise ValueError(
+                f"controller_node {self.controller_node} outside "
+                f"[0, {self.num_nodes})"
+            )
+        if self.limplock_node is not None:
+            if not 0 <= self.limplock_node < self.num_nodes:
+                raise ValueError(f"limplock_node {self.limplock_node} out of range")
+            if self.limplock_factor < 1.0:
+                raise ValueError("limplock_factor must be >= 1")
+        if self.heartbeat_period < 0:
+            raise ValueError("heartbeat_period must be >= 0")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.racks * self.nodes_per_rack
+
+
+class ClusterTopology:
+    """Placement, routing and transfer accounting for a built cluster."""
+
+    def __init__(self, env: Environment, racks: list[Rack], switch: Switch):
+        self.env = env
+        self.racks = racks
+        self.switch = switch
+        self.nodes: list[Node] = [n for rack in racks for n in rack.nodes]
+        self.cross_rack_bytes = 0
+        self.intra_rack_bytes = 0
+        self.transfers = 0
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def route(self, src: int, dst: int) -> tuple[Link, ...]:
+        """Ordered hops from ``src`` to ``dst``; empty for the same node."""
+        if src == dst:
+            return ()
+        a, b = self.nodes[src], self.nodes[dst]
+        if a.rack_id == b.rack_id:
+            return (a.nic, b.nic)
+        return (
+            a.nic,
+            self.racks[a.rack_id].uplink,
+            self.racks[b.rack_id].uplink,
+            b.nic,
+        )
+
+    def transfer(self, src: int, dst: int, nbytes: int) -> Generator:
+        """Process generator: move ``nbytes`` from node to node.
+
+        An empty route (same node, including the degenerate one-node
+        topology) yields no events at all — the bit-identity guarantee.
+        """
+        route = self.route(src, dst)
+        if not route:
+            return
+        self.nodes[src].check_alive()
+        self.nodes[dst].check_alive()
+        for link in route:
+            yield from link.transfer(nbytes)
+        self.transfers += 1
+        if self.nodes[src].rack_id == self.nodes[dst].rack_id:
+            self.intra_rack_bytes += nbytes
+        else:
+            self.cross_rack_bytes += nbytes
+        if _obs.ENABLED:
+            _obs.counter("cluster.transfer.count").inc()
+            _obs.counter("cluster.link.bytes").inc(nbytes)
+            if self.nodes[src].rack_id != self.nodes[dst].rack_id:
+                _obs.counter("cluster.link.cross_rack_bytes").inc(nbytes)
+
+    # -- fault injection -------------------------------------------------
+    def limplock(self, node_id: int, factor: float) -> None:
+        self.nodes[node_id].limplock(factor)
+
+    def fail_node(self, node_id: int) -> None:
+        self.nodes[node_id].fail()
+
+    # -- accounting ------------------------------------------------------
+    def links(self) -> list[Link]:
+        """Every link, deterministic order: nics first, then uplinks."""
+        return [n.nic for n in self.nodes] + [r.uplink for r in self.racks]
+
+    def limplock_suspects(self, factor: float = 4.0) -> tuple[int, ...]:
+        """Nodes whose nic spent ``factor``× the expected time serving.
+
+        Heartbeat RTTs cannot catch fail-slow under congestion (queueing
+        at busy links drowns the signal — the limplock detection gap),
+        but the nic counters can: comparing measured busy time against
+        ``transfers * latency + bytes / nominal_rate`` normalises for
+        per-transfer latency (so heartbeat-only nics with tiny payloads
+        don't false-positive) and reads the slowdown factor directly.
+        Nodes that moved no bytes are skipped.
+        """
+        out = []
+        for node in self.nodes:
+            stats = node.nic.stats
+            if stats.busy_time <= 0 or stats.bytes_moved <= 0:
+                continue
+            nominal = node.nic.bandwidth / node.nic.streams
+            expected = stats.transfers * node.nic.latency + stats.bytes_moved / nominal
+            if stats.busy_time > factor * expected:
+                out.append(node.node_id)
+        return tuple(out)
+
+    def link_utilization(self, duration: float) -> tuple[tuple[str, float], ...]:
+        return tuple(
+            (link.name, link.utilization(duration)) for link in self.links()
+        )
+
+
+class HeartbeatMonitor:
+    """Fixed-period node→master pings over the real links.
+
+    A crashed node is *detected* after ``miss_threshold`` silent
+    periods (detection time recorded per node).  A limplocked node
+    keeps answering — it is only visible as an RTT outlier via
+    :meth:`suspects` — which reproduces the classic fail-slow
+    detection gap the limplock literature describes.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        master: int = 0,
+        period: float = 1.0,
+        payload: int = 4096,
+        miss_threshold: int = 3,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        if miss_threshold < 1:
+            raise ValueError(f"miss_threshold must be >= 1, got {miss_threshold}")
+        self.topology = topology
+        self.master = master
+        self.period = period
+        self.payload = payload
+        self.miss_threshold = miss_threshold
+        self.rtt_max: dict[int, float] = {}
+        self.detected_at: dict[int, float] = {}
+
+    def start(self) -> list:
+        """Spawn one ping process per non-master node."""
+        return [
+            self.topology.env.process(
+                self._ping_loop(node.node_id),
+                name=f"heartbeat-{node.node_id}",
+            )
+            for node in self.topology.nodes
+            if node.node_id != self.master
+        ]
+
+    def _ping_loop(self, node_id: int) -> Generator:
+        env = self.topology.env
+        missed = 0
+        while True:
+            yield env.timeout(self.period)
+            t0 = env.now
+            try:
+                yield from self.topology.transfer(node_id, self.master, self.payload)
+            except NodeFailure:
+                missed += 1
+                if _obs.ENABLED:
+                    _obs.counter("cluster.heartbeat.missed").inc()
+                if missed >= self.miss_threshold:
+                    self.detected_at[node_id] = env.now
+                    if _obs.ENABLED:
+                        _obs.counter("cluster.heartbeat.nodes_declared_dead").inc()
+                    return
+                continue
+            missed = 0
+            rtt = env.now - t0
+            if rtt > self.rtt_max.get(node_id, 0.0):
+                self.rtt_max[node_id] = rtt
+            if _obs.ENABLED:
+                _obs.counter("cluster.heartbeat.sent").inc()
+
+    def suspects(self, rtt_threshold: float) -> tuple[int, ...]:
+        """Nodes whose worst heartbeat RTT exceeded the threshold."""
+        return tuple(
+            node_id
+            for node_id, rtt in self.rtt_max.items()
+            if rtt > rtt_threshold
+        )
+
+
+@dataclass
+class FaultInjector:
+    """Schedules limplock and node-failure events at fixed virtual times."""
+
+    topology: ClusterTopology
+    injected: list[tuple[float, str, int]] = field(default_factory=list)
+
+    def fail_at(self, node_id: int, at: float):
+        """Crash ``node_id`` at virtual time ``at``."""
+        return self.topology.env.process(
+            self._apply(at, "fail", node_id), name=f"fail-{node_id}"
+        )
+
+    def limplock_at(self, node_id: int, factor: float, at: float):
+        """Limplock ``node_id`` by ``factor`` at virtual time ``at``."""
+        return self.topology.env.process(
+            self._apply(at, "limplock", node_id, factor),
+            name=f"limplock-{node_id}",
+        )
+
+    def burst(self, node_ids: Iterable[int], start: float, spacing: float = 0.0):
+        """A correlated failure burst: nodes crash ``spacing`` apart."""
+        return [
+            self.fail_at(node_id, start + i * spacing)
+            for i, node_id in enumerate(node_ids)
+        ]
+
+    def _apply(self, at: float, kind: str, node_id: int, factor: float = 1.0):
+        env = self.topology.env
+        if at > env.now:
+            yield env.timeout(at - env.now)
+        if kind == "fail":
+            self.topology.fail_node(node_id)
+        else:
+            self.topology.limplock(node_id, factor)
+        self.injected.append((env.now, kind, node_id))
+        if _obs.ENABLED:
+            _obs.counter(f"cluster.faults.{kind}").inc()
+
+
+def build_topology(env: Environment, spec: TopologySpec) -> ClusterTopology:
+    """Materialise a :class:`TopologySpec` (applies any limplock spec)."""
+    switch = Switch(env)
+    racks: list[Rack] = []
+    for rack_id in range(spec.racks):
+        nodes = [
+            Node(
+                env,
+                node_id=rack_id * spec.nodes_per_rack + i,
+                rack_id=rack_id,
+                cores=spec.cores_per_node,
+                memory_bytes=spec.memory_per_node,
+                nic_bandwidth=spec.nic_bandwidth,
+                link_latency=spec.link_latency,
+                streams=spec.streams_per_link,
+            )
+            for i in range(spec.nodes_per_rack)
+        ]
+        uplink = Link(
+            env, f"rack{rack_id}.uplink", spec.uplink_bandwidth,
+            latency=spec.link_latency, streams=spec.streams_per_link,
+        )
+        switch.connect(rack_id, uplink)
+        racks.append(Rack(rack_id=rack_id, nodes=nodes, uplink=uplink))
+    topology = ClusterTopology(env, racks, switch)
+    if spec.limplock_node is not None and spec.limplock_factor > 1.0:
+        topology.limplock(spec.limplock_node, spec.limplock_factor)
+    return topology
+
+
+def single_node_topology(env: Environment) -> ClusterTopology:
+    """The degenerate one-node cluster (every route is empty)."""
+    return build_topology(env, TopologySpec())

@@ -254,13 +254,11 @@ class TestPlanCacheSurfacing:
         assert payload["plan_cache_hits"] == result.plan_cache_hits
 
 
-class TestDeprecatedConfigKwarg:
-    def test_config_warns_and_matches_engine(self):
+class TestRemovedConfigKwarg:
+    def test_config_kwarg_is_gone(self):
         grid = tiny_grid("fig9")[:2]
-        new = run_grid(grid, SERIAL)
-        with pytest.warns(DeprecationWarning, match="engine="):
-            old = run_grid(grid, config=SERIAL)
-        assert old.points == new.points
+        with pytest.raises(TypeError):
+            run_grid(grid, config=SERIAL)
 
 
 class TestBenchJson:

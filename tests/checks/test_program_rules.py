@@ -114,6 +114,23 @@ class TestLayerRule:
         found = list(self._rule().check(graph))
         assert [v.key for v in found] == ["cycle:pkg.app.a+pkg.app.b"]
 
+    def test_dotted_submodule_key_overrides_package_layer(self):
+        # core.bridge is promoted to app's layer, so its upward import is
+        # legal while its sibling's identical import stays an error.
+        graph = _graph(
+            {
+                "pkg.core.low": "from ..app.high import helper\n",
+                "pkg.core.bridge": "from ..app.high import helper\n",
+                "pkg.app.high": "def helper():\n    return 1\n",
+            }
+        )
+        rule = LayerRule(
+            layers={"core": 0, "core.bridge": 1, "app": 1},
+            cross_cutting=(), root="pkg",
+        )
+        found = list(rule.check(graph))
+        assert [v.key for v in found] == ["pkg.core.low->pkg.app.high"]
+
     def test_modules_outside_root_are_not_layered(self):
         graph = _graph(
             {

@@ -12,7 +12,7 @@ SHARDS is exact by construction).
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.cache.lru import LRUCache
@@ -63,6 +63,24 @@ def _valid(config: ReplayConfig, n_events: int) -> bool:
     n_events=st.integers(min_value=1, max_value=10),
     seed=st.integers(min_value=0, max_value=2**16),
     fast_path=st.booleans(),
+)
+@example(
+    # Regression: the longest worker's every cell saturated, so the lane
+    # arena was shorter than that worker's substream and the request-matrix
+    # copy in _Lanes broke on shape.
+    spec=("lrc(6,2,2)", 0),
+    config_list=[
+        ReplayConfig(
+            policy="arc",
+            capacity_blocks=48,
+            workers=2,
+            hint="priority",
+            sanitize=False,
+        )
+    ],
+    n_events=9,
+    seed=0,
+    fast_path=False,
 )
 def test_numpy_rows_equal_python(spec, config_list, n_events, seed, fast_path):
     name, p = spec

@@ -43,6 +43,38 @@ class TestPrimitives:
         with pytest.raises(ValueError):
             Histogram("x", bounds=(2.0, 1.0))
 
+    def test_quantile_interpolates_within_observed_range(self):
+        h = Histogram("x", bounds=(1.0, 2.0, 4.0, 8.0))
+        for value in (0.5, 1.5, 3.0, 3.5, 6.0):
+            h.observe(value)
+        assert h.quantile(0.0) == 0.5  # clamped to the observed min
+        assert h.quantile(1.0) == 6.0  # ... and max
+        for q in (0.25, 0.5, 0.9, 0.99):
+            assert 0.5 <= h.quantile(q) <= 6.0
+        assert h.quantile(0.5) <= h.quantile(0.99)  # monotone
+
+    def test_quantile_overflow_bucket_reports_max(self):
+        h = Histogram("x", bounds=(1.0,))
+        for value in (50.0, 60.0, 70.0):
+            h.observe(value)
+        assert h.quantile(0.99) == 70.0
+
+    def test_quantile_edge_cases(self):
+        h = Histogram("x")
+        import math
+
+        assert math.isnan(h.quantile(0.5))  # empty
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        h.observe(2.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_snapshot_carries_p99(self):
+        h = Histogram("x", bounds=(1.0, 10.0))
+        assert h.snapshot()["p99"] is None
+        h.observe(5.0)
+        assert h.snapshot()["p99"] == h.quantile(0.99)
+
     def test_null_metric_absorbs_everything(self):
         NULL_METRIC.inc()
         NULL_METRIC.dec()

@@ -1,0 +1,186 @@
+"""Unit + property tests for the kernel :class:`Container` token pool.
+
+The contract under test (DESIGN.md §15): the level never leaves
+``[0, capacity]``, waiters are served in strictly FIFO order with no
+overtaking, cancel never leaks tokens, and identical workloads produce
+identical traces.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Container, Environment, Interrupt
+
+
+class TestValidation:
+    def test_rejects_bad_capacity_and_init(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=4, init=5)
+        with pytest.raises(ValueError):
+            Container(env, capacity=4, init=-1)
+
+    def test_rejects_unsatisfiable_claims(self):
+        env = Environment()
+        pool = Container(env, capacity=4, init=4)
+        with pytest.raises(ValueError):
+            pool.get(5)
+        with pytest.raises(ValueError):
+            pool.get(0)
+        with pytest.raises(ValueError):
+            pool.put(5)
+
+
+class TestGrantOrder:
+    def test_immediate_grant_reduces_level(self):
+        env = Environment()
+        pool = Container(env, capacity=4, init=4)
+        ev = pool.get(3)
+        assert ev.triggered
+        assert pool.level == 1.0
+
+    def test_small_claim_never_overtakes_head(self):
+        env = Environment()
+        pool = Container(env, capacity=10, init=0)
+        big = pool.get(8)
+        small = pool.get(1)
+        pool.put(5)  # enough for small, not for the head
+        assert not big.triggered and not small.triggered
+        pool.put(4)  # level 9: head fits now, then small
+        assert big.triggered and small.triggered
+        assert pool.level == 0.0
+
+    def test_put_blocks_until_room(self):
+        env = Environment()
+        pool = Container(env, capacity=4, init=4)
+        deposit = pool.put(2)
+        assert not deposit.triggered
+        pool.get(3)
+        assert deposit.triggered
+        assert pool.level == 3.0
+
+
+class TestCancel:
+    def test_cancel_queued_claim_dequeues(self):
+        env = Environment()
+        pool = Container(env, capacity=4, init=0)
+        head = pool.get(3)
+        tail = pool.get(1)
+        head.cancel()
+        pool.put(1)
+        assert not head.triggered
+        assert tail.triggered  # promoted to head by the cancel
+        assert pool.level == 0.0
+
+    def test_cancel_granted_claim_refunds(self):
+        env = Environment()
+        pool = Container(env, capacity=4, init=4)
+        held = pool.get(3)
+        assert held.triggered and pool.level == 1.0
+        waiting = pool.get(2)
+        held.cancel()  # refund drains the waiter
+        assert waiting.triggered
+        assert pool.level == 2.0
+
+    def test_interrupted_waiter_cancels_without_leaking(self):
+        env = Environment()
+        pool = Container(env, capacity=2, init=0)
+        order = []
+
+        def waiter():
+            claim = pool.get(2)
+            try:
+                yield claim
+            except Interrupt:
+                claim.cancel()
+                order.append("cancelled")
+
+        def small():
+            yield pool.get(1)
+            order.append("small")
+
+        victim = env.process(waiter())
+        env.process(small())
+
+        def driver():
+            yield env.timeout(1.0)
+            victim.interrupt()
+            yield env.timeout(1.0)
+            pool.put(1)
+
+        env.process(driver())
+        env.run()
+        assert order == ["cancelled", "small"]
+        assert pool.level == 0.0
+
+
+@st.composite
+def workloads(draw):
+    capacity = draw(st.integers(2, 10))
+    jobs = []
+    for _ in range(draw(st.integers(1, 8))):
+        amount = draw(st.integers(1, capacity))
+        delay = draw(st.floats(0.0, 3.0, allow_nan=False))
+        hold = draw(st.floats(0.0, 3.0, allow_nan=False))
+        jobs.append((amount, delay, hold))
+    return capacity, jobs
+
+
+def _run(capacity, jobs):
+    env = Environment()
+    pool = Container(env, capacity=capacity, init=capacity)
+    trace = []
+
+    def worker(wid, amount, delay, hold):
+        yield env.timeout(delay)
+        yield pool.get(amount)
+        assert 0.0 <= pool.level <= pool.capacity
+        trace.append(("got", wid, env.now))
+        yield env.timeout(hold)
+        pool.put(amount)
+        assert 0.0 <= pool.level <= pool.capacity
+        trace.append(("put", wid, env.now))
+
+    procs = [env.process(worker(i, *job)) for i, job in enumerate(jobs)]
+    env.run(env.all_of(procs))
+    return trace, pool.level
+
+
+class TestProperties:
+    @given(workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_level_bounded_and_tokens_conserved(self, spec):
+        capacity, jobs = spec
+        trace, level = _run(capacity, jobs)
+        assert len(trace) == 2 * len(jobs)  # every worker completed
+        assert level == capacity  # every token came back
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_identical_workloads_identical_traces(self, spec):
+        assert _run(*spec) == _run(*spec)
+
+    @given(st.lists(st.integers(1, 8), min_size=2, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_grant_order_matches_request_order(self, amounts):
+        env = Environment()
+        pool = Container(env, capacity=8, init=0)
+        granted = []
+
+        def getter(i, amount):
+            yield pool.get(amount)
+            granted.append(i)
+
+        def feeder():
+            for _ in range(sum(amounts)):
+                yield env.timeout(1.0)
+                pool.put(1)
+
+        for i, amount in enumerate(amounts):
+            env.process(getter(i, amount))
+        env.process(feeder())
+        env.run()
+        assert granted == list(range(len(amounts)))

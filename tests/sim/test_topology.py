@@ -1,0 +1,137 @@
+"""Tests for the rack-aware topology layer (`repro.sim.topology`).
+
+Routing is a pure function of (src, dst); transfers charge every hop's
+bandwidth; the degenerate one-node topology yields no events (the
+bit-identity guarantee the sim refactor rests on); heartbeats detect
+dead nodes and the nic-counter detector isolates limplocked ones.
+"""
+
+import pytest
+
+from repro.sim.kernel import Environment
+from repro.sim.topology import (
+    FaultInjector,
+    HeartbeatMonitor,
+    NodeFailure,
+    TopologySpec,
+    build_topology,
+    single_node_topology,
+)
+
+
+def _drive(env, gen):
+    proc = env.process(gen)
+    env.run(env.all_of([proc]))
+    return env.now
+
+
+class TestRouting:
+    def test_same_node_route_is_empty(self):
+        env = Environment()
+        topo = single_node_topology(env)
+        assert topo.route(0, 0) == ()
+
+    def test_intra_and_cross_rack_hop_counts(self):
+        env = Environment()
+        topo = build_topology(env, TopologySpec(racks=2, nodes_per_rack=2))
+        assert len(topo.route(0, 1)) == 2  # nic -> nic, same rack
+        assert len(topo.route(0, 2)) == 4  # nic -> uplink -> uplink -> nic
+        # pure function of the endpoints
+        assert topo.route(0, 2) == topo.route(0, 2)
+
+    def test_degenerate_transfer_yields_no_events(self):
+        env = Environment()
+        topo = single_node_topology(env)
+        assert _drive(env, topo.transfer(0, 0, 1 << 20)) == 0.0
+        assert topo.transfers == 0
+        assert topo.cross_rack_bytes == 0
+
+
+class TestTransferTiming:
+    def _spec(self):
+        return TopologySpec(
+            racks=2, nodes_per_rack=1,
+            nic_bandwidth=1e6, uplink_bandwidth=1e5,
+            link_latency=0.0, streams_per_link=1,
+        )
+
+    def test_cross_rack_transfer_charges_every_hop(self):
+        env = Environment()
+        topo = build_topology(env, self._spec())
+        elapsed = _drive(env, topo.transfer(0, 1, 100_000))
+        # nic hops: 0.1 s each at 1 MB/s; uplink hops: 1.0 s each at 100 KB/s
+        assert elapsed == pytest.approx(2.2)
+        assert topo.cross_rack_bytes == 100_000
+        assert topo.intra_rack_bytes == 0
+        assert topo.transfers == 1
+
+    def test_limplock_slows_the_nic(self):
+        env = Environment()
+        topo = build_topology(env, self._spec())
+        healthy = _drive(env, topo.transfer(0, 1, 100_000))
+        topo.limplock(0, 4.0)
+        env2 = Environment()
+        topo2 = build_topology(env2, self._spec())
+        topo2.limplock(0, 4.0)
+        slowed = _drive(env2, topo2.transfer(0, 1, 100_000))
+        assert slowed > healthy  # node 0's nic hop runs 4x slower
+        assert slowed == pytest.approx(healthy + 3 * 0.1)
+
+    def test_utilization_is_bounded(self):
+        env = Environment()
+        topo = build_topology(env, self._spec())
+        duration = _drive(env, topo.transfer(0, 1, 100_000))
+        for _, util in topo.link_utilization(duration):
+            assert 0.0 <= util <= 1.0
+
+
+class TestFaults:
+    def test_failed_node_raises_on_transfer(self):
+        env = Environment()
+        topo = build_topology(env, TopologySpec(racks=1, nodes_per_rack=2))
+        topo.fail_node(1)
+        with pytest.raises(NodeFailure):
+            _drive(env, topo.transfer(1, 0, 1024))
+
+    def test_heartbeats_detect_a_dead_node(self):
+        env = Environment()
+        topo = build_topology(env, TopologySpec(racks=1, nodes_per_rack=3))
+        monitor = HeartbeatMonitor(topo, master=0, period=0.5, miss_threshold=3)
+        monitor.start()
+        injector = FaultInjector(topo)
+        injector.fail_at(1, at=1.0)
+        env.run(until=5.0)
+        assert 1 in monitor.detected_at
+        assert monitor.detected_at[1] > 1.0
+        assert 2 not in monitor.detected_at
+        assert ("fail", 1) in [(kind, node) for _, kind, node in injector.injected]
+
+    def test_burst_staggers_failures(self):
+        env = Environment()
+        topo = build_topology(env, TopologySpec(racks=1, nodes_per_rack=4))
+        FaultInjector(topo).burst([1, 2, 3], start=1.0, spacing=0.5)
+        env.run(until=1.75)
+        assert not topo.nodes[0].failed
+        assert topo.nodes[1].failed and topo.nodes[2].failed
+        assert not topo.nodes[3].failed  # its turn is at t=2.0
+        env.run(until=3.0)
+        assert topo.nodes[3].failed
+
+
+class TestLimplockDetection:
+    def test_nic_counters_isolate_the_limplocked_node(self):
+        env = Environment()
+        spec = TopologySpec(
+            racks=2, nodes_per_rack=2,
+            nic_bandwidth=1e6, uplink_bandwidth=1e6,
+            link_latency=1e-6, streams_per_link=1,
+            limplock_node=1, limplock_factor=8.0,
+        )
+        topo = build_topology(env, spec)
+
+        def traffic():
+            for src in (1, 2, 3):
+                yield from topo.transfer(src, 0, 50_000)
+
+        _drive(env, traffic())
+        assert topo.limplock_suspects() == (1,)

@@ -52,21 +52,19 @@ class TestRunGridFacade:
         with pytest.raises(TypeError, match="not both"):
             api.run_grid(_small_grid(), api.EngineConfig(), engine_workers=0)
 
-    def test_config_kwarg_warns_but_matches(self):
+    def test_config_kwarg_removed(self):
         engine = api.EngineConfig(workers=0, cache_dir=None)
-        new = api.run_grid(_small_grid(), engine=engine)
-        with pytest.warns(DeprecationWarning, match="engine="):
-            old = api.run_grid(_small_grid(), config=engine)
-        assert old.points == new.points
+        with pytest.raises(TypeError):
+            api.run_grid(_small_grid(), config=engine)
 
-    def test_bench_run_grid_config_shim(self):
-        from repro.bench.engine import run_grid
-
-        engine = api.EngineConfig(workers=0, cache_dir=None)
-        new = run_grid(_small_grid(), engine)
-        with pytest.warns(DeprecationWarning, match="engine="):
-            old = run_grid(_small_grid(), config=engine)
-        assert old.points == new.points
+    def test_cluster_names_reachable(self):
+        report = api.run_cluster_recovery(api.ClusterSpec(n_errors=2))
+        assert isinstance(report, api.ClusterReport)
+        assert report.redundancy == "ec"
+        assert report.cross_rack_bytes > 0
+        assert api.TopologySpec().num_nodes == 1
+        points = api.cluster_grid(api.QUICK)
+        assert {p.redundancy for p in points} == {"ec", "rep"}
 
 
 class TestSimulationNames:

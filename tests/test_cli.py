@@ -12,9 +12,17 @@ class TestParser:
 
     def test_experiment_flags(self):
         args = build_parser().parse_args(
-            ["fig8", "--quick", "--errors", "10", "--cache-mbs", "1,2"]
+            ["fig8", "--scale", "quick", "--errors", "10", "--cache-mbs", "1,2"]
         )
-        assert args.quick and args.errors == 10
+        assert args.scale == "quick" and args.errors == 10
+
+    def test_removed_flags_are_gone(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "--quick"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig9", "--sor-workers", "2"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig9", "--workers", "auto"])
 
     def test_replay_backend_flags(self):
         args = build_parser().parse_args(
@@ -140,52 +148,23 @@ class TestBench:
             build_parser().parse_args(["bench", "fig99"])
 
 
-class TestDeprecatedFlags:
-    """Old flag spellings keep working, warn, and match the new spelling."""
+class TestCluster:
+    def test_scenario_table(self, capsys):
+        assert main(["cluster", "--errors", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-rack recovery" in out
+        for token in ("healthy", "limplock", "rep", "fbf", "rack0.uplink"):
+            assert token in out
 
-    def test_sor_workers_alias(self, capsys, tmp_path):
-        new = ["bench", "fig9", "--scale", "quick", "--errors", "6",
-               "--workers", "2", "--cache-mbs", "0.25,1",
-               "--engine-workers", "0", "--no-cache", "--out", str(tmp_path)]
-        old = ["bench", "fig9", "--scale", "quick", "--errors", "6",
-               "--sor-workers", "2", "--cache-mbs", "0.25,1",
-               "--engine-workers", "0", "--no-cache", "--out", str(tmp_path)]
-        assert main(new) == 0
-        new_out = (tmp_path / "BENCH_fig9.json").read_text()
-        capsys.readouterr()
-        with pytest.warns(DeprecationWarning, match="--sor-workers"):
-            assert main(old) == 0
-        assert _strip_timings(new_out) == _strip_timings(
-            (tmp_path / "BENCH_fig9.json").read_text()
-        )
-
-    def test_bench_legacy_pool_workers(self, capsys, tmp_path):
-        args = ["bench", "fig9", "--scale", "quick", "--errors", "6",
-                "--cache-mbs", "0.25,1", "--no-cache", "--out", str(tmp_path)]
-        with pytest.warns(DeprecationWarning, match="--engine-workers 0"):
-            assert main([*args, "--workers", "0"]) == 0
-        import json
-
-        payload = json.loads((tmp_path / "BENCH_fig9.json").read_text())
-        assert payload["workers"] == 0  # routed to the pool, not SOR
-
-    def test_quick_alias(self, capsys):
-        with pytest.warns(DeprecationWarning, match="--scale quick"):
-            assert main(["fig8", "--quick", "--errors", "6", "--workers", "2",
-                         "--cache-mbs", "0.25,1"]) == 0
-        assert "Figure 8" in capsys.readouterr().out
-
-
-def _strip_timings(payload_text):
-    """BENCH payload minus the run-dependent timing fields."""
-    import json
-
-    payload = json.loads(payload_text)
-    for key in ("wall_s", "compute_s", "speedup_estimate", "git_rev"):
-        payload.pop(key, None)
-    for timing in payload.get("per_point", []):
-        timing.pop("seconds", None)
-    return payload
+    def test_bench_cluster_show(self, capsys, tmp_path):
+        rc = main(["bench", "cluster", "--scale", "quick", "--errors", "4",
+                   "--engine-workers", "0", "--no-cache", "--show",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "EC decode vs replication" in out
+        assert "limplocked node" in out
+        assert (tmp_path / "BENCH_cluster.json").exists()
 
 
 class TestObsCommand:
