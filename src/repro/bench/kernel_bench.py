@@ -1,0 +1,515 @@
+"""The DES-kernel bench: pooled fast-lane dispatch as a CI gate.
+
+Measures raw event-dispatch throughput of the production
+:class:`~repro.sim.kernel.Environment` (free-list pools + same-time fast
+lane + inlined run loop, DESIGN.md §16) against
+:class:`ReferenceEnvironment` — the pre-overhaul kernel frozen in this
+module: heap-only scheduling, stepwise dispatch, no pooling (the shape
+``benchmarks/test_microbench.py::test_kernel_stepwise_throughput``
+tracks).  Four microbench workloads cover the kernel's hot paths
+(timeout chains, resource grant hand-offs, store hand-offs, container
+token flow), and both kernels must dispatch *exactly* the same number of
+events per workload.
+
+On top of the throughput axis, the bench re-runs the paper's timed rows
+end to end — fig10 (response time, online arrivals), fig11
+(reconstruction time, batch), and the rack-aware cluster scenario — and
+asserts they are **bit-identical** across pooling on/off, sanitize
+on/off, and obs on/off.  All row quantities are virtual time or traffic,
+so the committed ``benchmarks/BENCH_kernel.json`` baseline is
+machine-independent and CI compares rows bit-exactly; the speedup axis
+gates like the replay bench (≥ the floor, and no >10% regression against
+the baseline).
+
+Run directly: ``python -m repro.bench.kernel_bench --out BENCH_kernel.json``
+or ``--check benchmarks/BENCH_kernel.json`` for the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, replace
+from heapq import heappop, heappush
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..codes import make_code
+from ..obs import emit
+from ..obs import runtime as _obs
+from ..sim import SimConfig, TopologySpec, run_reconstruction
+from ..sim.kernel import Container, Environment, Event, Resource, Store
+from ..workloads import ErrorTraceConfig, generate_errors
+from .engine import _git_rev
+
+__all__ = ["ReferenceEnvironment", "run_kernel_bench", "compare_to_baseline"]
+
+#: Minimum acceptable event-throughput speedup over the reference kernel
+#: (the tentpole's acceptance floor).
+SPEEDUP_FLOOR = 1.5
+
+
+class ReferenceEnvironment(Environment):
+    """The pre-overhaul event kernel, frozen as the bench baseline.
+
+    Semantics are bit-identical to :class:`~repro.sim.kernel.Environment`
+    — same ``(when, counter)`` total order, same values — but every
+    schedule is a ``heappush``, every dispatch a ``heappop`` through the
+    stepwise ``run`` loop, and no event object is ever recycled.  The
+    property suite drives random workloads through both kernels and
+    asserts identical traces, so this class is the executable definition
+    of "the fast lane and the pools change nothing".
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        super().__init__(initial_time, pooling=False)
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._counter = counter = self._counter + 1
+        heappush(self._heap, (self.now + delay, counter, event))
+
+    def step(self) -> None:
+        when, _, event = heappop(self._heap)
+        self.now = when
+        event._process()
+
+    def peek(self) -> float:
+        return self._heap[0][0] if self._heap else float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Throughput workloads.  Each builds a process population on a fresh env;
+# the driver runs it to quiescence and reads the dispatched-event count
+# off the schedule counter (at quiescence every scheduled event has been
+# processed, so the counter *is* the dispatch count).
+# ---------------------------------------------------------------------------
+
+
+def _wl_callback_chain(env: Environment) -> None:
+    """Pure kernel dispatch through the heap: no generators, each fired
+    timeout's callback schedules the next.  Isolates schedule + dispatch
+    + recycle — the cost the pools exist to cut."""
+    remaining = [40_000]
+
+    def fire(ev: Event) -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            env.timeout(1.0).callbacks.append(fire)
+
+    env.timeout(1.0).callbacks.append(fire)
+
+
+def _wl_succeed_chain(env: Environment) -> None:
+    """Pure kernel dispatch through the fast lane: a zero-delay callback
+    chain via ``schedule_now`` — deque hand-offs, no heap at all."""
+    remaining = [40_000]
+
+    def fire(ev: Event) -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            env.schedule_now().callbacks.append(fire)
+
+    env.schedule_now().callbacks.append(fire)
+
+
+def _wl_timeout_chain(env: Environment) -> None:
+    """Pure heap/pool traffic: many processes sleeping in lockstep.
+
+    The workload generators hoist bound methods into locals so the
+    timed region is kernel dispatch, not user-code attribute lookups
+    (the same user code runs on both kernels either way).
+    """
+    timeout = env.timeout
+
+    def proc():
+        for _ in range(400):
+            yield timeout(1.0)
+
+    for _ in range(48):
+        env.process(proc())
+
+
+def _wl_grant_chain(env: Environment) -> None:
+    """Resource hand-offs: release → FIFO grant chains (fast lane)."""
+    res = Resource(env, capacity=4)
+    request = res.request
+    release = res.release
+    timeout = env.timeout
+
+    def proc():
+        for _ in range(150):
+            req = request()
+            yield req
+            yield timeout(1.0)
+            release(req)
+
+    for _ in range(32):
+        env.process(proc())
+
+
+def _wl_store_handoff(env: Environment) -> None:
+    """Producer/consumer hand-offs through an unbounded FIFO channel."""
+    store = Store(env)
+    put = store.put
+    get = store.get
+    timeout = env.timeout
+
+    def producer():
+        for i in range(4000):
+            put(i)
+            yield timeout(1.0)
+
+    def consumer():
+        for _ in range(2000):
+            yield get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.process(consumer())
+
+
+def _wl_container_flow(env: Environment) -> None:
+    """Container token flow: blocked getters drained by putters."""
+    tank = Container(env, capacity=8.0, init=0.0)
+    put = tank.put
+    get = tank.get
+    timeout = env.timeout
+
+    def putter():
+        for _ in range(1500):
+            yield put(2.0)
+            yield timeout(1.0)
+
+    def getter():
+        for _ in range(1500):
+            yield get(1.0)
+            yield timeout(1.0)
+
+    env.process(putter())
+    env.process(getter())
+    env.process(getter())
+
+
+WORKLOADS: tuple[tuple[str, Callable[[Environment], None]], ...] = (
+    ("callback-chain", _wl_callback_chain),
+    ("succeed-chain", _wl_succeed_chain),
+    ("timeout-chain", _wl_timeout_chain),
+    ("grant-chain", _wl_grant_chain),
+    ("store-handoff", _wl_store_handoff),
+    ("container-flow", _wl_container_flow),
+)
+
+
+def _drive(make_env: Callable[[], Environment], build) -> int:
+    """Build + run one workload to quiescence; return events dispatched."""
+    env = make_env()
+    build(env)
+    env.run()
+    return env._counter
+
+
+def _paired_best_of(build, rounds: int) -> tuple[float, float]:
+    """Min-of-N wall times for (reference, optimized), interleaved.
+
+    Alternating the two kernels inside one loop means a quiet scheduling
+    window benefits both, and min-of-N discards the slices a busy machine
+    steals — the stable estimator for sub-100ms loops.  The GC is paused
+    around the timed region so collection pauses land on neither side.
+    """
+    import gc
+
+    ref_s = opt_s = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            _drive(ReferenceEnvironment, build)
+            ref_s = min(ref_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            _drive(Environment, build)
+            opt_s = min(opt_s, time.perf_counter() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return ref_s, opt_s
+
+
+def _measure_throughput(rounds: int) -> dict:
+    workloads = []
+    total_events = 0
+    ref_total = 0.0
+    opt_total = 0.0
+    counts_match = True
+    for name, build in WORKLOADS:
+        ref_events = _drive(ReferenceEnvironment, build)
+        opt_events = _drive(Environment, build)
+        counts_match &= ref_events == opt_events
+        ref_s, opt_s = _paired_best_of(build, rounds)
+        workloads.append(
+            {
+                "name": name,
+                "events": opt_events,
+                "reference_events": ref_events,
+                "reference_s": ref_s,
+                "optimized_s": opt_s,
+                "speedup": ref_s / opt_s if opt_s > 0 else 0.0,
+                "events_per_s": opt_events / opt_s if opt_s > 0 else 0.0,
+            }
+        )
+        total_events += opt_events
+        ref_total += ref_s
+        opt_total += opt_s
+    return {
+        "workloads": workloads,
+        "total_events": total_events,
+        "reference_s": ref_total,
+        "optimized_s": opt_total,
+        "speedup": ref_total / opt_total if opt_total > 0 else 0.0,
+        "events_per_s": total_events / opt_total if opt_total > 0 else 0.0,
+        "event_counts_match": counts_match,
+    }
+
+
+# ---------------------------------------------------------------------------
+# End-to-end rows: the timed figures re-run across the kernel's A/B axes.
+# ---------------------------------------------------------------------------
+
+
+def _row(report) -> dict:
+    """A report as a JSON-normalized row, wall-clock columns dropped."""
+    row = asdict(report)
+    for field in report.MEASURED_FIELDS:
+        row.pop(field, None)
+    return json.loads(json.dumps(row))
+
+
+def _row_configs(n_errors: int) -> dict[str, SimConfig]:
+    return {
+        # fig10: per-chunk response time with online arrivals — exercises
+        # the _worker arrival-skip path.
+        "fig10": SimConfig(
+            cache_size="2MB", workers=8, respect_arrival_times=True
+        ),
+        # fig11: batch reconstruction time, serial chain reads included.
+        "fig11": SimConfig(cache_size="4MB", workers=4),
+        # cluster: the rack-aware scenario — topology transfers, container
+        # bandwidth tokens, heartbeats and the p99 histogram all on.
+        "cluster": SimConfig(
+            cache_size="8MB",
+            workers=8,
+            topology=TopologySpec(
+                racks=3,
+                nodes_per_rack=3,
+                limplock_node=1,
+                limplock_factor=8.0,
+                heartbeat_period=0.1,
+            ),
+            response_quantiles=True,
+        ),
+    }
+
+
+def _identity_rows(n_errors: int, seed: int) -> tuple[dict, dict]:
+    layout = make_code("tip", 7)
+    errors = generate_errors(
+        layout, ErrorTraceConfig(n_errors=n_errors, seed=seed)
+    )
+    rows: dict[str, dict] = {}
+    checks = {
+        "rows_pooling_invariant": True,
+        "rows_sanitize_invariant": True,
+        "rows_obs_invariant": True,
+    }
+    for name, config in _row_configs(n_errors).items():
+        base = _row(run_reconstruction(layout, errors, config))
+        rows[name] = base
+        unpooled = _row(
+            run_reconstruction(
+                layout, errors, replace(config, kernel_pooling=False)
+            )
+        )
+        checks["rows_pooling_invariant"] &= unpooled == base
+        sanitized = _row(
+            run_reconstruction(layout, errors, replace(config, sanitize=True))
+        )
+        checks["rows_sanitize_invariant"] &= sanitized == base
+        _obs.enable(fresh=True)
+        try:
+            observed = _row(run_reconstruction(layout, errors, config))
+        finally:
+            _obs.disable()
+        checks["rows_obs_invariant"] &= observed == base
+    return rows, checks
+
+
+def run_kernel_bench(
+    rounds: int = 3, n_errors: int | None = None, seed: int | None = None
+) -> dict:
+    """Measure throughput + row identity; return the payload."""
+    from .experiments import QUICK
+
+    n_errors = 12 if n_errors is None else n_errors
+    seed = QUICK.seed if seed is None else seed
+    throughput = _measure_throughput(rounds)
+    rows, checks = _identity_rows(n_errors, seed)
+    checks["event_counts_match"] = throughput["event_counts_match"]
+    checks["speedup_at_least_floor"] = throughput["speedup"] >= SPEEDUP_FLOOR
+    return {
+        "schema": 1,
+        "kind": "kernel",
+        "git_rev": _git_rev(),
+        "rounds": rounds,
+        "n_errors": n_errors,
+        "seed": seed,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "throughput": throughput,
+        "rows": rows,
+        "checks": checks,
+        "aggregate": {
+            "speedup": throughput["speedup"],
+            "events_per_s": throughput["events_per_s"],
+        },
+    }
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, tolerance: float = 0.10
+) -> tuple[bool, str]:
+    """CI gate: invariants hold, rows bit-exact, speedup not regressed.
+
+    The timed rows carry only virtual-time quantities, so like the
+    cluster gate there is no row tolerance: any drift is a determinism
+    or behaviour regression.  The speedup axis is a wall-clock *ratio*
+    (optimized vs reference on the same machine), so it transfers across
+    machines — but a shared CI runner still jitters it by a few percent.
+    The absolute :data:`SPEEDUP_FLOOR` is therefore enforced on the
+    *committed baseline* (``--out`` refuses to demonstrate less), while
+    the fresh run is held to ``tolerance`` of that baseline: the >10%
+    band is what absorbs runner noise, so re-imposing the raw floor on
+    every re-measurement would just double-count it.
+    """
+    problems = [
+        f"invariant {name} does not hold"
+        for name, ok in current["checks"].items()
+        # speedup_at_least_floor is the baseline's property (see above);
+        # every determinism/identity invariant must hold in the fresh run.
+        if not ok and name != "speedup_at_least_floor"
+    ]
+    if not baseline["checks"].get("speedup_at_least_floor", False):
+        problems.append(
+            "baseline does not demonstrate the "
+            f"{baseline.get('speedup_floor', SPEEDUP_FLOOR)}x speedup floor"
+        )
+    base_rows = dict(baseline["rows"])
+    for name, row in current["rows"].items():
+        expected = base_rows.pop(name, None)
+        if expected is None:
+            problems.append(f"row {name} missing from the baseline")
+            continue
+        diff = [
+            field
+            for field in expected
+            if field in row and row[field] != expected[field]
+        ]
+        if diff:
+            problems.append(f"row {name} diverged on {', '.join(diff)}")
+    for name in base_rows:
+        problems.append(f"baseline row {name} missing from the current run")
+    current_speedup = current["aggregate"]["speedup"]
+    baseline_speedup = baseline["aggregate"]["speedup"]
+    floor = baseline_speedup * (1.0 - tolerance)
+    if current_speedup < floor:
+        problems.append(
+            f"kernel speedup {current_speedup:.2f}x fell below "
+            f"{floor:.2f}x (baseline {baseline_speedup:.2f}x - {tolerance:.0%})"
+        )
+    if problems:
+        return False, "; ".join(problems)
+    return True, (
+        f"{len(current['rows'])} timed rows bit-identical; kernel dispatch "
+        f"{current_speedup:.2f}x the stepwise reference "
+        f"({current['aggregate']['events_per_s']:,.0f} events/s)"
+    )
+
+
+def _format_summary(payload: dict) -> str:
+    lines = [
+        f"{'workload':>16} {'events':>8} {'ref(ms)':>9} {'opt(ms)':>9} "
+        f"{'speedup':>8} {'events/s':>12}"
+    ]
+    for w in payload["throughput"]["workloads"]:
+        lines.append(
+            f"{w['name']:>16} {w['events']:>8} {w['reference_s'] * 1e3:>9.2f} "
+            f"{w['optimized_s'] * 1e3:>9.2f} {w['speedup']:>8.2f} "
+            f"{w['events_per_s']:>12,.0f}"
+        )
+    agg = payload["aggregate"]
+    lines.append(
+        f"{'TOTAL':>16} {payload['throughput']['total_events']:>8} "
+        f"{payload['throughput']['reference_s'] * 1e3:>9.2f} "
+        f"{payload['throughput']['optimized_s'] * 1e3:>9.2f} "
+        f"{agg['speedup']:>8.2f} {agg['events_per_s']:>12,.0f}"
+    )
+    for name, row in payload["rows"].items():
+        lines.append(
+            f"row {name}: recon={row['reconstruction_time']:.4f}s "
+            f"avg_resp={row['avg_response_time']:.6f}s "
+            f"requests={row['total_requests']}"
+        )
+    for name, ok in payload["checks"].items():
+        lines.append(f"check {name}: {'ok' if ok else 'FAILED'}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-kernel-bench", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--out", help="write the BENCH_kernel.json payload here")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a committed BENCH_kernel.json; exit 1 on "
+        "any invariant failure, row drift, or speedup regression",
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--errors", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative speedup regression vs the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_kernel_bench(
+        rounds=args.rounds, n_errors=args.errors, seed=args.seed
+    )
+    emit(_format_summary(payload))
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        emit(f"wrote {out}")
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text(encoding="utf-8"))
+        ok, message = compare_to_baseline(
+            payload, baseline, tolerance=args.tolerance
+        )
+        emit(("PASS: " if ok else "FAIL: ") + message)
+        return 0 if ok else 1
+    if args.out and not all(payload["checks"].values()):
+        # A new baseline must demonstrate every invariant *and* the
+        # absolute speedup floor; the file is still written so the
+        # failing measurement can be inspected.
+        emit("FAIL: payload does not satisfy its own checks")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,10 @@ PERF001    no ``backend.build_plan(...)`` call sites outside
            :class:`~repro.engine.tracesim.PlanCache` — plans are built
            once per plan key and shared; a direct call silently forfeits
            the memo (and its Table IV hit accounting)
+PERF002    no constant ``env.timeout(0)`` — a zero-delay wake-up should
+           be ``env.schedule_now()``: same fast-lane ordering, but a
+           pool-recycled plain event instead of a ``Timeout`` dressed up
+           as a delay (kernel internals and tests exempt)
 OBS001     no bare ``print()`` in ``repro`` library code — route output
            through :func:`repro.obs.emit` (or an explicit stream write)
            so reporting stays testable and obs-aware
@@ -797,6 +801,48 @@ class DirectPlanBuildRule(Rule):
                 )
 
 
+class ZeroTimeoutRule(Rule):
+    """PERF002: a constant zero delay is a hand-off, not a timeout.
+
+    ``env.timeout(0)`` and ``env.schedule_now()`` fire at the same
+    instant with the same FIFO ordering (both ride the kernel's
+    same-time fast lane), but the timeout spelling obscures the intent
+    and allocates/recycles a :class:`~repro.sim.kernel.Timeout` where a
+    plain pooled event suffices.  Only *constant* zero arguments are
+    flagged — ``env.timeout(delay)`` where ``delay`` may legitimately
+    be zero at runtime is the normal timed path and stays untouched.
+    The kernel itself (which defines both spellings) and tests (which
+    pin the equivalence) are exempt.
+    """
+
+    rule_id = "PERF002"
+    summary = "constant env.timeout(0) should be env.schedule_now()"
+    excludes = ("repro/sim/kernel.py", "tests/")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "timeout"
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if (
+                isinstance(first, ast.Constant)
+                and type(first.value) in (int, float)
+                and first.value == 0
+            ):
+                yield self.violation(
+                    node,
+                    path,
+                    "constant timeout(0) schedules a zero-delay wake-up "
+                    "through the Timeout machinery; use env.schedule_now() "
+                    "(same fast-lane ordering, pool-recycled plain event)",
+                )
+
+
 class BarePrintRule(Rule):
     """OBS001: library code never prints; output goes through repro.obs.
 
@@ -839,6 +885,7 @@ ALL_RULES: tuple[Rule, ...] = (
     GF2PurityRule(),
     LegacyReplayImportRule(),
     DirectPlanBuildRule(),
+    ZeroTimeoutRule(),
     BarePrintRule(),
 )
 

@@ -237,8 +237,14 @@ class SanitizedEnvironment(Environment):
     contract from :mod:`repro.sim.kernel`.
     """
 
-    def __init__(self, initial_time: float = 0.0, strict: bool = True):
-        super().__init__(initial_time)
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        strict: bool = True,
+        *,
+        pooling: bool = True,
+    ):
+        super().__init__(initial_time, pooling=pooling)
         self.strict = strict
         self.violations: list[str] = []
         self.events_checked = 0
@@ -251,7 +257,16 @@ class SanitizedEnvironment(Environment):
         self.violations.append(message)
 
     def step(self) -> None:
-        when, counter, event = self._heap[0]
+        # Peek at whichever queue head the kernel will dispatch next, using
+        # the same fast-lane-vs-heap selection rule as Environment.step —
+        # fast-lane entries always sit at the current clock.
+        fast = self._fast
+        heap = self._heap
+        if fast and (not heap or heap[0][0] > self.now or heap[0][1] > fast[0][0]):
+            counter, event = fast[0]
+            when = self.now
+        else:
+            when, counter, event = heap[0]
         self.events_checked += 1
         if when < self.now:
             self._fail(

@@ -10,12 +10,15 @@ queueing delay).  Per-request response times are recorded for the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import TYPE_CHECKING, Generator
 
 from ..cache.base import CachePolicy
 from ..codes.layout import Cell
 from .array import DiskArray
 from .kernel import Environment
+
+if TYPE_CHECKING:  # annotation-only: sim must not import obs at runtime
+    from ..obs.metrics import Histogram
 
 __all__ = ["ResponseLog", "TimedBufferCache"]
 
@@ -30,7 +33,7 @@ class ResponseLog:
     disk_reads: int = 0
     #: optional :class:`repro.obs.metrics.Histogram` for quantiles
     #: (p99 degraded-mode reporting); may be shared across workers.
-    histogram: object | None = None
+    histogram: "Histogram | None" = None
 
     def record(self, elapsed: float, was_hit: bool) -> None:
         self.count += 1
@@ -39,8 +42,9 @@ class ResponseLog:
             self.max = elapsed
         if not was_hit:
             self.disk_reads += 1
-        if self.histogram is not None:
-            self.histogram.observe(elapsed)
+        histogram = self.histogram
+        if histogram is not None:
+            histogram.observe(elapsed)
 
     @property
     def mean(self) -> float:
@@ -62,7 +66,7 @@ class TimedBufferCache:
         array: DiskArray,
         hit_time: float = 0.0005,
         sanitize: bool = False,
-        response_histogram: object | None = None,
+        response_histogram: "Histogram | None" = None,
     ):
         if hit_time < 0:
             raise ValueError(f"hit_time must be >= 0, got {hit_time}")
@@ -82,10 +86,11 @@ class TimedBufferCache:
         self, stripe: int, cell: Cell, priority: int | None = None
     ) -> Generator:
         """Process generator: obtain one chunk through the cache."""
-        start = self.env.now
+        env = self.env
+        start = env.now
         hit = self.policy.request((stripe, cell), priority=priority)
         if hit:
-            yield self.env.timeout(self.hit_time)
+            yield env.timeout(self.hit_time)
         else:
             yield from self.array.read_chunk(stripe, cell)
-        self.log.record(self.env.now - start, hit)
+        self.log.record(env.now - start, hit)

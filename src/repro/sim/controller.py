@@ -101,24 +101,42 @@ class RAIDController:
         plan = self.plan_for(error)
         priority = plan.priority_of
         stripe = error.stripe
-        for step in plan.steps:
-            reads = step.reads
-            if self.parallel_chain_reads:
-                fetches = [
-                    self.env.process(
-                        cache.get_chunk(stripe, unit, priority(unit))
-                    )
-                    for unit in reads
-                ]
-                yield self.env.all_of(fetches)
-            else:
+        # Everything below runs once per recovery step across a sweep, so
+        # the bound methods are hoisted into locals and the parallel/serial
+        # branch is lifted out of the loop.  The yielded event sequence is
+        # untouched — the bit-identity contract (DESIGN.md §16).
+        env = self.env
+        spawn = env.process
+        all_of = env.all_of
+        timeout = env.timeout
+        get_chunk = cache.get_chunk
+        write_spare = self.array.write_spare_chunk
+        xor_time = self.xor_time_per_chunk
+        datapath = self.datapath
+        if self.parallel_chain_reads:
+            for step in plan.steps:
+                reads = step.reads
+                yield all_of(
+                    [
+                        spawn(get_chunk(stripe, unit, priority(unit)))
+                        for unit in reads
+                    ]
+                )
+                # XOR/decode of the fetched chain members rebuilds the chunk.
+                yield timeout(xor_time * len(reads))
+                if datapath is not None:
+                    datapath.rebuild(stripe, step.detail)
+                # Write the recovered chunk to the failed disk's spare area.
+                yield from write_spare(stripe, step.target)
+                self.chunks_recovered += 1
+        else:
+            for step in plan.steps:
+                reads = step.reads
                 for unit in reads:
-                    yield from cache.get_chunk(stripe, unit, priority(unit))
-            # XOR/decode of the fetched chain members rebuilds the chunk.
-            yield self.env.timeout(self.xor_time_per_chunk * len(reads))
-            if self.datapath is not None:
-                self.datapath.rebuild(stripe, step.detail)
-            # Write the recovered chunk to the failed disk's spare area.
-            yield from self.array.write_spare_chunk(stripe, step.target)
-            self.chunks_recovered += 1
+                    yield from get_chunk(stripe, unit, priority(unit))
+                yield timeout(xor_time * len(reads))
+                if datapath is not None:
+                    datapath.rebuild(stripe, step.detail)
+                yield from write_spare(stripe, step.target)
+                self.chunks_recovered += 1
         self.errors_recovered += 1

@@ -22,15 +22,38 @@ kernel small enough to test exhaustively:
 Determinism: events scheduled for the same timestamp fire in scheduling
 order (a monotonically increasing tiebreaker), so a simulation run is a
 pure function of its inputs.
+
+Two hot-path mechanisms keep steady-state dispatch cheap without touching
+that contract (the full contract is DESIGN.md §16):
+
+* **Same-time fast lane** — immediate (``delay == 0``) schedules go to a
+  FIFO deque instead of the heap.  Fast-lane entries always carry the
+  current clock, and the dispatcher takes whichever of the two queue
+  heads is smaller in the global ``(when, counter)`` order, so the event
+  sequence is *identical* to the heap-only kernel while resource-grant
+  and succeed chains stop paying ``heappush``/``heappop`` per hand-off.
+* **Event/Timeout free-list pools** — a retired plain :class:`Event` or
+  :class:`Timeout` whose only remaining reference is the dispatch loop
+  itself is reset and reused for the next ``timeout()`` /
+  ``schedule_now()`` instead of allocating.  Reuse is invisible: an
+  event with any outside reference (a process variable, an
+  :class:`AllOf` child list) is never recycled.  Pool hit rates are
+  exported as ``kernel.pool.*`` obs counters when instrumentation is on.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable
 
 from ..obs import runtime as _obs
+
+#: Free-list size cap per pool: bounds memory after a retirement burst
+#: while keeping steady-state chains (pool occupancy ~ in-flight events)
+#: fully recycled.
+_POOL_MAX = 1024
 
 __all__ = [
     "Environment",
@@ -95,7 +118,15 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self.triggered = True
         self._value = value
-        self.env._schedule(self)
+        # Grant/hand-off chains call this once per event; when pooling is
+        # on the environment is guaranteed to run the stock scheduler
+        # (see Environment.__init__), so the fast-lane append is inlined.
+        env = self.env
+        if env._pooling:
+            env._counter = counter = env._counter + 1
+            env._fast.append((counter, self))
+        else:
+            env._schedule(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -111,10 +142,17 @@ class Event:
         return self
 
     def _process(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
+        callbacks = self.callbacks
+        self.callbacks = None
         self.processed = True
-        for cb in callbacks or ():
-            cb(self)
+        if callbacks:
+            # The overwhelmingly common case is a single waiting Process;
+            # calling it directly skips the iterator machinery.
+            if len(callbacks) == 1:
+                callbacks[0](self)
+            else:
+                for cb in callbacks:
+                    cb(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (
@@ -146,7 +184,7 @@ class Process(Event):
     payload).
     """
 
-    __slots__ = ("_gen", "_target", "name")
+    __slots__ = ("_gen", "_target", "name", "_resume_cb")
 
     def __init__(self, env: "Environment", gen: Generator, name: str = ""):
         if not hasattr(gen, "send"):
@@ -155,10 +193,14 @@ class Process(Event):
         self._gen = gen
         self._target: Event | None = None
         self.name = name or getattr(gen, "__name__", "process")
+        # One bound method for the process's lifetime: creating it per
+        # yield (every callbacks.append) is measurable on large sweeps,
+        # and a single identity keeps interrupt's callbacks.remove exact.
+        self._resume_cb = self._resume
         # Bootstrap: resume the generator as soon as the simulation runs.
-        init = Event(env)
+        init = env._new_event()
         init.triggered = True
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._resume_cb)
         env._schedule(init)
 
     @property
@@ -169,7 +211,7 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:
             raise SimulationError("cannot interrupt a finished process")
-        interrupt_ev = Event(self.env)
+        interrupt_ev = self.env._new_event()
         interrupt_ev.triggered = True
         interrupt_ev._ok = False
         interrupt_ev._value = Interrupt(cause)
@@ -177,33 +219,39 @@ class Process(Event):
         target = self._target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
-        interrupt_ev.callbacks.append(self._resume)
+        interrupt_ev.callbacks.append(self._resume_cb)
         self.env._schedule(interrupt_ev)
 
     def _resume(self, event: Event) -> None:
+        # Hot path: slot reads (_ok/_value) instead of the ok/value
+        # properties — a property is a function call, and this method
+        # runs once per dispatched event in a timed sweep.
         self._target = None
         gen = self._gen
         while True:
             try:
-                if event.ok:
-                    next_ev = gen.send(event.value)
+                if event._ok:
+                    next_ev = gen.send(event._value)
                 else:
-                    next_ev = gen.throw(event.value)
+                    next_ev = gen.throw(event._value)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
-            if not isinstance(next_ev, Event):
+            try:
+                if next_ev.processed:
+                    # Already happened: resume synchronously with its value.
+                    event = next_ev
+                    continue
+                next_ev.callbacks.append(self._resume_cb)
+            except AttributeError:
                 gen.close()
-                raise SimulationError(f"process yielded non-event {next_ev!r}")
-            if next_ev.processed:
-                # Already happened: resume synchronously with its value.
-                event = next_ev
-                continue
-            next_ev.callbacks.append(self._resume)
+                raise SimulationError(
+                    f"process yielded non-event {next_ev!r}"
+                ) from None
             self._target = next_ev
             return
 
@@ -214,7 +262,15 @@ class Request(Event):
     __slots__ = ("resource", "queued_at")
 
     def __init__(self, env: "Environment", resource: "Resource"):
-        super().__init__(env)
+        # Event.__init__ flattened: one frame instead of two on a
+        # per-request hot path (requests are never pooled, so every
+        # grant chain allocates one).
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self.triggered = False
+        self.processed = False
         self.resource = resource
         #: virtual time the request entered the wait queue (obs only).
         self.queued_at: float | None = None
@@ -267,18 +323,21 @@ class Resource:
         return req
 
     def release(self, req: Request) -> None:
-        if req in self._holders:
-            del self._holders[req]
+        holders = self._holders
+        queue = self._queue
+        if req in holders:
+            del holders[req]
         else:
             # Releasing a queued (never-granted) request cancels it.
             try:
-                self._queue.remove(req)
+                queue.remove(req)
             except ValueError:
                 raise SimulationError("release of a request not held or queued")
             return
-        while self._queue and len(self._holders) < self.capacity:
-            nxt = self._queue.popleft()
-            self._holders[nxt] = None
+        capacity = self.capacity
+        while queue and len(holders) < capacity:
+            nxt = queue.popleft()
+            holders[nxt] = None
             nxt.succeed(nxt)
             if _obs.ENABLED and nxt.queued_at is not None:
                 _obs.histogram("kernel.resource.wait_vtime").observe(
@@ -292,7 +351,13 @@ class ContainerGet(Event):
     __slots__ = ("container", "amount", "queued_at")
 
     def __init__(self, env: "Environment", container: "Container", amount: float):
-        super().__init__(env)
+        # Event.__init__ flattened, as in Request: claims are per-transfer.
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self.triggered = False
+        self.processed = False
         self.container = container
         self.amount = amount
         #: virtual time the claim entered the wait queue (obs only).
@@ -309,7 +374,12 @@ class ContainerPut(Event):
     __slots__ = ("container", "amount", "queued_at")
 
     def __init__(self, env: "Environment", container: "Container", amount: float):
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self.triggered = False
+        self.processed = False
         self.container = container
         self.amount = amount
         self.queued_at: float | None = None
@@ -406,31 +476,39 @@ class Container:
         return ev
 
     def _drain(self) -> None:
-        """Serve queue heads (strict FIFO, no overtaking) while they fit."""
+        """Serve queue heads (strict FIFO, no overtaking) while they fit.
+
+        ``_level`` is mirrored in a local for the scan: ``succeed`` only
+        *schedules* waiter callbacks (nothing re-enters the container
+        before this method returns), so the write-back at the end is
+        safe and the per-grant attribute churn disappears.
+        """
+        getters = self._getters
+        putters = self._putters
+        level = self._level
+        capacity = self.capacity
         progressed = True
         while progressed:
             progressed = False
-            while self._getters and self._getters[0].amount <= self._level:
-                ev = self._getters.popleft()
-                self._level -= ev.amount
+            while getters and getters[0].amount <= level:
+                ev = getters.popleft()
+                level -= ev.amount
                 ev.succeed(ev)
                 progressed = True
                 if _obs.ENABLED and ev.queued_at is not None:
                     _obs.histogram("kernel.container.wait_vtime").observe(
                         self.env.now - ev.queued_at
                     )
-            while (
-                self._putters
-                and self._level + self._putters[0].amount <= self.capacity
-            ):
-                ev = self._putters.popleft()
-                self._level += ev.amount
+            while putters and level + putters[0].amount <= capacity:
+                ev = putters.popleft()
+                level += ev.amount
                 ev.succeed(ev)
                 progressed = True
                 if _obs.ENABLED and ev.queued_at is not None:
                     _obs.histogram("kernel.container.wait_vtime").observe(
                         self.env.now - ev.queued_at
                     )
+        self._level = level
 
     def _cancel(self, ev: "ContainerGet | ContainerPut") -> None:
         if not ev.triggered:
@@ -474,7 +552,7 @@ class Store:
             self._items.append(item)
 
     def get(self) -> Event:
-        ev = Event(self.env)
+        ev = self.env._new_event()
         if self._items:
             ev.succeed(self._items.popleft())
         else:
@@ -551,23 +629,127 @@ class AnyOf(Event):
 
 
 class Environment:
-    """Simulation environment: the clock and the event queue."""
+    """Simulation environment: the clock and the event queue.
 
-    def __init__(self, initial_time: float = 0.0):
+    Two queues back the clock (DESIGN.md §16): the classic ``(when,
+    counter, event)`` heap for future timestamps, and a FIFO deque — the
+    *fast lane* — holding ``(counter, event)`` pairs for events scheduled
+    at the current instant (``delay == 0``).  Because ``now`` only moves
+    forward, every fast-lane entry is at ``when == now`` and the lane is
+    counter-sorted by construction; comparing its head counter with the
+    heap head reproduces the exact global ``(when, counter)`` order
+    without a single heap operation for same-time chains.
+
+    ``pooling=True`` (the default) additionally recycles retired plain
+    :class:`Event`/:class:`Timeout` objects whose only live reference is
+    the dispatch loop; pass ``pooling=False`` to force fresh allocations
+    (bit-identical results either way — the A/B switch the kernel bench
+    and the property suite exercise).
+    """
+
+    def __init__(self, initial_time: float = 0.0, *, pooling: bool = True):
         self.now = float(initial_time)
         self._heap: list[tuple[float, int, Event]] = []
+        self._fast: deque[tuple[int, Event]] = deque()
         self._counter = 0
+        # The pooled timeout() path schedules inline (no _schedule call),
+        # so a subclass with a custom scheduler must never see a pool hit.
+        if pooling and type(self)._schedule is not Environment._schedule:
+            pooling = False
+        self._pooling = bool(pooling)
+        self._event_pool: list[Event] = []
+        self._timeout_pool: list[Timeout] = []
 
     # -- scheduling -----------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         self._counter = counter = self._counter + 1
-        heappush(self._heap, (self.now + delay, counter, event))
+        if delay == 0.0:
+            self._fast.append((counter, event))
+        else:
+            heappush(self._heap, (self.now + delay, counter, event))
 
     # -- factory helpers ------------------------------------------------
     def event(self) -> Event:
+        return self._new_event()
+
+    def _new_event(self) -> Event:
+        """A pristine plain :class:`Event`, recycled from the pool if possible."""
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = None
+            ev._ok = True
+            ev.triggered = False
+            ev.processed = False
+            if _obs.ENABLED:
+                _obs.counter("kernel.pool.event_hits").inc()
+            return ev
+        if _obs.ENABLED:
+            _obs.counter("kernel.pool.event_misses").inc()
         return Event(self)
 
+    def schedule_now(self, value: Any = None) -> Event:
+        """An already-triggered event that fires at the current instant.
+
+        The fast-lane idiom for "hand control back this timestep" —
+        equivalent to ``timeout(0, value)`` but pool-recycled as a plain
+        event (simlint PERF002 points constant ``timeout(0)`` calls here).
+        """
+        if self._pooling:
+            # Pool + schedule inlined, same discipline as timeout(): a
+            # pooling environment always runs the stock scheduler.
+            pool = self._event_pool
+            if pool:
+                ev = pool.pop()
+                ev.callbacks = []
+                ev._ok = True
+                ev.processed = False
+                # ``triggered`` is already True: only dispatched (hence
+                # triggered) events ever retire into the pool.
+                if _obs.ENABLED:
+                    _obs.counter("kernel.pool.event_hits").inc()
+            else:
+                if _obs.ENABLED:
+                    _obs.counter("kernel.pool.event_misses").inc()
+                ev = Event(self)
+                ev.triggered = True
+            ev._value = value
+            self._counter = counter = self._counter + 1
+            self._fast.append((counter, ev))
+            return ev
+        ev = self._new_event()
+        ev.triggered = True
+        ev._value = value
+        self._schedule(ev)
+        return ev
+
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            t = pool.pop()
+            t.callbacks = []
+            t._value = value
+            t._ok = True
+            # ``triggered`` stays True across a timeout's whole pooled
+            # lifecycle — set at first construction, required at retire.
+            t.processed = False
+            t.delay = delay
+            # Scheduling inlined: this is the single hottest call in a
+            # timed sweep, and __init__ guarantees pool hits never bypass
+            # a subclass's custom _schedule (pooling is forced off).
+            self._counter = counter = self._counter + 1
+            if delay == 0.0:
+                self._fast.append((counter, t))
+            else:
+                heappush(self._heap, (self.now + delay, counter, t))
+            if _obs.ENABLED:
+                _obs.counter("kernel.pool.timeout_hits").inc()
+            return t
+        if _obs.ENABLED:
+            _obs.counter("kernel.pool.timeout_misses").inc()
         return Timeout(self, delay, value)
 
     def process(self, gen: Generator, name: str = "") -> Process:
@@ -580,14 +762,44 @@ class Environment:
         return AnyOf(self, events)
 
     # -- execution ------------------------------------------------------
+    def _retire(self, event: Event) -> None:
+        """Recycle ``event`` into its free list if it is provably unreferenced.
+
+        Only *exact* ``Event``/``Timeout`` instances are pooled (never
+        subclasses — a recycled ``Process`` or ``Request`` could alias
+        live state), and only when the dispatch loop holds the sole
+        remaining reference.  Seen from inside this helper that is a
+        refcount of exactly 3: the caller's local, this parameter, and
+        ``getrefcount``'s own argument.  Any event a process variable or
+        an ``AllOf`` child list still points at stays untouched.
+        """
+        cls = event.__class__
+        if cls is Timeout:
+            pool = self._timeout_pool
+        elif cls is Event:
+            pool = self._event_pool
+        else:
+            return
+        if len(pool) < _POOL_MAX and getrefcount(event) == 3:
+            pool.append(event)
+
     def step(self) -> None:
-        """Process the single next event."""
-        when, _, event = heappop(self._heap)
-        self.now = when
+        """Process the single next event (fast lane before heap when tied)."""
+        fast = self._fast
+        heap = self._heap
+        if fast and (not heap or heap[0][0] > self.now or heap[0][1] > fast[0][0]):
+            event = fast.popleft()[1]
+        else:
+            when, _, event = heappop(heap)
+            self.now = when
         event._process()
+        if self._pooling:
+            self._retire(event)
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if the queue is empty."""
+        if self._fast:
+            return self.now
         return self._heap[0][0] if self._heap else float("inf")
 
     def run(self, until: float | Event | None = None) -> Any:
@@ -621,33 +833,116 @@ class Environment:
         if type(self).step is not Environment.step:
             return self._run_stepwise(until)
         heap = self._heap
+        fast = self._fast
         pop = heappop
+        take_fast = fast.popleft
+        pooling = self._pooling
+        tpool = self._timeout_pool
+        epool = self._event_pool
+        refs = getrefcount
+        length = len  # LOAD_FAST beats LOAD_GLOBAL twice per event
+        pool_max = _POOL_MAX
+        # ``now`` mirrors ``self.now`` in a local; only heap pops move it.
+        # The recycle check is inlined (not `_retire`) because a bound
+        # method call per event costs as much as the heap op it saves;
+        # seen from here the sole-reference count is 2 (the loop local
+        # plus ``getrefcount``'s argument).
+        now = self.now
         if isinstance(until, Event):
             target = until
             while not target.processed:
-                if not heap:
-                    raise SimulationError(
-                        "event queue drained before target event fired (deadlock?)"
-                    )
-                when, _, event = pop(heap)
-                self.now = when
-                event._process()
+                if fast and (
+                    not heap or heap[0][0] > now or heap[0][1] > fast[0][0]
+                ):
+                    event = take_fast()[1]
+                else:
+                    if not heap:
+                        raise SimulationError(
+                            "event queue drained before target event fired "
+                            "(deadlock?)"
+                        )
+                    when, _, event = pop(heap)
+                    self.now = now = when
+                # _process() inlined (as in the other two loops below):
+                # the method call per event is a measurable slice of a
+                # dispatch-bound sweep.  Semantics are identical.
+                cbs = event.callbacks
+                event.callbacks = None
+                event.processed = True
+                if cbs:
+                    if length(cbs) == 1:
+                        cbs[0](event)
+                    else:
+                        for cb in cbs:
+                            cb(event)
+                if pooling:
+                    cls = event.__class__
+                    if cls is Timeout:
+                        if length(tpool) < pool_max and refs(event) == 2:
+                            tpool.append(event)
+                    elif cls is Event:
+                        if length(epool) < pool_max and refs(event) == 2:
+                            epool.append(event)
             if not target.ok:
                 raise target.value
             return target.value
         if until is None:
-            while heap:
-                when, _, event = pop(heap)
-                self.now = when
-                event._process()
+            while fast or heap:
+                if fast and (
+                    not heap or heap[0][0] > now or heap[0][1] > fast[0][0]
+                ):
+                    event = take_fast()[1]
+                else:
+                    when, _, event = pop(heap)
+                    self.now = now = when
+                cbs = event.callbacks
+                event.callbacks = None
+                event.processed = True
+                if cbs:
+                    if length(cbs) == 1:
+                        cbs[0](event)
+                    else:
+                        for cb in cbs:
+                            cb(event)
+                if pooling:
+                    cls = event.__class__
+                    if cls is Timeout:
+                        if length(tpool) < pool_max and refs(event) == 2:
+                            tpool.append(event)
+                    elif cls is Event:
+                        if length(epool) < pool_max and refs(event) == 2:
+                            epool.append(event)
             return None
         deadline = float(until)
-        if deadline < self.now:
-            raise ValueError(f"deadline {deadline} is in the past (now={self.now})")
-        while heap and heap[0][0] <= deadline:
-            when, _, event = pop(heap)
-            self.now = when
-            event._process()
+        if deadline < now:
+            raise ValueError(f"deadline {deadline} is in the past (now={now})")
+        while True:
+            if fast and (
+                not heap or heap[0][0] > now or heap[0][1] > fast[0][0]
+            ):
+                event = take_fast()[1]
+            elif heap and heap[0][0] <= deadline:
+                when, _, event = pop(heap)
+                self.now = now = when
+            else:
+                break
+            cbs = event.callbacks
+            event.callbacks = None
+            event.processed = True
+            if cbs:
+                if len(cbs) == 1:
+                    cbs[0](event)
+                else:
+                    for cb in cbs:
+                        cb(event)
+            if pooling:
+                cls = event.__class__
+                if cls is Timeout:
+                    if length(tpool) < pool_max and refs(event) == 2:
+                        tpool.append(event)
+                elif cls is Event:
+                    if length(epool) < pool_max and refs(event) == 2:
+                        epool.append(event)
         self.now = deadline
         return None
 
@@ -665,7 +960,7 @@ class Environment:
                 if isinstance(until, Event):
                     target = until
                     while not target.processed:
-                        if not self._heap:
+                        if not self._heap and not self._fast:
                             raise SimulationError(
                                 "event queue drained before target event fired "
                                 "(deadlock?)"
@@ -676,7 +971,7 @@ class Environment:
                         raise target.value
                     return target.value
                 if until is None:
-                    while self._heap:
+                    while self._heap or self._fast:
                         self.step()
                         dispatched += 1
                     return None
@@ -685,7 +980,9 @@ class Environment:
                     raise ValueError(
                         f"deadline {deadline} is in the past (now={self.now})"
                     )
-                while self._heap and self._heap[0][0] <= deadline:
+                while self._fast or (
+                    self._heap and self._heap[0][0] <= deadline
+                ):
                     self.step()
                     dispatched += 1
                 self.now = deadline
@@ -701,7 +998,7 @@ class Environment:
         if isinstance(until, Event):
             target = until
             while not target.processed:
-                if not self._heap:
+                if not self._heap and not self._fast:
                     raise SimulationError(
                         "event queue drained before target event fired (deadlock?)"
                     )
@@ -710,13 +1007,13 @@ class Environment:
                 raise target.value
             return target.value
         if until is None:
-            while self._heap:
+            while self._heap or self._fast:
                 self.step()
             return None
         deadline = float(until)
         if deadline < self.now:
             raise ValueError(f"deadline {deadline} is in the past (now={self.now})")
-        while self._heap and self._heap[0][0] <= deadline:
+        while self._fast or (self._heap and self._heap[0][0] <= deadline):
             self.step()
         self.now = deadline
         return None

@@ -108,6 +108,10 @@ class SimConfig:
     #: record per-request response times in a histogram so the report can
     #: carry p99 (degraded-mode tail reporting); off by default.
     response_quantiles: bool = False
+    #: recycle retired Event/Timeout objects in the kernel's free-list
+    #: pools (DESIGN.md §16).  Results are bit-identical either way; the
+    #: switch exists so the kernel bench and tests can A/B the pools.
+    kernel_pooling: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -254,10 +258,20 @@ def _worker(
     errors: Sequence[PartialStripeError],
     respect_arrival_times: bool,
 ) -> Generator:
+    recover = controller.recover_error
+    if not respect_arrival_times:
+        # Batch mode repairs back-to-back: no arrival check per error.
+        for error in errors:
+            yield from recover(error, cache)
+        return
+    timeout = env.timeout
     for error in errors:
-        if respect_arrival_times and env.now < error.time:
-            yield env.timeout(error.time - env.now)
-        yield from controller.recover_error(error, cache)
+        # Only wait for arrivals still in the future — an arrival time at
+        # or before ``now`` must not cost a redundant zero-delay event.
+        delay = error.time - env.now
+        if delay > 0:
+            yield timeout(delay)
+        yield from recover(error, cache)
 
 
 def run_reconstruction(

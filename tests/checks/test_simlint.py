@@ -560,6 +560,72 @@ class TestDirectPlanBuild:
         assert violations == []
 
 
+class TestZeroTimeout:
+    """PERF002: constant env.timeout(0) should be env.schedule_now()."""
+
+    def test_constant_zero_flagged(self):
+        violations = lint_snippet(
+            "def proc(env):\n"
+            "    yield env.timeout(0)\n",
+            "src/repro/sim/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["PERF002"]
+        assert violations[0].line == 2
+        assert "schedule_now" in violations[0].message
+
+    def test_constant_zero_float_flagged(self):
+        violations = lint_snippet(
+            "def proc(env):\n"
+            "    yield env.timeout(0.0, value)\n",
+            "src/repro/engine/broken.py",
+        )
+        assert [v.rule_id for v in violations] == ["PERF002"]
+
+    def test_variable_delay_allowed(self):
+        """A runtime-zero delay through a variable is the normal timed path."""
+        violations = lint_snippet(
+            "def proc(env, delay):\n"
+            "    yield env.timeout(delay)\n"
+            "    yield env.timeout(max(0.0, delay))\n",
+            "src/repro/sim/broken.py",
+        )
+        assert violations == []
+
+    def test_nonzero_constant_allowed(self):
+        violations = lint_snippet(
+            "def proc(env):\n"
+            "    yield env.timeout(1.0)\n",
+            "src/repro/sim/broken.py",
+        )
+        assert violations == []
+
+    def test_bool_false_not_flagged(self):
+        """False == 0 numerically, but it is not a constant zero delay."""
+        violations = lint_snippet(
+            "def proc(env, flag):\n"
+            "    yield env.timeout(False)\n",
+            "src/repro/sim/broken.py",
+        )
+        assert violations == []
+
+    def test_kernel_home_exempt(self):
+        """The kernel defines both spellings; its own zero delays are legal."""
+        violations = lint_snippet(
+            "def equivalent(env):\n"
+            "    return env.timeout(0)\n",
+            "src/repro/sim/kernel.py",
+        )
+        assert violations == []
+
+    def test_schedule_now_allowed(self):
+        violations = lint_snippet(
+            "def proc(env):\n"
+            "    yield env.schedule_now()\n",
+            "src/repro/sim/broken.py",
+        )
+        assert violations == []
+
+
 class TestBarePrint:
     """OBS001: library code reports through repro.obs.emit, never print()."""
 
