@@ -1,0 +1,155 @@
+"""``repro.api.v2.bench`` — grid execution and experiment definitions.
+
+v2 makes the execution request a value: :class:`GridRequest` carries the
+points *and* how to run them, is frozen, and rejects unknown keys
+eagerly (a typo like ``engine_worker=`` fails at construction with a
+``TypeError`` naming the key, not deep inside the pool).  ``run_grid``
+accepts either a :class:`GridRequest` or the v1 calling convention, so
+the v1 shim forwards here unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, Mapping, Sequence
+
+from ...bench.engine import (
+    ENGINE_CACHE_VERSION,
+    EngineConfig,
+    EnginePool,
+    EngineResult,
+    GridPoint,
+    PointTiming,
+    ResultCache,
+    default_cache_dir,
+)
+from ...bench.engine import run_grid as _run_grid
+from ...bench.experiments import (
+    EXPERIMENT_NAMES,
+    FULL,
+    QUICK,
+    Scale,
+    SweepPoint,
+    experiment_grid,
+    rows_equivalent,
+)
+
+__all__ = [
+    "GridRequest",
+    "run_grid",
+    "GridPoint",
+    "EngineConfig",
+    "EngineResult",
+    "EnginePool",
+    "PointTiming",
+    "ResultCache",
+    "ENGINE_CACHE_VERSION",
+    "default_cache_dir",
+    "experiment_grid",
+    "rows_equivalent",
+    "EXPERIMENT_NAMES",
+    "Scale",
+    "QUICK",
+    "FULL",
+    "SweepPoint",
+]
+
+
+@dataclass(frozen=True)
+class GridRequest:
+    """One grid execution, as a value: the points plus how to run them.
+
+    Either pass a full ``engine=`` :class:`EngineConfig`, or use the
+    conveniences (``engine_workers=``, ``cache_dir=``, ``batch=``) and
+    let :meth:`resolved_engine` assemble one — mixing both is a
+    ``TypeError``, same contract as the v1 facade.
+    """
+
+    points: tuple[GridPoint, ...]
+    engine: EngineConfig | None = None
+    engine_workers: int | str | None = None
+    cache_dir: str | None = None
+    batch: bool | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(self.points))
+        conveniences = (self.engine_workers, self.cache_dir, self.batch)
+        if self.engine is not None and any(
+            value is not None for value in conveniences
+        ):
+            raise TypeError(
+                "pass either engine= or the engine_workers/cache_dir/batch "
+                "conveniences, not both"
+            )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, object]) -> "GridRequest":
+        """Build from a key/value mapping, rejecting unknown keys eagerly.
+
+        The CLI and any config-file front end route through here, so a
+        misspelled knob surfaces as ``TypeError: unknown GridRequest
+        key(s): ...`` before any simulation work starts.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown GridRequest key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return cls(**dict(mapping))
+
+    def resolved_engine(self) -> EngineConfig | None:
+        """The :class:`EngineConfig` this request executes under."""
+        if self.engine is not None:
+            return self.engine
+        if any(
+            value is not None
+            for value in (self.engine_workers, self.cache_dir, self.batch)
+        ):
+            return EngineConfig(
+                workers=self.engine_workers if self.engine_workers is not None else 0,
+                cache_dir=self.cache_dir,
+                batch=self.batch if self.batch is not None else True,
+            )
+        return None
+
+
+def run_grid(
+    request: GridRequest | Sequence[GridPoint],
+    engine: EngineConfig | None = None,
+    on_progress: Callable[[int, int], None] | None = None,
+    *,
+    engine_workers: int | str | None = None,
+    cache_dir=None,
+    batch: bool | None = None,
+    pool: EnginePool | None = None,
+) -> EngineResult:
+    """Execute a grid; see :func:`repro.bench.engine.run_grid`.
+
+    Preferred v2 form: ``run_grid(GridRequest(points=...,
+    engine_workers="auto"))``.  The v1 form — points first, execution
+    options as kwargs — still works and is validated through the same
+    :class:`GridRequest`.  ``pool=`` reuses a live
+    :class:`EnginePool` across calls instead of spinning a fresh
+    process pool per grid.
+    """
+    if isinstance(request, GridRequest):
+        if engine is not None or any(
+            value is not None for value in (engine_workers, cache_dir, batch)
+        ):
+            raise TypeError(
+                "pass execution options inside the GridRequest, "
+                "not alongside it"
+            )
+    else:
+        request = GridRequest(
+            points=tuple(request),
+            engine=engine,
+            engine_workers=engine_workers,
+            cache_dir=cache_dir,
+            batch=batch,
+        )
+    return _run_grid(
+        request.points, request.resolved_engine(), on_progress, pool=pool
+    )

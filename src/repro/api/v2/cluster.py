@@ -1,0 +1,20 @@
+"""``repro.api.v2.cluster`` — the rack-aware cluster recovery scenario.
+
+Topology-threaded recovery of a whole placement group: specs in,
+a :class:`ClusterReport` out, plus the experiment-grid helper that
+sweeps cluster scenarios on the bench engine.
+"""
+
+from __future__ import annotations
+
+from ...bench.experiments import cluster_grid
+from ...sim.cluster import ClusterReport, ClusterSpec, run_cluster_recovery
+from ...sim.topology import TopologySpec
+
+__all__ = [
+    "ClusterReport",
+    "ClusterSpec",
+    "TopologySpec",
+    "cluster_grid",
+    "run_cluster_recovery",
+]

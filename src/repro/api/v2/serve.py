@@ -1,0 +1,50 @@
+"""``repro.api.v2.serve`` — the always-on cache-advisor service.
+
+The typed contracts (:class:`ServeConfig` in, :class:`Advice` out), the
+sliding-window :class:`CacheAdvisor` whose recommendations are
+bit-for-bit offline grid winners, the asyncio :class:`AdvisorServer`,
+and the supporting edges: bounded ingest, deterministic synthetic load,
+and atomic checkpoints.  New in v2 — there is no v1 spelling.
+"""
+
+from __future__ import annotations
+
+from ...serve import (
+    CHECKPOINT_SCHEMA,
+    DEFAULT_CACHE_MBS,
+    DEFAULT_POLICIES,
+    Advice,
+    AdvisorServer,
+    ArraySpec,
+    BoundedIngestQueue,
+    CacheAdvisor,
+    ServeConfig,
+    SyntheticSource,
+    load_checkpoint,
+    parse_record,
+    pick_winner,
+    record_lines,
+    records_for,
+    restore_advisor,
+    write_checkpoint,
+)
+
+__all__ = [
+    "ServeConfig",
+    "ArraySpec",
+    "Advice",
+    "DEFAULT_POLICIES",
+    "DEFAULT_CACHE_MBS",
+    "CacheAdvisor",
+    "pick_winner",
+    "AdvisorServer",
+    "BoundedIngestQueue",
+    "parse_record",
+    "SyntheticSource",
+    "records_for",
+    "record_lines",
+    "CHECKPOINT_SCHEMA",
+    "write_checkpoint",
+    "load_checkpoint",
+    "restore_advisor",
+]

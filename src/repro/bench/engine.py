@@ -52,6 +52,7 @@ __all__ = [
     "ENGINE_CACHE_VERSION",
     "GridPoint",
     "EngineConfig",
+    "EnginePool",
     "PointTiming",
     "EngineResult",
     "ResultCache",
@@ -179,6 +180,89 @@ def default_cache_dir() -> Path:
     root = os.environ.get("XDG_CACHE_HOME")
     base = Path(root) if root else Path.home() / ".cache"
     return base / "repro-fbf"
+
+
+class EnginePool:
+    """A reusable process-pool handle shared across :func:`run_grid` calls.
+
+    ``run_grid`` normally builds a fresh ``ProcessPoolExecutor`` per
+    invocation — fine for one-shot sweeps, wasteful for a long-lived
+    caller (the serve layer) that replays a grid every few seconds:
+    process spawn plus per-process memo warm-up would dominate.  An
+    ``EnginePool`` keeps the executor (and therefore the workers' warm
+    ``_BACKENDS``/``_PLANS``/``_STREAMS`` memos) alive across calls::
+
+        with EnginePool(workers=4) as pool:
+            for window in windows:
+                run_grid(points, engine, pool=pool)
+
+    The executor is created lazily on first use and torn down by
+    :meth:`close` (or the context manager).  ``workers`` follows the
+    :class:`EngineConfig` vocabulary (``"auto"`` = ``os.cpu_count()``);
+    a pool resolved to zero workers is a valid no-op handle — callers
+    fall back to their in-process path.
+    """
+
+    def __init__(
+        self, workers: int | str = "auto", start_method: str | None = None
+    ):
+        if isinstance(workers, str):
+            if workers != "auto":
+                raise ValueError(
+                    f"workers must be an int >= 0 or 'auto', got {workers!r}"
+                )
+        elif workers < 0:
+            raise ValueError(
+                f"workers must be an int >= 0 or 'auto', got {workers!r}"
+            )
+        self.workers = workers
+        self.start_method = start_method
+        self._executor: ProcessPoolExecutor | None = None
+
+    def resolved_workers(self) -> int:
+        if self.workers == "auto":
+            return os.cpu_count() or 1
+        return int(self.workers)
+
+    @property
+    def active(self) -> bool:
+        """Has an executor been spun up (and not yet closed)?"""
+        return self._executor is not None
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, creating it on first use."""
+        n = self.resolved_workers()
+        if n < 1:
+            raise RuntimeError("EnginePool resolved to 0 workers; use the "
+                               "in-process path instead")
+        if self._executor is None:
+            import multiprocessing
+
+            context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method
+                else None
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=n, mp_context=context
+            )
+        return self._executor
+
+    def map(self, fn, iterable, chunksize: int = 1):
+        """``executor.map`` with the pool's lifetime semantics."""
+        return self.executor().map(fn, iterable, chunksize=chunksize)
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent); the handle stays reusable."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "EnginePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class ResultCache:
@@ -598,12 +682,16 @@ def run_grid(
     points: Sequence[GridPoint],
     engine: EngineConfig | None = None,
     on_progress: Callable[[int, int], None] | None = None,
+    pool: EnginePool | None = None,
 ) -> EngineResult:
     """Execute ``points`` and return rows in the same (canonical) order.
 
     Output is independent of ``engine``: the worker count and the cache
     only affect *when and where* cells are computed, never their values.
     ``on_progress(done, total)`` is called after every completed point.
+    ``pool`` reuses a live :class:`EnginePool` executor instead of
+    spawning one per call (its worker count overrides ``engine.workers``);
+    the pool outlives this call — the caller closes it.
     """
     engine = engine or EngineConfig()
     obs_on = _obs.ENABLED
@@ -684,7 +772,9 @@ def run_grid(
                 cache.put(points[i], row)
             record(i, row, seconds, cached=False)
 
-    n_workers = engine.resolved_workers()
+    n_workers = (
+        pool.resolved_workers() if pool is not None else engine.resolved_workers()
+    )
     if n_workers == 0 or len(tasks) <= 1:
         for indices in tasks:
             record_task(
@@ -692,30 +782,40 @@ def run_grid(
                 _timed_task(tuple(points[i] for i in indices), replay),
             )
     else:
-        import multiprocessing
-
-        n_workers = min(n_workers, len(tasks))
-        context = (
-            multiprocessing.get_context(engine.start_method)
-            if engine.start_method
-            else None
-        )
-        chunksize = max(1, len(tasks) // (n_workers * 4))
         from functools import partial
 
-        with ProcessPoolExecutor(max_workers=n_workers, mp_context=context) as pool:
-            todo = [tuple(points[i] for i in indices) for indices in tasks]
-            for indices, results in zip(
-                tasks,
-                pool.map(partial(_timed_task, replay=replay), todo,
-                         chunksize=chunksize),
-            ):
+        n_workers = min(n_workers, len(tasks))
+        chunksize = max(1, len(tasks) // (n_workers * 4))
+        todo = [tuple(points[i] for i in indices) for indices in tasks]
+        task_fn = partial(_timed_task, replay=replay)
+        if pool is not None:
+            mapped = pool.map(task_fn, todo, chunksize=chunksize)
+            for indices, results in zip(tasks, mapped):
                 record_task(indices, results)
+        else:
+            import multiprocessing
 
+            context = (
+                multiprocessing.get_context(engine.start_method)
+                if engine.start_method
+                else None
+            )
+            with ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=context
+            ) as executor:
+                for indices, results in zip(
+                    tasks,
+                    executor.map(task_fn, todo, chunksize=chunksize),
+                ):
+                    record_task(indices, results)
+
+    resolved = (
+        pool.resolved_workers() if pool is not None else engine.resolved_workers()
+    )
     result = EngineResult(
         points=rows,
         wall_s=time.perf_counter() - t_start,
-        workers=0 if engine.resolved_workers() == 0 else n_workers,
+        workers=0 if resolved == 0 else n_workers,
         cache_hits=hits,
         cache_misses=len(misses),
         timings=[t for t in timings if t is not None],

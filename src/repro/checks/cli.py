@@ -9,8 +9,8 @@ Beyond linting, two maintenance verbs rewrite committed state:
 * ``--update-baseline`` regenerates the accepted-findings file from the
   current tree, preserving tracking comments for entries that still
   match;
-* ``--update-api-manifest`` regenerates the ``repro.api`` surface
-  manifest that API001 checks against.
+* ``--update-api-manifest`` regenerates the per-namespace
+  ``repro.api.v2`` surface manifests that API001 checks against.
 
 Both re-run the (cache-warm) analysis afterwards so the reported
 outcome reflects the refreshed files.
@@ -32,6 +32,7 @@ from .engine import (
 )
 from .program_rules import (
     ALL_PROGRAM_RULES,
+    V2_NAMESPACES,
     ProgramRule,
     default_manifest_path,
     render_manifest,
@@ -120,9 +121,14 @@ def run_check(
 
     refreshed = False
     if update_api_manifest:
-        manifest = default_manifest_path()
-        manifest.write_text(render_manifest(outcome.graph), encoding="utf-8")
-        out.write(f"wrote API manifest: {manifest}\n")
+        for namespace, module in V2_NAMESPACES.items():
+            manifest = default_manifest_path(namespace)
+            manifest.parent.mkdir(parents=True, exist_ok=True)
+            manifest.write_text(
+                render_manifest(outcome.graph, api_module=module),
+                encoding="utf-8",
+            )
+            out.write(f"wrote API manifest: {manifest}\n")
         refreshed = True
     if update_baseline:
         target = baseline_path if baseline_path is not None else default_baseline_path()

@@ -47,6 +47,8 @@ __all__ = [
     "ApiManifestRule",
     "ALL_PROGRAM_RULES",
     "DEFAULT_LAYERS",
+    "V2_NAMESPACES",
+    "default_manifest_dir",
     "default_manifest_path",
     "render_manifest",
 ]
@@ -75,6 +77,9 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "analysis": 3,
     "obs": 3,
     "bench": 4,
+    # the advisor service composes the bench engine and the incremental
+    # interner, and is itself re-exported by the api facade
+    "serve": 5,
     "api": 5,
     "cli": 5,
     "checks": 5,
@@ -86,6 +91,17 @@ DEFAULT_CROSS_CUTTING: tuple[str, ...] = (
     "repro.obs",
     "repro.checks.sanitizer",
 )
+
+#: The versioned facade: manifest namespace -> the module API001 gates.
+#: The v1 ``repro.api`` shim resolves names dynamically (a module
+#: ``__getattr__``), which no AST pass can see, so the manifests gate
+#: the v2 namespaces — the modules that actually own the surface.
+V2_NAMESPACES: Mapping[str, str] = {
+    "replay": "repro.api.v2.replay",
+    "bench": "repro.api.v2.bench",
+    "cluster": "repro.api.v2.cluster",
+    "serve": "repro.api.v2.serve",
+}
 
 
 class ProgramRule(ABC):
@@ -228,7 +244,14 @@ class DeadDefRule(ProgramRule):
         self.entry_modules = tuple(
             entry_modules
             if entry_modules is not None
-            else ("repro.api", "repro.cli", "repro.checks.cli")
+            else (
+                # the v1 shim resolves dynamically, so the v2 namespaces
+                # (whose __all__ lists are AST-visible) anchor liveness
+                "repro.api",
+                *V2_NAMESPACES.values(),
+                "repro.cli",
+                "repro.checks.cli",
+            )
         )
 
     @staticmethod
@@ -446,8 +469,21 @@ class ObsGuardRule(ProgramRule):
                 )
 
 
-def default_manifest_path() -> Path:
-    return Path(__file__).parent / "api_manifest.txt"
+def default_manifest_dir() -> Path:
+    """Where the per-namespace v2 manifests live (one file per namespace)."""
+    return Path(__file__).parent / "api_manifest_v2"
+
+
+def default_manifest_path(namespace: str | None = None) -> Path:
+    """Manifest path for one v2 namespace (None = the legacy v1 file)."""
+    if namespace is None:
+        return Path(__file__).parent / "api_manifest.txt"
+    if namespace not in V2_NAMESPACES:
+        raise KeyError(
+            f"unknown api namespace {namespace!r}; "
+            f"known: {', '.join(sorted(V2_NAMESPACES))}"
+        )
+    return default_manifest_dir() / f"{namespace}.txt"
 
 
 def _resolved_exports(graph: ProjectGraph, api_module: str) -> dict[str, str]:
@@ -471,7 +507,7 @@ def render_manifest(graph: ProjectGraph, api_module: str = "repro.api") -> str:
     """The manifest text for the current graph (``--update-api-manifest``)."""
     exports = _resolved_exports(graph, api_module)
     lines = [
-        "# repro.api exported surface — checked by API001.",
+        f"# {api_module} exported surface — checked by API001.",
         "# Regenerate with: repro-fbf check --update-api-manifest",
         "# Format: <export-name> = <defining-module>[:<symbol>]",
     ]
@@ -480,7 +516,14 @@ def render_manifest(graph: ProjectGraph, api_module: str = "repro.api") -> str:
 
 
 class ApiManifestRule(ProgramRule):
-    """API001: the ``repro.api`` surface matches the committed manifest."""
+    """API001: a facade namespace matches its committed manifest.
+
+    One instance gates one module against one manifest file; the default
+    rule set runs one instance per :data:`V2_NAMESPACES` entry, so a
+    surface change in (say) ``api.v2.serve`` diffs against
+    ``api_manifest_v2/serve.txt`` alone — the other namespaces' files
+    stay byte-identical and reviewable in isolation.
+    """
 
     rule_id = "API001"
     summary = "repro.api exports must match the committed manifest"
@@ -564,5 +607,11 @@ ALL_PROGRAM_RULES: tuple[ProgramRule, ...] = (
     DeadDefRule(),
     SeedProvenanceRule(),
     ObsGuardRule(),
-    ApiManifestRule(),
+    *(
+        ApiManifestRule(
+            manifest_path=default_manifest_path(namespace),
+            api_module=module,
+        )
+        for namespace, module in V2_NAMESPACES.items()
+    ),
 )

@@ -17,6 +17,8 @@ Examples::
     repro-fbf obs fig8 --scale full --jsonl obs.jsonl
     repro-fbf trace --code tip --p 7 --errors 100 --out trace.txt
     repro-fbf info --code star --p 5
+    repro-fbf serve --synthetic 0 --port 7777 --metrics-port 9100
+    repro-fbf advise --port 7777
 """
 
 from __future__ import annotations
@@ -251,6 +253,100 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_flags(rep)
     _add_engine_flags(rep, default_workers="0")
 
+    s = sub.add_parser(
+        "serve",
+        help="run the always-on cache advisor: ingest an error stream, "
+             "answer advise queries, export serve.* metrics",
+    )
+    s.add_argument("--code", default="tip", choices=available_codes())
+    s.add_argument("--p", type=int, default=7)
+    s.add_argument(
+        "--scheme", choices=("typical", "fbf", "greedy"), default="fbf",
+        help="recovery scheme the advisor replays under (default: fbf)",
+    )
+    s.add_argument(
+        "--workers", type=int, default=32,
+        help="simulated SOR worker count per evaluation (default: 32)",
+    )
+    s.add_argument(
+        "--policies", type=str, default=None,
+        help="comma-separated candidate policies (default: fifo,lru,lfu,arc,fbf)",
+    )
+    s.add_argument(
+        "--cache-mbs", type=str, default=None,
+        help="comma-separated candidate cache sizes in MB "
+             "(default: 2,4,8,16,32,64)",
+    )
+    s.add_argument(
+        "--window-events", type=int, default=192,
+        help="sliding evaluation window, in events (default: 192)",
+    )
+    s.add_argument(
+        "--batch-events", type=int, default=24,
+        help="ingest batch size between evaluations (default: 24)",
+    )
+    s.add_argument(
+        "--queue-limit", type=int, default=1024,
+        help="bounded ingest queue; overflow is shed and counted "
+             "(default: 1024)",
+    )
+    s.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="checkpoint file: resumed on start, rewritten periodically "
+             "and on drain",
+    )
+    s.add_argument(
+        "--checkpoint-every", type=int, default=8,
+        help="batches between checkpoints (0 = only on shutdown; default: 8)",
+    )
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument(
+        "--port", type=int, default=0,
+        help="ingest/query TCP port (0 = ephemeral, printed on start)",
+    )
+    s.add_argument(
+        "--metrics-port", type=int, default=0,
+        help="Prometheus /metrics port (0 = ephemeral, printed on start)",
+    )
+    s.add_argument(
+        "--stdin", action="store_true",
+        help="also ingest JSON-lines records from stdin (EOF drains and exits)",
+    )
+    s.add_argument(
+        "--synthetic", type=int, default=None, metavar="N",
+        help="drive the server with N synthetic load batches (0 = endless)",
+    )
+    s.add_argument(
+        "--synthetic-seed", type=int, default=42,
+        help="seed for the synthetic load generator (default: 42)",
+    )
+    s.add_argument(
+        "--synthetic-interval", type=float, default=0.05, metavar="SECS",
+        help="pause between synthetic batches (default: 0.05)",
+    )
+    s.add_argument(
+        "--engine-workers", default=None, metavar="N",
+        help="shard grid evaluations across a process pool: an int or "
+             "'auto' (default: in-process)",
+    )
+
+    a = sub.add_parser(
+        "advise",
+        help="query a running advisor: which policy/capacity should this "
+             "array run?",
+    )
+    a.add_argument("--host", default="127.0.0.1")
+    a.add_argument("--port", type=int, required=True,
+                   help="the advisor's ingest/query port")
+    a.add_argument("--code", default=None, choices=available_codes(),
+                   help="array code of the asking deployment (default: "
+                        "the server's)")
+    a.add_argument("--p", type=int, default=None)
+    a.add_argument("--workers", type=int, default=None,
+                   help="evaluate at this SOR fan-out instead of the "
+                        "server default")
+    a.add_argument("--timeout", type=float, default=30.0)
+
     c = sub.add_parser(
         "check",
         help="run simlint (domain static analysis) over source trees",
@@ -364,12 +460,12 @@ _BENCH_METRICS = {
 def _run_bench(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from .api.v2.bench import GridRequest, run_grid
     from .bench import (
         EngineConfig,
         bench_summary,
         experiment_grid,
         rows_equivalent,
-        run_grid,
         write_bench_json,
     )
 
@@ -380,11 +476,14 @@ def _run_bench(args: argparse.Namespace) -> int:
     divergent: list[str] = []
     for name in names:
         grid = experiment_grid(name, scale)
-        result = run_grid(grid, engine)
+        result = run_grid(GridRequest(points=tuple(grid), engine=engine))
         extra: dict[str, object] = {}
         if args.check_serial:
             serial = run_grid(
-                grid, EngineConfig(workers=0, cache_dir=None, batch=False)
+                GridRequest(
+                    points=tuple(grid),
+                    engine=EngineConfig(workers=0, cache_dir=None, batch=False),
+                )
             )
             # Simulated metrics must match bit for bit; the measured
             # overhead columns legitimately vary (see DESIGN §9).
@@ -466,6 +565,138 @@ def _run_cluster(args: argparse.Namespace) -> int:
                  f"{rep.recovery_time:>11.3f} {rep.p99_response_time:>8.4f} "
                  f"{rep.bottleneck:>13} {rep.bottleneck_utilization:>5.2f}  "
                  f"{suspects}")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The always-on advisor service (DESIGN §17)."""
+    import asyncio
+
+    from .serve import AdvisorServer, ServeConfig, SyntheticSource
+
+    kwargs: dict = dict(
+        code=args.code,
+        p=args.p,
+        scheme_mode=args.scheme,
+        workers=args.workers,
+        window_events=args.window_events,
+        batch_events=args.batch_events,
+        queue_limit=args.queue_limit,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+    )
+    if args.policies:
+        kwargs["policies"] = tuple(
+            x.strip() for x in args.policies.split(",") if x.strip()
+        )
+    if args.cache_mbs:
+        kwargs["cache_mbs"] = tuple(
+            float(x) for x in args.cache_mbs.split(",") if x.strip()
+        )
+    try:
+        config = ServeConfig(**kwargs)
+    except ValueError as exc:
+        emit(f"invalid serve configuration: {exc}", stream=sys.stderr)
+        return 2
+
+    pool = None
+    if args.engine_workers not in (None, "0", 0):
+        from .bench.engine import EnginePool
+
+        pool = EnginePool(
+            workers="auto" if args.engine_workers == "auto"
+            else int(args.engine_workers)
+        )
+
+    async def run() -> None:
+        server = AdvisorServer(
+            config,
+            host=args.host,
+            port=args.port,
+            metrics_port=args.metrics_port,
+            pool=pool,
+            read_stdin=args.stdin,
+        )
+        await server.start()
+        emit(
+            f"advisor for {config.code} p={config.p} serving on "
+            f"{args.host}:{server.port} "
+            f"(metrics http://{args.host}:{server.metrics_port}/metrics)"
+            + (" [resumed from checkpoint]" if server.resumed else "")
+        )
+        feeder = None
+        if args.synthetic is not None:
+            source = SyntheticSource(
+                config.code,
+                config.p,
+                seed=args.synthetic_seed,
+                chunk=config.batch_events,
+            )
+
+            async def feed() -> None:
+                n = args.synthetic if args.synthetic > 0 else None
+                for batch in source.batches(n):
+                    if server._stop.is_set():
+                        return
+                    server.feed(batch)
+                    await asyncio.sleep(args.synthetic_interval)
+
+            feeder = asyncio.ensure_future(feed())
+        try:
+            await server.serve_forever()
+        finally:
+            if feeder is not None:
+                feeder.cancel()
+        emit(f"drained; final stats: {server.stats()}")
+
+    try:
+        asyncio.run(run())
+    finally:
+        if pool is not None:
+            pool.close()
+    return 0
+
+
+def _run_advise(args: argparse.Namespace) -> int:
+    """One ``advise`` round trip against a running advisor."""
+    import asyncio
+    import json
+
+    async def query() -> dict:
+        reader, writer = await asyncio.open_connection(args.host, args.port)
+        request: dict = {"op": "advise"}
+        if args.code is not None:
+            request["code"] = args.code
+        if args.p is not None:
+            request["p"] = args.p
+        if args.workers is not None:
+            request["workers"] = args.workers
+        writer.write(json.dumps(request).encode("utf-8") + b"\n")
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), args.timeout)
+        writer.close()
+        await writer.wait_closed()
+        return json.loads(line)
+
+    try:
+        answer = asyncio.run(query())
+    except (OSError, asyncio.TimeoutError) as exc:
+        emit(f"advise failed: cannot reach {args.host}:{args.port} ({exc})",
+             stream=sys.stderr)
+        return 1
+    if not answer.get("ok"):
+        emit(f"advise refused: {answer.get('error')}", stream=sys.stderr)
+        return 1
+    advice = answer["advice"]
+    emit(json.dumps(advice, indent=2, sort_keys=True))
+    emit(
+        f"run {advice['policy']} at {advice['cache_mb']:g} MB "
+        f"({advice['capacity_blocks']} blocks): hit ratio "
+        f"{advice['hit_ratio']:.4f} over the last "
+        f"{advice['window_events']} events "
+        f"(confidence {advice['confidence']:.2f})",
+        stream=sys.stderr,
+    )
     return 0
 
 
@@ -557,6 +788,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if cmd == "bench":
         return _run_bench(args)
+
+    if cmd == "serve":
+        return _run_serve(args)
+
+    if cmd == "advise":
+        return _run_advise(args)
 
     if cmd == "obs":
         return _run_obs(args)

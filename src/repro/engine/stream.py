@@ -42,7 +42,13 @@ from .backend import CodeBackend, make_priority_model
 from .stackdist import SampledStackDistanceProfile, StackDistanceProfile
 from .tracesim import PlanCache, TraceSimResult, effective_partition
 
-__all__ = ["InternedStream", "intern_stream", "ReplayConfig", "simulate_grid_pass"]
+__all__ = [
+    "InternedStream",
+    "intern_stream",
+    "StreamInterner",
+    "ReplayConfig",
+    "simulate_grid_pass",
+]
 
 try:  # numpy is optional: every caller falls back to the python path.
     import numpy as _np
@@ -323,6 +329,187 @@ def intern_stream(
         _obs.counter("engine.plan_cache.misses").inc(after_misses - before_misses)
         _obs.gauge("engine.plan_cache.entries").set(len(plan_cache))
     return stream
+
+
+class StreamInterner:
+    """Incremental interning over an advancing event log (the serve layer).
+
+    :func:`intern_stream` decodes a complete, already-known trace.  A
+    long-lived advisor instead sees events *arrive*: it appends each
+    batch as it lands and replays a sliding window of the most recent
+    events.  This class keeps the interning state (the block-key index,
+    the flat ``bids``/``hints``/``offsets`` arrays, the shared
+    :class:`~repro.engine.tracesim.PlanCache`) alive across appends, so
+    each batch costs one plan decode per *new* plan rather than a full
+    re-intern of the window.
+
+    Equivalence contract: when events are appended in globally sorted
+    order (the serve ingest path sorts each batch, and the synthetic /
+    trace sources emit monotonically increasing times),
+    ``interner.window(start, stop)`` is bit-for-bit identical to
+    ``intern_stream(backend, events[start:stop])`` — same keys, same
+    dense ids, same hints — because dense ids are assigned in first-seen
+    order within the window either way (property-tested in
+    ``tests/engine/test_stream_interner.py``).
+
+    Memory is bounded by :meth:`compact`, which drops a consumed prefix
+    and rebases the retained suffix exactly as :meth:`window` does.
+    ``events_seen`` keeps counting across compactions, so window indices
+    are stable log positions, not buffer offsets.
+    """
+
+    __slots__ = ("backend", "hint", "plan_cache", "_model", "_index",
+                 "_bids", "_hints", "_offsets", "_events", "_dropped")
+
+    def __init__(
+        self,
+        backend: CodeBackend,
+        hint: str = "priority",
+        plan_cache: PlanCache | None = None,
+    ):
+        if plan_cache is None:
+            plan_cache = PlanCache(backend)
+        elif plan_cache.backend is not backend:
+            raise ValueError("plan_cache was built for a different backend")
+        self.backend = backend
+        self.hint = hint
+        self.plan_cache = plan_cache
+        self._model = make_priority_model(hint)
+        self._index: dict[Any, int] = {}
+        self._bids = array("i")
+        self._hints = array("i")
+        self._offsets = array("i", [0])
+        self._events: list[Any] = []
+        self._dropped = 0  #: events removed from the left by compact()
+
+    @property
+    def events_seen(self) -> int:
+        """Total events ever appended (stable log length, survives compact)."""
+        return self._dropped + len(self._events)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._index)
+
+    @property
+    def first_event(self) -> int:
+        """Log index of the oldest retained event."""
+        return self._dropped
+
+    def extend(self, events: Iterable[Any]) -> int:
+        """Intern ``events`` in the given order; returns how many arrived.
+
+        The caller owns ordering: the serve batcher sorts each batch and
+        feeds batches in arrival order, which keeps the log globally
+        sorted for time-monotone sources.
+        """
+        index = self._index
+        bids, hints, offsets = self._bids, self._hints, self._offsets
+        get_plan, sequence = self.plan_cache.get, self._model.sequence
+        n = 0
+        for event in events:
+            stripe = event.stripe
+            for unit, hint_value in sequence(get_plan(event)):
+                key = (stripe, unit)
+                bid = index.get(key)
+                if bid is None:
+                    bid = index[key] = len(index)
+                bids.append(bid)
+                hints.append(hint_value)
+            offsets.append(len(bids))
+            self._events.append(event)
+            n += 1
+        return n
+
+    def events_slice(self, start: int, stop: int | None = None) -> list[Any]:
+        """The retained events for log positions ``[start, stop)``."""
+        lo = start - self._dropped
+        if lo < 0:
+            raise ValueError(
+                f"event {start} was compacted away (oldest retained: "
+                f"{self._dropped})"
+            )
+        hi = None if stop is None else stop - self._dropped
+        return self._events[lo:hi]
+
+    def window(self, start: int, stop: int | None = None) -> InternedStream:
+        """An :class:`InternedStream` over log positions ``[start, stop)``.
+
+        Dense ids are rebased to first-seen order *within the window*, so
+        the result equals a fresh ``intern_stream`` of the same slice.
+        """
+        lo = start - self._dropped
+        if lo < 0:
+            raise ValueError(
+                f"event {start} was compacted away (oldest retained: "
+                f"{self._dropped})"
+            )
+        hi = len(self._events) if stop is None else stop - self._dropped
+        if not 0 <= lo <= hi <= len(self._events):
+            raise ValueError(
+                f"window [{start}, {stop}) outside the retained log "
+                f"[{self._dropped}, {self.events_seen})"
+            )
+        offsets = self._offsets
+        req_lo, req_hi = offsets[lo], offsets[hi]
+        old_bids = self._bids
+        remap: dict[int, int] = {}
+        new_keys: list[Any] = []
+        bids = array("i")
+        append = bids.append
+        # key_of is materialized lazily: only ids first seen in the
+        # window need their (stripe, unit) key recovered.
+        key_of: tuple[Any, ...] | None = None
+        for i in range(req_lo, req_hi):
+            old = old_bids[i]
+            new = remap.get(old)
+            if new is None:
+                if key_of is None:
+                    key_of = tuple(self._index)
+                new = remap[old] = len(new_keys)
+                new_keys.append(key_of[old])
+            append(new)
+        new_offsets = array("i", (offsets[i] - req_lo for i in range(lo, hi + 1)))
+        return InternedStream(
+            self.backend,
+            self.hint,
+            tuple(new_keys),
+            bids,
+            self._hints[req_lo:req_hi],
+            new_offsets,
+        )
+
+    def compact(self, keep_last: int) -> int:
+        """Drop all but the last ``keep_last`` events; returns how many went.
+
+        Rebases the retained suffix through :meth:`window`'s machinery, so
+        every later ``window``/``snapshot`` call sees exactly the state a
+        fresh interner fed only the suffix would hold.  The block-key
+        index is rebuilt from the suffix, releasing keys only the dropped
+        prefix touched.
+        """
+        excess = len(self._events) - max(keep_last, 0)
+        if excess <= 0:
+            return 0
+        rebased = self.window(self._dropped + excess)
+        self._index = {key: i for i, key in enumerate(rebased.keys)}
+        self._bids = rebased.bids
+        self._hints = rebased.hints
+        self._offsets = rebased.offsets
+        self._events = self._events[excess:]
+        self._dropped += excess
+        return excess
+
+    def snapshot(self) -> InternedStream:
+        """The whole retained log as one :class:`InternedStream`."""
+        return InternedStream(
+            self.backend,
+            self.hint,
+            tuple(self._index),
+            array("i", self._bids),
+            array("i", self._hints),
+            array("i", self._offsets),
+        )
 
 
 @dataclass

@@ -26,7 +26,12 @@ from typing import Any
 
 from .metrics import MetricRegistry
 
-__all__ = ["write_jsonl", "to_prometheus", "write_prometheus"]
+__all__ = [
+    "write_jsonl",
+    "to_prometheus",
+    "write_prometheus",
+    "prometheus_http_payload",
+]
 
 JSONL_SCHEMA = 1
 
@@ -115,6 +120,31 @@ def to_prometheus(registry: MetricRegistry) -> str:
         lines.append(f"{prom}_seconds_total {agg['total_s']}")
         lines.append(f"{prom}_count {agg['count']}")
     return "\n".join(lines) + "\n"
+
+
+#: Content type of the Prometheus text exposition format, version 0.0.4.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def prometheus_http_payload(registry: MetricRegistry | None) -> bytes:
+    """A complete HTTP/1.1 ``200`` response carrying the scrape body.
+
+    The serve layer's ``/metrics`` endpoint answers scrapes over a bare
+    asyncio stream, so the whole response — status line, headers, body —
+    is rendered here where the exposition format lives.  ``None`` (obs
+    never enabled) yields an empty, still-valid exposition body.
+    """
+    body = (to_prometheus(registry) if registry is not None else "").encode(
+        "utf-8"
+    )
+    head = (
+        "HTTP/1.1 200 OK\r\n"
+        f"Content-Type: {PROMETHEUS_CONTENT_TYPE}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body
 
 
 def write_prometheus(registry: MetricRegistry, path: str | Path) -> Path:

@@ -15,7 +15,7 @@ from typing import Any, Mapping
 __all__ = ["render_summary", "LAYER_ORDER"]
 
 #: Section order; prefixes not listed here render afterwards, sorted.
-LAYER_ORDER: tuple[str, ...] = ("kernel", "engine", "bench", "cluster")
+LAYER_ORDER: tuple[str, ...] = ("kernel", "engine", "bench", "cluster", "serve")
 
 #: Layers that print a ``(no data)`` section rather than being omitted.
 _ALWAYS_ON: frozenset[str] = frozenset({"kernel", "engine", "bench"})

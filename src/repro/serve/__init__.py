@@ -1,0 +1,55 @@
+"""``repro.serve`` — the always-on cache-advisor service.
+
+The serving counterpart to the offline bench engine: an asyncio front
+end that ingests partial-stripe-error streams (JSON lines over TCP or
+stdin, or the deterministic synthetic generator), replays a sliding
+window of them across a candidate policy x capacity grid with
+:func:`~repro.engine.stream.simulate_grid_pass`, and answers
+``advise(array_spec)`` queries whose recommendation is bit-for-bit the
+offline winner for that window.  Backpressure is shed-and-count at a
+bounded queue, state checkpoints atomically, and shutdown drains.
+
+Public surface (re-exported as ``repro.api.v2.serve``):
+
+* :class:`ServeConfig` / :class:`ArraySpec` / :class:`Advice` — the
+  typed contracts;
+* :class:`CacheAdvisor` / :func:`pick_winner` — the sliding-window
+  evaluator and the canonical ranking;
+* :class:`AdvisorServer` — the asyncio service;
+* :class:`BoundedIngestQueue` / :func:`parse_record` — the ingest edge;
+* :class:`SyntheticSource` / :func:`record_lines` — deterministic load;
+* :func:`write_checkpoint` / :func:`load_checkpoint` /
+  :func:`restore_advisor` — durability.
+"""
+
+from .advisor import CacheAdvisor, pick_winner
+from .checkpoint import (
+    CHECKPOINT_SCHEMA,
+    load_checkpoint,
+    restore_advisor,
+    write_checkpoint,
+)
+from .config import DEFAULT_CACHE_MBS, DEFAULT_POLICIES, Advice, ArraySpec, ServeConfig
+from .ingest import BoundedIngestQueue, parse_record
+from .loadgen import SyntheticSource, record_lines, records_for
+from .server import AdvisorServer
+
+__all__ = [
+    "ServeConfig",
+    "ArraySpec",
+    "Advice",
+    "DEFAULT_POLICIES",
+    "DEFAULT_CACHE_MBS",
+    "CacheAdvisor",
+    "pick_winner",
+    "AdvisorServer",
+    "BoundedIngestQueue",
+    "parse_record",
+    "SyntheticSource",
+    "records_for",
+    "record_lines",
+    "CHECKPOINT_SCHEMA",
+    "write_checkpoint",
+    "load_checkpoint",
+    "restore_advisor",
+]

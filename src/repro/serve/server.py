@@ -1,0 +1,292 @@
+"""The always-on advisor service: asyncio ingest, query, and metrics.
+
+One single-threaded event loop owns everything:
+
+* a JSON-lines TCP endpoint where each line is either an ingest record
+  (no ``"op"`` key — parsed into the bounded queue, overflow shed) or a
+  query object (``{"op": "advise" | "stats" | "ping" | "shutdown"}``,
+  answered with one JSON line);
+* an optional stdin reader accepting the same wire records, so
+  ``generator | repro-fbf serve --stdin`` works without a socket;
+* a batch loop draining the queue ``batch_events`` at a time into the
+  :class:`~repro.serve.advisor.CacheAdvisor`, checkpointing every
+  ``checkpoint_every`` batches;
+* a bare-bones HTTP responder serving the Prometheus scrape at
+  ``/metrics``.
+
+Shutdown (``SIGTERM``/``SIGINT``/the ``shutdown`` op) is a graceful
+drain: listeners stop accepting, every event already queued is batched
+into the advisor, a final checkpoint lands, and only then does
+:meth:`AdvisorServer.serve_forever` return.  Nothing accepted is ever
+dropped by shutdown — only queue overflow sheds, and that is counted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from typing import Sequence
+
+from ..obs import runtime as _obs
+from ..obs.export import prometheus_http_payload
+from ..workloads import PartialStripeError
+from .advisor import CacheAdvisor
+from .checkpoint import restore_advisor, write_checkpoint
+from .config import ArraySpec, ServeConfig
+from .ingest import BoundedIngestQueue
+
+__all__ = ["AdvisorServer"]
+
+_IDLE_TICK = 0.2  # seconds between shutdown checks while the queue is idle
+
+
+class AdvisorServer:
+    """The serve loop: sockets and signals outside, one advisor inside."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics_port: int | None = 0,
+        pool=None,
+        read_stdin: bool = False,
+    ):
+        self.config = config
+        self.host = host
+        self._want_port = port
+        self._want_metrics_port = metrics_port
+        self.read_stdin = read_stdin
+        self.queue = BoundedIngestQueue(config.queue_limit)
+        restored = (
+            restore_advisor(config, config.checkpoint_path, pool=pool)
+            if config.checkpoint_path
+            else None
+        )
+        self.resumed = restored is not None
+        self.advisor = restored or CacheAdvisor(config, pool=pool)
+        self._server: asyncio.AbstractServer | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._stop = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._batches_since_checkpoint = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def port(self) -> int | None:
+        """The bound query/ingest port (None before :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_port(self) -> int | None:
+        if self._metrics_server is None or not self._metrics_server.sockets:
+            return None
+        return self._metrics_server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind listeners, install signal handlers, start the batch loop."""
+        if not _obs.enabled():
+            _obs.enable()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._want_port
+        )
+        if self._want_metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics, self.host, self._want_metrics_port
+            )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                break  # platform without unix signal support
+        self._tasks.append(asyncio.ensure_future(self._batch_loop()))
+        if self.read_stdin:
+            self._tasks.append(asyncio.ensure_future(self._stdin_loop()))
+        if _obs.ENABLED:
+            _obs.gauge("serve.up").set(1)
+
+    def request_shutdown(self) -> None:
+        """Begin the graceful drain; idempotent, safe from a signal."""
+        self._stop.set()
+
+    async def serve_forever(self) -> None:
+        """Block until a shutdown request, then drain and close."""
+        await self._stop.wait()
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        # Stop accepting before draining, so the drain has a fixed end.
+        for server in (self._server, self._metrics_server):
+            if server is not None:
+                server.close()
+        await self._drained.wait()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for server in (self._server, self._metrics_server):
+            if server is not None:
+                try:
+                    await server.wait_closed()
+                except Exception:  # pragma: no cover
+                    pass
+        if self.config.checkpoint_path:
+            write_checkpoint(self.config.checkpoint_path, self.advisor)
+        if _obs.ENABLED:
+            _obs.gauge("serve.up").set(0)
+
+    # -- ingest plumbing ----------------------------------------------------
+
+    def feed(self, events: Sequence[PartialStripeError]) -> int:
+        """Push events straight into the queue (loadgen path); returns
+        how many were accepted before overflow shed the rest."""
+        accepted = 0
+        for event in events:
+            if self.queue.push(event):
+                accepted += 1
+        return accepted
+
+    async def _batch_loop(self) -> None:
+        config = self.config
+        while True:
+            if self._stop.is_set() and not len(self.queue):
+                break
+            got = await self.queue.wait_for_data(timeout=_IDLE_TICK)
+            if not got:
+                continue
+            batch = self.queue.drain(config.batch_events)
+            if not batch:
+                continue
+            self.advisor.ingest(batch)
+            self._batches_since_checkpoint += 1
+            if (
+                config.checkpoint_path
+                and config.checkpoint_every
+                and self._batches_since_checkpoint >= config.checkpoint_every
+            ):
+                write_checkpoint(config.checkpoint_path, self.advisor)
+                self._batches_since_checkpoint = 0
+        self._drained.set()
+
+    async def _stdin_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader()
+        protocol = asyncio.StreamReaderProtocol(reader)
+        await loop.connect_read_pipe(lambda: protocol, sys.stdin)
+        while not self._stop.is_set():
+            line = await reader.readline()
+            if not line:
+                self.request_shutdown()  # EOF on the pipe ends the stream
+                break
+            if line.strip():
+                self.queue.push_line(line)
+
+    # -- the wire -----------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not reader.at_eof():
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                op = self._peek_op(line)
+                if op is None:
+                    self.queue.push_line(line)
+                    continue
+                response = self._answer(op)
+                writer.write(
+                    json.dumps(response, sort_keys=True).encode("utf-8")
+                    + b"\n"
+                )
+                await writer.drain()
+                if op.get("op") == "shutdown":
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    @staticmethod
+    def _peek_op(line: bytes) -> dict | None:
+        """A query line is a JSON object carrying ``"op"``; anything else
+        (including malformed JSON) is treated as an ingest record so the
+        invalid counter — not a protocol error — absorbs garbage."""
+        if b'"op"' not in line:
+            return None
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if isinstance(payload, dict) and "op" in payload:
+            return payload
+        return None
+
+    def _answer(self, request: dict) -> dict:
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "op": "ping"}
+            if op == "advise":
+                spec = ArraySpec(
+                    code=request.get("code", self.config.code),
+                    p=int(request.get("p", self.config.p)),
+                    workers=(
+                        int(request["workers"])
+                        if request.get("workers") is not None
+                        else None
+                    ),
+                )
+                return {"ok": True, "op": op, "advice": self.advisor.advise(spec).to_dict()}
+            if op == "stats":
+                return {"ok": True, "op": op, "stats": self.stats()}
+            if op == "shutdown":
+                self.request_shutdown()
+                return {"ok": True, "op": op}
+            return {"ok": False, "error": f"unknown op: {op!r}"}
+        except ValueError as exc:
+            return {"ok": False, "op": op, "error": str(exc)}
+
+    def stats(self) -> dict:
+        start, stop = self.advisor.window_bounds()
+        return {
+            "accepted": self.queue.accepted,
+            "shed": self.queue.shed,
+            "invalid": self.queue.invalid,
+            "queued": len(self.queue),
+            "batches": self.advisor.batches,
+            "evaluations": self.advisor.evaluations,
+            "out_of_order": self.advisor.out_of_order,
+            "events_seen": self.advisor.interner.events_seen,
+            "window": [start, stop],
+            "n_blocks": self.advisor.interner.n_blocks,
+            "resumed": self.resumed,
+        }
+
+    # -- metrics scrape -----------------------------------------------------
+
+    async def _handle_metrics(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await reader.readline()  # request line; path is ignored
+            writer.write(prometheus_http_payload(_obs.registry()))
+            await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()

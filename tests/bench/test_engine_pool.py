@@ -1,0 +1,58 @@
+"""EnginePool: one process pool, many grids — rows identical to serial."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import EngineConfig, Scale, experiment_grid, rows_equivalent, run_grid
+from repro.bench.engine import EnginePool
+
+TINY = Scale(
+    n_errors=6,
+    workers=2,
+    cache_mbs=(0.25,),
+    seed=5,
+    codes=("tip",),
+    ps_main=(5,),
+    ps_tip=(5,),
+)
+
+
+class TestLifecycle:
+    def test_lazy_until_first_use_then_reusable(self):
+        pool = EnginePool(workers=1)
+        assert not pool.active
+        assert pool.resolved_workers() == 1
+        with pool:
+            assert pool.executor() is pool.executor()  # one executor, reused
+            assert pool.active
+        assert not pool.active
+        # the handle survives close(): next use builds a fresh executor
+        assert pool.executor() is not None
+        pool.close()
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            EnginePool(workers="sometimes")
+        with pytest.raises(ValueError):
+            EnginePool(workers=-1)
+
+    def test_zero_workers_has_no_executor(self):
+        pool = EnginePool(workers=0)
+        with pytest.raises(RuntimeError):
+            pool.executor()
+
+
+class TestRunGridReuse:
+    def test_two_grids_one_pool_rows_match_serial(self):
+        grid_a = experiment_grid("fig8", TINY)
+        grid_b = experiment_grid("fig9", TINY)
+        with EnginePool(workers=2) as pool:
+            pooled_a = run_grid(grid_a, EngineConfig(workers=1), pool=pool)
+            pooled_b = run_grid(grid_b, EngineConfig(workers=1), pool=pool)
+        serial_a = run_grid(grid_a, EngineConfig(workers=0))
+        serial_b = run_grid(grid_b, EngineConfig(workers=0))
+        assert rows_equivalent(pooled_a.points, serial_a.points)
+        assert rows_equivalent(pooled_b.points, serial_b.points)
+        # the pool's fan-out, not the EngineConfig's, is what actually ran
+        assert pooled_a.workers == 2

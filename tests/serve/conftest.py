@@ -1,0 +1,13 @@
+"""Serve tests enable obs (the server turns it on); never leak it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled_after():
+    yield
+    runtime.disable()

@@ -1,0 +1,92 @@
+"""Checkpoint durability: resume is bit-identical, corruption is loud."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import (
+    CacheAdvisor,
+    ServeConfig,
+    SyntheticSource,
+    load_checkpoint,
+    restore_advisor,
+    write_checkpoint,
+)
+
+
+def _config(**overrides) -> ServeConfig:
+    base = dict(
+        code="tip",
+        p=5,
+        workers=4,
+        cache_mbs=(2.0, 8.0),
+        policies=("fbf", "lru"),
+        window_events=36,
+        batch_events=12,
+        compact_factor=2,
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+def _fed_advisor(n_batches: int = 7) -> CacheAdvisor:
+    advisor = CacheAdvisor(_config())
+    source = SyntheticSource("tip", 5, chunk=12, seed=11)
+    for batch in source.batches(n_batches):
+        advisor.ingest(batch)
+    return advisor
+
+
+class TestRoundTrip:
+    def test_resume_is_bit_identical(self, tmp_path):
+        advisor = _fed_advisor()
+        assert advisor.interner.first_event > 0  # checkpoint a compacted log
+        path = write_checkpoint(tmp_path / "ckpt.json", advisor)
+        restored = restore_advisor(_config(), path)
+        assert restored is not None
+        # Identical replay state: same log positions, same interner
+        # arrays, and therefore the same evaluation rows.
+        assert restored.interner.events_seen == advisor.interner.events_seen
+        assert restored.interner.first_event == advisor.interner.first_event
+        original = advisor.interner.snapshot()
+        resumed = restored.interner.snapshot()
+        assert resumed.keys == original.keys
+        assert resumed.bids == original.bids
+        assert resumed.hints == original.hints
+        assert resumed.offsets == original.offsets
+        assert restored.evaluate() == advisor.evaluate()
+        assert restored.batches == advisor.batches
+
+    def test_checkpoint_file_is_stable_json(self, tmp_path):
+        advisor = _fed_advisor(3)
+        first = write_checkpoint(tmp_path / "a.json", advisor)
+        second = write_checkpoint(tmp_path / "b.json", advisor)
+        assert first.read_bytes() == second.read_bytes()
+        state = load_checkpoint(first)
+        assert state["fingerprint"] == advisor.config.fingerprint()
+
+    def test_missing_checkpoint_means_fresh_start(self, tmp_path):
+        assert restore_advisor(_config(), tmp_path / "absent.json") is None
+
+
+class TestRejection:
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        path = write_checkpoint(tmp_path / "ckpt.json", _fed_advisor(3))
+        with pytest.raises(ValueError, match="fingerprint"):
+            restore_advisor(_config(window_events=48), path)
+
+    def test_corrupt_json_is_loud(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt"):
+            restore_advisor(_config(), path)
+
+    def test_wrong_schema_is_loud(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(
+            json.dumps({"schema": 99, "state": {}}), encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="schema"):
+            restore_advisor(_config(), path)

@@ -1,0 +1,177 @@
+"""AdvisorServer failure modes: overflow sheds, SIGTERM drains, wire ops."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+
+from repro.obs import runtime
+from repro.serve import AdvisorServer, ServeConfig, SyntheticSource
+
+
+def _config(**overrides) -> ServeConfig:
+    base = dict(
+        code="tip",
+        p=5,
+        workers=4,
+        cache_mbs=(2.0, 8.0),
+        policies=("fbf", "lru"),
+        window_events=36,
+        batch_events=12,
+        compact_factor=2,
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+async def _query(port: int, request: dict) -> dict:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(json.dumps(request).encode() + b"\n")
+    await writer.drain()
+    line = await reader.readline()
+    writer.close()
+    await writer.wait_closed()
+    return json.loads(line)
+
+
+async def _drain_until(server: AdvisorServer, total: int, timeout: float = 20.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while server.advisor.interner.events_seen < total:
+        assert asyncio.get_running_loop().time() < deadline, "ingest stalled"
+        await asyncio.sleep(0.02)
+
+
+class TestBackpressure:
+    def test_overflow_sheds_and_counts(self):
+        async def scenario():
+            server = AdvisorServer(_config(queue_limit=24), metrics_port=None)
+            await server.start()
+            events = SyntheticSource("tip", 5, chunk=60).next_batch()
+            accepted = server.feed(events)
+            assert accepted == 24  # queue_limit, not the burst size
+            assert server.queue.shed == 36
+            registry = runtime.registry()
+            assert (
+                registry.snapshot()["counters"]["serve.ingest.shed"] == 36
+            )
+            server.request_shutdown()
+            await server.serve_forever()
+            # everything *accepted* still landed — only overflow shed
+            assert server.advisor.interner.events_seen == 24
+
+        runtime.enable(fresh=True)
+        asyncio.run(scenario())
+
+
+class TestGracefulDrain:
+    def test_sigterm_drains_in_flight_batches(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+
+        async def scenario():
+            server = AdvisorServer(
+                _config(checkpoint_path=str(ckpt), checkpoint_every=0),
+                metrics_port=None,
+            )
+            await server.start()
+            source = SyntheticSource("tip", 5, chunk=12)
+            fed = sum(server.feed(batch) for batch in source.batches(4))
+            assert fed == 48
+            # SIGTERM lands while all 48 events are still queued; the
+            # drain must flush every accepted batch before returning.
+            os.kill(os.getpid(), signal.SIGTERM)
+            await server.serve_forever()
+            assert server.advisor.interner.events_seen == 48
+            assert len(server.queue) == 0
+
+        asyncio.run(scenario())
+        # ...and the final checkpoint reflects the drained state.
+        assert ckpt.is_file()
+        state = json.loads(ckpt.read_text())["state"]
+        assert state["dropped"] + len(state["events"]) == 48
+
+    def test_checkpointed_server_resumes(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        config = _config(checkpoint_path=str(ckpt), checkpoint_every=0)
+
+        async def first_life():
+            server = AdvisorServer(config, metrics_port=None)
+            await server.start()
+            server.feed(SyntheticSource("tip", 5, chunk=12).next_batch())
+            await _drain_until(server, 12)
+            rows = server.advisor.evaluate()
+            server.request_shutdown()
+            await server.serve_forever()
+            return rows
+
+        async def second_life():
+            server = AdvisorServer(config, metrics_port=None)
+            assert server.resumed
+            rows = server.advisor.evaluate()
+            return rows
+
+        assert asyncio.run(first_life()) == asyncio.run(second_life())
+
+
+class TestWire:
+    def test_ops_and_record_ingest_share_one_port(self):
+        async def scenario():
+            server = AdvisorServer(_config(), metrics_port=None)
+            await server.start()
+            port = server.port
+            assert (await _query(port, {"op": "ping"}))["ok"]
+
+            events = SyntheticSource("tip", 5, chunk=12).next_batch()
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            for event in events:
+                writer.write(
+                    (json.dumps({
+                        "time": event.time,
+                        "stripe": event.stripe,
+                        "disk": event.disk,
+                        "start_row": event.start_row,
+                        "length": event.length,
+                    }) + "\n").encode()
+                )
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await _drain_until(server, 12)
+
+            stats = (await _query(port, {"op": "stats"}))["stats"]
+            assert stats["accepted"] == 12
+            assert stats["invalid"] == 1
+            assert stats["shed"] == 0
+
+            answer = await _query(port, {"op": "advise"})
+            assert answer["ok"]
+            advice = answer["advice"]
+            offline = server.advisor.advise()
+            assert advice["policy"] == offline.policy
+            assert advice["hit_ratio"] == offline.hit_ratio
+
+            unknown = await _query(port, {"op": "frobnicate"})
+            assert not unknown["ok"]
+
+            assert (await _query(port, {"op": "shutdown"}))["ok"]
+            await server.serve_forever()
+
+        asyncio.run(scenario())
+
+    def test_wrong_geometry_advise_is_refused_not_fatal(self):
+        async def scenario():
+            server = AdvisorServer(_config(), metrics_port=None)
+            await server.start()
+            server.feed(SyntheticSource("tip", 5, chunk=12).next_batch())
+            await _drain_until(server, 12)
+            answer = await _query(
+                server.port, {"op": "advise", "code": "star", "p": 5}
+            )
+            assert not answer["ok"]
+            assert "advisor serves" in answer["error"]
+            server.request_shutdown()
+            await server.serve_forever()
+
+        asyncio.run(scenario())

@@ -1,0 +1,130 @@
+"""The versioned facade: v2 namespaces own the names, v1 warns and forwards.
+
+Satellite contracts of the api redesign (DESIGN.md §17):
+
+* every v1 ``repro.api`` name emits exactly one ``DeprecationWarning``
+  and resolves to *the same object* the v2 namespace exports;
+* :class:`repro.api.v2.bench.GridRequest` is frozen and rejects unknown
+  keys eagerly;
+* each v2 namespace has its own committed API001 manifest.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.api import v2
+from repro.api.v2 import bench, cluster, replay, serve
+from repro.checks.program_rules import V2_NAMESPACES, default_manifest_path
+
+
+def _v2_object(name: str):
+    module_name, attr = api._V2_HOMES[name]
+    if attr is None:
+        import importlib
+
+        return importlib.import_module(module_name)
+    namespace = module_name.rsplit(".", 1)[1]
+    return getattr({"replay": replay, "bench": bench, "cluster": cluster,
+                    "serve": serve}.get(namespace), attr)
+
+
+class TestDeprecationShim:
+    def test_every_v1_name_warns_once_and_resolves_to_v2(self):
+        for name in api.__all__:
+            api._warned.discard(name)  # re-arm: other tests may have tripped it
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                first = getattr(api, name)
+                second = getattr(api, name)
+            deprecations = [
+                w for w in caught if issubclass(w.category, DeprecationWarning)
+            ]
+            assert len(deprecations) == 1, name  # exactly once, not per access
+            assert name in str(deprecations[0].message)
+            assert first is second
+            assert first is _v2_object(name), name
+
+    def test_shim_surface_is_exactly_the_v1_names(self):
+        assert len(api.__all__) == len(set(api.__all__))
+        assert set(api._V2_HOMES) == set(api.__all__)
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            api.no_such_export
+
+    def test_v2_namespaces_importable_without_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert replay.simulate_trace is not None
+            assert bench.run_grid is not None
+            assert cluster.run_cluster_recovery is not None
+            assert serve.CacheAdvisor is not None
+            assert v2.obs is not None
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestGridRequest:
+    def test_frozen(self):
+        request = bench.GridRequest(points=())
+        with pytest.raises(AttributeError):
+            request.batch = False
+
+    def test_unknown_key_rejected_eagerly(self):
+        with pytest.raises(TypeError, match="unknown GridRequest key.*typo_key"):
+            bench.GridRequest.from_mapping({"points": (), "typo_key": 1})
+
+    def test_mixing_engine_and_conveniences_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            bench.GridRequest(
+                points=(), engine=bench.EngineConfig(), engine_workers=0
+            )
+
+    def test_run_grid_accepts_request_and_v1_shape_identically(self):
+        grid = tuple(bench.experiment_grid("fig8", bench.QUICK))[:2]
+        via_request = bench.run_grid(
+            bench.GridRequest(points=grid, engine_workers=0, batch=False)
+        )
+        via_kwargs = bench.run_grid(grid, engine_workers=0, batch=False)
+        assert bench.rows_equivalent(via_request.points, via_kwargs.points)
+
+    def test_options_alongside_request_rejected(self):
+        with pytest.raises(TypeError, match="inside the GridRequest"):
+            bench.run_grid(bench.GridRequest(points=()), engine_workers=0)
+
+    def test_resolved_engine_defaults(self):
+        assert bench.GridRequest(points=()).resolved_engine() is None
+        resolved = bench.GridRequest(points=(), engine_workers=0).resolved_engine()
+        assert resolved is not None
+        assert resolved.workers == 0
+
+
+class TestManifests:
+    def test_each_namespace_has_a_committed_manifest(self):
+        for namespace, module in V2_NAMESPACES.items():
+            path = default_manifest_path(namespace)
+            assert path.is_file(), f"missing manifest for {namespace}"
+            text = path.read_text(encoding="utf-8")
+            assert module in text.splitlines()[0]
+
+    def test_manifests_cover_each_namespace_all(self):
+        import importlib
+
+        for namespace, module_name in V2_NAMESPACES.items():
+            module = importlib.import_module(module_name)
+            path = default_manifest_path(namespace)
+            committed = {
+                line.split("=")[0].strip()
+                for line in path.read_text(encoding="utf-8").splitlines()
+                if line.strip() and not line.startswith("#")
+            }
+            assert committed == set(module.__all__), namespace
+
+    def test_unknown_namespace_rejected(self):
+        with pytest.raises(KeyError):
+            default_manifest_path("nope")
